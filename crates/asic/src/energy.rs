@@ -1,0 +1,177 @@
+//! Per-operation energy constants and arithmetic styles.
+
+use flightnn::QuantScheme;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energies in picojoules for a 65 nm process.
+///
+/// Defaults are scaled (×1.8) from Horowitz's 45 nm numbers (ISSCC 2014):
+/// fp32 multiply 3.7 pJ, fp32 add 0.9 pJ, int8 multiply 0.2 pJ, int8 add
+/// 0.03 pJ; a 16-bit accumulate and an 8-bit barrel shift are interpolated
+/// from the same table.
+///
+/// # Example
+///
+/// ```
+/// use flight_asic::OpEnergy;
+///
+/// let e = OpEnergy::nm65();
+/// assert!(e.shift_pj < e.int_mult_pj(8));
+/// assert!(e.int_mult_pj(4) < e.int_mult_pj(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpEnergy {
+    /// 32-bit float multiply.
+    pub fp32_mult_pj: f64,
+    /// 32-bit float add.
+    pub fp32_add_pj: f64,
+    /// 8×8-bit integer multiply (other widths scale quadratically).
+    pub int8_mult_pj: f64,
+    /// Small integer add (8-bit operands).
+    pub int_add_pj: f64,
+    /// Accumulator add (16–24 bit).
+    pub acc_add_pj: f64,
+    /// 8-bit barrel shift.
+    pub shift_pj: f64,
+}
+
+impl OpEnergy {
+    /// The default 65 nm table.
+    pub fn nm65() -> Self {
+        OpEnergy {
+            fp32_mult_pj: 6.6,
+            fp32_add_pj: 1.6,
+            int8_mult_pj: 0.36,
+            int_add_pj: 0.054,
+            acc_add_pj: 0.09,
+            shift_pj: 0.04,
+        }
+    }
+
+    /// Integer multiply energy for `bits`-wide weights against 8-bit
+    /// activations. Array-multiplier energy grows roughly quadratically
+    /// with operand width (partial-product count × adder depth), so we
+    /// scale by `(bits/8)²` — which also places a 4-bit fixed-point MAC
+    /// between LightNN-1 and LightNN-2, where Fig. 5 shows it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn int_mult_pj(&self, bits: u32) -> f64 {
+        assert!(bits > 0, "multiplier width must be positive");
+        let r = bits as f64 / 8.0;
+        self.int8_mult_pj * r * r
+    }
+
+    /// Energy of one multiply-accumulate in the given style, in pJ.
+    pub fn mac_pj(&self, style: &ComputeStyle) -> f64 {
+        match style {
+            ComputeStyle::Float32 => self.fp32_mult_pj + self.fp32_add_pj,
+            ComputeStyle::FixedPoint { weight_bits } => {
+                self.int_mult_pj(*weight_bits) + self.acc_add_pj
+            }
+            ComputeStyle::ShiftAdd { mean_k } => {
+                let k = (*mean_k).max(0.0) as f64;
+                k * self.shift_pj + (k - 1.0).max(0.0) * self.int_add_pj + self.acc_add_pj
+            }
+        }
+    }
+}
+
+impl Default for OpEnergy {
+    fn default() -> Self {
+        OpEnergy::nm65()
+    }
+}
+
+/// The arithmetic style of a computation unit, from the ASIC model's
+/// point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ComputeStyle {
+    /// 32-bit floating point.
+    Float32,
+    /// Fixed-point multiply with `weight_bits`-wide weights.
+    FixedPoint {
+        /// Weight operand width.
+        weight_bits: u32,
+    },
+    /// `mean_k` shifts (plus `mean_k − 1` adds) per multiply.
+    ShiftAdd {
+        /// Average shifts per multiply over the layer's filters.
+        mean_k: f32,
+    },
+}
+
+impl ComputeStyle {
+    /// Derives the style of a whole-model quantization scheme; `mean_k`
+    /// supplies the trained average shift count for FLightNN models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme is FLightNN and `mean_k` is `None`.
+    pub fn from_scheme(scheme: &QuantScheme, mean_k: Option<f32>) -> ComputeStyle {
+        match scheme {
+            QuantScheme::Full => ComputeStyle::Float32,
+            QuantScheme::FixedPoint { weight_bits, .. } => ComputeStyle::FixedPoint {
+                weight_bits: *weight_bits,
+            },
+            QuantScheme::LightNn { k, .. } => ComputeStyle::ShiftAdd { mean_k: *k as f32 },
+            QuantScheme::FLight { .. } => ComputeStyle::ShiftAdd {
+                mean_k: mean_k.expect("FLightNN energy needs the trained mean k"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_mac_ordering_matches_fig5() {
+        let e = OpEnergy::nm65();
+        let full = e.mac_pj(&ComputeStyle::Float32);
+        let fp4 = e.mac_pj(&ComputeStyle::FixedPoint { weight_bits: 4 });
+        let l1 = e.mac_pj(&ComputeStyle::ShiftAdd { mean_k: 1.0 });
+        let l2 = e.mac_pj(&ComputeStyle::ShiftAdd { mean_k: 2.0 });
+
+        // Fig. 5's x-axis ordering: L-1 < FP(4W) < L-2 ≪ Full.
+        assert!(l1 < fp4, "L-1 {l1} !< FP {fp4}");
+        assert!(fp4 < l2, "FP {fp4} !< L-2 {l2}");
+        assert!(l2 < full / 10.0, "quantized MACs are >10x cheaper");
+    }
+
+    #[test]
+    fn flight_interpolates() {
+        let e = OpEnergy::nm65();
+        let l1 = e.mac_pj(&ComputeStyle::ShiftAdd { mean_k: 1.0 });
+        let l2 = e.mac_pj(&ComputeStyle::ShiftAdd { mean_k: 2.0 });
+        let fl = e.mac_pj(&ComputeStyle::ShiftAdd { mean_k: 1.4 });
+        assert!(l1 < fl && fl < l2);
+    }
+
+    #[test]
+    fn scheme_mapping() {
+        assert_eq!(
+            ComputeStyle::from_scheme(&QuantScheme::full(), None),
+            ComputeStyle::Float32
+        );
+        assert_eq!(
+            ComputeStyle::from_scheme(&QuantScheme::l2(), None),
+            ComputeStyle::ShiftAdd { mean_k: 2.0 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the trained mean k")]
+    fn flight_requires_mean_k() {
+        ComputeStyle::from_scheme(&QuantScheme::flight(1e-5), None);
+    }
+
+    #[test]
+    fn multiplier_energy_scales_with_width() {
+        let e = OpEnergy::nm65();
+        assert!(e.int_mult_pj(4) < e.int_mult_pj(8));
+        assert!((e.int_mult_pj(8) - e.int8_mult_pj).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,23 @@
+//! 65 nm ASIC computational-energy model for quantized DNN layers.
+//!
+//! The paper synthesizes pipelined per-neuron implementations with a
+//! 65 nm commercial standard-cell library (Synopsys DC + PrimeTime) and
+//! reports the *computational* energy of each network's largest layer
+//! (Fig. 5). That quantity is `Σ op-count × per-op energy`, which is what
+//! this crate computes from documented per-operation energy constants
+//! ([`OpEnergy`]) and the layer geometry
+//! ([`flightnn::configs::ConvSpec`]).
+//!
+//! Energy constants are 65 nm-class approximations scaled from published
+//! 45 nm measurements (Horowitz, ISSCC 2014, ×≈1.8 for the node change);
+//! integer multiplier energy scales quadratically with operand width.
+//! Absolute joules are therefore approximate, but the *ratios* between
+//! arithmetic styles — which drive Fig. 5's Pareto fronts — are the
+//! well-established ones: a shift is far cheaper than a multiply, and a
+//! `k`-shift multiply costs `k` shifts plus `k − 1` small adds.
+
+pub mod energy;
+pub mod estimate;
+
+pub use energy::{ComputeStyle, OpEnergy};
+pub use estimate::{flight_layer_energy_uj, layer_energy_uj};

@@ -1,0 +1,88 @@
+//! Criterion benches for the integer inference kernels and the
+//! quantizer — the software-side counterpart of the paper's
+//! "shift-add replaces the multiplier" argument. The interesting output
+//! is the op-count ratio (reported by the table bins) plus the relative
+//! kernel timings here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flight_kernels::fixed::FixedWeights;
+use flight_kernels::{fixed_point_conv, shift_add_conv, QuantActivations, ShiftKernel};
+use flight_tensor::{uniform, TensorRng};
+use flightnn::convert::shift_plan;
+use flightnn::layers::QuantConv2d;
+use flightnn::quant::quantize_lightnn;
+use flightnn::{QuantScheme, ThresholdQuantizer};
+
+fn conv_inputs() -> (QuantActivations, flight_tensor::Tensor) {
+    let mut rng = TensorRng::seed(42);
+    let x = uniform(&mut rng, &[1, 16, 16, 16], -1.0, 1.0);
+    let w = uniform(&mut rng, &[32, 16, 3, 3], -0.5, 0.5);
+    (QuantActivations::quantize(&x, 8), w)
+}
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let (qa, w) = conv_inputs();
+    let mut group = c.benchmark_group("conv_kernels");
+
+    // Fixed-point multiply datapath (FP 4W8A baseline).
+    let qw = FixedWeights::quantize(&w, 4);
+    group.bench_function("fixed_point_4w8a", |b| {
+        b.iter(|| fixed_point_conv(&qa, &qw, 1, 1))
+    });
+
+    // Shift-add datapaths for k = 1 and k = 2.
+    for k in [1usize, 2] {
+        let scheme = if k == 1 {
+            QuantScheme::l1()
+        } else {
+            QuantScheme::l2()
+        };
+        let mut rng = TensorRng::seed(42);
+        let mut conv = QuantConv2d::new(&mut rng, &scheme, 16, 32, 3, 1, 1);
+        conv.shadow_mut().value = w.clone();
+        let plan = shift_plan(&mut conv);
+        let kernel = ShiftKernel::compile(&plan, &[32, 16, 3, 3]);
+        group.bench_with_input(BenchmarkId::new("shift_add", k), &kernel, |b, kern| {
+            b.iter(|| shift_add_conv(&qa, kern, 1, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(7);
+    let w = uniform(&mut rng, &[64, 32, 3, 3], -1.0, 1.0);
+    let mut group = c.benchmark_group("quantizers");
+    group.bench_function("lightnn_k2", |b| b.iter(|| quantize_lightnn(&w, 2)));
+    let q = ThresholdQuantizer::new(2, flightnn::QuantMode::Cascade);
+    group.bench_function("flightnn_thresholded", |b| {
+        b.iter(|| q.quantize_tensor(&w, &[0.0, 0.1]))
+    });
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    use flight_data::{DatasetKind, Fidelity, SyntheticDataset};
+    use flightnn::configs::NetworkConfig;
+    use flightnn::FlightTrainer;
+
+    let data = SyntheticDataset::preset(DatasetKind::Cifar10Like, Fidelity::Smoke, 5);
+    let scheme = QuantScheme::flight(1e-5);
+    let mut rng = TensorRng::seed(5);
+    let mut net =
+        NetworkConfig::by_id(1).build(&scheme, &mut rng, data.classes(), data.image_dims(), 0.125);
+    let mut trainer = FlightTrainer::new(&scheme, 1e-3);
+    let batches = data.train_batches(16);
+    let one = &batches[..1];
+
+    c.bench_function("flightnn_train_step_net1", |b| {
+        b.iter(|| trainer.train_epoch(&mut net, one))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_conv_kernels, bench_quantizers, bench_training_step
+}
+criterion_main!(benches);

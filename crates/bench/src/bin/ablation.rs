@@ -1,0 +1,115 @@
+//! Ablations of the design choices DESIGN.md §3 calls out:
+//!
+//! 1. cascade vs independent-sum indicator semantics (Fig. 2 vs the
+//!    literal §4.1 summation),
+//! 2. proximal vs subgradient optimization of the group lasso,
+//! 3. gradual quantization (three-phase schedule) vs training under the
+//!    full λ from step one,
+//! 4. sigmoid temperature τ (norm-scale-matched vs the paper's literal
+//!    unit temperature).
+//!
+//! Each row reports test accuracy and the achieved mean shift count on
+//! the CIFAR-10 stand-in, network 1. Set FLIGHT_FIDELITY to scale.
+
+use flight_bench::BenchProfile;
+use flight_data::SyntheticDataset;
+use flight_nn::evaluate;
+use flight_tensor::TensorRng;
+use flightnn::configs::NetworkConfig;
+use flightnn::quant::QuantMode;
+use flightnn::reg::RegStrength;
+use flightnn::scheme::DEFAULT_SIGMOID_TEMPERATURE;
+use flightnn::trainer::RegMode;
+use flightnn::{FlightTrainer, QuantScheme};
+
+struct Variant {
+    name: &'static str,
+    mode: QuantMode,
+    reg_mode: RegMode,
+    gradual: bool,
+    tau: f32,
+}
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let cfg = NetworkConfig::by_id(1);
+    let data = SyntheticDataset::generate(&profile.dataset_spec(cfg.dataset), profile.seed);
+    let lambda1 = 5.0f32;
+
+    let variants = [
+        Variant {
+            name: "baseline (cascade, prox, gradual, tau=0.2)",
+            mode: QuantMode::Cascade,
+            reg_mode: RegMode::Proximal,
+            gradual: true,
+            tau: DEFAULT_SIGMOID_TEMPERATURE,
+        },
+        Variant {
+            name: "independent-sum indicators",
+            mode: QuantMode::IndependentSum,
+            reg_mode: RegMode::Proximal,
+            gradual: true,
+            tau: DEFAULT_SIGMOID_TEMPERATURE,
+        },
+        Variant {
+            name: "subgradient group lasso",
+            mode: QuantMode::Cascade,
+            reg_mode: RegMode::Gradient,
+            gradual: true,
+            tau: DEFAULT_SIGMOID_TEMPERATURE,
+        },
+        Variant {
+            name: "no gradual quantization (full lambda from step 1)",
+            mode: QuantMode::Cascade,
+            reg_mode: RegMode::Proximal,
+            gradual: false,
+            tau: DEFAULT_SIGMOID_TEMPERATURE,
+        },
+        Variant {
+            name: "unit sigmoid temperature (paper-literal)",
+            mode: QuantMode::Cascade,
+            reg_mode: RegMode::Proximal,
+            gradual: true,
+            tau: 1.0,
+        },
+    ];
+
+    println!(
+        "Ablations on network 1, lambda1 = {lambda1}, profile {:?}",
+        profile.fidelity
+    );
+    println!("{:<52} {:>9} {:>8}", "variant", "accuracy", "mean_k");
+    for v in &variants {
+        let scheme = QuantScheme::FLight {
+            k_max: 2,
+            mode: v.mode,
+            reg: RegStrength::new(vec![0.0, lambda1]),
+            act_bits: 8,
+            tau: v.tau,
+        };
+        let mut rng = TensorRng::seed(profile.seed);
+        let mut net = cfg.build(
+            &scheme,
+            &mut rng,
+            data.classes(),
+            data.image_dims(),
+            profile.width_scale(cfg.width),
+        );
+        let mut trainer = FlightTrainer::new(&scheme, profile.lr).with_reg_mode(v.reg_mode);
+        let batches = data.train_batches(profile.batch);
+        if v.gradual {
+            trainer.fit_two_phase(&mut net, &batches, profile.epochs);
+        } else {
+            trainer.fit(&mut net, &batches, profile.epochs);
+        }
+        let acc = evaluate(&mut net, &data.test_batches(64), 1).accuracy;
+        let counts = net.all_shift_counts();
+        let mean_k = counts.iter().sum::<usize>() as f32 / counts.len().max(1) as f32;
+        println!("{:<52} {:>8.2}% {:>8.2}", v.name, acc * 100.0, mean_k);
+    }
+    println!("\nExpected pattern: the baseline reaches mean_k ~1 with accuracy near");
+    println!("LightNN-1; subgradient mode stalls at mean_k = 2; skipping the");
+    println!("gradual schedule costs accuracy dramatically; indicator semantics");
+    println!("and sigmoid temperature barely matter in proximal mode (capture");
+    println!("works through exact zero residuals, not threshold motion).");
+}

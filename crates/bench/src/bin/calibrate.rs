@@ -1,0 +1,68 @@
+//! Difficulty calibration tool: sweeps dataset noise and reports the
+//! accuracy separation between quantization schemes, to pick operating
+//! points where the paper's orderings (Full ≥ L-2 ≥ FL ≥ L-1, FP) are
+//! resolvable above seed noise.
+//!
+//! Environment: `FLIGHT_NOISE` (comma list, default "0.6,0.9,1.2"),
+//! `FLIGHT_NET` (network id, default 1), `FLIGHT_FIDELITY`,
+//! `FLIGHT_FL_LAMBDA` (comma list of extra FLightNN lambda_1 points).
+
+use flight_bench::suite::{flight_b, train_model};
+use flight_bench::BenchProfile;
+use flight_data::SyntheticDataset;
+use flightnn::configs::NetworkConfig;
+use flightnn::QuantScheme;
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let noises: Vec<f32> = std::env::var("FLIGHT_NOISE")
+        .unwrap_or_else(|_| "0.6,0.9,1.2".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("noise must be a float"))
+        .collect();
+    let net_id: u8 = std::env::var("FLIGHT_NET")
+        .unwrap_or_else(|_| "1".to_string())
+        .parse()
+        .expect("FLIGHT_NET must be 1..=8");
+
+    let cfg = NetworkConfig::by_id(net_id);
+    println!("calibration on network {net_id}, profile {:?}", profile.fidelity);
+    println!("noise,model,accuracy_pct");
+    for &noise in &noises {
+        let mut spec = profile.dataset_spec(cfg.dataset);
+        spec.noise = noise;
+        let data = SyntheticDataset::generate(&spec, profile.seed);
+        let mut models = vec![
+            ("Full".to_string(), QuantScheme::full()),
+            ("L-2".to_string(), QuantScheme::l2()),
+            ("L-1".to_string(), QuantScheme::l1()),
+            ("FP".to_string(), QuantScheme::fp4w8a()),
+            ("FL_b".to_string(), flight_b()),
+        ];
+        if let Ok(lams) = std::env::var("FLIGHT_FL_LAMBDA") {
+            for lam in lams.split(',') {
+                let l: f32 = lam.trim().parse().expect("lambda must be a float");
+                models.push((
+                    format!("FL(l={l})"),
+                    flightnn::QuantScheme::flight_with(
+                        flightnn::reg::RegStrength::new(vec![0.0, l]),
+                        2,
+                    ),
+                ));
+            }
+        }
+        for (label, scheme) in models {
+            let (mut net, acc) = train_model(&cfg, &scheme, &data, &profile);
+            let counts = net.all_shift_counts();
+            let mean_k = if counts.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ",mean_k={:.2}",
+                    counts.iter().sum::<usize>() as f32 / counts.len() as f32
+                )
+            };
+            println!("{noise},{label},{:.2}{mean_k}", acc * 100.0);
+        }
+    }
+}

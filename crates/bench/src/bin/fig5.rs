@@ -1,0 +1,32 @@
+//! Regenerates Fig. 5: accuracy vs ASIC computational energy of the
+//! largest layer, for every network and quantized model. Prints one CSV
+//! block per network. Set FLIGHT_FIDELITY=smoke|bench|full.
+
+use flight_bench::suite::{flight_a, flight_b, run_network_suite};
+use flight_bench::BenchProfile;
+use flightnn::configs::NetworkConfig;
+use flightnn::QuantScheme;
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    println!("Fig. 5: accuracy vs ASIC energy, profile {:?}", profile.fidelity);
+    for id in 1..=8u8 {
+        let cfg = NetworkConfig::by_id(id);
+        let mut schemes = vec![
+            ("L-2".to_string(), QuantScheme::l2()),
+            ("L-1".to_string(), QuantScheme::l1()),
+        ];
+        if id != 8 {
+            schemes.push(("FP".to_string(), QuantScheme::fp4w8a()));
+        }
+        schemes.push(("FL_a".to_string(), flight_a()));
+        schemes.push(("FL_b".to_string(), flight_b()));
+
+        let rows = run_network_suite(id, &profile, &schemes, "L-2");
+        println!("\n# Network {id} ({} {})", cfg.dataset.paper_name(), cfg.structure);
+        println!("model,energy_uj,accuracy_pct");
+        for row in rows {
+            println!("{},{:.4},{:.2}", row.label, row.energy_uj, row.accuracy * 100.0);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 6: the accuracy-storage Pareto front on the CIFAR-100
+//! stand-in for LightNN-1, LightNN-2 and FLightNN over a width sweep.
+//! The FLightNN front should upper-bound the LightNN points (§6).
+//! Set FLIGHT_FIDELITY=smoke|bench|full.
+
+use flight_bench::suite::{flight_b, train_model};
+use flight_bench::BenchProfile;
+use flight_data::SyntheticDataset;
+use flightnn::configs::NetworkConfig;
+use flightnn::QuantScheme;
+
+fn main() {
+    let mut profile = BenchProfile::from_env();
+    println!("Fig. 6: accuracy-storage front, CIFAR-100 stand-in (network 6 base)");
+    println!("model,width_target,storage_mb,accuracy_pct");
+    let cfg = NetworkConfig::by_id(6);
+    let data = SyntheticDataset::generate(&profile.dataset_spec(cfg.dataset), profile.seed);
+    let base_width = profile.width_target;
+
+    for width_mult in [1usize, 2, 4] {
+        profile.width_target = base_width * width_mult / 2;
+        let scale = profile.width_scale(cfg.width) as f64;
+        for (label, scheme) in [
+            ("L-1".to_string(), QuantScheme::l1()),
+            ("L-2".to_string(), QuantScheme::l2()),
+            ("FL".to_string(), flight_b()),
+        ] {
+            let (mut net, accuracy) = train_model(&cfg, &scheme, &data, &profile);
+            // Storage of the *scaled* model (the sweep varies width, so
+            // storage is reported at the trained width, like Fig. 6's axis).
+            let report = flightnn::storage::storage_report(&mut net);
+            println!(
+                "{label},{},{:.5},{:.2}",
+                (cfg.width as f64 * scale) as usize,
+                report.megabytes(),
+                accuracy * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 2: accuracy and FPGA throughput for the CIFAR-10
+//! stand-in, networks 1-3. Set FLIGHT_FIDELITY=smoke|bench|full.
+
+use flight_bench::suite::{print_table, run_network_suite, standard_schemes};
+use flight_bench::BenchProfile;
+use flightnn::configs::NetworkConfig;
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    println!("Table 2: CIFAR-10 (synthetic stand-in), profile {:?}", profile.fidelity);
+    for id in [1u8, 2, 3] {
+        let rows = run_network_suite(id, &profile, &standard_schemes(), "Full");
+        print_table(&NetworkConfig::by_id(id), &rows);
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 3: accuracy and FPGA throughput for the SVHN
+//! stand-in, networks 4-5. Set FLIGHT_FIDELITY=smoke|bench|full.
+
+use flight_bench::suite::{print_table, run_network_suite, standard_schemes};
+use flight_bench::BenchProfile;
+use flightnn::configs::NetworkConfig;
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    println!("Table 3: SVHN (synthetic stand-in), profile {:?}", profile.fidelity);
+    for id in [4u8, 5] {
+        let rows = run_network_suite(id, &profile, &standard_schemes(), "Full");
+        print_table(&NetworkConfig::by_id(id), &rows);
+    }
+}

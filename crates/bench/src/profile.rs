@@ -1,0 +1,111 @@
+//! Regeneration-time profiles.
+
+use flight_data::{DatasetKind, DatasetSpec, Fidelity};
+
+/// Training budget for one table regeneration, derived from
+/// [`Fidelity`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchProfile {
+    /// Fidelity this profile was built from.
+    pub fidelity: Fidelity,
+    /// Training epochs per model.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Target width of the widest layer after scaling (the paper's widths
+    /// are divided down to this so single-core regeneration stays
+    /// tractable; accuracy comparisons are within-profile).
+    pub width_target: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl BenchProfile {
+    /// Profile for a fidelity level.
+    pub fn for_fidelity(fidelity: Fidelity) -> BenchProfile {
+        match fidelity {
+            Fidelity::Smoke => BenchProfile {
+                fidelity,
+                epochs: 8,
+                batch: 16,
+                lr: 1e-2,
+                width_target: 16,
+                seed: 9,
+            },
+            Fidelity::Bench => BenchProfile {
+                fidelity,
+                epochs: 14,
+                batch: 32,
+                lr: 1e-2,
+                width_target: 16,
+                seed: 9,
+            },
+            Fidelity::Full => BenchProfile {
+                fidelity,
+                epochs: 40,
+                batch: 32,
+                lr: 1e-2,
+                width_target: 32,
+                seed: 9,
+            },
+        }
+    }
+
+    /// Profile from the `FLIGHT_FIDELITY` environment variable.
+    pub fn from_env() -> BenchProfile {
+        BenchProfile::for_fidelity(Fidelity::from_env())
+    }
+
+    /// Width scale for a network whose paper width is `paper_width`.
+    pub fn width_scale(&self, paper_width: usize) -> f32 {
+        (self.width_target as f32 / paper_width as f32).min(1.0)
+    }
+
+    /// The dataset spec used for training at this profile (smaller than
+    /// the `flight-data` presets for the many-class sets so single-core
+    /// regeneration stays bounded).
+    pub fn dataset_spec(&self, kind: DatasetKind) -> DatasetSpec {
+        let mut spec = DatasetSpec::preset(kind, self.fidelity);
+        let class_factor = (kind.classes() as f32 / 10.0).max(1.0);
+        if class_factor > 1.0 {
+            // The presets scale samples linearly with class count; take
+            // the square root instead to bound the 100-class sets.
+            let shrink = class_factor.sqrt() / class_factor;
+            spec.train_samples = ((spec.train_samples as f32) * shrink) as usize;
+            spec.test_samples = ((spec.test_samples as f32) * shrink) as usize;
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_scale_with_fidelity() {
+        let s = BenchProfile::for_fidelity(Fidelity::Smoke);
+        let b = BenchProfile::for_fidelity(Fidelity::Bench);
+        let f = BenchProfile::for_fidelity(Fidelity::Full);
+        assert!(s.epochs < b.epochs && b.epochs < f.epochs);
+        assert!(s.width_target <= f.width_target);
+    }
+
+    #[test]
+    fn width_scale_never_exceeds_one() {
+        let p = BenchProfile::for_fidelity(Fidelity::Bench);
+        assert_eq!(p.width_scale(8), 1.0);
+        assert!((p.width_scale(64) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hundred_class_sets_are_bounded() {
+        let p = BenchProfile::for_fidelity(Fidelity::Bench);
+        let c10 = p.dataset_spec(DatasetKind::Cifar10Like);
+        let c100 = p.dataset_spec(DatasetKind::Cifar100Like);
+        assert!(c100.train_samples <= c10.train_samples * 4);
+        c100.validate().expect("shrunken spec stays valid");
+    }
+}

@@ -1,0 +1,278 @@
+//! Gradient rules of the differentiable training algorithm (§4.2).
+//!
+//! Two non-differentiable pieces get surrogate gradients:
+//!
+//! * the rounding `R(x)` uses the straight-through estimator
+//!   (`∂R(x)/∂x := 1`), exactly as for the shadow weights
+//!   (`∂L/∂w := ∂L/∂w^q`);
+//! * the hard indicator `1(‖r‖ > t)` is relaxed to a sigmoid
+//!   `σ(‖r‖ − t)` *in the backward pass only*, which makes the
+//!   quantized weight differentiable with respect to every threshold.
+//!
+//! The recursion implemented by [`threshold_gradients`] is the boxed
+//! equation of §4.2: for `l ≥ j`,
+//!
+//! ```text
+//! ∂Q/∂t_j = Σ_l  σ'(‖r_l‖−t_l)·(∂‖r_l‖/∂t_j − δ_{lj})·R(r_l)
+//!              + σ(‖r_l‖−t_l)·∂r_l/∂t_j
+//! ```
+//!
+//! with `∂r_{l+1}/∂t_j = ∂r_l/∂t_j − (level-l term)` and
+//! `∂‖r_l‖/∂t_j = (r_l/‖r_l‖)·∂r_l/∂t_j`.
+
+use crate::quant::FilterTrace;
+
+/// Logistic sigmoid `σ(x) = 1/(1+e^{−x})`.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the sigmoid, `σ'(x) = σ(x)(1 − σ(x))`.
+pub fn sigmoid_prime(x: f32) -> f32 {
+    let s = sigmoid(x);
+    s * (1.0 - s)
+}
+
+/// Computes `∂L/∂t_j` for every threshold of one filter.
+///
+/// `trace` is the forward-pass record of the filter, `thresholds` the
+/// threshold vector used, and `upstream` is `∂L/∂w^q_i` (the gradient of
+/// the loss with respect to this filter's *quantized* coefficients, which
+/// the conv backward pass already produced).
+///
+/// `tau` is the sigmoid temperature: the indicator is relaxed to
+/// `σ((‖r‖ − t)/τ)`. The paper writes the relaxation at unit temperature
+/// for networks whose filter norms are large (hundreds of coefficients),
+/// which keeps σ' dead except for filters *near* their threshold; `tau`
+/// reproduces that sharp regime at arbitrary norm scales (see
+/// `DESIGN.md` §3). Pass `1.0` for the paper's literal form.
+///
+/// Returns a vector of `k_max` threshold gradients to be accumulated.
+///
+/// # Panics
+///
+/// Panics if the trace, thresholds, and upstream sizes are inconsistent,
+/// or `tau` is not finite and positive.
+pub fn threshold_gradients(
+    trace: &FilterTrace,
+    thresholds: &[f32],
+    upstream: &[f32],
+    tau: f32,
+) -> Vec<f32> {
+    assert!(tau.is_finite() && tau > 0.0, "invalid temperature {tau}");
+    let k = thresholds.len();
+    assert_eq!(trace.norms.len(), k, "trace level count mismatch");
+    assert!(
+        trace
+            .residuals
+            .iter()
+            .all(|r| r.len() == upstream.len()),
+        "upstream gradient length mismatch"
+    );
+
+    let n = upstream.len();
+    let mut grads = vec![0.0f32; k];
+
+    for j in 0..k {
+        // d r_l / d t_j, built up level by level. Zero for l <= j because
+        // r_l only depends on t_0..t_{l-1}.
+        let mut d_resid = vec![0.0f32; n];
+        // Accumulated dQ/dt_j.
+        let mut d_q = vec![0.0f32; n];
+
+        for l in 0..k {
+            let norm = trace.norms[l];
+            let s = sigmoid((norm - thresholds[l]) / tau);
+            // Chain rule through the temperature: d/dt σ((x−t)/τ) uses
+            // σ'(·)/τ; the (dnorm − δ) factor below is in x/t units.
+            let sp = sigmoid_prime((norm - thresholds[l]) / tau) / tau;
+
+            // ∂‖r_l‖/∂t_j = (r_l / ‖r_l‖) · ∂r_l/∂t_j  (0 if the residual
+            // vanished).
+            let dnorm = if norm > 0.0 {
+                dot(&trace.residuals[l], &d_resid) / norm
+            } else {
+                0.0
+            };
+            let delta = if l == j { 1.0 } else { 0.0 };
+            let coeff = sp * (dnorm - delta);
+
+            // Level-l contribution A_l = coeff·R(r_l) + s·(∂r_l/∂t_j).
+            // (STE: ∂R(r_l)/∂t_j := ∂r_l/∂t_j.)
+            let mut a = vec![0.0f32; n];
+            for i in 0..n {
+                a[i] = coeff * trace.rounded[l][i] + s * d_resid[i];
+            }
+            for i in 0..n {
+                d_q[i] += a[i];
+                // r_{l+1} = w − Q_{l+1}  ⇒  ∂r_{l+1}/∂t_j = −∂Q_{l+1}/∂t_j.
+                d_resid[i] -= a[i];
+            }
+        }
+        grads[j] = dot(upstream, &d_q);
+    }
+    grads
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64) * (y as f64))
+        .sum::<f64>() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pow2::ExponentWindow;
+    use crate::quant::{QuantMode, ThresholdQuantizer};
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        assert!((sigmoid_prime(0.0) - 0.25).abs() < 1e-7);
+        // Stable at extremes.
+        assert!(sigmoid(-200.0) >= 0.0);
+        assert!(sigmoid(200.0) <= 1.0);
+    }
+
+    #[test]
+    fn raising_a_threshold_reduces_aligned_quantized_mass() {
+        // Pushing t_j up gates off level j, so when the upstream gradient
+        // aligns with the level's rounded contribution R(r_j), the loss
+        // gradient with respect to t_j must be negative: the relaxed gate
+        // σ(‖r_j‖ − t_j) shrinks as t_j grows.
+        let w = [0.7f32, -0.35, 0.2, 0.1];
+        let t = [0.1f32, 0.05];
+        let window = ExponentWindow::fit(&w);
+        let q = ThresholdQuantizer::new(2, QuantMode::Cascade);
+        let (_, trace) = q.quantize_filter(&w, &t, &window);
+
+        for j in 0..2 {
+            let upstream = trace.rounded[j].clone();
+            let grads = threshold_gradients(&trace, &t, &upstream, 1.0);
+            assert!(
+                grads[j] < 0.0,
+                "t_{j} gradient should be negative, got {}",
+                grads[j]
+            );
+        }
+        // And for the final level the value is exactly −σ'·‖R(r_1)‖².
+        let upstream = trace.rounded[1].clone();
+        let grads = threshold_gradients(&trace, &t, &upstream, 1.0);
+        let r_norm_sq: f32 = trace.rounded[1].iter().map(|&x| x * x).sum();
+        let expected = -sigmoid_prime(trace.norms[1] - t[1]) * r_norm_sq;
+        assert!(
+            (grads[1] - expected).abs() < 1e-6,
+            "last-level gradient {} != closed form {expected}",
+            grads[1]
+        );
+    }
+
+    /// Fully differentiable surrogate where the STE is exact by
+    /// construction: `R(x) := x`. The recursion in `threshold_gradients`
+    /// must then be the *exact* gradient of this function, which we verify
+    /// to tight tolerance with finite differences.
+    fn surrogate(w: &[f32], t: &[f32]) -> (Vec<f32>, FilterTrace) {
+        let n = w.len();
+        let mut q = vec![0.0f32; n];
+        let mut resid: Vec<f32> = w.to_vec();
+        let mut trace = FilterTrace {
+            residuals: Vec::new(),
+            norms: Vec::new(),
+            rounded: Vec::new(),
+            active: Vec::new(),
+            ki: 0,
+        };
+        for &tj in t {
+            let norm = (resid.iter().map(|&x| x * x).sum::<f32>()).sqrt();
+            let s = sigmoid(norm - tj);
+            trace.residuals.push(resid.clone());
+            trace.norms.push(norm);
+            trace.rounded.push(resid.clone()); // R = identity
+            trace.active.push(true);
+            for i in 0..n {
+                q[i] += s * resid[i];
+                resid[i] = w[i] - q[i];
+            }
+        }
+        (q, trace)
+    }
+
+    #[test]
+    fn recursion_is_exact_gradient_of_identity_rounding_surrogate() {
+        use flight_tensor::{uniform, TensorRng};
+        let mut rng = TensorRng::seed(77);
+        for trial in 0..20 {
+            let wt = uniform(&mut rng, &[9], -1.0, 1.0);
+            let w = wt.as_slice();
+            let t = [rng.uniform(-0.5, 1.5), rng.uniform(-0.5, 1.5)];
+            let (_, trace) = surrogate(w, &t);
+            let upstream: Vec<f32> = (0..9).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let grads = threshold_gradients(&trace, &t, &upstream, 1.0);
+
+            let h = 1e-3f32;
+            for j in 0..2 {
+                let f = |tj: f32| -> f32 {
+                    let mut tv = t;
+                    tv[j] = tj;
+                    surrogate(w, &tv)
+                        .0
+                        .iter()
+                        .zip(&upstream)
+                        .map(|(&a, &b)| a * b)
+                        .sum()
+                };
+                let fd = (f(t[j] + h) - f(t[j] - h)) / (2.0 * h);
+                let err = (grads[j] - fd).abs();
+                assert!(
+                    err < 1e-2 * (1.0 + fd.abs()),
+                    "trial {trial} t_{j}: analytic {} vs exact-numeric {fd}",
+                    grads[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_residual_filter_yields_finite_gradients() {
+        // An exactly-representable filter has zero second residual.
+        let w = [0.5f32, -1.0, 0.25, 0.0];
+        let t = [0.0f32, 0.0];
+        let window = ExponentWindow::fit(&w);
+        let q = ThresholdQuantizer::new(2, QuantMode::Cascade);
+        let (_, trace) = q.quantize_filter(&w, &t, &window);
+        let grads = threshold_gradients(&trace, &t, &[1.0, 1.0, 1.0, 1.0], 1.0);
+        assert!(grads.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn saturated_gates_freeze_thresholds() {
+        // When ‖r‖ − t is huge, σ' ≈ 0 and the gradient vanishes: a filter
+        // far from its threshold doesn't move it.
+        let w = [100.0f32, -50.0];
+        let t = [0.0f32, 0.0];
+        let window = ExponentWindow::fit(&w);
+        let q = ThresholdQuantizer::new(2, QuantMode::Cascade);
+        let (_, trace) = q.quantize_filter(&w, &t, &window);
+        let grads = threshold_gradients(&trace, &t, &[1.0, 1.0], 1.0);
+        assert!(grads.iter().all(|g| g.abs() < 1e-6), "grads {grads:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "level count")]
+    fn rejects_inconsistent_trace() {
+        let w = [1.0f32];
+        let window = ExponentWindow::fit(&w);
+        let q = ThresholdQuantizer::new(1, QuantMode::Cascade);
+        let (_, trace) = q.quantize_filter(&w, &[0.0], &window);
+        threshold_gradients(&trace, &[0.0, 0.0], &[1.0], 1.0);
+    }
+}

@@ -1,0 +1,829 @@
+//! Quantized network layers.
+//!
+//! [`QuantConv2d`] and [`QuantLinear`] implement Algorithm 1's data flow:
+//! full-precision *shadow* parameters are quantized on every forward
+//! pass, gradients are computed with respect to the quantized values, and
+//! the straight-through estimator routes them back onto the shadow
+//! weights (plus, for FLightNN, the sigmoid-relaxed rule routes them onto
+//! the thresholds). [`ActQuant`] quantizes activations to fixed point
+//! (the paper uses 8 bits everywhere except the full-precision baseline).
+
+use flight_nn::layers::functional::{
+    conv2d_backward, conv2d_forward, linear_backward, linear_forward, Conv2dCache, LinearCache,
+};
+use flight_nn::{Layer, Param};
+use flight_tensor::{kaiming_uniform, Tensor, TensorRng};
+
+use crate::grad::threshold_gradients;
+use crate::quant::{quantize_fixed_point, quantize_lightnn, FilterTrace, ThresholdQuantizer};
+use crate::reg::{accumulate_filter_reg_grad, filter_reg_loss, RegStrength};
+use crate::scheme::QuantScheme;
+
+/// Per-layer weight quantization behaviour derived from a
+/// [`QuantScheme`].
+#[derive(Debug, Clone)]
+enum WeightQuant {
+    Float,
+    FixedPoint { bits: u32 },
+    LightNn { k: usize },
+    FLight {
+        quantizer: ThresholdQuantizer,
+        tau: f32,
+    },
+}
+
+impl WeightQuant {
+    fn from_scheme(scheme: &QuantScheme) -> Self {
+        match scheme {
+            QuantScheme::Full => WeightQuant::Float,
+            QuantScheme::FixedPoint { weight_bits, .. } => WeightQuant::FixedPoint {
+                bits: *weight_bits,
+            },
+            QuantScheme::LightNn { k, .. } => WeightQuant::LightNn { k: *k },
+            QuantScheme::FLight { k_max, mode, tau, .. } => WeightQuant::FLight {
+                quantizer: ThresholdQuantizer::new(*k_max, *mode),
+                tau: *tau,
+            },
+        }
+    }
+}
+
+/// Fixed-point activation quantization with straight-through gradients.
+///
+/// Quantizes symmetrically to `bits` with a dynamic per-tensor scale.
+/// The backward pass is the identity (STE), which is the standard choice
+/// the paper inherits from its references [6, 31].
+///
+/// # Example
+///
+/// ```
+/// use flightnn::layers::ActQuant;
+/// use flight_nn::Layer;
+/// use flight_tensor::Tensor;
+///
+/// let mut q = ActQuant::new(8);
+/// let y = q.forward(&Tensor::from_slice(&[1.0, 0.5, -0.26]), false);
+/// // 8-bit grid over [-1, 1]: step 1/127.
+/// assert!((y.as_slice()[2] + 0.25984251).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActQuant {
+    bits: u32,
+}
+
+impl ActQuant {
+    /// Creates an activation quantizer with the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2`.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits >= 2, "activation quantization needs at least 2 bits");
+        ActQuant { bits }
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl Layer for ActQuant {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let (q, _) = quantize_fixed_point(input, self.bits);
+        q
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone()
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        format!("act_quant({}b)", self.bits)
+    }
+}
+
+/// A 2-D convolution whose weights pass through a quantizer on every
+/// forward pass.
+///
+/// Weight layout is `[filters, in_channels, k, k]`. For the FLightNN
+/// scheme the layer owns a trainable threshold vector `t ∈ R^{k_max}` and
+/// produces per-filter shift counts `k_i` as a side effect of every
+/// quantization (readable through [`QuantConv2d::filter_shift_counts`]).
+pub struct QuantConv2d {
+    shadow: Param,
+    bias: Param,
+    thresholds: Option<Param>,
+    quant: WeightQuant,
+    stride: usize,
+    padding: usize,
+    cache: Option<Conv2dCache>,
+    last_quantized: Option<Tensor>,
+    last_traces: Vec<FilterTrace>,
+}
+
+impl QuantConv2d {
+    /// Creates a quantized conv layer with Kaiming-uniform shadow weights,
+    /// zero bias, and (for FLightNN) thresholds initialized to zero — the
+    /// paper's initialization, which starts every filter at `k_i = k_max`
+    /// and quantizes gradually (§5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `stride == 0`.
+    pub fn new(
+        rng: &mut TensorRng,
+        scheme: &QuantScheme,
+        in_channels: usize,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(in_channels > 0 && filters > 0 && kernel > 0, "zero-sized conv");
+        assert!(stride > 0, "stride must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        let shadow = kaiming_uniform(rng, &[filters, in_channels, kernel, kernel], fan_in);
+        let quant = WeightQuant::from_scheme(scheme);
+        let thresholds = match &quant {
+            WeightQuant::FLight { quantizer, .. } => {
+                Some(Param::new(Tensor::zeros(&[quantizer.k_max])))
+            }
+            _ => None,
+        };
+        QuantConv2d {
+            shadow: Param::new(shadow),
+            bias: Param::new(Tensor::zeros(&[filters])),
+            thresholds,
+            quant,
+            stride,
+            padding,
+            cache: None,
+            last_quantized: None,
+            last_traces: Vec::new(),
+        }
+    }
+
+    /// Number of output filters.
+    pub fn filters(&self) -> usize {
+        self.shadow.value.dims()[0]
+    }
+
+    /// The full-precision shadow weight parameter.
+    pub fn shadow(&self) -> &Param {
+        &self.shadow
+    }
+
+    /// Mutable access to the shadow weights (tests, surgery).
+    pub fn shadow_mut(&mut self) -> &mut Param {
+        &mut self.shadow
+    }
+
+    /// The threshold parameter, when the scheme is FLightNN.
+    pub fn thresholds(&self) -> Option<&Param> {
+        self.thresholds.as_ref()
+    }
+
+    /// Mutable threshold access.
+    pub fn thresholds_mut(&mut self) -> Option<&mut Param> {
+        self.thresholds.as_mut()
+    }
+
+    /// The bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Stride of the convolution.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding of the convolution.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Quantizes the current shadow weights, returning the effective
+    /// weight tensor (and refreshing the per-filter traces for FLightNN).
+    pub fn quantize_weights(&mut self) -> Tensor {
+        let (q, traces) = match &self.quant {
+            WeightQuant::Float => (self.shadow.value.clone(), Vec::new()),
+            WeightQuant::FixedPoint { bits } => {
+                (quantize_fixed_point(&self.shadow.value, *bits).0, Vec::new())
+            }
+            WeightQuant::LightNn { k } => (quantize_lightnn(&self.shadow.value, *k), Vec::new()),
+            WeightQuant::FLight { quantizer, .. } => {
+                let t = self
+                    .thresholds
+                    .as_ref()
+                    .expect("FLightNN layer always has thresholds")
+                    .value
+                    .as_slice()
+                    .to_vec();
+                let (q, traces, _) = quantizer.quantize_tensor(&self.shadow.value, &t);
+                (q, traces)
+            }
+        };
+        self.last_traces = traces;
+        self.last_quantized = Some(q.clone());
+        q
+    }
+
+    /// Per-filter shift counts `k_i` from the most recent quantization
+    /// (quantizing on demand if none happened yet).
+    ///
+    /// Returns `k` for every filter under LightNN-`k`, and an empty vector
+    /// for `Full`/`FixedPoint` layers (shift counts are meaningless
+    /// there).
+    pub fn filter_shift_counts(&mut self) -> Vec<usize> {
+        match &self.quant {
+            WeightQuant::Float | WeightQuant::FixedPoint { .. } => Vec::new(),
+            WeightQuant::LightNn { k } => vec![*k; self.filters()],
+            WeightQuant::FLight { .. } => {
+                if self.last_traces.is_empty() {
+                    self.quantize_weights();
+                }
+                self.last_traces.iter().map(|t| t.ki).collect()
+            }
+        }
+    }
+
+    /// Accumulates the group-lasso regularization gradient (§4.3) into the
+    /// shadow weights and returns the regularization loss value.
+    ///
+    /// Must be called after a forward pass in the same iteration so the
+    /// traces correspond to the current weights. No-op (returns 0) for
+    /// non-FLightNN layers or zero strengths.
+    pub fn accumulate_reg(&mut self, reg: &RegStrength) -> f32 {
+        if self.last_traces.is_empty() || reg.is_zero() {
+            return 0.0;
+        }
+        let mut loss = 0.0;
+        for (i, trace) in self.last_traces.iter().enumerate() {
+            loss += filter_reg_loss(trace, reg);
+            accumulate_filter_reg_grad(trace, reg, self.shadow.grad.outer_mut(i));
+        }
+        loss
+    }
+
+    /// Storage bits of this layer's weights under its scheme (the tables'
+    /// "Storage" column; biases and thresholds excluded, as in the paper).
+    pub fn storage_bits(&mut self) -> usize {
+        let weights = self.shadow.value.len();
+        match &self.quant {
+            WeightQuant::Float => 32 * weights,
+            WeightQuant::FixedPoint { bits } => *bits as usize * weights,
+            WeightQuant::LightNn { k } => 4 * k * weights,
+            WeightQuant::FLight { .. } => {
+                let filter_size = weights / self.filters();
+                self.filter_shift_counts()
+                    .iter()
+                    .map(|&ki| 4 * ki * filter_size)
+                    .sum()
+            }
+        }
+    }
+
+    /// Applies one proximal step of the group-lasso regularizer (§4.3) to
+    /// the shadow weights: each level-`j` residual group is shrunk by
+    /// `step·λ_j` in norm and *captured at exactly zero* once its norm
+    /// falls below the shrink amount — the defining property of the
+    /// proximal operator that plain (sub)gradient steps lack. A filter
+    /// whose level-`j` residual is exactly zero is gated off by the
+    /// strict indicator `‖r‖ > t` even at the initial `t_j = 0`, which is
+    /// how FLightNN's per-filter `k_i` selection materializes.
+    ///
+    /// No-op for non-FLightNN layers.
+    pub fn apply_reg_prox(&mut self, reg: &RegStrength, step: f32) {
+        if !matches!(self.quant, WeightQuant::FLight { .. }) || reg.is_zero() || step <= 0.0 {
+            return;
+        }
+        let filters = self.filters();
+        let window = crate::pow2::ExponentWindow::fit(self.shadow.value.as_slice());
+        for i in 0..filters {
+            group_lasso_prox(self.shadow.value.outer_mut(i), reg, step, &window);
+        }
+    }
+
+    /// The most recent quantized weight tensor (present after a forward
+    /// pass or an explicit [`QuantConv2d::quantize_weights`] call).
+    pub fn quantized_weights(&mut self) -> Tensor {
+        match &self.last_quantized {
+            Some(q) => q.clone(),
+            None => self.quantize_weights(),
+        }
+    }
+}
+
+impl std::fmt::Debug for QuantConv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = self.shadow.value.dims();
+        write!(
+            f,
+            "QuantConv2d({}→{}, {}x{}, {:?})",
+            d[1], d[0], d[2], d[3], self.quant
+        )
+    }
+}
+
+impl Layer for QuantConv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let q = self.quantize_weights();
+        let (out, cache) = conv2d_forward(
+            input,
+            &q,
+            &self.bias.value,
+            self.stride,
+            self.padding,
+            train,
+        );
+        self.last_quantized = Some(q);
+        self.cache = cache;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("QuantConv2d::backward called without a training forward pass");
+        let q = self
+            .last_quantized
+            .as_ref()
+            .expect("forward stores the quantized weights");
+        let (dx, dwq, db) = conv2d_backward(&cache, q, grad_out);
+
+        // STE: apply the quantized-weight gradient to the shadow weights.
+        self.shadow.grad.axpy(1.0, &dwq);
+        self.bias.grad.axpy(1.0, &db);
+
+        // FLightNN: route gradients onto the thresholds (§4.2).
+        if let WeightQuant::FLight { tau, .. } = self.quant {
+            if let (Some(tp), false) = (self.thresholds.as_mut(), self.last_traces.is_empty()) {
+                let t = tp.value.as_slice().to_vec();
+                for (i, trace) in self.last_traces.iter().enumerate() {
+                    let upstream = dwq.outer(i);
+                    let tg = threshold_gradients(trace, &t, upstream, tau);
+                    for (g, tg_j) in tp.grad.as_mut_slice().iter_mut().zip(tg) {
+                        *g += tg_j;
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.shadow);
+        visitor(&mut self.bias);
+        if let Some(t) = self.thresholds.as_mut() {
+            visitor(t);
+        }
+    }
+
+    fn name(&self) -> String {
+        let d = self.shadow.value.dims();
+        format!("quant_conv2d({}→{}, {}x{})", d[1], d[0], d[2], d[3])
+    }
+}
+
+/// A fully connected layer with the same quantization machinery as
+/// [`QuantConv2d`]; each output neuron's weight row plays the role of a
+/// filter.
+pub struct QuantLinear {
+    shadow: Param,
+    bias: Param,
+    thresholds: Option<Param>,
+    quant: WeightQuant,
+    cache: Option<LinearCache>,
+    last_quantized: Option<Tensor>,
+    last_traces: Vec<FilterTrace>,
+}
+
+impl QuantLinear {
+    /// Creates a quantized linear layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_features == 0` or `out_features == 0`.
+    pub fn new(
+        rng: &mut TensorRng,
+        scheme: &QuantScheme,
+        in_features: usize,
+        out_features: usize,
+    ) -> Self {
+        assert!(in_features > 0 && out_features > 0, "zero-sized linear");
+        let shadow = kaiming_uniform(rng, &[out_features, in_features], in_features);
+        let quant = WeightQuant::from_scheme(scheme);
+        let thresholds = match &quant {
+            WeightQuant::FLight { quantizer, .. } => {
+                Some(Param::new(Tensor::zeros(&[quantizer.k_max])))
+            }
+            _ => None,
+        };
+        QuantLinear {
+            shadow: Param::new(shadow),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            thresholds,
+            quant,
+            cache: None,
+            last_quantized: None,
+            last_traces: Vec::new(),
+        }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.shadow.value.dims()[0]
+    }
+
+    /// The full-precision shadow weight parameter.
+    pub fn shadow(&self) -> &Param {
+        &self.shadow
+    }
+
+    /// Mutable access to the shadow weights (tests, surgery).
+    pub fn shadow_mut(&mut self) -> &mut Param {
+        &mut self.shadow
+    }
+
+    /// The bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// The threshold parameter, when the scheme is FLightNN.
+    pub fn thresholds(&self) -> Option<&Param> {
+        self.thresholds.as_ref()
+    }
+
+    /// Mutable threshold access.
+    pub fn thresholds_mut(&mut self) -> Option<&mut Param> {
+        self.thresholds.as_mut()
+    }
+
+    /// Per-row shift counts (see
+    /// [`QuantConv2d::filter_shift_counts`]).
+    pub fn row_shift_counts(&mut self) -> Vec<usize> {
+        match &self.quant {
+            WeightQuant::Float | WeightQuant::FixedPoint { .. } => Vec::new(),
+            WeightQuant::LightNn { k } => vec![*k; self.out_features()],
+            WeightQuant::FLight { .. } => {
+                if self.last_traces.is_empty() {
+                    self.quantize_weights();
+                }
+                self.last_traces.iter().map(|t| t.ki).collect()
+            }
+        }
+    }
+
+    /// Quantizes the current shadow weights (see
+    /// [`QuantConv2d::quantize_weights`]).
+    pub fn quantize_weights(&mut self) -> Tensor {
+        let (q, traces) = match &self.quant {
+            WeightQuant::Float => (self.shadow.value.clone(), Vec::new()),
+            WeightQuant::FixedPoint { bits } => {
+                (quantize_fixed_point(&self.shadow.value, *bits).0, Vec::new())
+            }
+            WeightQuant::LightNn { k } => (quantize_lightnn(&self.shadow.value, *k), Vec::new()),
+            WeightQuant::FLight { quantizer, .. } => {
+                let t = self
+                    .thresholds
+                    .as_ref()
+                    .expect("FLightNN layer always has thresholds")
+                    .value
+                    .as_slice()
+                    .to_vec();
+                let (q, traces, _) = quantizer.quantize_tensor(&self.shadow.value, &t);
+                (q, traces)
+            }
+        };
+        self.last_traces = traces;
+        q
+    }
+
+    /// Accumulates the regularization gradient; see
+    /// [`QuantConv2d::accumulate_reg`].
+    pub fn accumulate_reg(&mut self, reg: &RegStrength) -> f32 {
+        if self.last_traces.is_empty() || reg.is_zero() {
+            return 0.0;
+        }
+        let mut loss = 0.0;
+        for (i, trace) in self.last_traces.iter().enumerate() {
+            loss += filter_reg_loss(trace, reg);
+            accumulate_filter_reg_grad(trace, reg, self.shadow.grad.outer_mut(i));
+        }
+        loss
+    }
+
+    /// Weight storage bits under this layer's scheme.
+    pub fn storage_bits(&mut self) -> usize {
+        let weights = self.shadow.value.len();
+        match &self.quant {
+            WeightQuant::Float => 32 * weights,
+            WeightQuant::FixedPoint { bits } => *bits as usize * weights,
+            WeightQuant::LightNn { k } => 4 * k * weights,
+            WeightQuant::FLight { .. } => {
+                let row = weights / self.out_features();
+                self.row_shift_counts()
+                    .iter()
+                    .map(|&ki| 4 * ki * row)
+                    .sum()
+            }
+        }
+    }
+
+    /// Proximal group-lasso step; see [`QuantConv2d::apply_reg_prox`].
+    pub fn apply_reg_prox(&mut self, reg: &RegStrength, step: f32) {
+        if !matches!(self.quant, WeightQuant::FLight { .. }) || reg.is_zero() || step <= 0.0 {
+            return;
+        }
+        let rows = self.out_features();
+        let window = crate::pow2::ExponentWindow::fit(self.shadow.value.as_slice());
+        for i in 0..rows {
+            group_lasso_prox(self.shadow.value.outer_mut(i), reg, step, &window);
+        }
+    }
+}
+
+/// The sequential proximal operator of `Σ_j λ_j‖r_j(w)‖₂` on one filter:
+/// level 0 shrinks the whole filter (pruning pressure), level `j ≥ 1`
+/// shrinks the residual `w − Q_j(w)` toward the current `j`-shift grid
+/// point, capturing it at exactly zero when `‖r_j‖ ≤ step·λ_j`.
+fn group_lasso_prox(
+    filter: &mut [f32],
+    reg: &RegStrength,
+    step: f32,
+    window: &crate::pow2::ExponentWindow,
+) {
+    // Level 0: standard group-lasso prox on the whole filter.
+    let s0 = step * reg.lambda(0);
+    if s0 > 0.0 {
+        let norm = filter
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32;
+        if norm <= s0 {
+            filter.iter_mut().for_each(|x| *x = 0.0);
+            return;
+        } else if norm > 0.0 {
+            let scale = 1.0 - s0 / norm;
+            filter.iter_mut().for_each(|x| *x *= scale);
+        }
+    }
+
+    // Levels 1..k: shrink the residual toward the greedy j-term
+    // power-of-two decomposition of the current weights.
+    let mut q_acc = vec![0.0f32; filter.len()];
+    for j in 1..reg.levels() {
+        // q_acc accumulates the (j)-level greedy quantization.
+        for (qa, &w) in q_acc.iter_mut().zip(filter.iter()) {
+            *qa += window.round(w - *qa);
+        }
+        let sj = step * reg.lambda(j);
+        if sj == 0.0 {
+            continue;
+        }
+        let mut norm = 0.0f64;
+        for (&w, &qa) in filter.iter().zip(&q_acc) {
+            let r = (w - qa) as f64;
+            norm += r * r;
+        }
+        let norm = norm.sqrt() as f32;
+        if norm <= sj {
+            filter.copy_from_slice(&q_acc);
+        } else if norm > 0.0 {
+            let scale = 1.0 - sj / norm;
+            for (w, &qa) in filter.iter_mut().zip(&q_acc) {
+                *w = qa + scale * (*w - qa);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for QuantLinear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = self.shadow.value.dims();
+        write!(f, "QuantLinear({}→{}, {:?})", d[1], d[0], self.quant)
+    }
+}
+
+impl Layer for QuantLinear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let q = self.quantize_weights();
+        let (out, cache) = linear_forward(input, &q, &self.bias.value, train);
+        self.last_quantized = Some(q);
+        self.cache = cache;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("QuantLinear::backward called without a training forward pass");
+        let q = self
+            .last_quantized
+            .as_ref()
+            .expect("forward stores the quantized weights");
+        let (dx, dwq, db) = linear_backward(&cache, q, grad_out);
+        self.shadow.grad.axpy(1.0, &dwq);
+        self.bias.grad.axpy(1.0, &db);
+        if let WeightQuant::FLight { tau, .. } = self.quant {
+            if let (Some(tp), false) = (self.thresholds.as_mut(), self.last_traces.is_empty()) {
+                let t = tp.value.as_slice().to_vec();
+                for (i, trace) in self.last_traces.iter().enumerate() {
+                    let tg = threshold_gradients(trace, &t, dwq.outer(i), tau);
+                    for (g, tg_j) in tp.grad.as_mut_slice().iter_mut().zip(tg) {
+                        *g += tg_j;
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.shadow);
+        visitor(&mut self.bias);
+        if let Some(t) = self.thresholds.as_mut() {
+            visitor(t);
+        }
+    }
+
+    fn name(&self) -> String {
+        let d = self.shadow.value.dims();
+        format!("quant_linear({}→{})", d[1], d[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flight_tensor::uniform;
+
+    fn rng() -> TensorRng {
+        TensorRng::seed(42)
+    }
+
+    #[test]
+    fn act_quant_is_idempotent() {
+        let mut q = ActQuant::new(8);
+        let x = uniform(&mut rng(), &[64], -2.0, 2.0);
+        let once = q.forward(&x, false);
+        let twice = q.forward(&once, false);
+        assert!(once.allclose(&twice, 1e-6));
+    }
+
+    #[test]
+    fn act_quant_error_bounded() {
+        let mut q = ActQuant::new(8);
+        let x = uniform(&mut rng(), &[128], -1.0, 1.0);
+        let y = q.forward(&x, false);
+        let step = x.abs_max() / 127.0;
+        for (&a, &b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn full_scheme_is_transparent() {
+        let mut r = rng();
+        let mut conv = QuantConv2d::new(&mut r, &QuantScheme::full(), 2, 3, 3, 1, 1);
+        let q = conv.quantize_weights();
+        assert_eq!(q, conv.shadow().value);
+        assert!(conv.thresholds().is_none());
+        assert!(conv.filter_shift_counts().is_empty());
+    }
+
+    #[test]
+    fn lightnn_weights_are_pow2_sums() {
+        let mut r = rng();
+        let mut conv = QuantConv2d::new(&mut r, &QuantScheme::l1(), 2, 3, 3, 1, 1);
+        let q = conv.quantize_weights();
+        for &v in q.as_slice() {
+            assert!(
+                v == 0.0 || crate::pow2::round_pow2(v) == v,
+                "{v} is not a power of two"
+            );
+        }
+        assert_eq!(conv.filter_shift_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn flight_starts_at_k_max_with_zero_thresholds() {
+        let mut r = rng();
+        let mut conv = QuantConv2d::new(&mut r, &QuantScheme::flight(1e-5), 2, 4, 3, 1, 1);
+        assert_eq!(conv.thresholds().unwrap().value.as_slice(), &[0.0, 0.0]);
+        assert_eq!(conv.filter_shift_counts(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn raising_thresholds_lowers_shift_counts_and_storage() {
+        let mut r = rng();
+        let mut conv = QuantConv2d::new(&mut r, &QuantScheme::flight(1e-5), 2, 4, 3, 1, 1);
+        let s0 = conv.storage_bits();
+        conv.thresholds_mut().unwrap().value = Tensor::from_slice(&[0.0, 100.0]);
+        conv.quantize_weights();
+        let counts = conv.filter_shift_counts();
+        assert!(counts.iter().all(|&k| k == 1));
+        let s1 = conv.storage_bits();
+        assert!(s1 < s0, "storage must shrink: {s0} -> {s1}");
+        // k=1 per filter at 4 bits/term is exactly half the k=2 storage.
+        assert_eq!(s1 * 2, s0);
+    }
+
+    #[test]
+    fn ste_routes_gradient_to_shadow() {
+        let mut r = rng();
+        let mut conv = QuantConv2d::new(&mut r, &QuantScheme::l2(), 1, 2, 3, 1, 1);
+        let x = uniform(&mut r, &[1, 1, 5, 5], -1.0, 1.0);
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::ones(y.dims()));
+        assert!(conv.shadow().grad.abs_max() > 0.0);
+    }
+
+    #[test]
+    fn flight_backward_populates_threshold_grads() {
+        let mut r = rng();
+        let mut conv = QuantConv2d::new(&mut r, &QuantScheme::flight(1e-5), 1, 2, 3, 1, 1);
+        // Move thresholds near the residual norms so the sigmoid is live.
+        conv.quantize_weights();
+        let norm0 = conv.last_traces[0].norms[0];
+        conv.thresholds_mut().unwrap().value = Tensor::from_slice(&[norm0, norm0 * 0.1]);
+        let x = uniform(&mut r, &[1, 1, 5, 5], -1.0, 1.0);
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::ones(y.dims()));
+        let tg = &conv.thresholds().unwrap().grad;
+        assert!(
+            tg.abs_max() > 0.0,
+            "threshold gradients must flow: {:?}",
+            tg.as_slice()
+        );
+    }
+
+    #[test]
+    fn reg_accumulation_requires_forward() {
+        let mut r = rng();
+        let mut conv = QuantConv2d::new(&mut r, &QuantScheme::l2(), 1, 2, 3, 1, 1);
+        // LightNN has no traces -> reg no-op.
+        assert_eq!(conv.accumulate_reg(&RegStrength::graduated(1e-5, 2)), 0.0);
+    }
+
+    #[test]
+    fn flight_reg_pulls_weights_down() {
+        let mut r = rng();
+        let mut conv = QuantConv2d::new(&mut r, &QuantScheme::flight(1e-2), 1, 2, 3, 1, 1);
+        conv.quantize_weights();
+        // Full graduated regularizer has positive loss.
+        let loss = conv.accumulate_reg(&RegStrength::graduated(1e-2, 2));
+        assert!(loss > 0.0);
+
+        // The λ0 (pruning) term in isolation points exactly along the
+        // weights: descent shrinks filters toward zero.
+        conv.zero_grad();
+        conv.accumulate_reg(&RegStrength::new(vec![1e-2, 0.0]));
+        let dot: f32 = conv
+            .shadow()
+            .grad
+            .as_slice()
+            .iter()
+            .zip(conv.shadow().value.as_slice())
+            .map(|(&g, &w)| g * w)
+            .sum();
+        assert!(dot > 0.0, "λ0 gradient must align with weights, dot {dot}");
+    }
+
+    #[test]
+    fn quant_linear_trains_end_to_end() {
+        let mut r = rng();
+        let mut fc = QuantLinear::new(&mut r, &QuantScheme::flight(1e-5), 6, 3);
+        let x = uniform(&mut r, &[4, 6], -1.0, 1.0);
+        let y = fc.forward(&x, true);
+        assert_eq!(y.dims(), &[4, 3]);
+        let dx = fc.backward(&Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), &[4, 6]);
+        assert!(fc.shadow().grad.abs_max() > 0.0);
+        assert_eq!(fc.row_shift_counts().len(), 3);
+    }
+
+    #[test]
+    fn storage_bits_by_scheme() {
+        let mut r = rng();
+        let weights = 2 * 3 * 3 * 3; // filters × in_ch × k × k
+        let cases = [
+            (QuantScheme::full(), 32 * weights),
+            (QuantScheme::fp4w8a(), 4 * weights),
+            (QuantScheme::l1(), 4 * weights),
+            (QuantScheme::l2(), 8 * weights),
+        ];
+        for (scheme, expected) in cases {
+            let mut conv = QuantConv2d::new(&mut r, &scheme, 3, 2, 3, 1, 1);
+            assert_eq!(conv.storage_bits(), expected, "scheme {}", scheme.label());
+        }
+    }
+}

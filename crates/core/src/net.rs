@@ -1,0 +1,362 @@
+//! The introspectable quantized network container.
+//!
+//! A [`QuantNet`] is a sequential chain like
+//! [`flight_nn::Sequential`], but it keeps quantized layers as concrete
+//! enum variants so the trainer, the storage model, and the hardware
+//! models can walk them ([`QuantNet::visit_quant_convs`]) without
+//! downcasting.
+
+use flight_nn::layers::LeakyRelu;
+use flight_nn::{Layer, Param};
+use flight_tensor::Tensor;
+
+use crate::layers::{QuantConv2d, QuantLinear};
+
+/// One layer of a quantized network.
+pub enum NetLayer {
+    /// A non-quantized building block (BN, activation, pooling, flatten…).
+    Plain(Box<dyn Layer>),
+    /// A quantized convolution.
+    Conv(QuantConv2d),
+    /// A quantized fully connected layer.
+    Linear(QuantLinear),
+    /// A residual block whose convolutions are quantized.
+    Residual(QuantResidualBlock),
+}
+
+impl NetLayer {
+    /// The layer as a `flight_nn::Layer` trait object.
+    pub fn as_layer_mut(&mut self) -> &mut dyn Layer {
+        match self {
+            NetLayer::Plain(l) => l.as_mut(),
+            NetLayer::Conv(c) => c,
+            NetLayer::Linear(l) => l,
+            NetLayer::Residual(r) => r,
+        }
+    }
+}
+
+impl std::fmt::Debug for NetLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetLayer::Plain(l) => write!(f, "Plain({})", l.name()),
+            NetLayer::Conv(c) => write!(f, "{c:?}"),
+            NetLayer::Linear(l) => write!(f, "{l:?}"),
+            NetLayer::Residual(r) => write!(f, "{r:?}"),
+        }
+    }
+}
+
+/// A sequential quantized network.
+///
+/// # Example
+///
+/// ```
+/// use flightnn::net::QuantNet;
+/// use flightnn::layers::QuantConv2d;
+/// use flightnn::QuantScheme;
+/// use flight_nn::Layer;
+/// use flight_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed(0);
+/// let mut net = QuantNet::new();
+/// net.push_conv(QuantConv2d::new(&mut rng, &QuantScheme::l1(), 3, 8, 3, 1, 1));
+/// let y = net.forward(&Tensor::zeros(&[1, 3, 8, 8]), false);
+/// assert_eq!(y.dims(), &[1, 8, 8, 8]);
+/// assert_eq!(net.conv_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct QuantNet {
+    layers: Vec<NetLayer>,
+}
+
+impl QuantNet {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        QuantNet { layers: Vec::new() }
+    }
+
+    /// Appends a plain (non-quantized) layer.
+    pub fn push_plain<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(NetLayer::Plain(Box::new(layer)));
+    }
+
+    /// Appends a quantized convolution.
+    pub fn push_conv(&mut self, conv: QuantConv2d) {
+        self.layers.push(NetLayer::Conv(conv));
+    }
+
+    /// Appends a quantized linear layer.
+    pub fn push_linear(&mut self, linear: QuantLinear) {
+        self.layers.push(NetLayer::Linear(linear));
+    }
+
+    /// Appends a quantized residual block.
+    pub fn push_residual(&mut self, block: QuantResidualBlock) {
+        self.layers.push(NetLayer::Residual(block));
+    }
+
+    /// Number of layers (not counting inside residual blocks).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Mutable access to the layer list (used by the integer inference
+    /// compiler in `flight-kernels`).
+    pub fn layers_mut(&mut self) -> &mut [NetLayer] {
+        &mut self.layers
+    }
+
+    /// `true` when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Visits every quantized convolution, recursing into residual
+    /// blocks.
+    pub fn visit_quant_convs(&mut self, f: &mut dyn FnMut(&mut QuantConv2d)) {
+        for layer in &mut self.layers {
+            match layer {
+                NetLayer::Conv(c) => f(c),
+                NetLayer::Residual(r) => r.visit_quant_convs(f),
+                _ => {}
+            }
+        }
+    }
+
+    /// Visits every quantized linear layer.
+    pub fn visit_quant_linears(&mut self, f: &mut dyn FnMut(&mut QuantLinear)) {
+        for layer in &mut self.layers {
+            match layer {
+                NetLayer::Linear(l) => f(l),
+                NetLayer::Residual(r) => r.main.visit_quant_linears(f),
+                _ => {}
+            }
+        }
+    }
+
+    /// Number of quantized convolutions (recursive).
+    pub fn conv_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_quant_convs(&mut |_| n += 1);
+        n
+    }
+
+    /// Per-filter shift counts of every quantized convolution, flattened
+    /// in network order. Empty entries (Full/FixedPoint layers) are
+    /// skipped.
+    pub fn all_shift_counts(&mut self) -> Vec<usize> {
+        let mut all = Vec::new();
+        self.visit_quant_convs(&mut |c| all.extend(c.filter_shift_counts()));
+        all
+    }
+
+    /// One-line-per-layer architecture summary.
+    pub fn summary(&mut self) -> String {
+        self.layers
+            .iter_mut()
+            .map(|l| l.as_layer_mut().name())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl Layer for QuantNet {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.as_layer_mut().forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.as_layer_mut().backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.as_layer_mut().visit_params(visitor);
+        }
+    }
+
+    fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.as_layer_mut().visit_state(visitor);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("quant_net[{}]", self.layers.len())
+    }
+}
+
+/// A residual basic block whose convolutions are quantized.
+///
+/// Mirrors [`flight_nn::layers::ResidualBlock`] — main path
+/// `qconv(3×3) → BN → LeakyReLU → qconv(3×3) → BN`, identity or
+/// projection (`qconv(1×1)` + BN) shortcut, summed, then LeakyReLU.
+pub struct QuantResidualBlock {
+    main: QuantNet,
+    shortcut: Option<QuantNet>,
+    act: LeakyRelu,
+}
+
+impl QuantResidualBlock {
+    /// Assembles a block from an already-built main path and optional
+    /// shortcut (used by the config builder).
+    pub fn from_parts(main: QuantNet, shortcut: Option<QuantNet>) -> Self {
+        QuantResidualBlock {
+            main,
+            shortcut,
+            act: LeakyRelu::default(),
+        }
+    }
+
+    /// Whether the block has a projection shortcut.
+    pub fn has_projection(&self) -> bool {
+        self.shortcut.is_some()
+    }
+
+    /// Mutable access to the main path.
+    pub fn main_mut(&mut self) -> &mut QuantNet {
+        &mut self.main
+    }
+
+    /// Mutable access to the shortcut path, if any.
+    pub fn shortcut_mut(&mut self) -> Option<&mut QuantNet> {
+        self.shortcut.as_mut()
+    }
+
+    /// Visits quantized convolutions in the main path and shortcut.
+    pub fn visit_quant_convs(&mut self, f: &mut dyn FnMut(&mut QuantConv2d)) {
+        self.main.visit_quant_convs(f);
+        if let Some(sc) = &mut self.shortcut {
+            sc.visit_quant_convs(f);
+        }
+    }
+}
+
+impl std::fmt::Debug for QuantResidualBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QuantResidualBlock(projection: {})",
+            self.shortcut.is_some()
+        )
+    }
+}
+
+impl Layer for QuantResidualBlock {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let main_out = self.main.forward(input, train);
+        let short_out = match &mut self.shortcut {
+            Some(sc) => sc.forward(input, train),
+            None => input.clone(),
+        };
+        let sum = &main_out + &short_out;
+        self.act.forward(&sum, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.act.backward(grad_out);
+        let g_main = self.main.backward(&g);
+        let g_short = match &mut self.shortcut {
+            Some(sc) => sc.backward(&g),
+            None => g,
+        };
+        &g_main + &g_short
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(visitor);
+        if let Some(sc) = &mut self.shortcut {
+            sc.visit_params(visitor);
+        }
+    }
+
+    fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
+        self.main.visit_state(visitor);
+        if let Some(sc) = &mut self.shortcut {
+            sc.visit_state(visitor);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "quant_residual_block(projection: {})",
+            self.shortcut.is_some()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::QuantScheme;
+    use flight_nn::layers::{BatchNorm2d, Flatten};
+    use flight_tensor::{uniform, TensorRng};
+
+    fn tiny_net(scheme: &QuantScheme) -> QuantNet {
+        let mut rng = TensorRng::seed(11);
+        let mut net = QuantNet::new();
+        net.push_conv(QuantConv2d::new(&mut rng, scheme, 2, 4, 3, 1, 1));
+        net.push_plain(BatchNorm2d::new(4));
+        net.push_plain(LeakyRelu::default());
+        net.push_plain(Flatten::new());
+        net.push_linear(QuantLinear::new(&mut rng, scheme, 4 * 16, 3));
+        net
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut net = tiny_net(&QuantScheme::flight(1e-5));
+        let x = Tensor::zeros(&[2, 2, 4, 4]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 3]);
+        let dx = net.backward(&Tensor::ones(&[2, 3]));
+        assert_eq!(dx.dims(), &[2, 2, 4, 4]);
+    }
+
+    #[test]
+    fn visitors_find_quant_layers() {
+        let mut net = tiny_net(&QuantScheme::l2());
+        assert_eq!(net.conv_count(), 1);
+        let mut linears = 0;
+        net.visit_quant_linears(&mut |_| linears += 1);
+        assert_eq!(linears, 1);
+        assert_eq!(net.all_shift_counts(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn residual_block_recursion_is_visited() {
+        let mut rng = TensorRng::seed(12);
+        let scheme = QuantScheme::l1();
+        let mut main = QuantNet::new();
+        main.push_conv(QuantConv2d::new(&mut rng, &scheme, 4, 4, 3, 1, 1));
+        main.push_plain(BatchNorm2d::new(4));
+        let block = QuantResidualBlock::from_parts(main, None);
+        let mut net = QuantNet::new();
+        net.push_residual(block);
+        assert_eq!(net.conv_count(), 1);
+        let x = uniform(&mut rng, &[1, 4, 4, 4], -1.0, 1.0);
+        let y = net.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 4, 4, 4]);
+        let dx = net.backward(&Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn param_visiting_covers_thresholds() {
+        let mut net = tiny_net(&QuantScheme::flight(1e-5));
+        let mut param_tensors = 0;
+        net.visit_params(&mut |_| param_tensors += 1);
+        // conv: shadow+bias+thresholds; bn: gamma+beta; linear:
+        // shadow+bias+thresholds = 8.
+        assert_eq!(param_tensors, 8);
+    }
+}

@@ -1,0 +1,336 @@
+//! The power-of-two rounding primitive and weight representation.
+//!
+//! LightNN-`k` (and FLightNN) weights are sums of `k` signed powers of
+//! two, so a weight–activation multiplication becomes `k` barrel shifts
+//! and `k − 1` additions (§3). This module provides:
+//!
+//! * [`round_pow2`] — the paper's `R(x) = sign(x)·2^[log₂|x|]`,
+//! * [`ExponentWindow`] — the finite exponent range implied by the
+//!   storage formats (4 bits per term: 1 sign + 3 exponent bits),
+//! * [`Pow2Term`] / [`Pow2Weight`] — the exact hardware-facing
+//!   representation consumed by the shift-add kernels and the FPGA/ASIC
+//!   models.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of exponent values representable per term (3 exponent bits).
+pub const EXPONENT_LEVELS: usize = 8;
+
+/// Storage bits per power-of-two term: 1 sign bit + 3 exponent bits.
+///
+/// This is what makes LightNN-1 a 4-bit-weight format and LightNN-2 an
+/// 8-bit-weight format in the paper's tables.
+pub const BITS_PER_TERM: usize = 4;
+
+/// Rounds `x` to the nearest power of two in log-space:
+/// `R(x) = sign(x) · 2^[log₂|x|]` with `[·]` round-to-nearest-integer.
+///
+/// `R(0) = 0`. No exponent clamping is applied — see
+/// [`ExponentWindow::round`] for the storage-constrained variant.
+///
+/// # Example
+///
+/// ```
+/// use flightnn::pow2::round_pow2;
+///
+/// assert_eq!(round_pow2(1.0), 1.0);
+/// assert_eq!(round_pow2(0.75), 1.0); // log2(0.75) = -0.415 → 0
+/// assert_eq!(round_pow2(-0.3), -0.25);
+/// assert_eq!(round_pow2(0.0), 0.0);
+/// ```
+pub fn round_pow2(x: f32) -> f32 {
+    if x == 0.0 || !x.is_finite() {
+        return 0.0;
+    }
+    let exp = x.abs().log2().round();
+    x.signum() * exp.exp2()
+}
+
+/// The integer exponent `[log₂|x|]` selected by [`round_pow2`], or `None`
+/// for zero/non-finite input.
+pub fn pow2_exponent(x: f32) -> Option<i32> {
+    if x == 0.0 || !x.is_finite() {
+        return None;
+    }
+    Some(x.abs().log2().round() as i32)
+}
+
+/// A finite exponent range `[min_exp, max_exp]` with
+/// [`EXPONENT_LEVELS`] representable values — the storage constraint of a
+/// 4-bit term.
+///
+/// Values whose rounded exponent falls below the window underflow to
+/// zero; values above are clamped to `max_exp` (saturation).
+///
+/// # Example
+///
+/// ```
+/// use flightnn::pow2::ExponentWindow;
+///
+/// let win = ExponentWindow::new(0); // exponents -7..=0, values 1/128..=1
+/// assert_eq!(win.round(0.9), 1.0);
+/// assert_eq!(win.round(300.0), 1.0); // saturates at 2^0
+/// assert_eq!(win.round(1.0 / 1000.0), 0.0); // underflows
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExponentWindow {
+    max_exp: i32,
+}
+
+impl ExponentWindow {
+    /// Window with the given maximum exponent; the minimum is
+    /// `max_exp − (EXPONENT_LEVELS − 1)`.
+    pub fn new(max_exp: i32) -> Self {
+        ExponentWindow { max_exp }
+    }
+
+    /// Chooses a window that covers the largest magnitude in `values`
+    /// (per-layer scaling, as LightNN hardware does).
+    ///
+    /// Falls back to `max_exp = 0` for an all-zero slice.
+    pub fn fit(values: &[f32]) -> Self {
+        let max = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        match pow2_exponent(max) {
+            Some(e) => ExponentWindow::new(e),
+            None => ExponentWindow::new(0),
+        }
+    }
+
+    /// Largest representable exponent.
+    pub fn max_exp(&self) -> i32 {
+        self.max_exp
+    }
+
+    /// Smallest representable exponent.
+    pub fn min_exp(&self) -> i32 {
+        self.max_exp - (EXPONENT_LEVELS as i32 - 1)
+    }
+
+    /// [`round_pow2`] constrained to this window: saturates above,
+    /// underflows to zero below.
+    pub fn round(&self, x: f32) -> f32 {
+        match pow2_exponent(x) {
+            None => 0.0,
+            Some(e) => {
+                if e < self.min_exp() {
+                    0.0
+                } else {
+                    x.signum() * (e.min(self.max_exp) as f32).exp2()
+                }
+            }
+        }
+    }
+
+    /// The term for `x` in this window, or `None` on underflow/zero.
+    pub fn term(&self, x: f32) -> Option<Pow2Term> {
+        let v = self.round(x);
+        if v == 0.0 {
+            return None;
+        }
+        Some(Pow2Term {
+            negative: v < 0.0,
+            exp: pow2_exponent(v).expect("nonzero rounded value has an exponent") as i16,
+        })
+    }
+}
+
+/// One signed power-of-two term `±2^exp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pow2Term {
+    /// Sign bit (`true` = negative).
+    pub negative: bool,
+    /// Binary exponent.
+    pub exp: i16,
+}
+
+impl Pow2Term {
+    /// The real value `±2^exp`.
+    pub fn value(&self) -> f32 {
+        let v = (self.exp as f32).exp2();
+        if self.negative {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// A weight as a sum of at most `k` power-of-two terms — the exact object
+/// the shift-add hardware sees.
+///
+/// # Example
+///
+/// ```
+/// use flightnn::pow2::{ExponentWindow, Pow2Weight};
+///
+/// let win = ExponentWindow::new(0);
+/// let w = Pow2Weight::decompose(0.75, 2, &win);
+/// assert_eq!(w.terms().len(), 2); // 0.75 = 1 - 0.25 → here 1.0 + (-0.25)
+/// assert!((w.value() - 0.75).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Pow2Weight {
+    terms: Vec<Pow2Term>,
+}
+
+impl Pow2Weight {
+    /// The zero weight (no terms — a pruned weight).
+    pub fn zero() -> Self {
+        Pow2Weight::default()
+    }
+
+    /// Greedy residual decomposition of `x` into up to `k` terms within
+    /// `window`: repeatedly round the residual and subtract (the
+    /// recursion `Q_k = Q_{k−1} + Q_1(w − Q_{k−1})` of §3).
+    pub fn decompose(x: f32, k: usize, window: &ExponentWindow) -> Self {
+        let mut terms = Vec::with_capacity(k);
+        let mut residual = x;
+        for _ in 0..k {
+            match window.term(residual) {
+                None => break,
+                Some(t) => {
+                    residual -= t.value();
+                    terms.push(t);
+                }
+            }
+        }
+        Pow2Weight { terms }
+    }
+
+    /// Constructs from explicit terms.
+    pub fn from_terms(terms: Vec<Pow2Term>) -> Self {
+        Pow2Weight { terms }
+    }
+
+    /// The represented real value (sum of the terms).
+    pub fn value(&self) -> f32 {
+        self.terms.iter().map(Pow2Term::value).sum()
+    }
+
+    /// The terms, most significant first.
+    pub fn terms(&self) -> &[Pow2Term] {
+        &self.terms
+    }
+
+    /// Number of shift operations this weight costs (= number of terms).
+    pub fn shift_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Storage bits at 4 bits per term.
+    pub fn storage_bits(&self) -> usize {
+        self.terms.len() * BITS_PER_TERM
+    }
+
+    /// `true` when the weight is exactly zero (pruned).
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_pow2_exact_powers_are_fixed_points() {
+        for e in -10..10 {
+            let v = (e as f32).exp2();
+            assert_eq!(round_pow2(v), v);
+            assert_eq!(round_pow2(-v), -v);
+        }
+    }
+
+    #[test]
+    fn round_pow2_boundary_is_geometric_mean() {
+        // Rounding happens in log space: the midpoint between 2^e and
+        // 2^(e+1) is 2^(e+0.5) = sqrt(2)·2^e.
+        let boundary = 2.0f32.powf(0.5);
+        assert_eq!(round_pow2(boundary * 0.999), 1.0);
+        assert_eq!(round_pow2(boundary * 1.001), 2.0);
+    }
+
+    #[test]
+    fn zero_and_nonfinite_round_to_zero() {
+        assert_eq!(round_pow2(0.0), 0.0);
+        assert_eq!(round_pow2(f32::NAN), 0.0);
+        assert_eq!(round_pow2(f32::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn window_fit_covers_max() {
+        let win = ExponentWindow::fit(&[0.1, -0.6, 0.3]);
+        // max |v| = 0.6, exponent round(log2 0.6) = -1
+        assert_eq!(win.max_exp(), -1);
+        assert_eq!(win.min_exp(), -8);
+    }
+
+    #[test]
+    fn window_fit_handles_all_zero() {
+        let win = ExponentWindow::fit(&[0.0, 0.0]);
+        assert_eq!(win.max_exp(), 0);
+    }
+
+    #[test]
+    fn window_saturates_and_underflows() {
+        let win = ExponentWindow::new(-1);
+        assert_eq!(win.round(8.0), 0.5); // saturate to 2^-1
+        assert_eq!(win.round(2.0f32.powi(-20)), 0.0); // underflow
+        assert_eq!(win.round(-0.5), -0.5);
+    }
+
+    #[test]
+    fn decompose_k1_equals_windowed_round() {
+        let win = ExponentWindow::new(0);
+        for &x in &[0.3f32, -0.7, 1.9, 0.01, -0.001] {
+            let w = Pow2Weight::decompose(x, 1, &win);
+            assert!(
+                (w.value() - win.round(x)).abs() < 1e-7,
+                "k=1 decomposition of {x} diverges from R(x)"
+            );
+        }
+    }
+
+    #[test]
+    fn decompose_shift_counts_and_bits() {
+        let win = ExponentWindow::new(0);
+        let w = Pow2Weight::decompose(0.75, 2, &win);
+        assert_eq!(w.shift_count(), 2);
+        assert_eq!(w.storage_bits(), 8);
+        let z = Pow2Weight::decompose(0.0, 2, &win);
+        assert!(z.is_zero());
+        assert_eq!(z.storage_bits(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn residual_error_never_increases_with_k(x in -4.0f32..4.0) {
+            let win = ExponentWindow::fit(&[x]);
+            let e1 = (x - Pow2Weight::decompose(x, 1, &win).value()).abs();
+            let e2 = (x - Pow2Weight::decompose(x, 2, &win).value()).abs();
+            let e3 = (x - Pow2Weight::decompose(x, 3, &win).value()).abs();
+            prop_assert!(e2 <= e1 + 1e-6);
+            prop_assert!(e3 <= e2 + 1e-6);
+        }
+
+        #[test]
+        fn round_pow2_relative_error_bounded(x in prop::num::f32::NORMAL) {
+            // In-range inputs: |R(x) - x| <= (sqrt(2)-1)|x| because rounding
+            // happens in log space with half-step sqrt(2).
+            prop_assume!(x.abs() > 1e-20 && x.abs() < 1e20);
+            let r = round_pow2(x);
+            prop_assert!(r.signum() == x.signum());
+            let rel = (r - x).abs() / x.abs();
+            prop_assert!(rel <= 2.0f32.sqrt() - 1.0 + 1e-4, "rel err {rel} for {x}");
+        }
+
+        #[test]
+        fn term_value_round_trips(neg in any::<bool>(), exp in -12i16..12) {
+            let t = Pow2Term { negative: neg, exp };
+            let v = t.value();
+            prop_assert_eq!(round_pow2(v), v);
+            prop_assert_eq!(v < 0.0, neg);
+        }
+    }
+}

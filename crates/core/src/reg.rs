@@ -1,0 +1,239 @@
+//! The group-lasso regularizer of §4.3.
+//!
+//! `L_reg,k(w) = Σ_{j<k} λ_j Σ_i ‖r_{i,j}‖₂` — a sum of group lasso terms
+//! over the per-filter residuals. The `j = 0` term is `λ_0 Σ_i ‖w_i‖₂`
+//! (it prunes whole filters); the `j > 0` terms shrink residuals toward
+//! the already-quantized value, pushing filters to need fewer shifts.
+//!
+//! The gradient treats the quantized value `Q_j(w)` inside each residual
+//! as a constant (detached): with the straight-through estimator
+//! `∂Q/∂w = 1`, the residual would be gradient-free and the regularizer
+//! inert, contradicting the paper's description of the `λ_0` term as a
+//! filter pruner. See `DESIGN.md` §3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quant::FilterTrace;
+
+/// Per-level regularization strengths `λ_0..λ_{k−1}`.
+///
+/// # Example
+///
+/// ```
+/// use flightnn::reg::RegStrength;
+///
+/// // The paper's Fig. 4 example: λ0 = 1e-5, λ1 = 3e-5.
+/// let reg = RegStrength::new(vec![1e-5, 3e-5]);
+/// assert_eq!(reg.levels(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegStrength {
+    lambdas: Vec<f32>,
+}
+
+impl RegStrength {
+    /// Creates regularization strengths from per-level λ values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any λ is negative or non-finite.
+    pub fn new(lambdas: Vec<f32>) -> Self {
+        assert!(
+            lambdas.iter().all(|l| l.is_finite() && *l >= 0.0),
+            "lambdas must be finite and non-negative"
+        );
+        RegStrength { lambdas }
+    }
+
+    /// A zero-strength regularizer with `k` levels (baselines).
+    pub fn zero(k: usize) -> Self {
+        RegStrength {
+            lambdas: vec![0.0; k],
+        }
+    }
+
+    /// Uniform λ across `k` levels scaled per level as the paper's Fig. 4
+    /// example does (λ_j = λ·(2j+1), i.e. 1×, 3×, 5×…).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn graduated(lambda: f32, k: usize) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "invalid lambda");
+        RegStrength {
+            lambdas: (0..k).map(|j| lambda * (2 * j + 1) as f32).collect(),
+        }
+    }
+
+    /// Number of regularized levels.
+    pub fn levels(&self) -> usize {
+        self.lambdas.len()
+    }
+
+    /// λ for level `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn lambda(&self, j: usize) -> f32 {
+        self.lambdas[j]
+    }
+
+    /// `true` when every λ is zero.
+    pub fn is_zero(&self) -> bool {
+        self.lambdas.iter().all(|&l| l == 0.0)
+    }
+}
+
+/// Regularization loss contribution of one filter given its quantization
+/// trace: `Σ_j λ_j ‖r_{i,j}‖₂`.
+pub fn filter_reg_loss(trace: &FilterTrace, reg: &RegStrength) -> f32 {
+    trace
+        .norms
+        .iter()
+        .take(reg.levels())
+        .enumerate()
+        .map(|(j, &n)| reg.lambda(j) * n)
+        .sum()
+}
+
+/// Accumulates the regularization gradient of one filter into `grad`
+/// (same length as the filter): `Σ_j λ_j · r_{i,j}/‖r_{i,j}‖₂`.
+///
+/// Zero-norm residuals contribute nothing (the subgradient 0 is chosen at
+/// the group-lasso kink, as is standard).
+///
+/// # Panics
+///
+/// Panics if `grad` length differs from the filter size in `trace`.
+pub fn accumulate_filter_reg_grad(trace: &FilterTrace, reg: &RegStrength, grad: &mut [f32]) {
+    for (j, residual) in trace.residuals.iter().take(reg.levels()).enumerate() {
+        assert_eq!(residual.len(), grad.len(), "gradient length mismatch");
+        let norm = trace.norms[j];
+        let lambda = reg.lambda(j);
+        if norm <= 0.0 || lambda == 0.0 {
+            continue;
+        }
+        let scale = lambda / norm;
+        for (g, &r) in grad.iter_mut().zip(residual) {
+            *g += scale * r;
+        }
+    }
+}
+
+/// The Fig. 4 curve: regularization loss of a *single scalar weight* `w`
+/// at thresholds-all-pass, for plotting loss vs weight value.
+///
+/// For a scalar, `‖r_j‖₂ = |r_j|` with `r_0 = w` and
+/// `r_1 = w − R(w)`, etc.
+pub fn scalar_reg_curve(w: f32, reg: &RegStrength) -> f32 {
+    let mut loss = 0.0;
+    let mut residual = w;
+    for j in 0..reg.levels() {
+        loss += reg.lambda(j) * residual.abs();
+        let rounded = crate::pow2::round_pow2(residual);
+        residual -= rounded;
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pow2::ExponentWindow;
+    use crate::quant::{QuantMode, ThresholdQuantizer};
+    use flight_tensor::numerical_gradient;
+    use flight_tensor::Tensor;
+
+    fn trace_for(w: &[f32]) -> FilterTrace {
+        let win = ExponentWindow::fit(w);
+        let q = ThresholdQuantizer::new(2, QuantMode::Cascade);
+        q.quantize_filter(w, &[0.0, 0.0], &win).1
+    }
+
+    #[test]
+    fn loss_is_weighted_sum_of_norms() {
+        let w = [0.6f32, -0.3];
+        let trace = trace_for(&w);
+        let reg = RegStrength::new(vec![1.0, 2.0]);
+        let expected = trace.norms[0] + 2.0 * trace.norms[1];
+        assert!((filter_reg_loss(&trace, &reg) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_numerical_on_first_term() {
+        // With λ = (1, 0) the regularizer is exactly ‖w‖₂, whose gradient
+        // is w/‖w‖ — check against finite differences end to end.
+        let w = Tensor::from_slice(&[0.6, -0.3, 0.2]);
+        let reg = RegStrength::new(vec![1.0, 0.0]);
+        let trace = trace_for(w.as_slice());
+        let mut grad = vec![0.0f32; 3];
+        accumulate_filter_reg_grad(&trace, &reg, &mut grad);
+
+        let num = numerical_gradient(&w, 1e-3, |t| {
+            t.as_slice()
+                .iter()
+                .map(|&x| x * x)
+                .sum::<f32>()
+                .sqrt()
+        });
+        for (a, b) in grad.iter().zip(num.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_lambda_contributes_nothing() {
+        let w = [0.5f32, 0.25];
+        let trace = trace_for(&w);
+        let reg = RegStrength::zero(2);
+        assert_eq!(filter_reg_loss(&trace, &reg), 0.0);
+        let mut grad = vec![0.0f32; 2];
+        accumulate_filter_reg_grad(&trace, &reg, &mut grad);
+        assert!(grad.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn graduated_matches_paper_figure_ratios() {
+        let reg = RegStrength::graduated(1e-5, 2);
+        assert!((reg.lambda(0) - 1e-5).abs() < 1e-12);
+        assert!((reg.lambda(1) - 3e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_curve_shape_matches_fig4() {
+        // Fig. 4 (λ0=1e-5, λ1=3e-5): the total loss grows with |w| through
+        // the λ0 term and dips to the λ0-only line at exact powers of two
+        // (where the second residual vanishes).
+        let reg = RegStrength::new(vec![1e-5, 3e-5]);
+        let at_pow2 = scalar_reg_curve(1.0, &reg);
+        assert!((at_pow2 - 1e-5).abs() < 1e-9, "loss at w=1 should be λ0·1");
+        let off_pow2 = scalar_reg_curve(0.75, &reg);
+        assert!(
+            off_pow2 > scalar_reg_curve(0.5, &reg),
+            "off-grid weight must pay the residual penalty"
+        );
+        // Second term vanishes at powers of two but not at 0.75.
+        assert!(off_pow2 - 1e-5 * 0.75 > 0.0);
+        // Loss at zero is zero.
+        assert_eq!(scalar_reg_curve(0.0, &reg), 0.0);
+    }
+
+    #[test]
+    fn gradient_points_away_from_zero_for_first_term() {
+        // The λ0 (pruning) term's gradient on a positive weight is
+        // positive: gradient descent shrinks the filter toward zero.
+        let w = [0.3f32, 0.4];
+        let trace = trace_for(&w);
+        let reg = RegStrength::new(vec![1.0, 0.0]);
+        let mut grad = vec![0.0f32; 2];
+        accumulate_filter_reg_grad(&trace, &reg, &mut grad);
+        assert!(grad.iter().all(|&g| g > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_lambda() {
+        RegStrength::new(vec![-1.0]);
+    }
+}

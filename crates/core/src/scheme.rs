@@ -1,0 +1,215 @@
+//! Whole-model quantization recipes with the paper's labels.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quant::QuantMode;
+use crate::reg::RegStrength;
+
+/// Default sigmoid temperature for the threshold-gradient relaxation.
+///
+/// The paper's unit-temperature sigmoid assumes filter-norm scales much
+/// larger than 1 (so that σ' is dead except near the threshold); 0.2
+/// reproduces that sharp regime at the norm scales of the width-reduced
+/// networks this reproduction trains. See `DESIGN.md` §3.
+pub const DEFAULT_SIGMOID_TEMPERATURE: f32 = 0.2;
+
+/// A model-wide quantization recipe — one row group of the paper's
+/// result tables.
+///
+/// # Example
+///
+/// ```
+/// use flightnn::QuantScheme;
+///
+/// assert_eq!(QuantScheme::l2().label(), "L-2 8W8A");
+/// assert_eq!(QuantScheme::fp4w8a().label(), "FP 4W8A");
+/// assert_eq!(QuantScheme::full().label(), "Full");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuantScheme {
+    /// 32-bit floating-point weights and activations ("Full").
+    Full,
+    /// Uniform fixed-point weights, fixed-point activations
+    /// ("FP xWyA", the paper uses 4W8A).
+    FixedPoint {
+        /// Weight bits (sign included).
+        weight_bits: u32,
+        /// Activation bits.
+        act_bits: u32,
+    },
+    /// LightNN-`k`: every weight is a sum of exactly up-to-`k` powers of
+    /// two ("L-k"). Storage is `4k` bits per weight.
+    LightNn {
+        /// Shifts per multiplication.
+        k: usize,
+        /// Activation bits.
+        act_bits: u32,
+    },
+    /// FLightNN: per-filter shift counts chosen by trainable thresholds
+    /// ("FL"), regularized toward fewer shifts.
+    FLight {
+        /// Maximum shifts per filter (the paper uses 2).
+        k_max: usize,
+        /// Cascade (Fig. 2) or independent-sum indicators.
+        mode: QuantMode,
+        /// Group-lasso strengths λ_0..λ_{k−1}.
+        reg: RegStrength,
+        /// Activation bits.
+        act_bits: u32,
+        /// Sigmoid temperature of the threshold-gradient relaxation
+        /// (1.0 = the paper's literal form; see
+        /// [`DEFAULT_SIGMOID_TEMPERATURE`]).
+        tau: f32,
+    },
+}
+
+impl QuantScheme {
+    /// The full-precision baseline.
+    pub fn full() -> Self {
+        QuantScheme::Full
+    }
+
+    /// The paper's fixed-point baseline: 4-bit weights, 8-bit activations.
+    pub fn fp4w8a() -> Self {
+        QuantScheme::FixedPoint {
+            weight_bits: 4,
+            act_bits: 8,
+        }
+    }
+
+    /// LightNN-1 (4-bit weights, 8-bit activations).
+    pub fn l1() -> Self {
+        QuantScheme::LightNn { k: 1, act_bits: 8 }
+    }
+
+    /// LightNN-2 (8-bit weights, 8-bit activations).
+    pub fn l2() -> Self {
+        QuantScheme::LightNn { k: 2, act_bits: 8 }
+    }
+
+    /// FLightNN with `k_max = 2`, cascade mode, and graduated group-lasso
+    /// strength `lambda` (λ_j = λ, 3λ as in the paper's Fig. 4 example).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn flight(lambda: f32) -> Self {
+        QuantScheme::FLight {
+            k_max: 2,
+            mode: QuantMode::Cascade,
+            reg: RegStrength::graduated(lambda, 2),
+            act_bits: 8,
+            tau: DEFAULT_SIGMOID_TEMPERATURE,
+        }
+    }
+
+    /// FLightNN with explicit per-level group-lasso strengths. The paper's
+    /// FL_a/FL_b points use a small pruning λ_0 and a stronger λ_1 that
+    /// snaps residuals onto the power-of-two grid.
+    pub fn flight_with(reg: RegStrength, k_max: usize) -> Self {
+        QuantScheme::FLight {
+            k_max,
+            mode: QuantMode::Cascade,
+            reg,
+            act_bits: 8,
+            tau: DEFAULT_SIGMOID_TEMPERATURE,
+        }
+    }
+
+    /// The table label of this scheme ("Full", "L-2 8W8A", "FP 4W8A",
+    /// "FL", …).
+    pub fn label(&self) -> String {
+        match self {
+            QuantScheme::Full => "Full".to_string(),
+            QuantScheme::FixedPoint {
+                weight_bits,
+                act_bits,
+            } => format!("FP {weight_bits}W{act_bits}A"),
+            QuantScheme::LightNn { k, act_bits } => {
+                format!("L-{k} {}W{act_bits}A", 4 * k)
+            }
+            QuantScheme::FLight { .. } => "FL".to_string(),
+        }
+    }
+
+    /// Whether activations are quantized (everything except `Full`).
+    pub fn quantizes_activations(&self) -> bool {
+        !matches!(self, QuantScheme::Full)
+    }
+
+    /// Activation bit width (32 for `Full`).
+    pub fn act_bits(&self) -> u32 {
+        match self {
+            QuantScheme::Full => 32,
+            QuantScheme::FixedPoint { act_bits, .. }
+            | QuantScheme::LightNn { act_bits, .. }
+            | QuantScheme::FLight { act_bits, .. } => *act_bits,
+        }
+    }
+
+    /// Fixed storage bits per weight, or `None` when storage depends on
+    /// the trained per-filter shift counts (FLightNN).
+    pub fn fixed_weight_bits(&self) -> Option<u32> {
+        match self {
+            QuantScheme::Full => Some(32),
+            QuantScheme::FixedPoint { weight_bits, .. } => Some(*weight_bits),
+            QuantScheme::LightNn { k, .. } => Some(4 * *k as u32),
+            QuantScheme::FLight { .. } => None,
+        }
+    }
+
+    /// The regularization strengths (zero for non-FLightNN schemes).
+    pub fn reg(&self) -> RegStrength {
+        match self {
+            QuantScheme::FLight { reg, .. } => reg.clone(),
+            _ => RegStrength::zero(0),
+        }
+    }
+}
+
+impl std::fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(QuantScheme::full().label(), "Full");
+        assert_eq!(QuantScheme::l1().label(), "L-1 4W8A");
+        assert_eq!(QuantScheme::l2().label(), "L-2 8W8A");
+        assert_eq!(QuantScheme::fp4w8a().label(), "FP 4W8A");
+        assert_eq!(QuantScheme::flight(1e-5).label(), "FL");
+    }
+
+    #[test]
+    fn weight_bits_match_storage_columns() {
+        assert_eq!(QuantScheme::full().fixed_weight_bits(), Some(32));
+        assert_eq!(QuantScheme::l1().fixed_weight_bits(), Some(4));
+        assert_eq!(QuantScheme::l2().fixed_weight_bits(), Some(8));
+        assert_eq!(QuantScheme::fp4w8a().fixed_weight_bits(), Some(4));
+        assert_eq!(QuantScheme::flight(0.0).fixed_weight_bits(), None);
+    }
+
+    #[test]
+    fn only_full_keeps_float_activations() {
+        assert!(!QuantScheme::full().quantizes_activations());
+        assert_eq!(QuantScheme::full().act_bits(), 32);
+        for s in [QuantScheme::l1(), QuantScheme::l2(), QuantScheme::fp4w8a()] {
+            assert!(s.quantizes_activations());
+            assert_eq!(s.act_bits(), 8);
+        }
+    }
+
+    #[test]
+    fn flight_reg_is_graduated() {
+        let s = QuantScheme::flight(2e-5);
+        let reg = s.reg();
+        assert_eq!(reg.levels(), 2);
+        assert!((reg.lambda(1) / reg.lambda(0) - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic image-classification datasets for the FLightNN reproduction.
+//!
+//! The paper evaluates on CIFAR-10, SVHN, CIFAR-100 and ImageNet. Those
+//! corpora are not redistributable inside this repository, so this crate
+//! generates *procedural stand-ins*: each class is a smooth random texture
+//! prototype (a sum of low-frequency sinusoids per channel) and samples are
+//! noisy, jittered draws around their class prototype. The classification
+//! task difficulty is controlled by the noise level and class count, and —
+//! crucially for the reproduction — the *relative* accuracy of different
+//! weight quantization schemes on such a task is governed by representation
+//! capacity exactly as on natural images (see `DESIGN.md` §2 for the full
+//! substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use flight_data::{DatasetKind, Fidelity, SyntheticDataset};
+//!
+//! let data = SyntheticDataset::preset(DatasetKind::Cifar10Like, Fidelity::Smoke, 42);
+//! assert_eq!(data.classes(), 10);
+//! let batches = data.train_batches(16);
+//! assert!(!batches.is_empty());
+//! ```
+
+pub mod spec;
+pub mod synth;
+
+pub use spec::{DatasetKind, DatasetSpec, Fidelity};
+pub use synth::SyntheticDataset;

@@ -1,0 +1,227 @@
+//! Dataset specifications and presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's four evaluation datasets a synthetic set stands in
+/// for (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Stand-in for CIFAR-10: 10 classes, 3-channel images.
+    Cifar10Like,
+    /// Stand-in for SVHN: 10 classes, 3-channel digit-like images.
+    SvhnLike,
+    /// Stand-in for CIFAR-100: 100 classes, 3-channel images.
+    Cifar100Like,
+    /// Stand-in for ImageNet, reduced to 100 classes (documented
+    /// substitution; the paper itself already shrinks ImageNet training to
+    /// a width-reduced ResNet-10 for resource reasons).
+    ImageNetLike,
+}
+
+impl DatasetKind {
+    /// Number of classes of the stand-in task.
+    pub fn classes(self) -> usize {
+        match self {
+            DatasetKind::Cifar10Like | DatasetKind::SvhnLike => 10,
+            DatasetKind::Cifar100Like => 100,
+            DatasetKind::ImageNetLike => 100,
+        }
+    }
+
+    /// Human-readable name of the dataset the stand-in replaces.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            DatasetKind::Cifar10Like => "CIFAR-10",
+            DatasetKind::SvhnLike => "SVHN",
+            DatasetKind::Cifar100Like => "CIFAR-100",
+            DatasetKind::ImageNetLike => "ImageNet",
+        }
+    }
+
+    /// Top-k used when reporting accuracy for this dataset in the paper's
+    /// tables (top-5 for ImageNet, top-1 elsewhere).
+    pub fn report_top_k(self) -> usize {
+        match self {
+            DatasetKind::ImageNetLike => 5,
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (synthetic)", self.paper_name())
+    }
+}
+
+/// How much data to generate — trades regeneration time for statistical
+/// resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Tiny sets for unit tests (seconds).
+    Smoke,
+    /// Default for the table/figure benches (minutes on a laptop).
+    Bench,
+    /// Larger sets for careful accuracy comparisons.
+    Full,
+}
+
+impl Fidelity {
+    /// Reads `FLIGHT_FIDELITY` (`smoke`/`bench`/`full`) from the
+    /// environment, defaulting to [`Fidelity::Bench`].
+    pub fn from_env() -> Fidelity {
+        match std::env::var("FLIGHT_FIDELITY").as_deref() {
+            Ok("smoke") => Fidelity::Smoke,
+            Ok("full") => Fidelity::Full,
+            _ => Fidelity::Bench,
+        }
+    }
+}
+
+/// A full description of a synthetic dataset; feed to
+/// [`SyntheticDataset::generate`](crate::SyntheticDataset::generate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Number of classes.
+    pub classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Training samples (total, spread evenly over classes).
+    pub train_samples: usize,
+    /// Test samples (total).
+    pub test_samples: usize,
+    /// Per-pixel Gaussian noise standard deviation added to prototypes.
+    pub noise: f32,
+    /// Maximum circular shift applied per sample (pixels) — the spatial
+    /// jitter that makes convolution (not just a linear probe) necessary.
+    pub max_shift: usize,
+    /// How far apart class prototypes are, in `(0, 1]`: each prototype is
+    /// `shared_texture + distinctness · class_texture`. Small values give
+    /// thin decision margins, which is what makes weight precision (and
+    /// therefore the quantization scheme) matter.
+    pub distinctness: f32,
+}
+
+impl DatasetSpec {
+    /// The preset spec for a dataset kind at a fidelity level.
+    pub fn preset(kind: DatasetKind, fidelity: Fidelity) -> DatasetSpec {
+        let (train, test) = match fidelity {
+            Fidelity::Smoke => (160, 80),
+            Fidelity::Bench => (1600, 400),
+            Fidelity::Full => (8000, 2000),
+        };
+        // Noise and distinctness at Bench/Full are calibrated (see the
+        // `calibrate` bin in flight-bench) so full-precision accuracy
+        // leaves the saturation ceiling and weight precision measurably
+        // matters. Smoke sets are deliberately easier: with only ~16
+        // samples per class they exist to test that training *works*,
+        // not to resolve sub-point accuracy gaps.
+        let (h, w, noise, shift, distinctness) = match kind {
+            DatasetKind::Cifar10Like => (16, 16, 0.90, 2, 0.35),
+            DatasetKind::SvhnLike => (12, 12, 0.80, 1, 0.35),
+            DatasetKind::Cifar100Like => (16, 16, 0.80, 2, 0.45),
+            DatasetKind::ImageNetLike => (20, 20, 0.80, 3, 0.45),
+        };
+        let (noise, distinctness): (f32, f32) = if matches!(fidelity, Fidelity::Smoke) {
+            (noise * 0.6, (distinctness * 1.8f32).min(1.0))
+        } else {
+            (noise, distinctness)
+        };
+        // Many-class sets need more samples for the same per-class count.
+        let class_factor = (kind.classes() as f32 / 10.0).max(1.0);
+        DatasetSpec {
+            classes: kind.classes(),
+            channels: 3,
+            height: h,
+            width: w,
+            train_samples: (train as f32 * class_factor) as usize,
+            test_samples: (test as f32 * class_factor) as usize,
+            noise,
+            max_shift: shift,
+            distinctness,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.classes == 0 {
+            return Err("classes must be positive".into());
+        }
+        if self.channels == 0 || self.height == 0 || self.width == 0 {
+            return Err("image dimensions must be positive".into());
+        }
+        if self.train_samples < self.classes {
+            return Err(format!(
+                "need at least one training sample per class ({} < {})",
+                self.train_samples, self.classes
+            ));
+        }
+        if !self.noise.is_finite() || self.noise < 0.0 {
+            return Err(format!("invalid noise {}", self.noise));
+        }
+        if self.max_shift >= self.height.min(self.width) {
+            return Err("max_shift must be smaller than the image".into());
+        }
+        if !self.distinctness.is_finite() || self.distinctness <= 0.0 || self.distinctness > 1.0 {
+            return Err(format!("distinctness {} outside (0, 1]", self.distinctness));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for kind in [
+            DatasetKind::Cifar10Like,
+            DatasetKind::SvhnLike,
+            DatasetKind::Cifar100Like,
+            DatasetKind::ImageNetLike,
+        ] {
+            for fid in [Fidelity::Smoke, Fidelity::Bench, Fidelity::Full] {
+                let spec = DatasetSpec::preset(kind, fid);
+                spec.validate().expect("preset must validate");
+                assert_eq!(spec.classes, kind.classes());
+            }
+        }
+    }
+
+    #[test]
+    fn imagenet_reports_top5() {
+        assert_eq!(DatasetKind::ImageNetLike.report_top_k(), 5);
+        assert_eq!(DatasetKind::Cifar10Like.report_top_k(), 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut spec = DatasetSpec::preset(DatasetKind::Cifar10Like, Fidelity::Smoke);
+        spec.classes = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = DatasetSpec::preset(DatasetKind::Cifar10Like, Fidelity::Smoke);
+        spec.train_samples = 5;
+        assert!(spec.validate().is_err());
+
+        let mut spec = DatasetSpec::preset(DatasetKind::Cifar10Like, Fidelity::Smoke);
+        spec.max_shift = 16;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn class_scaling_gives_cifar100_more_samples() {
+        let c10 = DatasetSpec::preset(DatasetKind::Cifar10Like, Fidelity::Bench);
+        let c100 = DatasetSpec::preset(DatasetKind::Cifar100Like, Fidelity::Bench);
+        assert!(c100.train_samples > c10.train_samples);
+    }
+}

@@ -1,0 +1,132 @@
+//! FPGA resource budgets and usage accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// The resources of a target FPGA.
+///
+/// The default [`ZC706`] matches the "Available" row of the paper's
+/// Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// 36-Kbit block RAMs.
+    pub bram: usize,
+    /// DSP48 slices.
+    pub dsp: usize,
+    /// Flip-flops.
+    pub ff: usize,
+    /// Look-up tables.
+    pub lut: usize,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+}
+
+/// The Xilinx Zynq ZC706 evaluation board at 100 MHz (Table 6,
+/// "Available" row).
+pub const ZC706: ResourceBudget = ResourceBudget {
+    bram: 1090,
+    dsp: 900,
+    ff: 437_200,
+    lut: 218_600,
+    freq_hz: 100e6,
+};
+
+impl ResourceBudget {
+    /// Validates that a usage fits this budget.
+    pub fn fits(&self, usage: &ResourceUsage) -> bool {
+        usage.bram <= self.bram
+            && usage.dsp <= self.dsp
+            && usage.ff <= self.ff
+            && usage.lut <= self.lut
+    }
+}
+
+/// Resources consumed by one accelerator design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Block RAMs used (weights + per-batch-image activation buffers).
+    pub bram: usize,
+    /// DSP slices used.
+    pub dsp: usize,
+    /// Flip-flops used.
+    pub ff: usize,
+    /// LUTs used.
+    pub lut: usize,
+}
+
+impl ResourceUsage {
+    /// Utilization fractions relative to a budget, as `(bram, dsp, ff,
+    /// lut)` in `[0, 1]` (values above 1 mean over-budget).
+    pub fn fractions(&self, budget: &ResourceBudget) -> (f64, f64, f64, f64) {
+        (
+            self.bram as f64 / budget.bram as f64,
+            self.dsp as f64 / budget.dsp as f64,
+            self.ff as f64 / budget.ff as f64,
+            self.lut as f64 / budget.lut as f64,
+        )
+    }
+}
+
+impl std::fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BRAM {} DSP {} FF {} LUT {}",
+            self.bram, self.dsp, self.ff, self.lut
+        )
+    }
+}
+
+/// Bits per 36-Kbit BRAM block.
+pub const BRAM_BLOCK_BITS: usize = 36 * 1024;
+
+/// Number of BRAM blocks needed to hold `bits` of storage.
+pub fn bram_blocks(bits: usize) -> usize {
+    bits.div_ceil(BRAM_BLOCK_BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zc706_matches_table6_available_row() {
+        assert_eq!(ZC706.bram, 1090);
+        assert_eq!(ZC706.dsp, 900);
+        assert_eq!(ZC706.ff, 437_200);
+        assert_eq!(ZC706.lut, 218_600);
+    }
+
+    #[test]
+    fn fits_checks_every_resource() {
+        let mut usage = ResourceUsage {
+            bram: 1090,
+            dsp: 900,
+            ff: 437_200,
+            lut: 218_600,
+        };
+        assert!(ZC706.fits(&usage));
+        usage.dsp += 1;
+        assert!(!ZC706.fits(&usage));
+    }
+
+    #[test]
+    fn bram_block_rounding() {
+        assert_eq!(bram_blocks(0), 0);
+        assert_eq!(bram_blocks(1), 1);
+        assert_eq!(bram_blocks(BRAM_BLOCK_BITS), 1);
+        assert_eq!(bram_blocks(BRAM_BLOCK_BITS + 1), 2);
+    }
+
+    #[test]
+    fn fractions_are_relative() {
+        let usage = ResourceUsage {
+            bram: 545,
+            dsp: 450,
+            ff: 0,
+            lut: 0,
+        };
+        let (b, d, _, _) = usage.fractions(&ZC706);
+        assert!((b - 0.5).abs() < 1e-9);
+        assert!((d - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-lane cost models of the three arithmetic styles.
+
+use flightnn::QuantScheme;
+use serde::{Deserialize, Serialize};
+
+/// The arithmetic style of one multiply-accumulate lane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Datapath {
+    /// 32-bit floating point (the "Full" baseline).
+    Float32,
+    /// Fixed-point multiply (the "FP xWyA" baseline).
+    FixedPoint {
+        /// Weight bits.
+        weight_bits: u32,
+        /// Activation bits.
+        act_bits: u32,
+    },
+    /// Shift-and-add ((F)LightNN). `mean_k` is the average number of
+    /// shifts per multiplication over the layer's filters: exactly `k`
+    /// for LightNN-`k`, the trained mean `k_i` for FLightNN.
+    ShiftAdd {
+        /// Average shifts per multiply.
+        mean_k: f32,
+        /// Activation bits.
+        act_bits: u32,
+    },
+}
+
+/// Per-lane and per-design resource costs — the calibration constants of
+/// the model (chosen so the binding pattern matches Table 6: fp32 binds
+/// on DSP+BRAM, fixed point on DSP, shift-add on BRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneCost {
+    /// DSP slices per lane.
+    pub dsp: f64,
+    /// LUTs per lane.
+    pub lut: f64,
+    /// Flip-flops per lane.
+    pub ff: f64,
+    /// Fixed DSP overhead of the whole design (shared accumulators,
+    /// address generators).
+    pub dsp_overhead: usize,
+    /// Cycles between successive MACs retired by one lane (initiation
+    /// interval).
+    pub cycles_per_mac: f64,
+}
+
+impl Datapath {
+    /// Derives the datapath of a whole-model quantization scheme.
+    ///
+    /// `mean_k` must be supplied for FLightNN models (the trained average
+    /// shift count of the implemented layer); it is ignored otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme is FLightNN and `mean_k` is `None`.
+    pub fn from_scheme(scheme: &QuantScheme, mean_k: Option<f32>) -> Datapath {
+        match scheme {
+            QuantScheme::Full => Datapath::Float32,
+            QuantScheme::FixedPoint {
+                weight_bits,
+                act_bits,
+            } => Datapath::FixedPoint {
+                weight_bits: *weight_bits,
+                act_bits: *act_bits,
+            },
+            QuantScheme::LightNn { k, act_bits } => Datapath::ShiftAdd {
+                mean_k: *k as f32,
+                act_bits: *act_bits,
+            },
+            QuantScheme::FLight { act_bits, .. } => Datapath::ShiftAdd {
+                mean_k: mean_k.expect("FLightNN datapath needs the trained mean k"),
+                act_bits: *act_bits,
+            },
+        }
+    }
+
+    /// Activation bits stored in the on-chip buffers.
+    pub fn act_bits(&self) -> u32 {
+        match self {
+            Datapath::Float32 => 32,
+            Datapath::FixedPoint { act_bits, .. } | Datapath::ShiftAdd { act_bits, .. } => {
+                *act_bits
+            }
+        }
+    }
+
+    /// The lane cost model.
+    ///
+    /// Constants approximate HLS mappings on 7-series fabric: an fp32 MAC
+    /// costs ~5 DSPs plus glue; a small-integer multiply maps to one DSP;
+    /// a `k`-term shift-add lane is pure fabric (k barrel shifters + k−1
+    /// adders + accumulator) with a shared initiation interval of `k`
+    /// cycles, and the whole shift-add design keeps a handful of DSPs for
+    /// output accumulation (Table 6 shows 4–16).
+    pub fn lane_cost(&self) -> LaneCost {
+        match *self {
+            Datapath::Float32 => LaneCost {
+                dsp: 5.0,
+                lut: 300.0,
+                ff: 250.0,
+                dsp_overhead: 2,
+                cycles_per_mac: 1.0,
+            },
+            Datapath::FixedPoint { .. } => LaneCost {
+                dsp: 1.0,
+                lut: 80.0,
+                ff: 60.0,
+                dsp_overhead: 2,
+                cycles_per_mac: 1.0,
+            },
+            Datapath::ShiftAdd { mean_k, .. } => LaneCost {
+                dsp: 0.0,
+                lut: (60.0 * mean_k + 30.0 * (mean_k - 1.0).max(0.0)) as f64,
+                ff: (50.0 * mean_k) as f64,
+                dsp_overhead: 4,
+                cycles_per_mac: mean_k.max(1.0) as f64,
+            },
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Datapath::Float32 => "fp32".to_string(),
+            Datapath::FixedPoint {
+                weight_bits,
+                act_bits,
+            } => format!("fixed{weight_bits}W{act_bits}A"),
+            Datapath::ShiftAdd { mean_k, .. } => format!("shift-add(k̄={mean_k:.2})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_mapping() {
+        assert_eq!(
+            Datapath::from_scheme(&QuantScheme::full(), None),
+            Datapath::Float32
+        );
+        assert_eq!(
+            Datapath::from_scheme(&QuantScheme::l1(), None),
+            Datapath::ShiftAdd {
+                mean_k: 1.0,
+                act_bits: 8
+            }
+        );
+        let fl = Datapath::from_scheme(&QuantScheme::flight(1e-5), Some(1.5));
+        assert_eq!(
+            fl,
+            Datapath::ShiftAdd {
+                mean_k: 1.5,
+                act_bits: 8
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the trained mean k")]
+    fn flight_requires_mean_k() {
+        Datapath::from_scheme(&QuantScheme::flight(1e-5), None);
+    }
+
+    #[test]
+    fn shift_add_uses_no_dsp_lanes() {
+        let cost = Datapath::ShiftAdd {
+            mean_k: 2.0,
+            act_bits: 8,
+        }
+        .lane_cost();
+        assert_eq!(cost.dsp, 0.0);
+        assert!(cost.dsp_overhead > 0);
+        assert_eq!(cost.cycles_per_mac, 2.0);
+    }
+
+    #[test]
+    fn lightnn1_retires_macs_faster_than_lightnn2() {
+        let k1 = Datapath::ShiftAdd {
+            mean_k: 1.0,
+            act_bits: 8,
+        }
+        .lane_cost();
+        let k2 = Datapath::ShiftAdd {
+            mean_k: 2.0,
+            act_bits: 8,
+        }
+        .lane_cost();
+        assert!(k1.cycles_per_mac < k2.cycles_per_mac);
+        assert!(k1.lut < k2.lut);
+    }
+
+    #[test]
+    fn float_needs_the_most_dsp() {
+        let f = Datapath::Float32.lane_cost();
+        let q = Datapath::FixedPoint {
+            weight_bits: 4,
+            act_bits: 8,
+        }
+        .lane_cost();
+        assert!(f.dsp > q.dsp);
+    }
+}

@@ -1,0 +1,309 @@
+//! The accelerator implementation model: batch sizing and throughput.
+//!
+//! One design = `LANES_PER_IMAGE` MAC lanes per in-flight image ×
+//! `batch` in-flight images (the paper batches inference and grows the
+//! batch until a resource runs out, §5.2). Weights are resident in BRAM
+//! once; each in-flight image owns double-buffered activation storage.
+//!
+//! ```text
+//! throughput = freq · lanes_total / (macs_per_image · cycles_per_mac)
+//! ```
+
+use flight_tensor::Conv2dGeometry;
+use flightnn::configs::ConvSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::budget::{bram_blocks, ResourceBudget, ResourceUsage};
+use crate::datapath::Datapath;
+
+/// MAC lanes instantiated per in-flight image — fixed by the shared HLS
+/// unroll pragma ("the same pragma and directives are used for all",
+/// §5.2).
+pub const LANES_PER_IMAGE: usize = 4;
+
+/// The layer to implement: geometry, arithmetic style, and how many bits
+/// its weights occupy in on-chip memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerDesign {
+    /// Conv layer geometry.
+    pub spec: ConvSpec,
+    /// Arithmetic style.
+    pub datapath: Datapath,
+    /// Total weight storage bits of this layer under its scheme.
+    pub weight_bits: usize,
+}
+
+/// A sized accelerator: batch, lanes, throughput, resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Implementation {
+    /// In-flight images.
+    pub batch: usize,
+    /// Total MAC lanes (`batch × LANES_PER_IMAGE`).
+    pub lanes: usize,
+    /// Images per second at the budget's clock.
+    pub throughput: f64,
+    /// Resources consumed.
+    pub usage: ResourceUsage,
+    /// Which resource capped the batch.
+    pub binding: Binding,
+}
+
+/// The resource that limited batch parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Binding {
+    /// Block RAM (the paper's finding for (F)LightNNs).
+    Bram,
+    /// DSP slices (full-precision and fixed-point designs).
+    Dsp,
+    /// LUT fabric.
+    Lut,
+    /// Flip-flops.
+    Ff,
+}
+
+impl std::fmt::Display for Binding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Binding::Bram => write!(f, "BRAM"),
+            Binding::Dsp => write!(f, "DSP"),
+            Binding::Lut => write!(f, "LUT"),
+            Binding::Ff => write!(f, "FF"),
+        }
+    }
+}
+
+/// Errors from [`implement_layer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// Even a batch of one does not fit the budget.
+    DoesNotFit(&'static str),
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::DoesNotFit(what) => {
+                write!(f, "design does not fit the device: {what} exhausted at batch 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// Sizes the accelerator for one layer on a budget: finds the largest
+/// batch whose lanes and buffers fit, then computes throughput.
+///
+/// # Errors
+///
+/// Returns [`DesignError::DoesNotFit`] when a single in-flight image
+/// already exceeds a resource.
+pub fn implement_layer(
+    design: &LayerDesign,
+    budget: &ResourceBudget,
+) -> Result<Implementation, DesignError> {
+    let cost = design.datapath.lane_cost();
+    let spec = &design.spec;
+    let geom: Conv2dGeometry = spec.geometry();
+
+    // Per-image activation storage: input + output feature maps,
+    // double-buffered, at the datapath's activation width.
+    let act_bits = design.datapath.act_bits() as usize;
+    let in_px = spec.in_channels * spec.in_h * spec.in_w;
+    let out_px = spec.out_channels * geom.out_h * geom.out_w;
+    let act_blocks_per_image = bram_blocks(2 * (in_px + out_px) * act_bits);
+
+    // Weights resident once when they fit in half the device; otherwise
+    // they stream from DRAM through a double buffer and the design pays a
+    // bandwidth penalty (fp32 weight sets of the widest layers exceed
+    // on-chip memory, as they would on the real board).
+    let raw_weight_blocks = bram_blocks(design.weight_bits);
+    let resident_cap = budget.bram / 2;
+    let (weight_blocks, stream_penalty) = if raw_weight_blocks > resident_cap {
+        (resident_cap, 2.0f64)
+    } else {
+        (raw_weight_blocks, 1.0)
+    };
+
+    // Batch caps per resource.
+    let bram_cap = budget
+        .bram
+        .saturating_sub(weight_blocks)
+        .checked_div(act_blocks_per_image)
+        .unwrap_or(usize::MAX);
+    let lane_dsp = cost.dsp * LANES_PER_IMAGE as f64;
+    let dsp_cap = if lane_dsp > 0.0 {
+        ((budget.dsp.saturating_sub(cost.dsp_overhead)) as f64 / lane_dsp) as usize
+    } else {
+        usize::MAX
+    };
+    let lut_cap = (budget.lut as f64 / (cost.lut * LANES_PER_IMAGE as f64)) as usize;
+    let ff_cap = (budget.ff as f64 / (cost.ff * LANES_PER_IMAGE as f64)) as usize;
+
+    let (batch, binding) = [
+        (bram_cap, Binding::Bram),
+        (dsp_cap, Binding::Dsp),
+        (lut_cap, Binding::Lut),
+        (ff_cap, Binding::Ff),
+    ]
+    .into_iter()
+    .min_by_key(|&(cap, _)| cap)
+    .expect("four candidate caps");
+
+    if batch == 0 {
+        let what = match binding {
+            Binding::Bram => "BRAM",
+            Binding::Dsp => "DSP",
+            Binding::Lut => "LUT",
+            Binding::Ff => "FF",
+        };
+        return Err(DesignError::DoesNotFit(what));
+    }
+
+    let lanes = batch * LANES_PER_IMAGE;
+    let macs = spec.macs() as f64;
+    let throughput =
+        budget.freq_hz * lanes as f64 / (macs * cost.cycles_per_mac * stream_penalty);
+
+    let usage = ResourceUsage {
+        bram: weight_blocks + batch * act_blocks_per_image,
+        dsp: cost.dsp_overhead + (lane_dsp * batch as f64).round() as usize,
+        ff: (cost.ff * lanes as f64).round() as usize,
+        lut: (cost.lut * lanes as f64).round() as usize,
+    };
+
+    Ok(Implementation {
+        batch,
+        lanes,
+        throughput,
+        usage,
+        binding,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::ZC706;
+    use flightnn::QuantScheme;
+
+    /// Network 7's largest conv layer at the paper's native 32×32
+    /// CIFAR-100 resolution (the hardware model needs no training, so it
+    /// always runs at paper-native geometry).
+    fn net7_largest() -> ConvSpec {
+        flightnn::configs::NetworkConfig::by_id(7).largest_conv([3, 32, 32], 1.0)
+    }
+
+    fn design(scheme: &QuantScheme, mean_k: Option<f32>) -> LayerDesign {
+        let spec = net7_largest();
+        let bits_per_weight = scheme.fixed_weight_bits().unwrap_or(6) as usize;
+        LayerDesign {
+            spec,
+            datapath: Datapath::from_scheme(scheme, mean_k),
+            weight_bits: spec.weights() * bits_per_weight,
+        }
+    }
+
+    #[test]
+    fn bindings_match_table6() {
+        // Full precision binds on BRAM or DSP; fixed point on DSP;
+        // (F)LightNNs on BRAM (§5.2's finding).
+        let full = implement_layer(&design(&QuantScheme::full(), None), &ZC706).unwrap();
+        assert!(
+            matches!(full.binding, Binding::Bram | Binding::Dsp),
+            "full binds on {:?}",
+            full.binding
+        );
+        let fp = implement_layer(&design(&QuantScheme::fp4w8a(), None), &ZC706).unwrap();
+        assert_eq!(fp.binding, Binding::Dsp);
+        let l1 = implement_layer(&design(&QuantScheme::l1(), None), &ZC706).unwrap();
+        assert_eq!(l1.binding, Binding::Bram);
+        let l2 = implement_layer(&design(&QuantScheme::l2(), None), &ZC706).unwrap();
+        assert_eq!(l2.binding, Binding::Bram);
+    }
+
+    #[test]
+    fn throughput_ordering_matches_tables() {
+        let full = implement_layer(&design(&QuantScheme::full(), None), &ZC706).unwrap();
+        let fp = implement_layer(&design(&QuantScheme::fp4w8a(), None), &ZC706).unwrap();
+        let l1 = implement_layer(&design(&QuantScheme::l1(), None), &ZC706).unwrap();
+        let l2 = implement_layer(&design(&QuantScheme::l2(), None), &ZC706).unwrap();
+
+        // Every quantized design beats full precision.
+        for q in [&fp, &l1, &l2] {
+            assert!(q.throughput > full.throughput);
+        }
+        // L-1 is roughly twice as fast as L-2 (paper: 1.9–2× across nets).
+        let ratio = l1.throughput / l2.throughput;
+        assert!((1.5..3.0).contains(&ratio), "L-1/L-2 ratio {ratio}");
+        // L-1 beats fixed point (the headline "up to 2×" claim).
+        assert!(l1.throughput > fp.throughput);
+    }
+
+    #[test]
+    fn flightnn_interpolates_between_l1_and_l2() {
+        let l1 = implement_layer(&design(&QuantScheme::l1(), None), &ZC706).unwrap();
+        let l2 = implement_layer(&design(&QuantScheme::l2(), None), &ZC706).unwrap();
+        let fl = implement_layer(
+            &design(&QuantScheme::flight(1e-5), Some(1.5)),
+            &ZC706,
+        )
+        .unwrap();
+        assert!(fl.throughput > l2.throughput);
+        assert!(fl.throughput < l1.throughput);
+    }
+
+    #[test]
+    fn usage_fits_the_budget() {
+        for scheme in [
+            QuantScheme::full(),
+            QuantScheme::fp4w8a(),
+            QuantScheme::l1(),
+            QuantScheme::l2(),
+        ] {
+            let imp = implement_layer(&design(&scheme, None), &ZC706).unwrap();
+            assert!(
+                ZC706.fits(&imp.usage),
+                "{}: usage {} exceeds budget",
+                scheme.label(),
+                imp.usage
+            );
+            assert!(imp.batch >= 1);
+        }
+    }
+
+    #[test]
+    fn shift_add_uses_almost_no_dsp() {
+        let l2 = implement_layer(&design(&QuantScheme::l2(), None), &ZC706).unwrap();
+        assert!(l2.usage.dsp <= 16, "L-2 DSP usage {}", l2.usage.dsp);
+        let fp = implement_layer(&design(&QuantScheme::fp4w8a(), None), &ZC706).unwrap();
+        assert!(fp.usage.dsp > 100, "FP DSP usage {}", fp.usage.dsp);
+    }
+
+    #[test]
+    fn oversized_layer_reports_does_not_fit() {
+        let mut d = design(&QuantScheme::full(), None);
+        // A grotesque layer: giant activations exhaust BRAM at batch 1.
+        d.spec = flightnn::configs::ConvSpec {
+            in_channels: 4096,
+            out_channels: 4096,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_h: 64,
+            in_w: 64,
+        };
+        let err = implement_layer(&d, &ZC706).unwrap_err();
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn smaller_weights_allow_bigger_batches() {
+        // FP (4-bit weights) packs more batch slots than L-2 (8-bit) in
+        // the same BRAM... but FP is DSP-bound, so compare L-1 vs L-2
+        // (both BRAM-bound, same act storage, different weight bits).
+        let l1 = implement_layer(&design(&QuantScheme::l1(), None), &ZC706).unwrap();
+        let l2 = implement_layer(&design(&QuantScheme::l2(), None), &ZC706).unwrap();
+        assert!(l1.batch >= l2.batch);
+    }
+}

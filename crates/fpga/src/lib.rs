@@ -1,0 +1,31 @@
+//! Analytical FPGA resource and throughput model of a Xilinx Zynq ZC706.
+//!
+//! The paper implements each network's largest convolutional layer with
+//! Vivado HLS on a ZC706 at 100 MHz, using identical pragmas for every
+//! quantization scheme, and reports throughput (Tables 2–5) and resource
+//! utilization (Table 6). This crate substitutes an analytical model that
+//! reproduces the *binding structure* the paper describes:
+//!
+//! * full-precision and fixed-point multipliers consume DSP slices
+//!   (scarce: 900), so their batch parallelism is DSP-bound (and
+//!   BRAM-bound for the fp32 design, whose activations are 4× larger);
+//! * (F)LightNN shift-add "multipliers" live in LUT fabric and need DSPs
+//!   only for a few shared accumulators, so their batch parallelism runs
+//!   into the BRAM limit instead — exactly Table 6's finding;
+//! * a `k`-shift multiplier shares its barrel shifter across the `k`
+//!   terms, so its initiation interval grows with `k`: LightNN-1 retires
+//!   MACs twice as fast as LightNN-2 per lane, and FLightNN interpolates
+//!   through its mean per-filter shift count.
+//!
+//! See `DESIGN.md` §2 for the substitution argument and the cost-model
+//! constants below for the calibration knobs.
+
+pub mod budget;
+pub mod datapath;
+pub mod implement;
+pub mod report;
+
+pub use budget::{ResourceBudget, ResourceUsage, ZC706};
+pub use datapath::Datapath;
+pub use implement::{implement_layer, DesignError, Implementation, LayerDesign};
+pub use report::{utilization_row, UtilizationRow};

@@ -1,0 +1,92 @@
+//! Table 6-style utilization reporting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::budget::ResourceBudget;
+use crate::implement::{implement_layer, DesignError, Implementation, LayerDesign};
+
+/// One row of the Table 6 reproduction: a model's resource usage and
+/// speedup on the implemented layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationRow {
+    /// Model label ("Full", "L-2 8W8A", …).
+    pub model: String,
+    /// BRAM blocks used.
+    pub bram: usize,
+    /// DSP slices used.
+    pub dsp: usize,
+    /// Flip-flops used.
+    pub ff: usize,
+    /// LUTs used.
+    pub lut: usize,
+    /// Throughput in images/s.
+    pub throughput: f64,
+    /// Batch size chosen.
+    pub batch: usize,
+    /// Binding resource name.
+    pub binding: String,
+}
+
+/// Builds one utilization row by implementing `design` on `budget`.
+///
+/// # Errors
+///
+/// Propagates [`DesignError`] when the design does not fit.
+pub fn utilization_row(
+    model: &str,
+    design: &LayerDesign,
+    budget: &ResourceBudget,
+) -> Result<UtilizationRow, DesignError> {
+    let imp: Implementation = implement_layer(design, budget)?;
+    Ok(UtilizationRow {
+        model: model.to_string(),
+        bram: imp.usage.bram,
+        dsp: imp.usage.dsp,
+        ff: imp.usage.ff,
+        lut: imp.usage.lut,
+        throughput: imp.throughput,
+        batch: imp.batch,
+        binding: imp.binding.to_string(),
+    })
+}
+
+impl std::fmt::Display for UtilizationRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<10} BRAM {:>5} DSP {:>4} FF {:>7} LUT {:>7}  {:>10.1} img/s (batch {}, {}-bound)",
+            self.model, self.bram, self.dsp, self.ff, self.lut, self.throughput, self.batch,
+            self.binding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::ZC706;
+    use crate::datapath::Datapath;
+    use flightnn::QuantScheme;
+
+    #[test]
+    fn rows_render_and_order_like_table6() {
+        let spec = flightnn::configs::NetworkConfig::by_id(7).largest_conv([3, 32, 32], 1.0);
+        let mk = |scheme: &QuantScheme| LayerDesign {
+            spec,
+            datapath: Datapath::from_scheme(scheme, Some(1.5)),
+            weight_bits: spec.weights() * scheme.fixed_weight_bits().unwrap_or(6) as usize,
+        };
+        let full = utilization_row("Full", &mk(&QuantScheme::full()), &ZC706).unwrap();
+        let l2 = utilization_row("L-2", &mk(&QuantScheme::l2()), &ZC706).unwrap();
+        let fp = utilization_row("FP", &mk(&QuantScheme::fp4w8a()), &ZC706).unwrap();
+
+        // Table 6 pattern: Full has the most DSPs, shift-add almost none,
+        // shift-add leads in LUT share relative to its DSP share.
+        assert!(full.dsp > fp.dsp || full.dsp > 100);
+        assert!(l2.dsp <= 16);
+        assert!(l2.lut > 0);
+        let line = l2.to_string();
+        assert!(line.contains("BRAM"));
+        assert!(line.contains("img/s"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Operation counting shared by the kernels and the ASIC energy model.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic operations executed by a kernel invocation.
+///
+/// The FPGA/ASIC arguments of the paper reduce to these counts: a
+/// fixed-point datapath spends integer multiplies, a (F)LightNN datapath
+/// spends barrel shifts and adds, a full-precision datapath spends float
+/// multiplies and adds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// 32-bit float multiplies.
+    pub float_mults: u64,
+    /// 32-bit float additions.
+    pub float_adds: u64,
+    /// Integer multiplies (fixed-point datapath).
+    pub int_mults: u64,
+    /// Integer additions / accumulations.
+    pub int_adds: u64,
+    /// Barrel shifts ((F)LightNN datapath).
+    pub shifts: u64,
+}
+
+impl OpCounts {
+    /// Elementwise sum of two counts.
+    pub fn merged(self, other: OpCounts) -> OpCounts {
+        OpCounts {
+            float_mults: self.float_mults + other.float_mults,
+            float_adds: self.float_adds + other.float_adds,
+            int_mults: self.int_mults + other.int_mults,
+            int_adds: self.int_adds + other.int_adds,
+            shifts: self.shifts + other.shifts,
+        }
+    }
+
+    /// Total operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.float_mults + self.float_adds + self.int_mults + self.int_adds + self.shifts
+    }
+}
+
+impl std::ops::Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        self.merged(rhs)
+    }
+}
+
+impl std::fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fmul {} fadd {} imul {} iadd {} shift {}",
+            self.float_mults, self.float_adds, self.int_mults, self.int_adds, self.shifts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = OpCounts {
+            int_mults: 2,
+            shifts: 3,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            int_adds: 5,
+            shifts: 1,
+            ..OpCounts::default()
+        };
+        let c = a + b;
+        assert_eq!(c.int_mults, 2);
+        assert_eq!(c.int_adds, 5);
+        assert_eq!(c.shifts, 4);
+        assert_eq!(c.total(), 11);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!OpCounts::default().to_string().is_empty());
+    }
+}

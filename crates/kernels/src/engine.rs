@@ -1,0 +1,474 @@
+//! Whole-network integer inference.
+//!
+//! [`IntNetwork::compile`] lowers a trained
+//! [`QuantNet`](flightnn::QuantNet) into a deployment pipeline where
+//! every convolution and fully connected layer runs on the integer
+//! kernels of this crate — shift-add for (F)LightNN weights, integer
+//! multiply for fixed-point weights — and everything else (batch norm
+//! with running statistics, LeakyReLU, pooling) runs as cheap float
+//! glue, exactly as an accelerator would keep them in wider fixed point.
+//!
+//! Batch-norm layers can optionally be folded into per-channel affine
+//! scale/bias applied to the conv output
+//! ([`IntNetwork::compile_folded`]), which is the standard deployment
+//! transform; folded and unfolded pipelines produce identical results.
+//!
+//! The compiled network reports aggregate [`OpCounts`], so a single
+//! forward pass measures exactly how many shifts/multiplies/adds the
+//! model costs — the numbers the ASIC energy model prices.
+
+use flight_nn::layers::MaxPool2d;
+use flight_tensor::Tensor;
+use flightnn::convert::shift_plan;
+use flightnn::layers::{QuantConv2d, QuantLinear};
+use flightnn::net::{NetLayer, QuantNet};
+
+use crate::counts::OpCounts;
+use crate::fixed::FixedWeights;
+use crate::qact::QuantActivations;
+use crate::shift::{shift_add_conv, ShiftKernel};
+use crate::{fixed_point_conv};
+
+/// How a compiled conv/linear layer multiplies.
+#[derive(Debug, Clone)]
+enum IntWeights {
+    /// Shift-add taps ((F)LightNN).
+    Shift(ShiftKernel),
+    /// Integer multiplies (fixed-point baseline).
+    Fixed(FixedWeights),
+    /// Float fallback (full-precision models; kept so any `QuantNet`
+    /// compiles).
+    Float(Tensor),
+}
+
+#[derive(Debug, Clone)]
+enum IntLayer {
+    Conv {
+        weights: IntWeights,
+        bias: Tensor,
+        stride: usize,
+        padding: usize,
+        act_bits: u32,
+    },
+    /// Per-channel `y = scale·x + bias` (a batch norm at inference time,
+    /// possibly folded away into the conv epilogue).
+    Affine { scale: Tensor, bias: Tensor },
+    LeakyRelu { slope: f32 },
+    MaxPool { window: usize },
+    GlobalAvgPool,
+    Flatten,
+    Linear {
+        weights: IntWeights,
+        bias: Tensor,
+        act_bits: u32,
+    },
+    Residual {
+        main: Vec<IntLayer>,
+        shortcut: Option<Vec<IntLayer>>,
+        slope: f32,
+    },
+    /// Activation requantization markers are free at run time (the conv
+    /// entry quantizes its own input) but kept for shape fidelity.
+    Requant,
+}
+
+/// Errors from [`IntNetwork::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A plain layer the compiler does not recognize.
+    UnsupportedLayer(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnsupportedLayer(name) => {
+                write!(f, "cannot compile layer '{name}' to the integer pipeline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A `QuantNet` lowered to integer execution.
+///
+/// # Example
+///
+/// ```
+/// use flight_kernels::IntNetwork;
+/// use flight_nn::Layer;
+/// use flight_tensor::{Tensor, TensorRng};
+/// use flightnn::{configs::NetworkConfig, QuantScheme};
+///
+/// # fn main() -> Result<(), flight_kernels::engine::CompileError> {
+/// let mut rng = TensorRng::seed(0);
+/// let mut net = NetworkConfig::by_id(1)
+///     .build(&QuantScheme::l1(), &mut rng, 10, [3, 16, 16], 0.25);
+/// let engine = IntNetwork::compile(&mut net)?;
+/// let x = Tensor::zeros(&[1, 3, 16, 16]);
+/// let (logits, counts) = engine.forward(&x);
+/// assert_eq!(logits.dims(), &[1, 10]);
+/// assert_eq!(counts.int_mults, 0); // multiplier-free
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntNetwork {
+    layers: Vec<IntLayer>,
+}
+
+impl IntNetwork {
+    /// Compiles a trained network, keeping batch norms as explicit
+    /// affine stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::UnsupportedLayer`] for plain layers the
+    /// integer pipeline does not know (none are produced by
+    /// [`NetworkConfig::build`](flightnn::configs::NetworkConfig::build)).
+    pub fn compile(net: &mut QuantNet) -> Result<Self, CompileError> {
+        let layers = compile_layers(net)?;
+        Ok(IntNetwork { layers })
+    }
+
+    /// Compiles with batch norms folded into the preceding conv's
+    /// affine epilogue where possible (standard deployment transform).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IntNetwork::compile`].
+    pub fn compile_folded(net: &mut QuantNet) -> Result<Self, CompileError> {
+        let mut layers = compile_layers(net)?;
+        fold_affines(&mut layers);
+        Ok(IntNetwork { layers })
+    }
+
+    /// Number of pipeline stages (after folding, if any).
+    pub fn stages(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the integer pipeline on a float input batch, returning the
+    /// logits and the aggregate integer-op counts of this pass.
+    pub fn forward(&self, input: &Tensor) -> (Tensor, OpCounts) {
+        let mut counts = OpCounts::default();
+        let out = run_layers(&self.layers, input, &mut counts);
+        (out, counts)
+    }
+}
+
+fn compile_layers(net: &mut QuantNet) -> Result<Vec<IntLayer>, CompileError> {
+    let mut out = Vec::new();
+    for layer in net.layers_mut() {
+        match layer {
+            NetLayer::Conv(conv) => out.push(compile_conv(conv)),
+            NetLayer::Linear(lin) => out.push(compile_linear(lin)),
+            NetLayer::Residual(block) => {
+                let main = compile_layers(block.main_mut())?;
+                let shortcut = match block.shortcut_mut() {
+                    Some(sc) => Some(compile_layers(sc)?),
+                    None => None,
+                };
+                out.push(IntLayer::Residual {
+                    main,
+                    shortcut,
+                    slope: 0.01,
+                });
+            }
+            NetLayer::Plain(boxed) => {
+                let any: &mut dyn flight_nn::Layer = boxed.as_mut();
+                let name = any.name();
+                if name.starts_with("batchnorm2d") {
+                    // Downcast-free extraction: rebuild the affine from a
+                    // second forward pass is fragile; instead we re-read
+                    // the known concrete types via trait-object name +
+                    // unsafe-free re-dispatch below.
+                    out.push(compile_batchnorm_by_probe(any, &name)?);
+                } else if let Some(slope) = parse_leaky(&name) {
+                    out.push(IntLayer::LeakyRelu { slope });
+                } else if let Some(win) = parse_pool(&name) {
+                    out.push(IntLayer::MaxPool { window: win });
+                } else if name == "global_avg_pool" {
+                    out.push(IntLayer::GlobalAvgPool);
+                } else if name == "flatten" {
+                    out.push(IntLayer::Flatten);
+                } else if name.starts_with("act_quant") {
+                    out.push(IntLayer::Requant);
+                } else {
+                    return Err(CompileError::UnsupportedLayer(name));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts the inference-time affine of a batch norm by probing it with
+/// basis inputs: for eval-mode BN, `y = a·x + b` per channel, so `b =
+/// BN(0)` and `a = BN(1) − b`. This keeps the compiler decoupled from the
+/// layer's private fields.
+fn compile_batchnorm_by_probe(
+    layer: &mut dyn flight_nn::Layer,
+    name: &str,
+) -> Result<IntLayer, CompileError> {
+    let channels: usize = name
+        .trim_start_matches("batchnorm2d(")
+        .trim_end_matches(')')
+        .parse()
+        .map_err(|_| CompileError::UnsupportedLayer(name.to_string()))?;
+    let zeros = Tensor::zeros(&[1, channels, 1, 1]);
+    let ones = Tensor::ones(&[1, channels, 1, 1]);
+    let b = layer.forward(&zeros, false);
+    let a_plus_b = layer.forward(&ones, false);
+    let scale = &a_plus_b - &b;
+    Ok(IntLayer::Affine {
+        scale: scale.reshape(&[channels]),
+        bias: b.reshape(&[channels]),
+    })
+}
+
+fn parse_leaky(name: &str) -> Option<f32> {
+    name.strip_prefix("leaky_relu(")?
+        .trim_end_matches(')')
+        .parse()
+        .ok()
+}
+
+fn parse_pool(name: &str) -> Option<usize> {
+    let inner = name.strip_prefix("maxpool2d(")?.trim_end_matches(')');
+    inner.split('x').next()?.parse().ok()
+}
+
+fn compile_conv(conv: &mut QuantConv2d) -> IntLayer {
+    // Re-quantize: the layer's cache may be stale from the last training
+    // step (the shadow weights moved after the last forward pass).
+    let q = conv.quantize_weights();
+    let counts = conv.filter_shift_counts();
+    let weights = if counts.is_empty() {
+        // Full or fixed-point scheme: distinguish by checking whether the
+        // quantized weights differ from the shadow (fixed-point quantizes,
+        // full passes through).
+        if q == conv.shadow().value {
+            IntWeights::Float(q)
+        } else {
+            IntWeights::Fixed(FixedWeights::quantize(&conv.shadow().value, 4))
+        }
+    } else {
+        let plan = shift_plan(conv);
+        IntWeights::Shift(ShiftKernel::compile(&plan, conv.shadow().value.dims()))
+    };
+    IntLayer::Conv {
+        weights,
+        bias: conv.bias().value.clone(),
+        stride: conv.stride(),
+        padding: conv.padding(),
+        act_bits: 8,
+    }
+}
+
+fn compile_linear(lin: &mut QuantLinear) -> IntLayer {
+    let q = lin.quantize_weights();
+    let counts = lin.row_shift_counts();
+    let dims = q.dims().to_vec();
+    let weights = if counts.is_empty() {
+        if q == lin.shadow().value {
+            // Full precision: lift [out, in] to a 1x1 conv weight.
+            IntWeights::Float(q.reshape(&[dims[0], dims[1], 1, 1]))
+        } else {
+            // 4-bit fixed point, reshaped to a 1x1 conv weight.
+            let w4 = lin.shadow().value.reshape(&[dims[0], dims[1], 1, 1]);
+            IntWeights::Fixed(FixedWeights::quantize(&w4, 4))
+        }
+    } else {
+        // A linear layer is a 1×1 conv on a 1×1 image.
+        let plan = flightnn::convert::shift_plan_for(&q, &counts);
+        IntWeights::Shift(ShiftKernel::compile(&plan, &[dims[0], dims[1], 1, 1]))
+    };
+    IntLayer::Linear {
+        weights,
+        bias: lin.bias().value.clone(),
+        act_bits: 8,
+    }
+}
+
+/// Folds the bias of every `Conv` directly followed by an `Affine` into
+/// that affine: `a·(conv + bias) + b = a·conv + (a·bias + b)`. The conv
+/// epilogue then adds nothing (its bias is zeroed), which is the standard
+/// batch-norm-folding deployment transform; results are bit-identical.
+fn fold_affines(layers: &mut Vec<IntLayer>) {
+    let mut i = 0;
+    while i + 1 < layers.len() {
+        let fold = matches!(
+            (&layers[i], &layers[i + 1]),
+            (IntLayer::Conv { .. }, IntLayer::Affine { .. })
+        );
+        if fold {
+            // Take the conv bias out, rewrite the affine bias.
+            let conv_bias = if let IntLayer::Conv { bias, .. } = &mut layers[i] {
+                std::mem::replace(bias, Tensor::zeros(bias.dims()))
+            } else {
+                unreachable!("checked above")
+            };
+            if let IntLayer::Affine { scale, bias } = &mut layers[i + 1] {
+                let new_bias: Vec<f32> = conv_bias
+                    .as_slice()
+                    .iter()
+                    .zip(scale.as_slice())
+                    .zip(bias.as_slice())
+                    .map(|((&cb, &a), &b)| a * cb + b)
+                    .collect();
+                *bias = Tensor::from_slice(&new_bias);
+            }
+        }
+        i += 1;
+    }
+    // Recurse into residual blocks.
+    for layer in layers.iter_mut() {
+        if let IntLayer::Residual { main, shortcut, .. } = layer {
+            fold_affines(main);
+            if let Some(sc) = shortcut {
+                fold_affines(sc);
+            }
+        }
+    }
+}
+
+fn run_layers(layers: &[IntLayer], input: &Tensor, counts: &mut OpCounts) -> Tensor {
+    let mut x = input.clone();
+    for layer in layers {
+        x = run_layer(layer, &x, counts);
+    }
+    x
+}
+
+fn run_layer(layer: &IntLayer, x: &Tensor, counts: &mut OpCounts) -> Tensor {
+    match layer {
+        IntLayer::Conv {
+            weights,
+            bias,
+            stride,
+            padding,
+            act_bits,
+        } => {
+            let qa = QuantActivations::quantize(x, *act_bits);
+            let (mut out, c) = match weights {
+                IntWeights::Shift(kernel) => shift_add_conv(&qa, kernel, *stride, *padding),
+                IntWeights::Fixed(fw) => fixed_point_conv(&qa, fw, *stride, *padding),
+                IntWeights::Float(w) => {
+                    let (o, _) = flight_nn::layers::functional::conv2d_forward(
+                        x,
+                        w,
+                        &Tensor::zeros(&[w.dims()[0]]),
+                        *stride,
+                        *padding,
+                        false,
+                    );
+                    // macs = weights × output positions × batch.
+                    let filters = w.dims()[0];
+                    let macs = (w.len() * o.len() / filters.max(1)) as u64;
+                    (
+                        o,
+                        OpCounts {
+                            float_mults: macs,
+                            float_adds: macs,
+                            ..OpCounts::default()
+                        },
+                    )
+                }
+            };
+            *counts = counts.merged(c);
+            add_channel_bias(&mut out, bias);
+            out
+        }
+        IntLayer::Linear {
+            weights,
+            bias,
+            act_bits,
+        } => {
+            // Lift [n, f] to [n, f, 1, 1] and reuse the conv kernels.
+            let n = x.dims()[0];
+            let f = x.len() / n.max(1);
+            let as_img = x.reshape(&[n, f, 1, 1]);
+            let lifted = IntLayer::Conv {
+                weights: weights.clone(),
+                bias: bias.clone(),
+                stride: 1,
+                padding: 0,
+                act_bits: *act_bits,
+            };
+            let out = run_layer(&lifted, &as_img, counts);
+            let classes = out.len() / n.max(1);
+            out.reshape(&[n, classes])
+        }
+        IntLayer::Affine { scale, bias } => {
+            let mut out = x.clone();
+            scale_channels(&mut out, scale, bias);
+            out
+        }
+        IntLayer::LeakyRelu { slope } => {
+            let s = *slope;
+            x.map(|v| if v > 0.0 { v } else { s * v })
+        }
+        IntLayer::MaxPool { window } => {
+            let mut pool = MaxPool2d::new(*window);
+            flight_nn::Layer::forward(&mut pool, x, false)
+        }
+        IntLayer::GlobalAvgPool => {
+            let mut gap = flight_nn::layers::GlobalAvgPool::new();
+            flight_nn::Layer::forward(&mut gap, x, false)
+        }
+        IntLayer::Flatten => {
+            let n = x.dims()[0];
+            x.reshape(&[n, x.len() / n.max(1)])
+        }
+        IntLayer::Requant => {
+            QuantActivations::quantize(x, 8).dequantize()
+        }
+        IntLayer::Residual {
+            main,
+            shortcut,
+            slope,
+        } => {
+            let main_out = run_layers(main, x, counts);
+            let short_out = match shortcut {
+                Some(sc) => run_layers(sc, x, counts),
+                None => x.clone(),
+            };
+            let sum = &main_out + &short_out;
+            let s = *slope;
+            sum.map(|v| if v > 0.0 { v } else { s * v })
+        }
+    }
+}
+
+fn add_channel_bias(out: &mut Tensor, bias: &Tensor) {
+    let (n, c) = (out.dims()[0], out.dims()[1]);
+    let plane = out.len() / (n * c).max(1);
+    for b in 0..n {
+        for ch in 0..c {
+            let add = bias.as_slice()[ch];
+            let base = (b * c + ch) * plane;
+            for v in &mut out.as_mut_slice()[base..base + plane] {
+                *v += add;
+            }
+        }
+    }
+}
+
+fn scale_channels(out: &mut Tensor, scale: &Tensor, bias: &Tensor) {
+    let (n, c) = (out.dims()[0], out.dims()[1]);
+    let plane = out.len() / (n * c).max(1);
+    for b in 0..n {
+        for ch in 0..c {
+            let (a, bb) = (scale.as_slice()[ch], bias.as_slice()[ch]);
+            let base = (b * c + ch) * plane;
+            for v in &mut out.as_mut_slice()[base..base + plane] {
+                *v = a * *v + bb;
+            }
+        }
+    }
+}
+
+// Tests live in tests/engine.rs (they need trained networks and are
+// slower than unit scale).

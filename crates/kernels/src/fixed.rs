@@ -1,0 +1,181 @@
+//! Fixed-point convolution with true integer multiplies.
+
+use flight_tensor::{Conv2dGeometry, Tensor};
+
+use crate::counts::OpCounts;
+use crate::qact::QuantActivations;
+
+/// Fixed-point weights: integer codes plus one per-layer scale,
+/// `w ≈ codes · scale`, codes in `±(2^{bits−1} − 1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedWeights {
+    codes: Vec<i32>,
+    scale: f32,
+    dims: Vec<usize>,
+}
+
+impl FixedWeights {
+    /// Quantizes float weights symmetrically to `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` or `weights` is not rank 4.
+    pub fn quantize(weights: &Tensor, bits: u32) -> Self {
+        assert!(bits >= 2, "fixed point needs at least 2 bits");
+        assert_eq!(weights.shape().rank(), 4, "weights must be [f, c, k, k]");
+        let qmax = ((1u32 << (bits - 1)) - 1) as f32;
+        let max = weights.abs_max();
+        let scale = if max == 0.0 { 1.0 } else { max / qmax };
+        FixedWeights {
+            codes: weights
+                .as_slice()
+                .iter()
+                .map(|&w| (w / scale).round().clamp(-qmax, qmax) as i32)
+                .collect(),
+            scale,
+            dims: weights.dims().to_vec(),
+        }
+    }
+
+    /// The float weights these codes represent.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            self.codes.iter().map(|&c| c as f32 * self.scale).collect(),
+            &self.dims,
+        )
+    }
+
+    /// Weight tensor dims `[f, c, k, k]`.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+}
+
+/// Integer fixed-point convolution: activations `[n, c, h, w]` (integer
+/// codes) convolved with integer weight codes, accumulated in `i64`, then
+/// rescaled to float by `act.scale · weights.scale`.
+///
+/// Returns the float output `[n, f, oh, ow]` and the operation counts
+/// (one integer multiply and one accumulate per tap).
+///
+/// # Panics
+///
+/// Panics on shape mismatches between activations and weights.
+pub fn fixed_point_conv(
+    act: &QuantActivations,
+    weights: &FixedWeights,
+    stride: usize,
+    padding: usize,
+) -> (Tensor, OpCounts) {
+    let ad = act.dims();
+    assert_eq!(ad.len(), 4, "activations must be [n, c, h, w]");
+    let (n, c, h, w) = (ad[0], ad[1], ad[2], ad[3]);
+    let wd = &weights.dims;
+    let (f, wc, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    assert_eq!(kh, kw, "kernels must be square");
+    assert_eq!(wc, c, "weight channels {wc} != activation channels {c}");
+
+    let geom = Conv2dGeometry::new(c, h, w, kh, stride, padding);
+    let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
+    let out_scale = act.scale() * weights.scale;
+    let codes = act.codes();
+    let wcodes = &weights.codes;
+    let mut counts = OpCounts::default();
+
+    for b in 0..n {
+        for fi in 0..f {
+            for oi in 0..geom.out_h {
+                for oj in 0..geom.out_w {
+                    let mut acc: i64 = 0;
+                    for ch in 0..c {
+                        for ki in 0..kh {
+                            let ii = (oi * stride + ki) as isize - padding as isize;
+                            if ii < 0 || ii as usize >= h {
+                                continue;
+                            }
+                            for kj in 0..kw {
+                                let jj = (oj * stride + kj) as isize - padding as isize;
+                                if jj < 0 || jj as usize >= w {
+                                    continue;
+                                }
+                                let a = codes[((b * c + ch) * h + ii as usize) * w + jj as usize];
+                                let wv = wcodes[((fi * c + ch) * kh + ki) * kw + kj];
+                                acc += (a as i64) * (wv as i64);
+                                counts.int_mults += 1;
+                                counts.int_adds += 1;
+                            }
+                        }
+                    }
+                    out.set(
+                        &[b, fi, oi, oj],
+                        acc as f32 * out_scale,
+                    );
+                }
+            }
+        }
+    }
+    (out, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flight_nn::layers::functional::conv2d_forward;
+    use flight_tensor::{uniform, TensorRng};
+
+    #[test]
+    fn integer_conv_matches_float_reference() {
+        let mut rng = TensorRng::seed(5);
+        let x = uniform(&mut rng, &[2, 3, 6, 6], -1.0, 1.0);
+        let w = uniform(&mut rng, &[4, 3, 3, 3], -0.5, 0.5);
+
+        let qa = QuantActivations::quantize(&x, 8);
+        let qw = FixedWeights::quantize(&w, 4);
+
+        // Reference: float conv of the dequantized values.
+        let (reference, _) = conv2d_forward(
+            &qa.dequantize(),
+            &qw.dequantize(),
+            &Tensor::zeros(&[4]),
+            1,
+            1,
+            false,
+        );
+        let (out, counts) = fixed_point_conv(&qa, &qw, 1, 1);
+        assert!(
+            out.allclose(&reference, 1e-4),
+            "integer and float paths diverge"
+        );
+        assert!(counts.int_mults > 0);
+        assert_eq!(counts.int_mults, counts.int_adds);
+    }
+
+    #[test]
+    fn stride_and_padding_variants_match() {
+        let mut rng = TensorRng::seed(6);
+        for &(s, p) in &[(1usize, 0usize), (2, 1), (1, 1)] {
+            let x = uniform(&mut rng, &[1, 2, 7, 7], -1.0, 1.0);
+            let w = uniform(&mut rng, &[3, 2, 3, 3], -0.5, 0.5);
+            let qa = QuantActivations::quantize(&x, 8);
+            let qw = FixedWeights::quantize(&w, 4);
+            let (reference, _) = conv2d_forward(
+                &qa.dequantize(),
+                &qw.dequantize(),
+                &Tensor::zeros(&[3]),
+                s,
+                p,
+                false,
+            );
+            let (out, _) = fixed_point_conv(&qa, &qw, s, p);
+            assert!(out.allclose(&reference, 1e-4), "s={s} p={p}");
+        }
+    }
+
+    #[test]
+    fn weight_codes_respect_bit_width() {
+        let mut rng = TensorRng::seed(7);
+        let w = uniform(&mut rng, &[2, 2, 3, 3], -1.0, 1.0);
+        let qw = FixedWeights::quantize(&w, 4);
+        assert!(qw.codes.iter().all(|&c| c.abs() <= 7));
+    }
+}

@@ -1,0 +1,32 @@
+//! Multiplier-free integer inference kernels.
+//!
+//! The paper's hardware claim is that a LightNN/FLightNN multiplication
+//! is `k` barrel shifts and `k−1` adds instead of a fixed-point multiply.
+//! This crate implements both arithmetic styles *in software, over actual
+//! integers*, so the claim can be exercised end-to-end:
+//!
+//! * [`qact`] — 8-bit activation quantization into integer planes,
+//! * [`fixed`] — fixed-point convolution with true integer multiplies
+//!   (the FP 4W8A baseline's datapath),
+//! * [`shift`] — shift-add convolution driven by the
+//!   [`ShiftPlan`](flightnn::convert::ShiftPlan) of a quantized layer
+//!   (the (F)LightNN datapath),
+//! * [`counts`] — operation counting shared with the ASIC energy model,
+//! * [`engine`] — whole-network integer inference: compile a trained
+//!   `QuantNet` into a multiplier-free deployment pipeline with optional
+//!   batch-norm folding.
+//!
+//! Both kernels are validated bit-for-bit against the floating-point
+//! reference convolution of the same quantized values.
+
+pub mod counts;
+pub mod engine;
+pub mod fixed;
+pub mod qact;
+pub mod shift;
+
+pub use counts::OpCounts;
+pub use engine::IntNetwork;
+pub use fixed::fixed_point_conv;
+pub use qact::QuantActivations;
+pub use shift::{shift_add_conv, ShiftKernel};

@@ -1,0 +1,124 @@
+//! Integer activation planes.
+
+use flight_tensor::Tensor;
+
+/// A batch of activations quantized to signed integers with one shared
+/// scale: `x ≈ data[i] · scale`.
+///
+/// Matches the semantics of `flightnn::layers::ActQuant` (symmetric,
+/// per-tensor dynamic range), but keeps the integer codes so the integer
+/// kernels can consume them directly.
+///
+/// # Example
+///
+/// ```
+/// use flight_kernels::QuantActivations;
+/// use flight_tensor::Tensor;
+///
+/// let x = Tensor::from_slice(&[1.0, -0.5, 0.25]);
+/// let q = QuantActivations::quantize(&x, 8);
+/// assert_eq!(q.codes()[0], 127);
+/// let back = q.dequantize();
+/// assert!(back.allclose(&x, 1.0 / 127.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantActivations {
+    codes: Vec<i32>,
+    scale: f32,
+    dims: Vec<usize>,
+}
+
+impl QuantActivations {
+    /// Quantizes a float tensor to `bits` (sign included) with a
+    /// per-tensor scale `max|x| / (2^{bits−1} − 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2`.
+    pub fn quantize(x: &Tensor, bits: u32) -> Self {
+        assert!(bits >= 2, "activation quantization needs at least 2 bits");
+        let qmax = ((1u32 << (bits - 1)) - 1) as f32;
+        let max = x.abs_max();
+        let scale = if max == 0.0 { 1.0 } else { max / qmax };
+        let codes = x
+            .as_slice()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-qmax, qmax) as i32)
+            .collect();
+        QuantActivations {
+            codes,
+            scale,
+            dims: x.dims().to_vec(),
+        }
+    }
+
+    /// The integer codes, row-major.
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// The shared scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Original tensor dims.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Reconstructs the float tensor `codes · scale`.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            self.codes.iter().map(|&c| c as f32 * self.scale).collect(),
+            &self.dims,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flight_tensor::{uniform, TensorRng};
+
+    #[test]
+    fn round_trip_error_is_within_half_step() {
+        let mut rng = TensorRng::seed(1);
+        let x = uniform(&mut rng, &[2, 3, 4, 4], -2.0, 2.0);
+        let q = QuantActivations::quantize(&x, 8);
+        let back = q.dequantize();
+        let step = q.scale();
+        for (&a, &b) in x.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn codes_stay_in_range() {
+        let mut rng = TensorRng::seed(2);
+        let x = uniform(&mut rng, &[64], -5.0, 5.0);
+        for bits in [2u32, 4, 8] {
+            let q = QuantActivations::quantize(&x, bits);
+            let qmax = (1i32 << (bits - 1)) - 1;
+            assert!(q.codes().iter().all(|&c| c.abs() <= qmax));
+        }
+    }
+
+    #[test]
+    fn matches_flightnn_act_quant() {
+        use flight_nn::Layer;
+        let mut rng = TensorRng::seed(3);
+        let x = uniform(&mut rng, &[32], -1.5, 1.5);
+        let mut aq = flightnn::layers::ActQuant::new(8);
+        let reference = aq.forward(&x, false);
+        let q = QuantActivations::quantize(&x, 8).dequantize();
+        assert!(q.allclose(&reference, 1e-6));
+    }
+
+    #[test]
+    fn zero_tensor_is_stable() {
+        let q = QuantActivations::quantize(&Tensor::zeros(&[4]), 8);
+        assert!(q.codes().iter().all(|&c| c == 0));
+        assert_eq!(q.scale(), 1.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Shift-add convolution — the (F)LightNN datapath.
+//!
+//! A quantized filter is a [`ShiftPlan`] (Fig. 3): each active level is a
+//! subfilter whose taps are single powers of two. The kernel therefore
+//! computes every multiply as `±(a << s)` over the integer activation
+//! codes, accumulating in `i64`, and rescales once at the end by
+//! `2^{e_min} · act_scale`.
+
+use flight_tensor::{Conv2dGeometry, Tensor};
+use flightnn::convert::ShiftPlan;
+use flightnn::pow2::pow2_exponent;
+
+use crate::counts::OpCounts;
+use crate::qact::QuantActivations;
+
+/// One compiled tap: flat kernel-space offset, left-shift amount, sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Tap {
+    /// Index into the `[c, kh, kw]` filter volume.
+    offset: u32,
+    /// Left shift relative to the layer's minimum exponent.
+    shift: u8,
+    /// `true` = subtract instead of add.
+    negative: bool,
+}
+
+/// A conv layer compiled for shift-add execution.
+///
+/// # Example
+///
+/// ```
+/// use flight_kernels::ShiftKernel;
+/// use flightnn::convert::shift_plan;
+/// use flightnn::layers::QuantConv2d;
+/// use flightnn::QuantScheme;
+/// use flight_tensor::TensorRng;
+///
+/// let mut rng = TensorRng::seed(0);
+/// let mut conv = QuantConv2d::new(&mut rng, &QuantScheme::l1(), 3, 8, 3, 1, 1);
+/// let plan = shift_plan(&mut conv);
+/// let kernel = ShiftKernel::compile(&plan, &[8, 3, 3, 3]);
+/// assert_eq!(kernel.filters(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShiftKernel {
+    /// Per filter, the taps of all its subfilters concatenated.
+    taps: Vec<Vec<Tap>>,
+    /// Global scale `2^{e_min}` restoring real weight magnitudes.
+    base_scale: f32,
+    /// Filter volume dims `[c, kh, kw]`.
+    in_channels: usize,
+    kernel: usize,
+}
+
+impl ShiftKernel {
+    /// Compiles a [`ShiftPlan`] into shift taps. `weight_dims` is the
+    /// original weight shape `[f, c, kh, kw]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not match `weight_dims`, or a tap is not a
+    /// power of two.
+    pub fn compile(plan: &ShiftPlan, weight_dims: &[usize]) -> Self {
+        assert_eq!(weight_dims.len(), 4, "weights must be [f, c, k, k]");
+        let (f, c, kh, kw) = (
+            weight_dims[0],
+            weight_dims[1],
+            weight_dims[2],
+            weight_dims[3],
+        );
+        assert_eq!(kh, kw, "kernels must be square");
+        assert_eq!(plan.filters.len(), f, "plan filter count mismatch");
+        assert_eq!(plan.filter_len, c * kh * kw, "plan filter size mismatch");
+
+        // Find the minimum exponent across all taps so shifts are >= 0.
+        let mut min_exp = i32::MAX;
+        for fp in &plan.filters {
+            for sub in &fp.subfilters {
+                for &v in &sub.coefficients {
+                    if v != 0.0 {
+                        min_exp =
+                            min_exp.min(pow2_exponent(v).expect("nonzero tap is a power of two"));
+                    }
+                }
+            }
+        }
+        if min_exp == i32::MAX {
+            min_exp = 0; // all-zero layer
+        }
+
+        let taps = plan
+            .filters
+            .iter()
+            .map(|fp| {
+                let mut filter_taps = Vec::new();
+                for sub in &fp.subfilters {
+                    for (idx, &v) in sub.coefficients.iter().enumerate() {
+                        if v == 0.0 {
+                            continue;
+                        }
+                        let e = pow2_exponent(v).expect("nonzero tap is a power of two");
+                        let shift = e - min_exp;
+                        assert!(
+                            (0..64).contains(&shift),
+                            "shift amount {shift} out of range"
+                        );
+                        filter_taps.push(Tap {
+                            offset: idx as u32,
+                            shift: shift as u8,
+                            negative: v < 0.0,
+                        });
+                    }
+                }
+                filter_taps
+            })
+            .collect();
+
+        ShiftKernel {
+            taps,
+            base_scale: (min_exp as f32).exp2(),
+            in_channels: c,
+            kernel: kh,
+        }
+    }
+
+    /// Number of filters.
+    pub fn filters(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Total shift taps (shift operations per output position summed over
+    /// filters).
+    pub fn total_taps(&self) -> usize {
+        self.taps.iter().map(Vec::len).sum()
+    }
+}
+
+/// Shift-add convolution over integer activation codes.
+///
+/// Returns the float output `[n, f, oh, ow]` and the operation counts
+/// (one shift and one add per tap — no multiplies anywhere).
+///
+/// # Panics
+///
+/// Panics on activation/kernel shape mismatches.
+pub fn shift_add_conv(
+    act: &QuantActivations,
+    kernel: &ShiftKernel,
+    stride: usize,
+    padding: usize,
+) -> (Tensor, OpCounts) {
+    let ad = act.dims();
+    assert_eq!(ad.len(), 4, "activations must be [n, c, h, w]");
+    let (n, c, h, w) = (ad[0], ad[1], ad[2], ad[3]);
+    assert_eq!(
+        c, kernel.in_channels,
+        "activation channels {c} != kernel channels {}",
+        kernel.in_channels
+    );
+    let k = kernel.kernel;
+    let geom = Conv2dGeometry::new(c, h, w, k, stride, padding);
+    let mut out = Tensor::zeros(&[n, kernel.filters(), geom.out_h, geom.out_w]);
+    let out_scale = act.scale() * kernel.base_scale;
+    let codes = act.codes();
+    let mut counts = OpCounts::default();
+
+    for b in 0..n {
+        for (fi, taps) in kernel.taps.iter().enumerate() {
+            for oi in 0..geom.out_h {
+                for oj in 0..geom.out_w {
+                    let mut acc: i64 = 0;
+                    for tap in taps {
+                        // Decode the tap's position in the [c, k, k] volume.
+                        let off = tap.offset as usize;
+                        let ch = off / (k * k);
+                        let ki = (off / k) % k;
+                        let kj = off % k;
+                        let ii = (oi * stride + ki) as isize - padding as isize;
+                        let jj = (oj * stride + kj) as isize - padding as isize;
+                        if ii < 0 || jj < 0 || ii as usize >= h || jj as usize >= w {
+                            continue;
+                        }
+                        let a = codes[((b * c + ch) * h + ii as usize) * w + jj as usize] as i64;
+                        let term = a << tap.shift;
+                        acc += if tap.negative { -term } else { term };
+                        counts.shifts += 1;
+                        counts.int_adds += 1;
+                    }
+                    out.set(&[b, fi, oi, oj], acc as f32 * out_scale);
+                }
+            }
+        }
+    }
+    (out, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flight_nn::layers::functional::conv2d_forward;
+    use flight_tensor::{uniform, TensorRng};
+    use flightnn::convert::shift_plan;
+    use flightnn::layers::QuantConv2d;
+    use flightnn::QuantScheme;
+
+    fn check_scheme(scheme: QuantScheme, seed: u64) {
+        let mut rng = TensorRng::seed(seed);
+        let mut conv = QuantConv2d::new(&mut rng, &scheme, 3, 4, 3, 1, 1);
+        let plan = shift_plan(&mut conv);
+        let dims = conv.shadow().value.dims().to_vec();
+        let kernel = ShiftKernel::compile(&plan, &dims);
+
+        let x = uniform(&mut rng, &[2, 3, 6, 6], -1.0, 1.0);
+        let qa = QuantActivations::quantize(&x, 8);
+        let qweights = conv.quantized_weights();
+
+        let (reference, _) = conv2d_forward(
+            &qa.dequantize(),
+            &qweights,
+            &Tensor::zeros(&[4]),
+            1,
+            1,
+            false,
+        );
+        let (out, counts) = shift_add_conv(&qa, &kernel, 1, 1);
+        assert!(
+            out.allclose(&reference, 1e-3),
+            "shift-add diverges from reference for {}",
+            scheme.label()
+        );
+        assert_eq!(counts.int_mults, 0, "shift kernel must not multiply");
+        assert!(counts.shifts > 0);
+    }
+
+    #[test]
+    fn lightnn1_matches_reference() {
+        check_scheme(QuantScheme::l1(), 11);
+    }
+
+    #[test]
+    fn lightnn2_matches_reference() {
+        check_scheme(QuantScheme::l2(), 12);
+    }
+
+    #[test]
+    fn flightnn_matches_reference() {
+        check_scheme(QuantScheme::flight(1e-5), 13);
+    }
+
+    #[test]
+    fn tap_count_scales_with_k() {
+        let mut rng = TensorRng::seed(14);
+        let mut c1 = QuantConv2d::new(&mut rng, &QuantScheme::l1(), 2, 4, 3, 1, 1);
+        let mut rng = TensorRng::seed(14);
+        let mut c2 = QuantConv2d::new(&mut rng, &QuantScheme::l2(), 2, 4, 3, 1, 1);
+        let p1 = shift_plan(&mut c1);
+        let p2 = shift_plan(&mut c2);
+        let k1 = ShiftKernel::compile(&p1, &[4, 2, 3, 3]);
+        let k2 = ShiftKernel::compile(&p2, &[4, 2, 3, 3]);
+        assert!(
+            k2.total_taps() > k1.total_taps(),
+            "L-2 should need more shift taps than L-1"
+        );
+    }
+
+    #[test]
+    fn stride_two_matches_reference() {
+        let mut rng = TensorRng::seed(15);
+        let mut conv = QuantConv2d::new(&mut rng, &QuantScheme::l2(), 2, 3, 3, 2, 1);
+        let plan = shift_plan(&mut conv);
+        let kernel = ShiftKernel::compile(&plan, &[3, 2, 3, 3]);
+        let x = uniform(&mut rng, &[1, 2, 8, 8], -1.0, 1.0);
+        let qa = QuantActivations::quantize(&x, 8);
+        let (reference, _) = conv2d_forward(
+            &qa.dequantize(),
+            &conv.quantized_weights(),
+            &Tensor::zeros(&[3]),
+            2,
+            1,
+            false,
+        );
+        let (out, _) = shift_add_conv(&qa, &kernel, 2, 1);
+        assert!(out.allclose(&reference, 1e-3));
+    }
+}

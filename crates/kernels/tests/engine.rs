@@ -1,0 +1,150 @@
+//! Integer-engine integration tests: compiled pipelines must match the
+//! float quantized network on real trained models, multiplier-free.
+
+use flight_data::{Fidelity, SyntheticDataset};
+use flight_kernels::IntNetwork;
+use flight_nn::Layer;
+use flight_tensor::TensorRng;
+use flightnn::configs::NetworkConfig;
+use flightnn::{FlightTrainer, QuantNet, QuantScheme};
+
+fn trained(net_id: u8, scheme: &QuantScheme, epochs: usize) -> (QuantNet, SyntheticDataset) {
+    let cfg = NetworkConfig::by_id(net_id);
+    let data = SyntheticDataset::preset(cfg.dataset, Fidelity::Smoke, 5);
+    let mut rng = TensorRng::seed(5);
+    let mut net = cfg.build(scheme, &mut rng, data.classes(), data.image_dims(), 0.25);
+    let mut trainer = FlightTrainer::new(scheme, 5e-3);
+    trainer.fit(&mut net, &data.train_batches(16), epochs);
+    (net, data)
+}
+
+/// Pre-quantizes an input batch to the 8-bit grid so both the float path
+/// and the integer engine see identical values (the engine always
+/// quantizes conv inputs; the float QuantNet does not quantize the raw
+/// image).
+fn as_8bit(x: &flight_tensor::Tensor) -> flight_tensor::Tensor {
+    flight_kernels::QuantActivations::quantize(x, 8).dequantize()
+}
+
+fn max_logit_gap(a: &flight_tensor::Tensor, b: &flight_tensor::Tensor) -> f32 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+#[test]
+fn vgg_lightnn_pipeline_matches_float_path() {
+    let (mut net, data) = trained(1, &QuantScheme::l2(), 2);
+    let engine = IntNetwork::compile(&mut net).expect("compiles");
+    let input = as_8bit(&data.test_batches(8)[0].input);
+    let float_logits = net.forward(&input, false);
+    let (int_logits, counts) = engine.forward(&input);
+
+    let gap = max_logit_gap(&float_logits, &int_logits);
+    let scale = float_logits.abs_max().max(1.0);
+    assert!(
+        gap < 1e-2 * scale,
+        "integer pipeline diverges: gap {gap} at logit scale {scale}"
+    );
+    assert_eq!(counts.int_mults, 0, "L-2 pipeline must be multiplier-free");
+    assert!(counts.shifts > 0);
+}
+
+#[test]
+fn resnet_flightnn_pipeline_matches_float_path() {
+    let (mut net, data) = trained(2, &QuantScheme::flight(0.0), 2);
+    let engine = IntNetwork::compile(&mut net).expect("compiles");
+    let input = as_8bit(&data.test_batches(4)[0].input);
+    let float_logits = net.forward(&input, false);
+    let (int_logits, counts) = engine.forward(&input);
+    let gap = max_logit_gap(&float_logits, &int_logits);
+    let scale = float_logits.abs_max().max(1.0);
+    assert!(gap < 2e-2 * scale, "gap {gap} at scale {scale}");
+    assert_eq!(counts.int_mults, 0);
+}
+
+#[test]
+fn fixed_point_pipeline_multiplies_instead_of_shifting() {
+    let (mut net, data) = trained(1, &QuantScheme::fp4w8a(), 2);
+    let engine = IntNetwork::compile(&mut net).expect("compiles");
+    let input = as_8bit(&data.test_batches(4)[0].input);
+    let float_logits = net.forward(&input, false);
+    let (int_logits, counts) = engine.forward(&input);
+    let gap = max_logit_gap(&float_logits, &int_logits);
+    let scale = float_logits.abs_max().max(1.0);
+    assert!(gap < 2e-2 * scale, "gap {gap} at scale {scale}");
+    assert!(counts.int_mults > 0);
+    assert_eq!(counts.shifts, 0);
+}
+
+#[test]
+fn folded_pipeline_is_bit_identical_to_unfolded() {
+    let (mut net, data) = trained(1, &QuantScheme::l1(), 2);
+    let plain = IntNetwork::compile(&mut net).expect("compiles");
+    let folded = IntNetwork::compile_folded(&mut net).expect("compiles folded");
+    let batch = &data.test_batches(4)[0];
+    let (a, _) = plain.forward(&batch.input);
+    let (b, _) = folded.forward(&batch.input);
+    assert!(
+        a.allclose(&b, 1e-5),
+        "batch-norm folding changed the results"
+    );
+}
+
+#[test]
+fn integer_accuracy_matches_float_accuracy() {
+    use flight_nn::loss::top_k_accuracy;
+    let (mut net, data) = trained(1, &QuantScheme::l2(), 6);
+    let engine = IntNetwork::compile(&mut net).expect("compiles");
+    let mut float_correct = 0.0;
+    let mut int_correct = 0.0;
+    let mut n = 0;
+    for batch in data.test_batches(16) {
+        let fl = net.forward(&batch.input, false);
+        let (il, _) = engine.forward(&batch.input);
+        float_correct += top_k_accuracy(&fl, &batch.labels, 1) * batch.len() as f32;
+        int_correct += top_k_accuracy(&il, &batch.labels, 1) * batch.len() as f32;
+        n += batch.len();
+    }
+    let (fa, ia) = (float_correct / n as f32, int_correct / n as f32);
+    assert!(
+        (fa - ia).abs() < 0.03,
+        "integer accuracy {ia} drifted from float accuracy {fa}"
+    );
+    assert!(fa > 0.3, "model should have learned something: {fa}");
+}
+
+#[test]
+fn op_counts_track_mean_k() {
+    // An L-2 model costs ~2x the shifts of an L-1 model of identical
+    // architecture on the same input.
+    let (mut l1, data) = trained(1, &QuantScheme::l1(), 1);
+    let (mut l2, _) = trained(1, &QuantScheme::l2(), 1);
+    let e1 = IntNetwork::compile(&mut l1).expect("compiles");
+    let e2 = IntNetwork::compile(&mut l2).expect("compiles");
+    let batch = &data.test_batches(2)[0];
+    let (_, c1) = e1.forward(&batch.input);
+    let (_, c2) = e2.forward(&batch.input);
+    let ratio = c2.shifts as f64 / c1.shifts as f64;
+    assert!(
+        (1.5..2.4).contains(&ratio),
+        "L-2/L-1 shift ratio {ratio} (got {} vs {})",
+        c2.shifts,
+        c1.shifts
+    );
+}
+
+#[test]
+fn full_precision_network_still_compiles() {
+    let (mut net, data) = trained(1, &QuantScheme::full(), 1);
+    let engine = IntNetwork::compile(&mut net).expect("compiles");
+    let input = as_8bit(&data.test_batches(2)[0].input);
+    let float_logits = net.forward(&input, false);
+    let (logits, counts) = engine.forward(&input);
+    let gap = max_logit_gap(&float_logits, &logits);
+    let scale = float_logits.abs_max().max(1.0);
+    assert!(gap < 1e-2 * scale, "gap {gap} at scale {scale}");
+    assert!(counts.float_mults > 0);
+    assert_eq!(counts.shifts + counts.int_mults, 0);
+}

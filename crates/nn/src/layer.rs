@@ -1,0 +1,135 @@
+//! The [`Layer`] trait and trainable [`Param`] storage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use flight_tensor::Tensor;
+
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A trainable parameter: a value tensor plus its gradient accumulator.
+///
+/// Every `Param` carries a process-unique id so stateful optimizers (Adam
+/// moments) can key their per-parameter state even as layers are moved
+/// around.
+///
+/// # Example
+///
+/// ```
+/// use flight_nn::Param;
+/// use flight_tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::zeros(&[3]));
+/// p.grad.as_mut_slice()[0] = 1.0;
+/// p.zero_grad();
+/// assert_eq!(p.grad.as_slice(), &[0.0, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient of the training loss with respect to `value`.
+    pub grad: Tensor,
+    id: u64,
+}
+
+impl Param {
+    /// Wraps a value tensor in a parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param {
+            value,
+            grad,
+            id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The process-unique id of this parameter.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+}
+
+/// A differentiable network building block.
+///
+/// Layers cache whatever they need during [`forward`](Layer::forward) and
+/// consume it in [`backward`](Layer::backward); a backward call must be
+/// preceded by a forward call on the same input batch. Parameter gradients
+/// are *accumulated* into [`Param::grad`]; callers zero them between
+/// optimizer steps via [`Layer::zero_grad`].
+pub trait Layer: Send {
+    /// Computes the layer output for a batch.
+    ///
+    /// `train` selects training-time behaviour (batch statistics in
+    /// BatchNorm, caching for backward). Inference-only calls should pass
+    /// `false`.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (gradient of the loss with respect to this
+    /// layer's output) back to the input, accumulating parameter
+    /// gradients along the way.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding training
+    /// forward pass.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter of this layer (and sub-layers).
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param));
+
+    /// Visits every *non-trainable* state tensor (e.g. batch-norm running
+    /// statistics). Optimizers must not touch these, but checkpoints must
+    /// include them. Default: no state.
+    fn visit_state(&mut self, _visitor: &mut dyn FnMut(&mut Tensor)) {}
+
+    /// A short human-readable layer name for summaries.
+    fn name(&self) -> String;
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalars in the layer.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_ids_are_unique() {
+        let a = Param::new(Tensor::zeros(&[1]));
+        let b = Param::new(Tensor::zeros(&[1]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::zeros(&[4]));
+        p.grad = Tensor::ones(&[4]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn clone_preserves_id() {
+        // Adam state must follow a cloned network (e.g. best-model
+        // snapshots), so a clone keeps its parameter identity.
+        let p = Param::new(Tensor::zeros(&[1]));
+        assert_eq!(p.id(), p.clone().id());
+    }
+}

@@ -1,0 +1,115 @@
+//! Activation functions.
+
+use flight_tensor::Tensor;
+
+use crate::layer::{Layer, Param};
+
+/// Leaky rectified linear unit, `y = x` for `x > 0` and `y = slope·x`
+/// otherwise.
+///
+/// The paper's networks use LeakyReLU after every batch-normalized
+/// convolution (§5.1, citing Maas et al.). Default slope is 0.01.
+///
+/// # Example
+///
+/// ```
+/// use flight_nn::layers::LeakyRelu;
+/// use flight_nn::Layer;
+/// use flight_tensor::Tensor;
+///
+/// let mut act = LeakyRelu::default();
+/// let y = act.forward(&Tensor::from_slice(&[-1.0, 2.0]), false);
+/// assert_eq!(y.as_slice(), &[-0.01, 2.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeakyRelu {
+    slope: f32,
+    mask: Option<Tensor>,
+}
+
+impl LeakyRelu {
+    /// Creates a LeakyReLU with a custom negative slope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slope` is negative or not finite.
+    pub fn with_slope(slope: f32) -> Self {
+        assert!(slope.is_finite() && slope >= 0.0, "invalid slope {slope}");
+        LeakyRelu { slope, mask: None }
+    }
+
+    /// The negative-side slope.
+    pub fn slope(&self) -> f32 {
+        self.slope
+    }
+}
+
+impl Default for LeakyRelu {
+    /// LeakyReLU with slope 0.01.
+    fn default() -> Self {
+        LeakyRelu::with_slope(0.01)
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let slope = self.slope;
+        if train {
+            // Cache the local derivative, evaluated at the input.
+            self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { slope }));
+        }
+        input.map(|x| if x > 0.0 { x } else { slope * x })
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .take()
+            .expect("LeakyRelu::backward called without a training forward pass");
+        grad_out * &mask
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        format!("leaky_relu({})", self.slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flight_tensor::{numerical_gradient, uniform, TensorRng};
+
+    #[test]
+    fn forward_values() {
+        let mut act = LeakyRelu::with_slope(0.1);
+        let y = act.forward(&Tensor::from_slice(&[-2.0, 0.0, 3.0]), false);
+        assert_eq!(y.as_slice(), &[-0.2, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_matches_numerical() {
+        let mut rng = TensorRng::seed(3);
+        // Keep inputs away from the kink at 0 for a clean finite difference.
+        let x = uniform(&mut rng, &[8], 0.1, 1.0);
+        let x = &x - &Tensor::full(&[8], 0.55); // mix of clearly +/- values
+        let mask = uniform(&mut rng, &[8], -1.0, 1.0);
+
+        let mut act = LeakyRelu::default();
+        act.forward(&x, true);
+        let dx = act.backward(&mask);
+
+        let ndx = numerical_gradient(&x, 1e-3, |t| {
+            let mut a = LeakyRelu::default();
+            (&a.forward(t, false) * &mask).sum()
+        });
+        assert!(dx.allclose(&ndx, 1e-2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid slope")]
+    fn rejects_negative_slope() {
+        LeakyRelu::with_slope(-0.5);
+    }
+}

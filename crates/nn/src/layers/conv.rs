@@ -1,0 +1,176 @@
+//! The plain (full-precision) 2-D convolution layer.
+
+use flight_tensor::{kaiming_uniform, Tensor, TensorRng};
+
+use crate::layer::{Layer, Param};
+use crate::layers::functional::{conv2d_backward, conv2d_forward, Conv2dCache};
+
+/// A batched 2-D convolution with square kernels and learned bias.
+///
+/// Weight layout is `[filters, in_channels, kernel, kernel]` — axis 0 is
+/// the *filter* axis, which is the granularity at which FLightNN later
+/// assigns per-filter shift counts.
+///
+/// # Example
+///
+/// ```
+/// use flight_nn::layers::Conv2d;
+/// use flight_nn::Layer;
+/// use flight_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed(0);
+/// let mut conv = Conv2d::new(&mut rng, 3, 8, 3, 1, 1);
+/// let y = conv.forward(&Tensor::zeros(&[2, 3, 16, 16]), false);
+/// assert_eq!(y.dims(), &[2, 8, 16, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    stride: usize,
+    padding: usize,
+    cache: Option<Conv2dCache>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with Kaiming-uniform weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `stride == 0`.
+    pub fn new(
+        rng: &mut TensorRng,
+        in_channels: usize,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(in_channels > 0 && filters > 0 && kernel > 0, "zero-sized conv");
+        assert!(stride > 0, "stride must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        let weight = kaiming_uniform(rng, &[filters, in_channels, kernel, kernel], fan_in);
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[filters])),
+            stride,
+            padding,
+            cache: None,
+        }
+    }
+
+    /// Number of output filters.
+    pub fn filters(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// The weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// The bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Stride of the convolution.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding of the convolution.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (out, cache) = conv2d_forward(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            self.stride,
+            self.padding,
+            train,
+        );
+        self.cache = cache;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Conv2d::backward called without a training forward pass");
+        let (dx, dw, db) = conv2d_backward(&cache, &self.weight.value, grad_out);
+        self.weight.grad.axpy(1.0, &dw);
+        self.bias.grad.axpy(1.0, &db);
+        dx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn name(&self) -> String {
+        let d = self.weight.value.dims();
+        format!(
+            "conv2d({}→{}, {}x{}, s{} p{})",
+            d[1], d[0], d[2], d[3], self.stride, self.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_param_count() {
+        let mut rng = TensorRng::seed(1);
+        let mut conv = Conv2d::new(&mut rng, 3, 4, 3, 1, 1);
+        assert_eq!(conv.param_count(), 4 * 3 * 9 + 4);
+        let y = conv.forward(&Tensor::zeros(&[1, 3, 8, 8]), false);
+        assert_eq!(y.dims(), &[1, 4, 8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a training forward")]
+    fn backward_requires_training_forward() {
+        let mut rng = TensorRng::seed(1);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 3, 1, 1);
+        let _ = conv.forward(&Tensor::zeros(&[1, 1, 4, 4]), false);
+        let _ = conv.backward(&Tensor::zeros(&[1, 1, 4, 4]));
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let mut rng = TensorRng::seed(2);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 3, 1, 1);
+        let x = flight_tensor::uniform(&mut rng, &[1, 1, 4, 4], -1.0, 1.0);
+        let g = Tensor::ones(&[1, 1, 4, 4]);
+        conv.forward(&x, true);
+        conv.backward(&g);
+        let first = conv.weight().grad.clone();
+        conv.forward(&x, true);
+        conv.backward(&g);
+        assert!(conv.weight().grad.allclose(&first.scale(2.0), 1e-5));
+        conv.zero_grad();
+        assert_eq!(conv.weight().grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn name_mentions_geometry() {
+        let mut rng = TensorRng::seed(3);
+        let conv = Conv2d::new(&mut rng, 3, 64, 3, 2, 1);
+        assert_eq!(conv.name(), "conv2d(3→64, 3x3, s2 p1)");
+    }
+}

@@ -1,0 +1,303 @@
+//! Functional (stateless) forward/backward kernels.
+//!
+//! These free functions implement batched convolution and affine maps over
+//! explicit weight tensors. The plain layers ([`Conv2d`](super::Conv2d),
+//! [`Linear`](super::Linear)) call them with their own parameters; the
+//! quantized layers in the `flightnn` crate call them with *quantized*
+//! weights, which is how Algorithm 1's "quantize in forward, differentiate
+//! with respect to the quantized weights" is realized without duplicating
+//! any numerical code.
+
+use flight_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+
+/// Cached intermediates of a batched conv2d forward pass, consumed by
+/// [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dCache {
+    /// Unfolded input patches, one `[patch_len, out_positions]` matrix per
+    /// batch element.
+    cols: Vec<Tensor>,
+    geom: Conv2dGeometry,
+    batch: usize,
+}
+
+impl Conv2dCache {
+    /// The geometry the forward pass ran with.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geom
+    }
+}
+
+/// Batched 2-D convolution: input `[n, c, h, w]`, weight `[f, c, k, k]`,
+/// bias `[f]` → output `[n, f, oh, ow]`.
+///
+/// When `keep_cache` is true the unfolded patches are retained for a
+/// matching [`conv2d_backward`] call.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches between input, weight, and bias.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    padding: usize,
+    keep_cache: bool,
+) -> (Tensor, Option<Conv2dCache>) {
+    assert_eq!(input.shape().rank(), 4, "conv2d input must be [n, c, h, w]");
+    assert_eq!(weight.shape().rank(), 4, "conv2d weight must be [f, c, k, k]");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (f, wc, k, k2) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(k, k2, "conv2d kernels must be square");
+    assert_eq!(wc, c, "weight channels {wc} != input channels {c}");
+    assert_eq!(bias.len(), f, "bias length {} != filters {f}", bias.len());
+
+    let geom = Conv2dGeometry::new(c, h, w, k, stride, padding);
+    let wmat = weight.reshape(&[f, geom.patch_len()]);
+    let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
+    let mut cols_cache: Vec<Tensor> = Vec::with_capacity(if keep_cache { n } else { 0 });
+
+    for i in 0..n {
+        let img = Tensor::from_vec(input.outer(i).to_vec(), &[c, h, w]);
+        let cols = im2col(&img, &geom);
+        let mut omat = wmat.matmul(&cols);
+        for fi in 0..f {
+            let b = bias.as_slice()[fi];
+            for v in omat.outer_mut(fi) {
+                *v += b;
+            }
+        }
+        out.outer_mut(i).copy_from_slice(omat.as_slice());
+        if keep_cache {
+            cols_cache.push(cols);
+        }
+    }
+
+    let cache = keep_cache.then_some(Conv2dCache {
+        cols: cols_cache,
+        geom,
+        batch: n,
+    });
+    (out, cache)
+}
+
+/// Backward pass of [`conv2d_forward`].
+///
+/// Returns `(grad_input, grad_weight, grad_bias)` for `grad_out` shaped
+/// `[n, f, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics if `grad_out` does not match the cached forward geometry.
+pub fn conv2d_backward(
+    cache: &Conv2dCache,
+    weight: &Tensor,
+    grad_out: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let geom = &cache.geom;
+    let n = cache.batch;
+    let f = weight.dims()[0];
+    assert_eq!(
+        grad_out.dims(),
+        &[n, f, geom.out_h, geom.out_w],
+        "grad_out shape mismatch"
+    );
+
+    let wmat = weight.reshape(&[f, geom.patch_len()]);
+    let wmat_t = wmat.transpose2();
+    let mut grad_input = Tensor::zeros(&[n, geom.in_channels, geom.in_h, geom.in_w]);
+    let mut grad_weight = Tensor::zeros(&[f, geom.patch_len()]);
+    let mut grad_bias = Tensor::zeros(&[f]);
+
+    for i in 0..n {
+        let gmat = Tensor::from_vec(grad_out.outer(i).to_vec(), &[f, geom.out_positions()]);
+        // dW += g · colsᵀ
+        let cols_t = cache.cols[i].transpose2();
+        grad_weight.axpy(1.0, &gmat.matmul(&cols_t));
+        // db += row sums of g
+        grad_bias.axpy(1.0, &gmat.sum_cols());
+        // dX_i = col2im(Wᵀ · g)
+        let dcols = wmat_t.matmul(&gmat);
+        let dimg = col2im(&dcols, geom);
+        grad_input.outer_mut(i).copy_from_slice(dimg.as_slice());
+    }
+
+    let grad_weight = grad_weight.reshape(weight.dims());
+    (grad_input, grad_weight, grad_bias)
+}
+
+/// Cached input of a linear forward pass, consumed by [`linear_backward`].
+#[derive(Debug, Clone)]
+pub struct LinearCache {
+    input: Tensor,
+}
+
+/// Batched affine map: input `[n, in]`, weight `[out, in]`, bias `[out]` →
+/// `[n, out]`.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn linear_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    keep_cache: bool,
+) -> (Tensor, Option<LinearCache>) {
+    assert_eq!(input.shape().rank(), 2, "linear input must be [n, in]");
+    assert_eq!(weight.shape().rank(), 2, "linear weight must be [out, in]");
+    assert_eq!(
+        input.dims()[1],
+        weight.dims()[1],
+        "input features {} != weight in-features {}",
+        input.dims()[1],
+        weight.dims()[1]
+    );
+    assert_eq!(bias.len(), weight.dims()[0], "bias/out-features mismatch");
+
+    let mut out = input.matmul(&weight.transpose2());
+    out.add_row_vector(bias);
+    let cache = keep_cache.then(|| LinearCache {
+        input: input.clone(),
+    });
+    (out, cache)
+}
+
+/// Backward pass of [`linear_forward`]; returns `(grad_input, grad_weight,
+/// grad_bias)`.
+///
+/// # Panics
+///
+/// Panics if `grad_out` does not match the cached batch.
+pub fn linear_backward(
+    cache: &LinearCache,
+    weight: &Tensor,
+    grad_out: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    assert_eq!(
+        grad_out.dims()[0],
+        cache.input.dims()[0],
+        "grad_out batch mismatch"
+    );
+    let grad_input = grad_out.matmul(weight);
+    let grad_weight = grad_out.transpose2().matmul(&cache.input);
+    let grad_bias = grad_out.sum_rows();
+    (grad_input, grad_weight, grad_bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flight_tensor::{numerical_gradient, uniform, TensorRng};
+
+    fn rel_err(a: &Tensor, b: &Tensor) -> f32 {
+        flight_tensor::grad_check::gradient_relative_error(a, b)
+    }
+
+    #[test]
+    fn conv2d_gradients_match_numerical() {
+        let mut rng = TensorRng::seed(31);
+        let input = uniform(&mut rng, &[2, 2, 5, 5], -1.0, 1.0);
+        let weight = uniform(&mut rng, &[3, 2, 3, 3], -0.5, 0.5);
+        let bias = uniform(&mut rng, &[3], -0.1, 0.1);
+
+        // Scalar objective: sum of outputs weighted by a fixed random mask
+        // (so every gradient path is exercised asymmetrically).
+        let (out0, cache) = conv2d_forward(&input, &weight, &bias, 1, 1, true);
+        let mask = uniform(&mut rng, out0.dims(), -1.0, 1.0);
+        let loss = |o: &Tensor| (o * &mask).sum();
+
+        let grad_out = mask.clone();
+        let (dx, dw, db) = conv2d_backward(cache.as_ref().unwrap(), &weight, &grad_out);
+
+        let ndx = numerical_gradient(&input, 1e-2, |x| {
+            loss(&conv2d_forward(x, &weight, &bias, 1, 1, false).0)
+        });
+        let ndw = numerical_gradient(&weight, 1e-2, |w| {
+            loss(&conv2d_forward(&input, w, &bias, 1, 1, false).0)
+        });
+        let ndb = numerical_gradient(&bias, 1e-2, |b| {
+            loss(&conv2d_forward(&input, &weight, b, 1, 1, false).0)
+        });
+
+        assert!(rel_err(&dx, &ndx) < 1e-2, "dx err {}", rel_err(&dx, &ndx));
+        assert!(rel_err(&dw, &ndw) < 1e-2, "dw err {}", rel_err(&dw, &ndw));
+        assert!(rel_err(&db, &ndb) < 1e-2, "db err {}", rel_err(&db, &ndb));
+    }
+
+    #[test]
+    fn conv2d_stride2_gradients_match_numerical() {
+        let mut rng = TensorRng::seed(37);
+        let input = uniform(&mut rng, &[1, 2, 6, 6], -1.0, 1.0);
+        let weight = uniform(&mut rng, &[2, 2, 3, 3], -0.5, 0.5);
+        let bias = Tensor::zeros(&[2]);
+
+        let (out0, cache) = conv2d_forward(&input, &weight, &bias, 2, 1, true);
+        let mask = uniform(&mut rng, out0.dims(), -1.0, 1.0);
+        let (dx, dw, _) = conv2d_backward(cache.as_ref().unwrap(), &weight, &mask);
+
+        let ndx = numerical_gradient(&input, 1e-2, |x| {
+            (&conv2d_forward(x, &weight, &bias, 2, 1, false).0 * &mask).sum()
+        });
+        let ndw = numerical_gradient(&weight, 1e-2, |w| {
+            (&conv2d_forward(&input, w, &bias, 2, 1, false).0 * &mask).sum()
+        });
+        assert!(rel_err(&dx, &ndx) < 1e-2);
+        assert!(rel_err(&dw, &ndw) < 1e-2);
+    }
+
+    #[test]
+    fn linear_gradients_match_numerical() {
+        let mut rng = TensorRng::seed(41);
+        let input = uniform(&mut rng, &[3, 5], -1.0, 1.0);
+        let weight = uniform(&mut rng, &[4, 5], -0.5, 0.5);
+        let bias = uniform(&mut rng, &[4], -0.1, 0.1);
+
+        let (out0, cache) = linear_forward(&input, &weight, &bias, true);
+        let mask = uniform(&mut rng, out0.dims(), -1.0, 1.0);
+        let (dx, dw, db) = linear_backward(cache.as_ref().unwrap(), &weight, &mask);
+
+        let ndx = numerical_gradient(&input, 1e-2, |x| {
+            (&linear_forward(x, &weight, &bias, false).0 * &mask).sum()
+        });
+        let ndw = numerical_gradient(&weight, 1e-2, |w| {
+            (&linear_forward(&input, w, &bias, false).0 * &mask).sum()
+        });
+        let ndb = numerical_gradient(&bias, 1e-2, |b| {
+            (&linear_forward(&input, &weight, b, false).0 * &mask).sum()
+        });
+        assert!(rel_err(&dx, &ndx) < 1e-2);
+        assert!(rel_err(&dw, &ndw) < 1e-2);
+        assert!(rel_err(&db, &ndb) < 1e-2);
+    }
+
+    #[test]
+    fn conv2d_bias_broadcasts_per_filter() {
+        let input = Tensor::zeros(&[1, 1, 3, 3]);
+        let weight = Tensor::zeros(&[2, 1, 3, 3]);
+        let bias = Tensor::from_slice(&[1.0, -2.0]);
+        let (out, _) = conv2d_forward(&input, &weight, &bias, 1, 1, false);
+        assert_eq!(out.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(out.at(&[0, 1, 2, 2]), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight channels")]
+    fn conv2d_rejects_channel_mismatch() {
+        let input = Tensor::zeros(&[1, 3, 4, 4]);
+        let weight = Tensor::zeros(&[2, 2, 3, 3]);
+        let bias = Tensor::zeros(&[2]);
+        let _ = conv2d_forward(&input, &weight, &bias, 1, 1, false);
+    }
+}

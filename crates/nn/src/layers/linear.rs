@@ -1,0 +1,163 @@
+//! Fully connected layer and the flatten adaptor.
+
+use flight_tensor::{kaiming_uniform, Tensor, TensorRng};
+
+use crate::layer::{Layer, Param};
+use crate::layers::functional::{linear_backward, linear_forward, LinearCache};
+
+/// A fully connected (affine) layer: `y = x·Wᵀ + b`.
+///
+/// # Example
+///
+/// ```
+/// use flight_nn::layers::Linear;
+/// use flight_nn::Layer;
+/// use flight_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed(0);
+/// let mut fc = Linear::new(&mut rng, 10, 4);
+/// let y = fc.forward(&Tensor::zeros(&[2, 10]), false);
+/// assert_eq!(y.dims(), &[2, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    cache: Option<LinearCache>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_features == 0` or `out_features == 0`.
+    pub fn new(rng: &mut TensorRng, in_features: usize, out_features: usize) -> Self {
+        assert!(in_features > 0 && out_features > 0, "zero-sized linear");
+        Linear {
+            weight: Param::new(kaiming_uniform(
+                rng,
+                &[out_features, in_features],
+                in_features,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cache: None,
+        }
+    }
+
+    /// The weight parameter (`[out, in]`).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (out, cache) = linear_forward(input, &self.weight.value, &self.bias.value, train);
+        self.cache = cache;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Linear::backward called without a training forward pass");
+        let (dx, dw, db) = linear_backward(&cache, &self.weight.value, grad_out);
+        self.weight.grad.axpy(1.0, &dw);
+        self.bias.grad.axpy(1.0, &db);
+        dx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn name(&self) -> String {
+        let d = self.weight.value.dims();
+        format!("linear({}→{})", d[1], d[0])
+    }
+}
+
+/// Reshapes `[n, c, h, w]` activations to `[n, c*h*w]` on the way into the
+/// classifier head, and reverses the reshape in backward.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert!(
+            input.shape().rank() >= 2,
+            "flatten needs at least a batch axis and one feature axis"
+        );
+        self.input_dims = input.dims().to_vec();
+        let n = input.dims()[0];
+        let rest = input.len() / n.max(1);
+        input.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshape(&self.input_dims)
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        "flatten".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_computes_affine_map() {
+        let mut rng = TensorRng::seed(1);
+        let mut fc = Linear::new(&mut rng, 2, 1);
+        fc.weight_mut().value = Tensor::from_vec(vec![2.0, -1.0], &[1, 2]);
+        let y = fc.forward(&Tensor::from_vec(vec![3.0, 4.0], &[1, 2]), false);
+        assert_eq!(y.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 12]);
+        let back = f.backward(&y);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn linear_gradient_flows() {
+        let mut rng = TensorRng::seed(5);
+        let mut fc = Linear::new(&mut rng, 3, 2);
+        let x = flight_tensor::uniform(&mut rng, &[4, 3], -1.0, 1.0);
+        fc.forward(&x, true);
+        let dx = fc.backward(&Tensor::ones(&[4, 2]));
+        assert_eq!(dx.dims(), &[4, 3]);
+        assert!(fc.weight().grad.abs_max() > 0.0);
+    }
+}

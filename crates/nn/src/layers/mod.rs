@@ -1,0 +1,23 @@
+//! Network building blocks.
+//!
+//! Each block implements [`Layer`](crate::Layer). The heavy math lives in
+//! [`functional`] as free functions over tensors so that the quantized
+//! layers in the `flightnn` crate can reuse the exact same forward and
+//! backward kernels with substituted (quantized) weights.
+
+pub mod activation;
+pub mod conv;
+pub mod functional;
+pub mod linear;
+pub mod norm;
+pub mod pool;
+pub mod residual;
+pub mod sequential;
+
+pub use activation::LeakyRelu;
+pub use conv::Conv2d;
+pub use linear::{Flatten, Linear};
+pub use norm::BatchNorm2d;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use residual::ResidualBlock;
+pub use sequential::Sequential;

@@ -1,0 +1,254 @@
+//! Spatial pooling layers.
+
+use flight_tensor::Tensor;
+
+use crate::layer::{Layer, Param};
+
+/// Max pooling over non-overlapping square windows.
+///
+/// The paper's VGG-style networks downsample with 2×2 max pooling after
+/// selected conv blocks (§5.1).
+///
+/// # Example
+///
+/// ```
+/// use flight_nn::layers::MaxPool2d;
+/// use flight_nn::Layer;
+/// use flight_tensor::Tensor;
+///
+/// let mut pool = MaxPool2d::new(2);
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+/// let y = pool.forward(&x, false);
+/// assert_eq!(y.as_slice(), &[4.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    argmax: Option<Vec<usize>>,
+    input_dims: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given square window (stride ==
+    /// window, i.e. non-overlapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        MaxPool2d {
+            window,
+            argmax: None,
+            input_dims: Vec::new(),
+        }
+    }
+
+    /// The pooling window side length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "maxpool input must be [n, c, h, w]");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let k = self.window;
+        assert!(
+            h % k == 0 && w % k == 0,
+            "input {h}x{w} not divisible by pool window {k}"
+        );
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = train.then(|| vec![0usize; n * c * oh * ow]);
+        let data = input.as_slice();
+
+        for b in 0..n {
+            for ch in 0..c {
+                let in_base = (b * c + ch) * h * w;
+                let out_base = (b * c + ch) * oh * ow;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for di in 0..k {
+                            for dj in 0..k {
+                                let idx = in_base + (oi * k + di) * w + (oj * k + dj);
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out.as_mut_slice()[out_base + oi * ow + oj] = best;
+                        if let Some(am) = argmax.as_mut() {
+                            am[out_base + oi * ow + oj] = best_idx;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.input_dims = input.dims().to_vec();
+        self.argmax = argmax;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self
+            .argmax
+            .take()
+            .expect("MaxPool2d::backward called without a training forward pass");
+        assert_eq!(grad_out.len(), argmax.len(), "grad_out size mismatch");
+        let mut dx = Tensor::zeros(&self.input_dims);
+        for (i, &src) in argmax.iter().enumerate() {
+            dx.as_mut_slice()[src] += grad_out.as_slice()[i];
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        format!("maxpool2d({0}x{0})", self.window)
+    }
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c]`.
+///
+/// Used as the head of the ResNet configurations before the classifier.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    input_dims: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "gap input must be [n, c, h, w]");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        self.input_dims = input.dims().to_vec();
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[n, c]);
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * plane;
+                let s: f32 = input.as_slice()[base..base + plane].iter().sum();
+                out.as_mut_slice()[b * c + ch] = s / plane as f32;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (n, c, h, w) = (
+            self.input_dims[0],
+            self.input_dims[1],
+            self.input_dims[2],
+            self.input_dims[3],
+        );
+        assert_eq!(grad_out.dims(), &[n, c], "grad_out shape mismatch");
+        let plane = h * w;
+        let mut dx = Tensor::zeros(&self.input_dims);
+        for b in 0..n {
+            for ch in 0..c {
+                let g = grad_out.as_slice()[b * c + ch] / plane as f32;
+                let base = (b * c + ch) * plane;
+                for v in &mut dx.as_mut_slice()[base..base + plane] {
+                    *v = g;
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        "global_avg_pool".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flight_tensor::{numerical_gradient, uniform, TensorRng};
+
+    #[test]
+    fn maxpool_selects_window_maxima() {
+        let mut pool = MaxPool2d::new(2);
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(vec![
+            1.0, 5.0,  2.0, 0.0,
+            3.0, 4.0,  1.0, 8.0,
+            0.0, 0.0,  6.0, 2.0,
+            9.0, 1.0,  3.0, 3.0,
+        ], &[1, 1, 4, 4]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.as_slice(), &[5.0, 8.0, 9.0, 6.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        pool.forward(&x, true);
+        let dx = pool.backward(&Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]));
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_matches_numerical() {
+        let mut rng = TensorRng::seed(12);
+        let x = uniform(&mut rng, &[2, 2, 4, 4], -1.0, 1.0);
+        let mask = uniform(&mut rng, &[2, 2, 2, 2], -1.0, 1.0);
+        let mut pool = MaxPool2d::new(2);
+        pool.forward(&x, true);
+        let dx = pool.backward(&mask);
+        let ndx = numerical_gradient(&x, 1e-4, |t| {
+            let mut p = MaxPool2d::new(2);
+            (&p.forward(t, false) * &mask).sum()
+        });
+        assert!(dx.allclose(&ndx, 1e-1));
+    }
+
+    #[test]
+    fn gap_averages_planes() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]);
+        let y = gap.forward(&x, false);
+        assert_eq!(y.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn gap_backward_spreads_uniformly() {
+        let mut gap = GlobalAvgPool::new();
+        gap.forward(&Tensor::zeros(&[1, 2, 2, 2]), true);
+        let dx = gap.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]));
+        assert_eq!(dx.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn maxpool_rejects_indivisible_input() {
+        let mut pool = MaxPool2d::new(2);
+        pool.forward(&Tensor::zeros(&[1, 1, 3, 4]), false);
+    }
+}

@@ -1,0 +1,207 @@
+//! ResNet basic block with skip connection.
+
+use flight_tensor::{Tensor, TensorRng};
+
+use crate::layer::{Layer, Param};
+use crate::layers::{BatchNorm2d, Conv2d, LeakyRelu, Sequential};
+
+/// A factory producing a convolution layer; used so quantized variants of
+/// the residual block can substitute their own conv implementation.
+///
+/// Arguments: `(rng, in_channels, filters, kernel, stride, padding)`.
+pub type ConvFactory<'a> =
+    &'a mut dyn FnMut(&mut TensorRng, usize, usize, usize, usize, usize) -> Box<dyn Layer>;
+
+/// The ResNet basic block used by the paper's networks 2, 6, 7 and 8:
+/// `conv(3x3) → BN → LeakyReLU → conv(3x3) → BN`, summed with an identity
+/// (or 1×1-conv downsampling) shortcut, followed by a LeakyReLU.
+///
+/// # Example
+///
+/// ```
+/// use flight_nn::layers::ResidualBlock;
+/// use flight_nn::Layer;
+/// use flight_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed(0);
+/// let mut block = ResidualBlock::basic(&mut rng, 8, 16, 2);
+/// let y = block.forward(&Tensor::zeros(&[1, 8, 8, 8]), false);
+/// assert_eq!(y.dims(), &[1, 16, 4, 4]);
+/// ```
+pub struct ResidualBlock {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    act: LeakyRelu,
+}
+
+impl ResidualBlock {
+    /// Builds a basic block with plain full-precision convolutions.
+    ///
+    /// A projection shortcut (1×1 conv + BN) is inserted automatically
+    /// when `stride != 1` or the channel count changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn basic(rng: &mut TensorRng, in_channels: usize, filters: usize, stride: usize) -> Self {
+        let mut factory = |rng: &mut TensorRng,
+                           cin: usize,
+                           f: usize,
+                           k: usize,
+                           s: usize,
+                           p: usize|
+         -> Box<dyn Layer> { Box::new(Conv2d::new(rng, cin, f, k, s, p)) };
+        Self::basic_with(rng, in_channels, filters, stride, &mut factory)
+    }
+
+    /// Builds a basic block whose convolutions come from `factory` —
+    /// the hook that lets `flightnn` build quantized residual blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn basic_with(
+        rng: &mut TensorRng,
+        in_channels: usize,
+        filters: usize,
+        stride: usize,
+        factory: ConvFactory<'_>,
+    ) -> Self {
+        assert!(in_channels > 0 && filters > 0 && stride > 0, "zero-sized block");
+        let mut main = Sequential::new();
+        main.push_boxed(factory(rng, in_channels, filters, 3, stride, 1));
+        main.push(BatchNorm2d::new(filters));
+        main.push(LeakyRelu::default());
+        main.push_boxed(factory(rng, filters, filters, 3, 1, 1));
+        main.push(BatchNorm2d::new(filters));
+
+        let shortcut = if stride != 1 || in_channels != filters {
+            let mut sc = Sequential::new();
+            sc.push_boxed(factory(rng, in_channels, filters, 1, stride, 0));
+            sc.push(BatchNorm2d::new(filters));
+            Some(sc)
+        } else {
+            None
+        };
+
+        ResidualBlock {
+            main,
+            shortcut,
+            act: LeakyRelu::default(),
+        }
+    }
+
+    /// Whether this block downsamples through a projection shortcut.
+    pub fn has_projection(&self) -> bool {
+        self.shortcut.is_some()
+    }
+}
+
+impl std::fmt::Debug for ResidualBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ResidualBlock(projection: {})",
+            self.shortcut.is_some()
+        )
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let main_out = self.main.forward(input, train);
+        let short_out = match &mut self.shortcut {
+            Some(sc) => sc.forward(input, train),
+            None => input.clone(),
+        };
+        let sum = &main_out + &short_out;
+        self.act.forward(&sum, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.act.backward(grad_out);
+        let g_main = self.main.backward(&g);
+        let g_short = match &mut self.shortcut {
+            Some(sc) => sc.backward(&g),
+            None => g,
+        };
+        &g_main + &g_short
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(visitor);
+        if let Some(sc) = &mut self.shortcut {
+            sc.visit_params(visitor);
+        }
+    }
+
+    fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut flight_tensor::Tensor)) {
+        self.main.visit_state(visitor);
+        if let Some(sc) = &mut self.shortcut {
+            sc.visit_state(visitor);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "residual_block(projection: {})",
+            self.shortcut.is_some()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flight_tensor::uniform;
+
+    #[test]
+    fn identity_block_preserves_shape() {
+        let mut rng = TensorRng::seed(1);
+        let mut block = ResidualBlock::basic(&mut rng, 8, 8, 1);
+        assert!(!block.has_projection());
+        let y = block.forward(&Tensor::zeros(&[2, 8, 4, 4]), false);
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn projection_block_downsamples() {
+        let mut rng = TensorRng::seed(2);
+        let mut block = ResidualBlock::basic(&mut rng, 4, 8, 2);
+        assert!(block.has_projection());
+        let y = block.forward(&Tensor::zeros(&[1, 4, 8, 8]), false);
+        assert_eq!(y.dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn backward_produces_input_shaped_gradient() {
+        let mut rng = TensorRng::seed(3);
+        let mut block = ResidualBlock::basic(&mut rng, 4, 8, 2);
+        let x = uniform(&mut rng, &[2, 4, 8, 8], -1.0, 1.0);
+        let y = block.forward(&x, true);
+        let dx = block.backward(&Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), x.dims());
+        assert!(dx.abs_max() > 0.0, "gradient should be nonzero");
+    }
+
+    #[test]
+    fn skip_path_gradient_flows_through_identity() {
+        // With main-path weights zeroed, the block output is
+        // LeakyReLU(shortcut) and the gradient must still reach the input.
+        let mut rng = TensorRng::seed(4);
+        let mut block = ResidualBlock::basic(&mut rng, 4, 4, 1);
+        block.visit_params(&mut |p| {
+            // Zero conv weights/biases but keep batchnorm gamma=1.
+            if p.value.shape().rank() == 4 {
+                p.value = Tensor::zeros(p.value.dims());
+            }
+        });
+        let x = uniform(&mut rng, &[1, 4, 4, 4], 0.5, 1.0);
+        let y = block.forward(&x, true);
+        // Positive input + zero main path means output == input.
+        assert!(y.allclose(&x, 1e-4));
+        let dx = block.backward(&Tensor::ones(y.dims()));
+        // Identity path contributes exactly 1 to every gradient entry.
+        assert!(dx.as_slice().iter().all(|&g| g >= 0.99));
+    }
+}

@@ -1,0 +1,150 @@
+//! Sequential container.
+
+use flight_tensor::Tensor;
+
+use crate::layer::{Layer, Param};
+
+/// An ordered chain of layers applied one after another.
+///
+/// `Sequential` is itself a [`Layer`], so chains nest (the ResNet blocks
+/// use this to hold their main and shortcut paths).
+///
+/// # Example
+///
+/// ```
+/// use flight_nn::layers::{LeakyRelu, Linear, Sequential};
+/// use flight_nn::Layer;
+/// use flight_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed(0);
+/// let mut net = Sequential::new();
+/// net.push(Linear::new(&mut rng, 3, 5));
+/// net.push(LeakyRelu::default());
+/// let y = net.forward(&Tensor::zeros(&[2, 3]), false);
+/// assert_eq!(y.dims(), &[2, 5]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the chain.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the chain has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over the contained layers.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Box<dyn Layer>> {
+        self.layers.iter_mut()
+    }
+
+    /// A one-line-per-layer summary of the architecture.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.name())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_state(visitor);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("sequential[{}]", self.layers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{LeakyRelu, Linear};
+    use flight_tensor::TensorRng;
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(net.forward(&x, true), x);
+        assert_eq!(net.backward(&x), x);
+    }
+
+    #[test]
+    fn params_are_visited_in_order() {
+        let mut rng = TensorRng::seed(1);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 2, 3));
+        net.push(LeakyRelu::default());
+        net.push(Linear::new(&mut rng, 3, 1));
+        // 2*3 + 3 + 3*1 + 1 = 13 scalars across 4 params.
+        assert_eq!(net.param_count(), 13);
+        let mut count = 0;
+        net.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn summary_lists_layers() {
+        let mut rng = TensorRng::seed(1);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 2, 2));
+        net.push(LeakyRelu::default());
+        let s = net.summary();
+        assert!(s.contains("linear(2→2)"));
+        assert!(s.contains("leaky_relu"));
+    }
+}

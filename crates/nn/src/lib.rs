@@ -1,0 +1,52 @@
+//! Layer-based neural-network training framework for the FLightNN
+//! reproduction.
+//!
+//! The paper trains its models with a modified backpropagation algorithm
+//! (Algorithm 1): quantize weights in the forward phase, compute gradients
+//! with respect to the *quantized* weights, and apply them to the
+//! full-precision shadow weights. That workflow needs a framework where
+//! layers own their parameters and expose explicit `forward`/`backward`
+//! passes that custom quantized layers can override — which is exactly the
+//! shape of this crate.
+//!
+//! * [`Layer`] — the forward/backward/parameter-visiting trait.
+//! * [`layers`] — Conv2d, BatchNorm2d, LeakyReLU, MaxPool2d, Linear,
+//!   Flatten, and the ResNet basic block used by the paper's network
+//!   configurations (Table 1).
+//! * [`loss`] — softmax cross-entropy (the paper's `L_CE`) and accuracy.
+//! * [`optim`] — SGD and Adam (the paper trains with Adam, §5.1).
+//! * [`train`] — minibatch loop with per-epoch metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use flight_nn::layers::{LeakyRelu, Linear, Sequential};
+//! use flight_nn::loss::softmax_cross_entropy;
+//! use flight_nn::optim::{Adam, Optimizer};
+//! use flight_nn::Layer;
+//! use flight_tensor::{Tensor, TensorRng};
+//!
+//! let mut rng = TensorRng::seed(0);
+//! let mut net = Sequential::new();
+//! net.push(Linear::new(&mut rng, 4, 8));
+//! net.push(LeakyRelu::default());
+//! net.push(Linear::new(&mut rng, 8, 2));
+//!
+//! let x = Tensor::ones(&[1, 4]);
+//! let logits = net.forward(&x, true);
+//! let (loss, grad) = softmax_cross_entropy(&logits, &[1]);
+//! net.backward(&grad);
+//! let mut opt = Adam::new(1e-3);
+//! opt.step(&mut net);
+//! assert!(loss.is_finite());
+//! ```
+
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod train;
+
+pub use layer::{Layer, Param};
+pub use layers::Sequential;
+pub use train::{evaluate, train_epoch, Batch, EpochStats};

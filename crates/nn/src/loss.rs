@@ -1,0 +1,190 @@
+//! Classification losses and metrics.
+
+use flight_tensor::Tensor;
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// `logits` is `[n, classes]`, `labels` has `n` class indices. Returns the
+/// mean loss and the gradient `∂L/∂logits` (already divided by the batch
+/// size, ready to feed into [`Layer::backward`](crate::Layer::backward)).
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a label is out of range.
+///
+/// # Example
+///
+/// ```
+/// use flight_nn::loss::softmax_cross_entropy;
+/// use flight_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+/// let (loss, _grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 1e-3); // confident and correct
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
+    let (n, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "labels length {} != batch {n}", labels.len());
+
+    let mut grad = Tensor::zeros(&[n, classes]);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let row = logits.outer(i);
+        let label = labels[i];
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = row.iter().map(|&x| ((x - max) as f64).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        let log_p = (row[label] - max) as f64 - z.ln();
+        total -= log_p;
+        let grow = grad.outer_mut(i);
+        for (j, &e) in exps.iter().enumerate() {
+            let p = (e / z) as f32;
+            grow[j] = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((total / n as f64) as f32, grad)
+}
+
+/// Softmax probabilities of a logits batch, `[n, classes]`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
+    let (n, classes) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = Tensor::zeros(&[n, classes]);
+    for i in 0..n {
+        let row = logits.outer(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        for (o, e) in out.outer_mut(i).iter_mut().zip(exps) {
+            *o = e / z;
+        }
+    }
+    out
+}
+
+/// Fraction of rows whose argmax matches the label (top-1 accuracy).
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    top_k_accuracy(logits, labels, 1)
+}
+
+/// Fraction of rows whose label is among the `k` highest logits.
+///
+/// The paper reports top-5 accuracy for ImageNet (Table 5) and top-1
+/// elsewhere.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `k == 0`.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
+    assert!(k > 0, "k must be positive");
+    let (n, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "labels length mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let k = k.min(classes);
+    let mut hits = 0usize;
+    for i in 0..n {
+        let row = logits.outer(i);
+        let target = row[labels[i]];
+        // Rank = number of strictly larger logits; ties resolve optimistically,
+        // deterministic because inputs are finite floats.
+        let larger = row.iter().filter(|&&x| x > target).count();
+        if larger < k {
+            hits += 1;
+        }
+    }
+    hits as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flight_tensor::{numerical_gradient, uniform, TensorRng};
+
+    #[test]
+    fn loss_is_log_classes_for_uniform_logits() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        let mut rng = TensorRng::seed(17);
+        let logits = uniform(&mut rng, &[3, 4], -2.0, 2.0);
+        let labels = [2usize, 0, 3];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let ngrad = numerical_gradient(&logits, 1e-3, |t| softmax_cross_entropy(t, &labels).0);
+        assert!(
+            flight_tensor::grad_check::gradient_relative_error(&grad, &ngrad) < 1e-2
+        );
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = TensorRng::seed(19);
+        let logits = uniform(&mut rng, &[2, 5], -1.0, 1.0);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 4]);
+        for i in 0..2 {
+            let s: f32 = grad.outer(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let mut rng = TensorRng::seed(21);
+        let logits = uniform(&mut rng, &[3, 6], -5.0, 5.0);
+        let p = softmax(&logits);
+        for i in 0..3 {
+            let s: f32 = p.outer(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.outer(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_correct_argmax() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 9.0, 0.0], &[2, 2]);
+        assert_eq!(accuracy(&logits, &[1, 0]), 1.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn top_k_is_monotone_in_k() {
+        let mut rng = TensorRng::seed(23);
+        let logits = uniform(&mut rng, &[32, 10], -1.0, 1.0);
+        let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+        let a1 = top_k_accuracy(&logits, &labels, 1);
+        let a3 = top_k_accuracy(&logits, &labels, 3);
+        let a10 = top_k_accuracy(&logits, &labels, 10);
+        assert!(a1 <= a3 && a3 <= a10);
+        assert_eq!(a10, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+
+    #[test]
+    fn extreme_logits_are_stable() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+}

@@ -1,0 +1,257 @@
+//! Gradient-descent optimizers.
+
+use std::collections::HashMap;
+
+use flight_tensor::Tensor;
+
+use crate::layer::{Layer, Param};
+
+/// A first-order optimizer stepping a network's parameters from their
+/// accumulated gradients.
+pub trait Optimizer {
+    /// Applies one update step to every parameter of `net` and leaves the
+    /// gradients untouched (call [`Layer::zero_grad`] before the next
+    /// accumulation).
+    fn step(&mut self, net: &mut dyn Layer);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional classical momentum.
+///
+/// # Example
+///
+/// ```
+/// use flight_nn::optim::{Optimizer, Sgd};
+/// let opt = Sgd::new(0.1).with_momentum(0.9);
+/// assert_eq!(opt.learning_rate(), 0.1);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<u64, Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and no momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Enables classical momentum with coefficient `momentum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "invalid momentum {momentum}");
+        self.momentum = momentum;
+        self
+    }
+
+    fn update(&mut self, p: &mut Param) {
+        if self.momentum == 0.0 {
+            p.value.axpy(-self.lr, &p.grad);
+            return;
+        }
+        let v = self
+            .velocity
+            .entry(p.id())
+            .or_insert_with(|| Tensor::zeros(p.value.dims()));
+        for (vi, &gi) in v.as_mut_slice().iter_mut().zip(p.grad.as_slice()) {
+            *vi = self.momentum * *vi + gi;
+        }
+        p.value.axpy(-self.lr, v);
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut dyn Layer) {
+        // Work around the borrow of self inside the closure by moving the
+        // update through a raw local: collect params first is wasteful, so
+        // use a small trampoline instead.
+        let mut this = std::mem::replace(self, Sgd::new(1.0));
+        net.visit_params(&mut |p| this.update(p));
+        *self = this;
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, ICLR 2015) — the optimizer the paper trains all its
+/// models with (§5.1).
+///
+/// # Example
+///
+/// ```
+/// use flight_nn::optim::{Adam, Optimizer};
+/// let opt = Adam::new(1e-3);
+/// assert_eq!(opt.learning_rate(), 1e-3);
+/// ```
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: HashMap<u64, (Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: HashMap::new(),
+        }
+    }
+
+    fn update(&mut self, p: &mut Param) {
+        let (m, v) = self
+            .moments
+            .entry(p.id())
+            .or_insert_with(|| (Tensor::zeros(p.value.dims()), Tensor::zeros(p.value.dims())));
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let lr = self.lr;
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+        for ((mi, vi), (&gi, xi)) in m
+            .as_mut_slice()
+            .iter_mut()
+            .zip(v.as_mut_slice())
+            .zip(p.grad.as_slice().iter().zip(p.value.as_mut_slice()))
+        {
+            *mi = b1 * *mi + (1.0 - b1) * gi;
+            *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+            let mhat = *mi / bc1;
+            let vhat = *vi / bc2;
+            *xi -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut dyn Layer) {
+        self.t += 1;
+        let mut this = std::mem::replace(self, Adam::new(1.0));
+        net.visit_params(&mut |p| this.update(p));
+        *self = this;
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Sequential};
+    use crate::loss::softmax_cross_entropy;
+    use flight_tensor::{uniform, TensorRng};
+
+    fn toy_problem() -> (Sequential, Tensor, Vec<usize>) {
+        let mut rng = TensorRng::seed(2);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 4, 8));
+        net.push(crate::layers::LeakyRelu::default());
+        net.push(Linear::new(&mut rng, 8, 3));
+        // Linearly separable toy batch: class = argmax of first 3 features.
+        let x = uniform(&mut rng, &[24, 4], -1.0, 1.0);
+        let labels: Vec<usize> = (0..24)
+            .map(|i| {
+                let row = x.outer(i);
+                let mut best = 0;
+                for j in 1..3 {
+                    if row[j] > row[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect();
+        (net, x, labels)
+    }
+
+    fn train_loss<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let (mut net, x, labels) = toy_problem();
+        let mut last = f32::INFINITY;
+        for _ in 0..steps {
+            net.zero_grad();
+            let logits = net.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            net.backward(&grad);
+            opt.step(&mut net);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let final_loss = train_loss(&mut Sgd::new(0.1), 150);
+        assert!(final_loss < 0.4, "loss stayed at {final_loss}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_reduces_loss() {
+        let final_loss = train_loss(&mut Sgd::new(0.05).with_momentum(0.9), 150);
+        assert!(final_loss < 0.4, "loss stayed at {final_loss}");
+    }
+
+    #[test]
+    fn adam_reduces_loss_faster_than_one_step() {
+        let one = train_loss(&mut Adam::new(1e-2), 1);
+        let many = train_loss(&mut Adam::new(1e-2), 200);
+        assert!(many < one * 0.3, "adam failed to converge: {one} -> {many}");
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let mut opt = Adam::new(1e-3);
+        opt.set_learning_rate(1e-4);
+        assert_eq!(opt.learning_rate(), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid learning rate")]
+    fn rejects_zero_lr() {
+        Sgd::new(0.0);
+    }
+}

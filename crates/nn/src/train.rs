@@ -1,0 +1,211 @@
+//! Minibatch training and evaluation loops.
+
+use flight_tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::loss::{softmax_cross_entropy, top_k_accuracy};
+use crate::optim::Optimizer;
+
+/// One minibatch: images `[n, c, h, w]` (or features `[n, d]`) plus `n`
+/// class labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Input tensor with the batch on axis 0.
+    pub input: Tensor,
+    /// Class index per batch element.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Creates a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` does not match axis 0 of `input`.
+    pub fn new(input: Tensor, labels: Vec<usize>) -> Self {
+        assert!(input.shape().rank() >= 1, "batch input needs a batch axis");
+        assert_eq!(
+            input.dims()[0],
+            labels.len(),
+            "batch size {} != label count {}",
+            input.dims()[0],
+            labels.len()
+        );
+        Batch { input, labels }
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the batch has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Aggregated metrics of one pass over a set of batches.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochStats {
+    /// Mean cross-entropy loss over all samples.
+    pub loss: f32,
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// Number of samples seen.
+    pub samples: usize,
+}
+
+impl std::fmt::Display for EpochStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "loss {:.4}, accuracy {:.2}% over {} samples",
+            self.loss,
+            self.accuracy * 100.0,
+            self.samples
+        )
+    }
+}
+
+/// Runs one optimization epoch: for every batch, zero gradients, forward,
+/// cross-entropy backward, optimizer step.
+///
+/// This is the plain-DNN loop; the FLightNN trainer in the `flightnn`
+/// crate layers regularization and threshold updates on top of the same
+/// structure (Algorithm 1).
+///
+/// # Panics
+///
+/// Panics if any batch is malformed (see [`Batch::new`]).
+pub fn train_epoch(
+    net: &mut dyn Layer,
+    batches: &[Batch],
+    opt: &mut dyn Optimizer,
+) -> EpochStats {
+    let mut total_loss = 0.0f64;
+    let mut correct = 0.0f64;
+    let mut samples = 0usize;
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        net.zero_grad();
+        let logits = net.forward(&batch.input, true);
+        let (loss, grad) = softmax_cross_entropy(&logits, &batch.labels);
+        net.backward(&grad);
+        opt.step(net);
+
+        let n = batch.len();
+        total_loss += loss as f64 * n as f64;
+        correct += top_k_accuracy(&logits, &batch.labels, 1) as f64 * n as f64;
+        samples += n;
+    }
+    finalize(total_loss, correct, samples)
+}
+
+/// Evaluates `net` on `batches` without touching parameters, reporting
+/// top-`k` accuracy (`k = 1` for the paper's CIFAR/SVHN tables, `k = 5`
+/// for ImageNet).
+pub fn evaluate(net: &mut dyn Layer, batches: &[Batch], k: usize) -> EpochStats {
+    let mut total_loss = 0.0f64;
+    let mut correct = 0.0f64;
+    let mut samples = 0usize;
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        let logits = net.forward(&batch.input, false);
+        let (loss, _) = softmax_cross_entropy(&logits, &batch.labels);
+        let n = batch.len();
+        total_loss += loss as f64 * n as f64;
+        correct += top_k_accuracy(&logits, &batch.labels, k) as f64 * n as f64;
+        samples += n;
+    }
+    finalize(total_loss, correct, samples)
+}
+
+fn finalize(total_loss: f64, correct: f64, samples: usize) -> EpochStats {
+    if samples == 0 {
+        return EpochStats::default();
+    }
+    EpochStats {
+        loss: (total_loss / samples as f64) as f32,
+        accuracy: (correct / samples as f64) as f32,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{LeakyRelu, Linear, Sequential};
+    use crate::optim::Adam;
+    use flight_tensor::{uniform, TensorRng};
+
+    fn separable_batches(rng: &mut TensorRng, n_batches: usize) -> Vec<Batch> {
+        (0..n_batches)
+            .map(|_| {
+                let x = uniform(rng, &[16, 4], -1.0, 1.0);
+                let labels = (0..16)
+                    .map(|i| if x.outer(i)[0] > 0.0 { 1usize } else { 0 })
+                    .collect();
+                Batch::new(x, labels)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_improves_accuracy() {
+        let mut rng = TensorRng::seed(3);
+        let train = separable_batches(&mut rng, 6);
+        let test = separable_batches(&mut rng, 2);
+
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 4, 16));
+        net.push(LeakyRelu::default());
+        net.push(Linear::new(&mut rng, 16, 2));
+
+        let before = evaluate(&mut net, &test, 1);
+        let mut opt = Adam::new(5e-3);
+        for _ in 0..30 {
+            train_epoch(&mut net, &train, &mut opt);
+        }
+        let after = evaluate(&mut net, &test, 1);
+        assert!(
+            after.accuracy > 0.95,
+            "accuracy only reached {} (before {})",
+            after.accuracy,
+            before.accuracy
+        );
+        assert!(after.loss < before.loss);
+    }
+
+    #[test]
+    fn empty_batch_set_reports_zero() {
+        let mut rng = TensorRng::seed(4);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 2, 2));
+        let stats = evaluate(&mut net, &[], 1);
+        assert_eq!(stats.samples, 0);
+        assert_eq!(stats.loss, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn batch_rejects_label_mismatch() {
+        Batch::new(Tensor::zeros(&[2, 3]), vec![0]);
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let s = EpochStats {
+            loss: 0.5,
+            accuracy: 0.75,
+            samples: 100,
+        };
+        let text = s.to_string();
+        assert!(text.contains("0.5"));
+        assert!(text.contains("75.00%"));
+    }
+}

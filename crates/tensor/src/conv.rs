@@ -1,0 +1,302 @@
+//! `im2col` lowering for 2-D convolution.
+//!
+//! Convolutions in the reproduction are computed as matrix products:
+//! the input feature map is unfolded into a `[c*kh*kw, oh*ow]` patch
+//! matrix ([`im2col`]), multiplied by the `[filters, c*kh*kw]` weight
+//! matrix, and gradients flow back through the adjoint [`col2im`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Static geometry of one conv2d application (single image).
+///
+/// # Example
+///
+/// ```
+/// use flight_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(3, 32, 32, 3, 1, 1);
+/// assert_eq!((g.out_h, g.out_w), (32, 32));
+/// assert_eq!(g.patch_len(), 27);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Computes the output geometry for the given input and kernel
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or the kernel (with padding) does not fit
+    /// the input.
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            in_h + 2 * padding >= kernel && in_w + 2 * padding >= kernel,
+            "kernel {kernel} does not fit input {in_h}x{in_w} with padding {padding}"
+        );
+        let out_h = (in_h + 2 * padding - kernel) / stride + 1;
+        let out_w = (in_w + 2 * padding - kernel) / stride + 1;
+        Conv2dGeometry {
+            in_channels,
+            in_h,
+            in_w,
+            kernel,
+            stride,
+            padding,
+            out_h,
+            out_w,
+        }
+    }
+
+    /// Length of one unfolded patch: `in_channels * kernel * kernel`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Number of output spatial positions: `out_h * out_w`.
+    pub fn out_positions(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Multiply-accumulate count for one image and `filters` output
+    /// channels — the quantity the FPGA and ASIC models price.
+    pub fn macs(&self, filters: usize) -> usize {
+        filters * self.patch_len() * self.out_positions()
+    }
+}
+
+/// Unfolds one image `[c, h, w]` into a `[c*kh*kw, oh*ow]` patch matrix.
+///
+/// Out-of-bounds taps (from zero padding) contribute zeros.
+///
+/// # Panics
+///
+/// Panics if `input` does not have shape `[geom.in_channels, geom.in_h,
+/// geom.in_w]`.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(
+        input.dims(),
+        &[geom.in_channels, geom.in_h, geom.in_w],
+        "im2col input shape mismatch"
+    );
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let k = geom.kernel;
+    let cols = geom.out_positions();
+    let mut out = Tensor::zeros(&[geom.patch_len(), cols]);
+    let data = input.as_slice();
+    let out_data = out.as_mut_slice();
+
+    for ch in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ch * k + ki) * k + kj;
+                for oi in 0..geom.out_h {
+                    let ii = (oi * geom.stride + ki) as isize - geom.padding as isize;
+                    for oj in 0..geom.out_w {
+                        let jj = (oj * geom.stride + kj) as isize - geom.padding as isize;
+                        let col = oi * geom.out_w + oj;
+                        let v = if ii >= 0 && (ii as usize) < h && jj >= 0 && (jj as usize) < w {
+                            data[(ch * h + ii as usize) * w + jj as usize]
+                        } else {
+                            0.0
+                        };
+                        out_data[row * cols + col] = v;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`im2col`]: folds a `[c*kh*kw, oh*ow]` patch-gradient matrix
+/// back into an image gradient `[c, h, w]`, accumulating overlapping taps.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have shape `[geom.patch_len(),
+/// geom.out_positions()]`.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(
+        cols.dims(),
+        &[geom.patch_len(), geom.out_positions()],
+        "col2im input shape mismatch"
+    );
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let k = geom.kernel;
+    let ncols = geom.out_positions();
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let src = cols.as_slice();
+    let dst = out.as_mut_slice();
+
+    for ch in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ch * k + ki) * k + kj;
+                for oi in 0..geom.out_h {
+                    let ii = (oi * geom.stride + ki) as isize - geom.padding as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    for oj in 0..geom.out_w {
+                        let jj = (oj * geom.stride + kj) as isize - geom.padding as isize;
+                        if jj < 0 || jj as usize >= w {
+                            continue;
+                        }
+                        let col = oi * geom.out_w + oj;
+                        dst[(ch * h + ii as usize) * w + jj as usize] += src[row * ncols + col];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_conv(
+        input: &Tensor,
+        weight: &Tensor, // [f, c, k, k]
+        geom: &Conv2dGeometry,
+    ) -> Tensor {
+        let f = weight.dims()[0];
+        let mut out = Tensor::zeros(&[f, geom.out_h, geom.out_w]);
+        for fi in 0..f {
+            for oi in 0..geom.out_h {
+                for oj in 0..geom.out_w {
+                    let mut acc = 0.0;
+                    for c in 0..geom.in_channels {
+                        for ki in 0..geom.kernel {
+                            for kj in 0..geom.kernel {
+                                let ii = (oi * geom.stride + ki) as isize - geom.padding as isize;
+                                let jj = (oj * geom.stride + kj) as isize - geom.padding as isize;
+                                if ii < 0
+                                    || jj < 0
+                                    || ii as usize >= geom.in_h
+                                    || jj as usize >= geom.in_w
+                                {
+                                    continue;
+                                }
+                                acc += input.at(&[c, ii as usize, jj as usize])
+                                    * weight.at(&[fi, c, ki, kj]);
+                            }
+                        }
+                    }
+                    out.set(&[fi, oi, oj], acc);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn geometry_same_padding() {
+        let g = Conv2dGeometry::new(16, 8, 8, 3, 1, 1);
+        assert_eq!((g.out_h, g.out_w), (8, 8));
+        assert_eq!(g.macs(32), 32 * 16 * 9 * 64);
+    }
+
+    #[test]
+    fn geometry_stride_two() {
+        let g = Conv2dGeometry::new(3, 7, 7, 3, 2, 0);
+        assert_eq!((g.out_h, g.out_w), (3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn geometry_rejects_oversized_kernel() {
+        Conv2dGeometry::new(1, 2, 2, 5, 1, 0);
+    }
+
+    #[test]
+    fn im2col_matmul_equals_naive_conv() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for &(c, h, w, k, s, p, f) in &[
+            (1usize, 5usize, 5usize, 3usize, 1usize, 1usize, 2usize),
+            (3, 8, 6, 3, 1, 1, 4),
+            (2, 7, 7, 3, 2, 1, 3),
+            (4, 4, 4, 1, 1, 0, 5),
+        ] {
+            let geom = Conv2dGeometry::new(c, h, w, k, s, p);
+            let input = Tensor::from_vec(
+                (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                &[c, h, w],
+            );
+            let weight = Tensor::from_vec(
+                (0..f * c * k * k).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                &[f, c, k, k],
+            );
+            let cols = im2col(&input, &geom);
+            let wmat = weight.reshape(&[f, geom.patch_len()]);
+            let out = wmat.matmul(&cols).reshape(&[f, geom.out_h, geom.out_w]);
+            let reference = naive_conv(&input, &weight, &geom);
+            assert!(
+                out.allclose(&reference, 1e-4),
+                "conv mismatch for geometry {geom:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining
+        // property of the adjoint, which is exactly what backprop needs.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let geom = Conv2dGeometry::new(2, 6, 5, 3, 1, 1);
+        let x = Tensor::from_vec(
+            (0..2 * 6 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[2, 6, 5],
+        );
+        let y = Tensor::from_vec(
+            (0..geom.patch_len() * geom.out_positions())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
+            &[geom.patch_len(), geom.out_positions()],
+        );
+        let lhs: f32 = im2col(&x, &geom)
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(col2im(&y, &geom).as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint identity violated: {lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Finite-difference gradient checking.
+//!
+//! Every backward pass in `flight-nn` and every custom gradient rule in
+//! `flightnn` (STE, sigmoid-relaxed threshold gradients) is validated
+//! against this central-difference oracle in its test suite.
+
+use crate::tensor::Tensor;
+
+/// Numerically estimates `∂f/∂x` at `x` by central differences.
+///
+/// `f` must be a pure function of its tensor argument. The returned tensor
+/// has the same shape as `x`; entry `i` is
+/// `(f(x + h·eᵢ) − f(x − h·eᵢ)) / (2h)`.
+///
+/// This is O(len(x)) evaluations of `f`, so keep test tensors small.
+///
+/// # Example
+///
+/// ```
+/// use flight_tensor::{numerical_gradient, Tensor};
+///
+/// let x = Tensor::from_slice(&[3.0]);
+/// let g = numerical_gradient(&x, 1e-3, |t| t.as_slice()[0].powi(2));
+/// assert!((g.as_slice()[0] - 6.0).abs() < 1e-2);
+/// ```
+pub fn numerical_gradient<F: Fn(&Tensor) -> f32>(x: &Tensor, h: f32, f: F) -> Tensor {
+    let mut grad = Tensor::zeros(x.dims());
+    let mut probe = x.clone();
+    for i in 0..x.len() {
+        let orig = probe.as_slice()[i];
+        probe.as_mut_slice()[i] = orig + h;
+        let plus = f(&probe);
+        probe.as_mut_slice()[i] = orig - h;
+        let minus = f(&probe);
+        probe.as_mut_slice()[i] = orig;
+        grad.as_mut_slice()[i] = (plus - minus) / (2.0 * h);
+    }
+    grad
+}
+
+/// Relative error between an analytic gradient and the numerical estimate,
+/// `‖a − n‖ / max(‖a‖, ‖n‖, ε)`.
+pub fn gradient_relative_error(analytic: &Tensor, numeric: &Tensor) -> f32 {
+    let diff = (analytic - numeric).norm_l2();
+    let denom = analytic.norm_l2().max(numeric.norm_l2()).max(1e-8);
+    diff / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_of_quadratic() {
+        let x = Tensor::from_slice(&[1.0, -2.0, 0.5]);
+        // f = sum(x^2) -> grad = 2x
+        let g = numerical_gradient(&x, 1e-3, |t| t.as_slice().iter().map(|v| v * v).sum());
+        let expected = x.scale(2.0);
+        assert!(gradient_relative_error(&expected, &g) < 1e-3);
+    }
+
+    #[test]
+    fn gradient_of_linear_combination() {
+        let x = Tensor::from_slice(&[0.3, 0.7]);
+        let g = numerical_gradient(&x, 1e-3, |t| 3.0 * t.as_slice()[0] - 5.0 * t.as_slice()[1]);
+        assert!(g.allclose(&Tensor::from_slice(&[3.0, -5.0]), 1e-2));
+    }
+
+    #[test]
+    fn relative_error_of_identical_gradients_is_zero() {
+        let g = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(gradient_relative_error(&g, &g) < 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! Dense `f32` tensor substrate for the FLightNN reproduction.
+//!
+//! This crate provides the minimal numerical kernel layer that the neural
+//! network framework ([`flight-nn`]) and the quantization core
+//! ([`flightnn`]) are built on: a contiguous row-major [`Tensor`] with
+//! shape/stride bookkeeping ([`Shape`]), elementwise arithmetic, threaded
+//! matrix multiplication, `im2col`/`col2im` convolution lowering, random
+//! initializers, and a numerical-gradient checker used by the test suites
+//! of every downstream crate.
+//!
+//! The paper trained its models in PyTorch; this crate is the from-scratch
+//! substitute that carries the same role (see `DESIGN.md` §2).
+//!
+//! # Example
+//!
+//! ```
+//! use flight_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! ```
+//!
+//! [`flight-nn`]: https://example.com/flightnn-repro
+//! [`flightnn`]: https://example.com/flightnn-repro
+
+pub mod conv;
+pub mod grad_check;
+pub mod init;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use grad_check::numerical_gradient;
+pub use init::{kaiming_uniform, uniform, TensorRng};
+pub use shape::Shape;
+pub use tensor::Tensor;

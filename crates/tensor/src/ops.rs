@@ -1,0 +1,212 @@
+//! Matrix multiplication and axis reductions.
+//!
+//! The matmul here is the inner loop of every convolution (via `im2col`)
+//! and fully connected layer in the reproduction, so it is written
+//! cache-consciously (ikj loop order over contiguous rows) and parallelized
+//! over row blocks with `crossbeam` scoped threads once the problem is big
+//! enough to amortize the spawn cost.
+
+use crate::tensor::Tensor;
+
+/// Problem sizes below this many multiply-accumulates stay single-threaded.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 17;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions
+    /// disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flight_tensor::Tensor;
+    ///
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+    /// assert_eq!(a.matmul(&b).as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(rhs.shape().rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: [{m}, {k}] x [{k2}, {n}]"
+        );
+
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+
+        let flops = m * n * k;
+        if flops < PARALLEL_FLOP_THRESHOLD || m < 2 {
+            matmul_rows(a, b, out.as_mut_slice(), 0, m, k, n);
+            return out;
+        }
+
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(m);
+        let rows_per = m.div_ceil(threads);
+        let out_slice = out.as_mut_slice();
+        crossbeam::scope(|scope| {
+            let mut rest = out_slice;
+            let mut row0 = 0usize;
+            while row0 < m {
+                let rows = rows_per.min(m - row0);
+                let (chunk, tail) = rest.split_at_mut(rows * n);
+                rest = tail;
+                let r0 = row0;
+                scope.spawn(move |_| {
+                    matmul_rows(a, b, chunk, r0, rows, k, n);
+                });
+                row0 += rows;
+            }
+        })
+        .expect("matmul worker thread panicked");
+        out
+    }
+
+    /// Sums a rank-2 tensor along axis 0, producing a `[n]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "sum_rows needs a rank-2 tensor");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            let row = &self.as_slice()[i * n..(i + 1) * n];
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec(out, &[n])
+    }
+
+    /// Sums a rank-2 tensor along axis 1, producing an `[m]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_cols(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "sum_cols needs a rank-2 tensor");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            out[i] = self.as_slice()[i * n..(i + 1) * n].iter().sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Adds a `[n]` bias vector to every row of a `[m, n]` tensor in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch.
+    pub fn add_row_vector(&mut self, bias: &Tensor) {
+        assert_eq!(self.shape().rank(), 2, "add_row_vector needs rank 2");
+        assert_eq!(bias.shape().rank(), 1, "bias must be rank 1");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        assert_eq!(bias.len(), n, "bias length {} != row width {n}", bias.len());
+        let b = bias.as_slice();
+        for i in 0..m {
+            let row = &mut self.as_mut_slice()[i * n..(i + 1) * n];
+            for (x, &bv) in row.iter_mut().zip(b) {
+                *x += bv;
+            }
+        }
+    }
+}
+
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|x| (x as f32) * 0.5).collect(), &[3, 4]);
+        assert!(a.matmul(&b).allclose(&naive_matmul(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_matches_naive_parallel_path() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let m = 96;
+        let k = 64;
+        let n = 80;
+        let a = Tensor::from_vec((0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[k, n]);
+        assert!(a.matmul(&b).allclose(&naive_matmul(&a, &b), 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.sum_rows().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_cols().as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn bias_broadcast() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.add_row_vector(&Tensor::from_slice(&[1.0, 2.0, 3.0]));
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_with_zero_rows() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[0, 2]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the tensor substrate's algebraic laws.
+
+use flight_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(3, 4),
+        b in small_matrix(4, 2),
+        c in small_matrix(4, 2),
+    ) {
+        // A(B + C) = AB + AC
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_associates_with_scalars(a in small_matrix(2, 3), b in small_matrix(3, 2), s in -4.0f32..4.0) {
+        // (sA)B = s(AB)
+        let lhs = a.scale(s).matmul(&b);
+        let rhs = a.matmul(&b).scale(s);
+        prop_assert!(lhs.allclose(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = a.matmul(&b).transpose2();
+        let rhs = b.transpose2().matmul(&a.transpose2());
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn im2col_is_linear(
+        x in prop::collection::vec(-2.0f32..2.0, 2 * 5 * 5),
+        y in prop::collection::vec(-2.0f32..2.0, 2 * 5 * 5),
+        s in -3.0f32..3.0,
+    ) {
+        let geom = Conv2dGeometry::new(2, 5, 5, 3, 1, 1);
+        let tx = Tensor::from_vec(x, &[2, 5, 5]);
+        let ty = Tensor::from_vec(y, &[2, 5, 5]);
+        // im2col(x + s·y) = im2col(x) + s·im2col(y)
+        let mut combo = tx.clone();
+        combo.axpy(s, &ty);
+        let lhs = im2col(&combo, &geom);
+        let mut rhs = im2col(&tx, &geom);
+        rhs.axpy(s, &im2col(&ty, &geom));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn col2im_adjoint_identity(
+        x in prop::collection::vec(-2.0f32..2.0, 3 * 4 * 4),
+        seed in 0u64..1000,
+    ) {
+        // <im2col(x), y> == <x, col2im(y)> for random y.
+        use flight_tensor::{uniform, TensorRng};
+        let geom = Conv2dGeometry::new(3, 4, 4, 3, 1, 1);
+        let tx = Tensor::from_vec(x, &[3, 4, 4]);
+        let mut rng = TensorRng::seed(seed);
+        let y = uniform(&mut rng, &[geom.patch_len(), geom.out_positions()], -1.0, 1.0);
+        let lhs: f64 = im2col(&tx, &geom)
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let rhs: f64 = tx
+            .as_slice()
+            .iter()
+            .zip(col2im(&y, &geom).as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn reshape_preserves_sum_and_norm(v in prop::collection::vec(-5.0f32..5.0, 24)) {
+        let t = Tensor::from_vec(v, &[24]);
+        let r = t.reshape(&[2, 3, 4]);
+        prop_assert_eq!(t.sum(), r.sum());
+        prop_assert_eq!(t.norm_l2(), r.norm_l2());
+    }
+
+    #[test]
+    fn sum_rows_then_sum_equals_total(v in prop::collection::vec(-5.0f32..5.0, 12)) {
+        let t = Tensor::from_vec(v, &[3, 4]);
+        let by_rows = t.sum_rows().sum();
+        let by_cols = t.sum_cols().sum();
+        prop_assert!((by_rows - t.sum()).abs() < 1e-3);
+        prop_assert!((by_cols - t.sum()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,74 @@
+//! The deployment path end to end: train a FLightNN, save its
+//! parameters, reload them into a fresh network, compile the network to
+//! the multiplier-free integer pipeline (with batch norms folded), and
+//! verify that integer accuracy matches the float path while executing
+//! zero multiplies.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example deploy_int8
+//! ```
+
+use flight_data::{DatasetKind, Fidelity, SyntheticDataset};
+use flight_kernels::IntNetwork;
+use flight_nn::loss::top_k_accuracy;
+use flight_nn::Layer;
+use flight_tensor::TensorRng;
+use flightnn::configs::NetworkConfig;
+use flightnn::io::{load_params, save_params};
+use flightnn::reg::RegStrength;
+use flightnn::{FlightTrainer, QuantScheme};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train.
+    let data = SyntheticDataset::preset(DatasetKind::Cifar10Like, Fidelity::Smoke, 7);
+    let scheme = QuantScheme::flight_with(RegStrength::new(vec![0.0, 3.0]), 2);
+    let cfg = NetworkConfig::by_id(1);
+    let mut rng = TensorRng::seed(3);
+    let mut net = cfg.build(&scheme, &mut rng, data.classes(), data.image_dims(), 0.25);
+    let mut trainer = FlightTrainer::new(&scheme, 3e-3);
+    trainer.fit_two_phase(&mut net, &data.train_batches(16), 30);
+
+    // 2. Save → reload into a fresh network (as a deployment step would).
+    let mut checkpoint = Vec::new();
+    save_params(&mut net, &mut checkpoint)?;
+    println!("checkpoint: {} bytes", checkpoint.len());
+
+    let mut rng2 = TensorRng::seed(99);
+    let mut deployed = cfg.build(&scheme, &mut rng2, data.classes(), data.image_dims(), 0.25);
+    load_params(&mut deployed, &mut checkpoint.as_slice())?;
+
+    // 3. Compile to the integer pipeline with folded batch norms.
+    let engine = IntNetwork::compile_folded(&mut deployed)?;
+    println!("compiled integer pipeline: {} stages", engine.stages());
+
+    // 4. Compare float vs integer accuracy, and count operations.
+    let mut float_correct = 0.0;
+    let mut int_correct = 0.0;
+    let mut samples = 0usize;
+    let mut total_counts = flight_kernels::OpCounts::default();
+    for batch in data.test_batches(16) {
+        let fl = deployed.forward(&batch.input, false);
+        let (il, counts) = engine.forward(&batch.input);
+        float_correct += top_k_accuracy(&fl, &batch.labels, 1) * batch.len() as f32;
+        int_correct += top_k_accuracy(&il, &batch.labels, 1) * batch.len() as f32;
+        total_counts = total_counts + counts;
+        samples += batch.len();
+    }
+    println!(
+        "float path:   {:.2}% top-1",
+        100.0 * float_correct / samples as f32
+    );
+    println!(
+        "integer path: {:.2}% top-1",
+        100.0 * int_correct / samples as f32
+    );
+    println!("integer ops over the test set: {total_counts}");
+    assert_eq!(
+        total_counts.int_mults, 0,
+        "the deployed FLightNN must not multiply"
+    );
+    println!("zero integer multiplies — the multiplier is gone.");
+    Ok(())
+}

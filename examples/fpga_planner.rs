@@ -1,0 +1,77 @@
+//! Hardware-designer workflow from the paper's introduction: given a
+//! network and a latency/throughput target, explore which quantization
+//! scheme fits the FPGA. Reports, for every conv layer of the chosen
+//! network, the ZC706 implementation the model picks (batch size, binding
+//! resource, throughput) under each arithmetic style.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fpga_planner [network-id]
+//! ```
+
+use flight_fpga::{implement_layer, Datapath, LayerDesign, ZC706};
+use flightnn::configs::NetworkConfig;
+use flightnn::QuantScheme;
+
+fn main() {
+    let id: u8 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let cfg = NetworkConfig::by_id(id);
+    let image = [3, 32, 32];
+    let plan = cfg.conv_plan(image, 1.0);
+
+    println!("FPGA plan for {cfg} on the ZC706 model (paper-native width)\n");
+
+    let styles: Vec<(&str, Datapath, u32)> = vec![
+        ("Full", Datapath::Float32, 32),
+        (
+            "FP 4W8A",
+            Datapath::from_scheme(&QuantScheme::fp4w8a(), None),
+            4,
+        ),
+        ("L-2", Datapath::from_scheme(&QuantScheme::l2(), None), 8),
+        ("L-1", Datapath::from_scheme(&QuantScheme::l1(), None), 4),
+        (
+            "FL (k̄=1.5)",
+            Datapath::from_scheme(&QuantScheme::flight(1e-5), Some(1.5)),
+            6,
+        ),
+    ];
+
+    for (style_label, datapath, bits) in &styles {
+        println!("--- {style_label} ---");
+        let mut worst: f64 = f64::INFINITY;
+        for (i, spec) in plan.iter().enumerate() {
+            let design = LayerDesign {
+                spec: *spec,
+                datapath: *datapath,
+                weight_bits: spec.weights() * *bits as usize,
+            };
+            match implement_layer(&design, &ZC706) {
+                Ok(imp) => {
+                    worst = worst.min(imp.throughput);
+                    println!(
+                        "  conv{:<2} {:>4}→{:<4} {}x{}  batch {:>4} ({}-bound)  {:>12.0} img/s",
+                        i,
+                        spec.in_channels,
+                        spec.out_channels,
+                        spec.kernel,
+                        spec.kernel,
+                        imp.batch,
+                        imp.binding,
+                        imp.throughput
+                    );
+                }
+                Err(e) => println!("  conv{i:<2} does not fit: {e}"),
+            }
+        }
+        if worst.is_finite() {
+            println!("  => pipeline bottleneck: {worst:.0} img/s\n");
+        }
+    }
+    println!("(The bottleneck layer is what Tables 2-5 implement; compare the");
+    println!(" per-style bottlenecks to the tables' speedup columns.)");
+}

@@ -1,0 +1,75 @@
+//! The paper's core story (Fig. 1): FLightNN's λ knob produces a
+//! *continuous* accuracy–storage–energy Pareto front between LightNN-1
+//! and LightNN-2. This example sweeps λ and prints the front next to the
+//! two LightNN endpoints.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example pareto_sweep
+//! ```
+
+use flight_asic::{ComputeStyle, OpEnergy};
+use flight_data::{DatasetKind, Fidelity, SyntheticDataset};
+use flight_nn::evaluate;
+use flight_tensor::TensorRng;
+use flightnn::configs::NetworkConfig;
+use flightnn::reg::RegStrength;
+use flightnn::storage::storage_report;
+use flightnn::{FlightTrainer, QuantNet, QuantScheme};
+
+fn train(scheme: &QuantScheme, data: &SyntheticDataset, epochs: usize) -> (QuantNet, f32) {
+    let cfg = NetworkConfig::by_id(1);
+    let mut rng = TensorRng::seed(11);
+    let mut net = cfg.build(scheme, &mut rng, data.classes(), data.image_dims(), 0.25);
+    let mut trainer = FlightTrainer::new(scheme, 3e-3);
+    let batches = data.train_batches(16);
+    if matches!(scheme, QuantScheme::FLight { .. }) {
+        trainer.fit_two_phase(&mut net, &batches, epochs);
+    } else {
+        trainer.fit(&mut net, &batches, epochs);
+    }
+    let acc = evaluate(&mut net, &data.test_batches(32), 1).accuracy;
+    (net, acc)
+}
+
+fn main() {
+    let data = SyntheticDataset::preset(DatasetKind::Cifar10Like, Fidelity::Smoke, 21);
+    let epochs = 30;
+    let energy_table = OpEnergy::nm65();
+    let spec = NetworkConfig::by_id(1).largest_conv([3, 32, 32], 1.0);
+
+    println!("model,lambda,mean_k,storage_mb,energy_uj,accuracy_pct");
+
+    // Endpoints.
+    for (label, scheme, k) in [
+        ("L-1", QuantScheme::l1(), 1.0f32),
+        ("L-2", QuantScheme::l2(), 2.0),
+    ] {
+        let (mut net, acc) = train(&scheme, &data, epochs);
+        let storage = storage_report(&mut net).megabytes();
+        let energy =
+            flight_asic::layer_energy_uj(&spec, &ComputeStyle::ShiftAdd { mean_k: k }, &energy_table);
+        println!("{label},-,{k:.2},{storage:.5},{energy:.4},{:.2}", acc * 100.0);
+    }
+
+    // The FLightNN front: λ sweeps the continuum.
+    for lambda in [0.5f32, 1.5, 3.0, 6.0, 12.0] {
+        let scheme = QuantScheme::flight_with(RegStrength::new(vec![0.0, lambda]), 2);
+        let (mut net, acc) = train(&scheme, &data, epochs);
+        let counts = net.all_shift_counts();
+        let mean_k = counts.iter().sum::<usize>() as f32 / counts.len().max(1) as f32;
+        let storage = storage_report(&mut net).megabytes();
+        let energy = flight_asic::layer_energy_uj(
+            &spec,
+            &ComputeStyle::ShiftAdd { mean_k },
+            &energy_table,
+        );
+        println!(
+            "FL,{lambda},{mean_k:.2},{storage:.5},{energy:.4},{:.2}",
+            acc * 100.0
+        );
+    }
+    eprintln!("(Each FL row is one point on the Fig. 1 trade-off curve; mean_k");
+    eprintln!(" moves continuously from 2 toward 1 as lambda grows.)");
+}

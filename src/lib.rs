@@ -1,0 +1,14 @@
+//! Umbrella crate for the FLightNN reproduction workspace.
+//!
+//! Re-exports every member crate so the workspace-root examples and
+//! integration tests can exercise the whole public API through one
+//! dependency. Library users should depend on the individual crates
+//! (`flightnn`, `flight-fpga`, …) directly.
+
+pub use flight_asic as asic;
+pub use flight_data as data;
+pub use flight_fpga as fpga;
+pub use flight_kernels as kernels;
+pub use flight_nn as nn;
+pub use flight_tensor as tensor;
+pub use flightnn as core;
