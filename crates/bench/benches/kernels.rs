@@ -80,9 +80,36 @@ fn bench_training_step(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use flight_data::{DatasetKind, Fidelity, SyntheticDataset};
+    use flight_kernels::IntNetwork;
+    use flightnn::configs::NetworkConfig;
+    use flightnn::FlightTrainer;
+
+    let data = SyntheticDataset::preset(DatasetKind::Cifar10Like, Fidelity::Smoke, 5);
+    let scheme = QuantScheme::l1();
+    let mut rng = TensorRng::seed(5);
+    let mut net =
+        NetworkConfig::by_id(1).build(&scheme, &mut rng, data.classes(), data.image_dims(), 0.125);
+    let mut trainer = FlightTrainer::new(&scheme, 1e-3);
+    let batches = data.train_batches(16);
+    trainer.train_epoch(&mut net, &batches[..1]);
+    let engine = IntNetwork::compile_folded(&mut net).expect("network 1 folds");
+    let input = data.test_batches(8).first().expect("test data").input.clone();
+
+    // The acceptance bar: `forward` on the default null sink must sit
+    // within noise of the uninstrumented loop (<2% — one branch per call).
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("forward_untraced", |b| {
+        b.iter(|| engine.forward_untraced(&input))
+    });
+    group.bench_function("forward_null_sink", |b| b.iter(|| engine.forward(&input)));
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_conv_kernels, bench_quantizers, bench_training_step
+    targets = bench_conv_kernels, bench_quantizers, bench_training_step, bench_telemetry_overhead
 }
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! Each row reports test accuracy and the achieved mean shift count on
 //! the CIFAR-10 stand-in, network 1. Set FLIGHT_FIDELITY to scale.
 
-use flight_bench::BenchProfile;
+use flight_bench::{BenchProfile, BenchRun};
 use flight_data::SyntheticDataset;
 use flight_nn::evaluate;
 use flight_tensor::TensorRng;
@@ -31,6 +31,7 @@ struct Variant {
 }
 
 fn main() {
+    let run = BenchRun::start("ablation");
     let profile = BenchProfile::from_env();
     let cfg = NetworkConfig::by_id(1);
     let data = SyntheticDataset::generate(&profile.dataset_spec(cfg.dataset), profile.seed);
@@ -95,7 +96,9 @@ fn main() {
             data.image_dims(),
             profile.width_scale(cfg.width),
         );
-        let mut trainer = FlightTrainer::new(&scheme, profile.lr).with_reg_mode(v.reg_mode);
+        let mut trainer = FlightTrainer::new(&scheme, profile.lr)
+            .with_reg_mode(v.reg_mode)
+            .with_telemetry(run.telemetry().clone());
         let batches = data.train_batches(profile.batch);
         if v.gradual {
             trainer.fit_two_phase(&mut net, &batches, profile.epochs);
@@ -112,4 +115,5 @@ fn main() {
     println!("gradual schedule costs accuracy dramatically; indicator semantics");
     println!("and sigmoid temperature barely matter in proximal mode (capture");
     println!("works through exact zero residuals, not threshold motion).");
+    run.finish(Some(&profile), &[]);
 }

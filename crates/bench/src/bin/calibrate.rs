@@ -8,12 +8,13 @@
 //! `FLIGHT_FL_LAMBDA` (comma list of extra FLightNN lambda_1 points).
 
 use flight_bench::suite::{flight_b, train_model};
-use flight_bench::BenchProfile;
+use flight_bench::{BenchProfile, BenchRun};
 use flight_data::SyntheticDataset;
 use flightnn::configs::NetworkConfig;
 use flightnn::QuantScheme;
 
 fn main() {
+    let run = BenchRun::start("calibrate");
     let profile = BenchProfile::from_env();
     let noises: Vec<f32> = std::env::var("FLIGHT_NOISE")
         .unwrap_or_else(|_| "0.6,0.9,1.2".to_string())
@@ -52,7 +53,7 @@ fn main() {
             }
         }
         for (label, scheme) in models {
-            let (mut net, acc) = train_model(&cfg, &scheme, &data, &profile);
+            let (mut net, acc) = train_model(&cfg, &scheme, &data, &profile, run.telemetry());
             let counts = net.all_shift_counts();
             let mean_k = if counts.is_empty() {
                 String::new()
@@ -65,4 +66,5 @@ fn main() {
             println!("{noise},{label},{:.2}{mean_k}", acc * 100.0);
         }
     }
+    run.finish(Some(&profile), &[]);
 }

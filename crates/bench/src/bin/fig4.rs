@@ -2,9 +2,11 @@
 //! as a function of its value, for lambda0 = 1e-5, lambda1 = 3e-5. Prints
 //! the two terms and their sum as CSV suitable for plotting.
 
+use flight_bench::BenchRun;
 use flightnn::reg::{scalar_reg_curve, RegStrength};
 
 fn main() {
+    let run = BenchRun::start("fig4");
     let l0 = RegStrength::new(vec![1e-5, 0.0]);
     let total = RegStrength::new(vec![1e-5, 3e-5]);
     println!("weight,first_term,second_term,total");
@@ -18,4 +20,5 @@ fn main() {
     }
     eprintln!("(Fig. 4 shape: first term grows with |w|; second term dips to");
     eprintln!(" zero at exact powers of two — compare the dips at w = 0.5, 1, 2.)");
+    run.finish(None, &[]);
 }

@@ -1,15 +1,18 @@
 //! Regenerates Fig. 5: accuracy vs ASIC computational energy of the
 //! largest layer, for every network and quantized model. Prints one CSV
-//! block per network. Set FLIGHT_FIDELITY=smoke|bench|full.
+//! block per network. Set FLIGHT_FIDELITY=smoke|bench|full and
+//! (optionally) FLIGHT_TELEMETRY=stderr|jsonl:<path>.
 
 use flight_bench::suite::{flight_a, flight_b, run_network_suite};
-use flight_bench::BenchProfile;
+use flight_bench::{BenchProfile, BenchRun};
 use flightnn::configs::NetworkConfig;
 use flightnn::QuantScheme;
 
 fn main() {
+    let run = BenchRun::start("fig5");
     let profile = BenchProfile::from_env();
     println!("Fig. 5: accuracy vs ASIC energy, profile {:?}", profile.fidelity);
+    let mut tables = Vec::new();
     for id in 1..=8u8 {
         let cfg = NetworkConfig::by_id(id);
         let mut schemes = vec![
@@ -22,11 +25,13 @@ fn main() {
         schemes.push(("FL_a".to_string(), flight_a()));
         schemes.push(("FL_b".to_string(), flight_b()));
 
-        let rows = run_network_suite(id, &profile, &schemes, "L-2");
+        let rows = run_network_suite(id, &profile, &schemes, "L-2", run.telemetry());
         println!("\n# Network {id} ({} {})", cfg.dataset.paper_name(), cfg.structure);
         println!("model,energy_uj,accuracy_pct");
-        for row in rows {
+        for row in &rows {
             println!("{},{:.4},{:.2}", row.label, row.energy_uj, row.accuracy * 100.0);
         }
+        tables.push((format!("network{id}"), rows));
     }
+    run.finish(Some(&profile), &tables);
 }

@@ -1,15 +1,17 @@
 //! Regenerates Fig. 6: the accuracy-storage Pareto front on the CIFAR-100
 //! stand-in for LightNN-1, LightNN-2 and FLightNN over a width sweep.
 //! The FLightNN front should upper-bound the LightNN points (§6).
-//! Set FLIGHT_FIDELITY=smoke|bench|full.
+//! Set FLIGHT_FIDELITY=smoke|bench|full and (optionally)
+//! FLIGHT_TELEMETRY=stderr|jsonl:<path>.
 
 use flight_bench::suite::{flight_b, train_model};
-use flight_bench::BenchProfile;
+use flight_bench::{BenchProfile, BenchRun};
 use flight_data::SyntheticDataset;
 use flightnn::configs::NetworkConfig;
 use flightnn::QuantScheme;
 
 fn main() {
+    let run = BenchRun::start("fig6");
     let mut profile = BenchProfile::from_env();
     println!("Fig. 6: accuracy-storage front, CIFAR-100 stand-in (network 6 base)");
     println!("model,width_target,storage_mb,accuracy_pct");
@@ -25,7 +27,7 @@ fn main() {
             ("L-2".to_string(), QuantScheme::l2()),
             ("FL".to_string(), flight_b()),
         ] {
-            let (mut net, accuracy) = train_model(&cfg, &scheme, &data, &profile);
+            let (mut net, accuracy) = train_model(&cfg, &scheme, &data, &profile, run.telemetry());
             // Storage of the *scaled* model (the sweep varies width, so
             // storage is reported at the trained width, like Fig. 6's axis).
             let report = flightnn::storage::storage_report(&mut net);
@@ -37,4 +39,5 @@ fn main() {
             );
         }
     }
+    run.finish(Some(&BenchProfile::from_env()), &[]);
 }

@@ -1,13 +1,20 @@
 //! Regenerates Table 1: the eight network settings, plus the parameter
 //! counts of our reconstructed layer plans next to the paper's.
+//!
+//! With FLIGHT_TELEMETRY set, also runs a smoke traceability probe
+//! (network 1, FL_b) so the emitted stream exercises the full event
+//! schema: epoch spans, threshold gauges, k_i histograms, and per-stage
+//! kernel op counters.
 
-use flight_bench::NATIVE_IMAGE;
+use flight_bench::suite::{flight_b, run_network_suite};
+use flight_bench::{BenchProfile, BenchRun, NATIVE_IMAGE};
 use flight_nn::Layer;
 use flight_tensor::TensorRng;
 use flightnn::configs::NetworkConfig;
 use flightnn::QuantScheme;
 
 fn main() {
+    let run = BenchRun::start("table1");
     println!("Table 1: network settings (paper values + reconstruction)");
     println!(
         "{:<4} {:>12} {:>10} {:>6} {:>6} {:>12} {:>14}",
@@ -33,4 +40,14 @@ fn main() {
     println!("\nNote: the paper does not publish exact channel schedules; the");
     println!("reconstruction matches structure/depth/width and lands within ~2x");
     println!("of the published parameter counts (see DESIGN.md).");
+
+    let mut tables = Vec::new();
+    let profile = BenchProfile::from_env();
+    if run.telemetry().enabled() {
+        eprintln!("telemetry enabled: running the network-1 FL_b traceability probe");
+        let schemes = vec![("FL_b".to_string(), flight_b())];
+        let rows = run_network_suite(1, &profile, &schemes, "FL_b", run.telemetry());
+        tables.push(("network1_flb_probe".to_string(), rows));
+    }
+    run.finish(Some(&profile), &tables);
 }

@@ -1,15 +1,20 @@
 //! Regenerates Table 4: accuracy and FPGA throughput for the CIFAR-100
-//! stand-in, networks 6-7. Set FLIGHT_FIDELITY=smoke|bench|full.
+//! stand-in, networks 6-7. Set FLIGHT_FIDELITY=smoke|bench|full and
+//! (optionally) FLIGHT_TELEMETRY=stderr|jsonl:<path>.
 
 use flight_bench::suite::{print_table, run_network_suite, standard_schemes};
-use flight_bench::BenchProfile;
+use flight_bench::{BenchProfile, BenchRun};
 use flightnn::configs::NetworkConfig;
 
 fn main() {
+    let run = BenchRun::start("table4");
     let profile = BenchProfile::from_env();
     println!("Table 4: CIFAR-100 (synthetic stand-in), profile {:?}", profile.fidelity);
+    let mut tables = Vec::new();
     for id in [6u8, 7] {
-        let rows = run_network_suite(id, &profile, &standard_schemes(), "Full");
+        let rows = run_network_suite(id, &profile, &standard_schemes(), "Full", run.telemetry());
         print_table(&NetworkConfig::by_id(id), &rows);
+        tables.push((format!("network{id}"), rows));
     }
+    run.finish(Some(&profile), &tables);
 }

@@ -1,14 +1,16 @@
 //! Regenerates Table 5: top-5 accuracy and FPGA throughput for the
 //! ImageNet stand-in, network 8. The paper trains only the shift-based
 //! models here (L-2, L-1, FL_a, FL_b) and reports speedup relative to
-//! L-2. Set FLIGHT_FIDELITY=smoke|bench|full.
+//! L-2. Set FLIGHT_FIDELITY=smoke|bench|full and (optionally)
+//! FLIGHT_TELEMETRY=stderr|jsonl:<path>.
 
 use flight_bench::suite::{flight_a, flight_b, print_table, run_network_suite};
-use flight_bench::BenchProfile;
+use flight_bench::{BenchProfile, BenchRun};
 use flightnn::configs::NetworkConfig;
 use flightnn::QuantScheme;
 
 fn main() {
+    let run = BenchRun::start("table5");
     let profile = BenchProfile::from_env();
     println!("Table 5: ImageNet (synthetic stand-in, top-5), profile {:?}", profile.fidelity);
     let schemes = vec![
@@ -17,6 +19,7 @@ fn main() {
         ("FL_a".to_string(), flight_a()),
         ("FL_b".to_string(), flight_b()),
     ];
-    let rows = run_network_suite(8, &profile, &schemes, "L-2 8W8A");
+    let rows = run_network_suite(8, &profile, &schemes, "L-2 8W8A", run.telemetry());
     print_table(&NetworkConfig::by_id(8), &rows);
+    run.finish(Some(&profile), &[("network8".to_string(), rows)]);
 }

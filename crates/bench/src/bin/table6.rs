@@ -3,17 +3,18 @@
 //! training run; the other rows are purely analytical.
 
 use flight_bench::suite::{flight_a, flight_b, train_model};
-use flight_bench::{BenchProfile, NATIVE_IMAGE};
+use flight_bench::{BenchProfile, BenchRun, NATIVE_IMAGE};
 use flight_data::{Fidelity, SyntheticDataset};
 use flight_fpga::{utilization_row, Datapath, LayerDesign, ZC706};
+use flight_telemetry::Telemetry;
 use flightnn::configs::NetworkConfig;
 use flightnn::QuantScheme;
 
-fn trained_mean_k(id: u8, scheme: &QuantScheme, largest_idx: usize) -> f32 {
+fn trained_mean_k(id: u8, scheme: &QuantScheme, largest_idx: usize, telemetry: &Telemetry) -> f32 {
     let profile = BenchProfile::for_fidelity(Fidelity::Smoke);
     let cfg = NetworkConfig::by_id(id);
     let data = SyntheticDataset::generate(&profile.dataset_spec(cfg.dataset), profile.seed);
-    let (mut net, _) = train_model(&cfg, scheme, &data, &profile);
+    let (mut net, _) = train_model(&cfg, scheme, &data, &profile, telemetry);
     let mut per_layer = Vec::new();
     net.visit_quant_convs(&mut |c| {
         let counts = c.filter_shift_counts();
@@ -27,6 +28,7 @@ fn trained_mean_k(id: u8, scheme: &QuantScheme, largest_idx: usize) -> f32 {
 }
 
 fn main() {
+    let run = BenchRun::start("table6");
     println!("Table 6: FPGA resource utilization (ZC706 model)");
     for id in [7u8, 8] {
         let cfg = NetworkConfig::by_id(id);
@@ -65,7 +67,7 @@ fn main() {
             ),
         ];
         for (label, scheme) in [("FL_a", flight_a()), ("FL_b", flight_b())] {
-            let mean_k = trained_mean_k(id, &scheme, largest_idx);
+            let mean_k = trained_mean_k(id, &scheme, largest_idx, run.telemetry());
             models.push((
                 label.into(),
                 Datapath::from_scheme(&scheme, Some(mean_k)),
@@ -89,4 +91,5 @@ fn main() {
             "Available", ZC706.bram, ZC706.dsp, ZC706.ff, ZC706.lut
         );
     }
+    run.finish(None, &[]);
 }

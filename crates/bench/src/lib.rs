@@ -18,12 +18,20 @@
 //! statistical resolution (default `bench`). All randomness is seeded;
 //! identical invocations print identical numbers.
 //!
+//! Every binary is also observable: set `FLIGHT_TELEMETRY=stderr` or
+//! `FLIGHT_TELEMETRY=jsonl:<path>` and the run emits structured
+//! training/kernel/bench events through [`run::BenchRun`], and each run
+//! writes a `BENCH_<exhibit>.manifest.json` next to its output (see
+//! `DESIGN.md` §Observability).
+//!
 //! The Criterion benches in `benches/` exercise the integer kernels
-//! (shift-add vs fixed-point multiply), the quantizer, and a training
-//! step.
+//! (shift-add vs fixed-point multiply), the quantizer, a training step,
+//! and the null-sink telemetry overhead of the integer engine.
 
 pub mod profile;
+pub mod run;
 pub mod suite;
 
 pub use profile::BenchProfile;
+pub use run::BenchRun;
 pub use suite::{run_network_suite, standard_schemes, ModelRow, NATIVE_IMAGE};

@@ -1,0 +1,212 @@
+//! Run-level observability for the exhibit binaries.
+//!
+//! Every binary in `src/bin/` opens a [`BenchRun`] at startup. The run
+//! installs the sink selected by the `FLIGHT_TELEMETRY` environment
+//! variable (see [`Telemetry::from_env`]), brackets the whole
+//! regeneration in a `bench.<exhibit>` span, and on [`BenchRun::finish`]
+//! writes a machine-readable run manifest
+//! (`BENCH_<exhibit>.manifest.json`, in `FLIGHT_BENCH_DIR` or the
+//! working directory) recording the profile, the git revision, the
+//! elapsed wall clock, and the final [`ModelRow`]s of every table the
+//! run produced. The same JSON is also emitted as a single
+//! `bench.run_manifest` telemetry event, so a JSONL trace is
+//! self-describing.
+
+use flight_telemetry::json::{JsonObject, JsonValue};
+use flight_telemetry::{Span, Telemetry};
+
+use crate::profile::BenchProfile;
+use crate::suite::ModelRow;
+
+/// Manifest schema version; bump when the JSON layout changes.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// Environment variable naming the directory manifests are written to
+/// (default: the working directory).
+pub const BENCH_DIR_ENV: &str = "FLIGHT_BENCH_DIR";
+
+/// One exhibit regeneration: an env-configured telemetry handle, a
+/// run-level span, and the manifest writer.
+#[derive(Debug)]
+pub struct BenchRun {
+    exhibit: String,
+    telemetry: Telemetry,
+    span: Span,
+}
+
+impl BenchRun {
+    /// Starts a run for `exhibit` (e.g. `"table2"`), reading
+    /// `FLIGHT_TELEMETRY` for the sink.
+    pub fn start(exhibit: &str) -> Self {
+        let telemetry = Telemetry::from_env();
+        let span = telemetry.span(&format!("bench.{exhibit}"));
+        BenchRun {
+            exhibit: exhibit.to_string(),
+            telemetry,
+            span,
+        }
+    }
+
+    /// The run's telemetry handle, for threading into
+    /// [`train_model`](crate::suite::train_model) and
+    /// [`run_network_suite`](crate::suite::run_network_suite).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Ends the run: emits the `bench.run_manifest` event, closes the
+    /// run span, and writes `BENCH_<exhibit>.manifest.json`. `tables`
+    /// pairs a table name (e.g. `"network1"`) with its final rows;
+    /// exhibits without a profile or tables pass `None` / `&[]`.
+    pub fn finish(self, profile: Option<&BenchProfile>, tables: &[(String, Vec<ModelRow>)]) {
+        let manifest = render_manifest(
+            &self.exhibit,
+            profile,
+            tables,
+            self.span.elapsed_secs(),
+            &git_describe(),
+        );
+        self.telemetry.manifest("bench.run_manifest", &manifest);
+        drop(self.span);
+
+        let dir = std::env::var(BENCH_DIR_ENV).unwrap_or_else(|_| ".".to_string());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.manifest.json", self.exhibit));
+        match std::fs::write(&path, format!("{manifest}\n")) {
+            Ok(()) => eprintln!("run manifest written to {}", path.display()),
+            Err(e) => eprintln!("cannot write run manifest {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Builds the manifest JSON text (separated from [`BenchRun::finish`] so
+/// tests can check the schema without touching the filesystem).
+pub fn render_manifest(
+    exhibit: &str,
+    profile: Option<&BenchProfile>,
+    tables: &[(String, Vec<ModelRow>)],
+    elapsed_secs: f64,
+    git_describe: &str,
+) -> String {
+    let profile_json = match profile {
+        Some(p) => JsonObject::new()
+            .field("fidelity", format!("{:?}", p.fidelity).to_lowercase())
+            .field("epochs", p.epochs)
+            .field("batch", p.batch)
+            .field("lr", p.lr)
+            .field("width_target", p.width_target)
+            .field("seed", p.seed)
+            .build(),
+        None => JsonValue::Null,
+    };
+    let tables_json: Vec<JsonValue> = tables
+        .iter()
+        .map(|(name, rows)| {
+            JsonObject::new()
+                .field("name", name.as_str())
+                .field(
+                    "rows",
+                    rows.iter().map(row_json).collect::<Vec<JsonValue>>(),
+                )
+                .build()
+        })
+        .collect();
+    JsonObject::new()
+        .field("schema_version", MANIFEST_SCHEMA_VERSION)
+        .field("exhibit", exhibit)
+        .field("profile", profile_json)
+        .field("git_describe", git_describe)
+        .field("elapsed_secs", elapsed_secs)
+        .field("tables", tables_json)
+        .build()
+        .render()
+}
+
+fn row_json(row: &ModelRow) -> JsonValue {
+    JsonObject::new()
+        .field("label", row.label.as_str())
+        .field("accuracy", row.accuracy)
+        .field("storage_mb", row.storage_mb)
+        .field("throughput", row.throughput)
+        .field("speedup", row.speedup)
+        .field("energy_uj", row.energy_uj)
+        .field("mean_k", row.mean_k)
+        .build()
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// outside a repository / without git.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flight_data::Fidelity;
+
+    fn row(label: &str) -> ModelRow {
+        ModelRow {
+            label: label.to_string(),
+            accuracy: 0.5,
+            storage_mb: 1.25,
+            throughput: 100.0,
+            speedup: 2.0,
+            energy_uj: 0.75,
+            mean_k: Some(1.5),
+        }
+    }
+
+    #[test]
+    fn manifest_parses_and_carries_the_schema() {
+        let profile = BenchProfile::for_fidelity(Fidelity::Smoke);
+        let tables = vec![("network1".to_string(), vec![row("Full"), row("FL_b")])];
+        let text = render_manifest("table2", Some(&profile), &tables, 3.5, "abc123-dirty");
+        let v = JsonValue::parse(&text).expect("manifest is valid JSON");
+        assert_eq!(
+            v.get("schema_version").and_then(JsonValue::as_f64),
+            Some(MANIFEST_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(v.get("exhibit").and_then(JsonValue::as_str), Some("table2"));
+        assert_eq!(
+            v.get("git_describe").and_then(JsonValue::as_str),
+            Some("abc123-dirty")
+        );
+        let profile = v.get("profile").expect("profile object");
+        assert_eq!(profile.get("fidelity").and_then(JsonValue::as_str), Some("smoke"));
+        assert_eq!(profile.get("epochs").and_then(JsonValue::as_f64), Some(8.0));
+        let tables = v.get("tables").and_then(JsonValue::as_array).expect("tables");
+        assert_eq!(tables.len(), 1);
+        let rows = tables[0].get("rows").and_then(JsonValue::as_array).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("label").and_then(JsonValue::as_str), Some("FL_b"));
+        assert_eq!(rows[1].get("mean_k").and_then(JsonValue::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn profileless_manifest_has_null_profile() {
+        let text = render_manifest("fig4", None, &[], 0.1, "unknown");
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        assert!(matches!(v.get("profile"), Some(JsonValue::Null)));
+        assert_eq!(
+            v.get("tables").and_then(JsonValue::as_array).map(|t| t.len()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        // In a repo this is a hash; elsewhere "unknown" — either way,
+        // non-empty and newline-free.
+        let d = git_describe();
+        assert!(!d.is_empty());
+        assert!(!d.contains('\n'));
+    }
+}

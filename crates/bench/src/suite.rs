@@ -4,7 +4,9 @@
 use flight_asic::{ComputeStyle, OpEnergy};
 use flight_data::{DatasetKind, SyntheticDataset};
 use flight_fpga::{implement_layer, Datapath, LayerDesign, ZC706};
+use flight_kernels::IntNetwork;
 use flight_nn::evaluate;
+use flight_telemetry::Telemetry;
 use flight_tensor::TensorRng;
 use flightnn::configs::{ConvSpec, NetworkConfig};
 use flightnn::reg::RegStrength;
@@ -87,12 +89,16 @@ pub fn flight_b() -> QuantScheme {
 }
 
 /// Trains one scheme on one network at the profile's scale and returns
-/// the trained net plus its test accuracy.
+/// the trained net plus its test accuracy. `telemetry` is threaded into
+/// the trainer (pass [`Telemetry::null`] — or a
+/// [`BenchRun`](crate::run::BenchRun)'s handle — from the exhibit
+/// binaries).
 pub fn train_model(
     cfg: &NetworkConfig,
     scheme: &QuantScheme,
     data: &SyntheticDataset,
     profile: &BenchProfile,
+    telemetry: &Telemetry,
 ) -> (QuantNet, f32) {
     let mut rng = TensorRng::seed(profile.seed ^ (cfg.id.get() as u64) << 8);
     let mut net = cfg.build(
@@ -102,7 +108,7 @@ pub fn train_model(
         data.image_dims(),
         profile.width_scale(cfg.width),
     );
-    let mut trainer = FlightTrainer::new(scheme, profile.lr);
+    let mut trainer = FlightTrainer::new(scheme, profile.lr).with_telemetry(telemetry.clone());
     let train = data.train_batches(profile.batch);
     if matches!(scheme, QuantScheme::FLight { .. }) {
         trainer.fit_two_phase(&mut net, &train, profile.epochs);
@@ -117,6 +123,23 @@ pub fn train_model(
     let test = data.test_batches(64);
     let stats = evaluate(&mut net, &test, cfg.dataset.report_top_k());
     (net, stats.accuracy)
+}
+
+/// Compiles the trained net to the integer pipeline and runs one test
+/// batch with telemetry attached, so traces record per-stage kernel
+/// spans and op counters alongside the training events. Skipped (with a
+/// stderr note) if the model does not compile.
+fn probe_int_engine(net: &mut QuantNet, data: &SyntheticDataset, telemetry: &Telemetry) {
+    let engine = match IntNetwork::compile_folded(net) {
+        Ok(engine) => engine.with_telemetry(telemetry.clone()),
+        Err(e) => {
+            eprintln!("skipping integer-engine probe: {e}");
+            return;
+        }
+    };
+    if let Some(batch) = data.test_batches(8).first() {
+        let _ = engine.forward(&batch.input);
+    }
 }
 
 /// Per-layer mean shift counts of a trained net's conv layers, in
@@ -166,11 +189,16 @@ fn native_storage_mb(
 /// price storage, FPGA throughput, and ASIC energy at paper-native
 /// geometry. Speedups are relative to `baseline_label` (the paper uses
 /// "Full" for Tables 2–4 and "L-2" for Table 5).
+///
+/// With a live `telemetry` sink, each model additionally runs one
+/// test batch through its compiled integer pipeline so the event stream
+/// records the per-stage kernel op counters for the exhibit.
 pub fn run_network_suite(
     id: u8,
     profile: &BenchProfile,
     schemes: &[(String, QuantScheme)],
     baseline_label: &str,
+    telemetry: &Telemetry,
 ) -> Vec<ModelRow> {
     let cfg = NetworkConfig::by_id(id);
     let spec = profile.dataset_spec(cfg.dataset);
@@ -188,7 +216,10 @@ pub fn run_network_suite(
 
     let mut rows = Vec::new();
     for (label, scheme) in schemes {
-        let (mut net, accuracy) = train_model(&cfg, scheme, &data, profile);
+        let (mut net, accuracy) = train_model(&cfg, scheme, &data, profile, telemetry);
+        if telemetry.enabled() {
+            probe_int_engine(&mut net, &data, telemetry);
+        }
         let layer_ks = per_layer_mean_k(&mut net);
         let mean_k_largest = layer_ks.get(largest_idx).copied().flatten();
         let mean_k_overall = {
@@ -275,7 +306,7 @@ mod tests {
             ("Full".to_string(), QuantScheme::full()),
             ("L-1 4W8A".to_string(), QuantScheme::l1()),
         ];
-        let rows = run_network_suite(1, &profile, &schemes, "Full");
+        let rows = run_network_suite(1, &profile, &schemes, "Full", &Telemetry::null());
         assert_eq!(rows.len(), 2);
         let full = &rows[0];
         let l1 = &rows[1];
@@ -296,7 +327,7 @@ mod tests {
             ("L-1 4W8A".to_string(), QuantScheme::l1()),
             ("FL_a".to_string(), flight_a()),
         ];
-        let rows = run_network_suite(1, &profile, &schemes, "L-2 8W8A");
+        let rows = run_network_suite(1, &profile, &schemes, "L-2 8W8A", &Telemetry::null());
         let l2 = rows[0].storage_mb;
         let l1 = rows[1].storage_mb;
         let fl = rows[2].storage_mb;

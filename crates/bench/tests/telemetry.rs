@@ -1,0 +1,58 @@
+//! End-to-end telemetry integration: a smoke-fidelity FLightNN training
+//! run must emit the stream the observability docs promise — one closed
+//! `train.epoch` span per epoch, in emission order, plus a non-empty
+//! per-filter shift-count histogram.
+
+use std::sync::Arc;
+
+use flight_bench::suite::{flight_b, train_model};
+use flight_bench::BenchProfile;
+use flight_data::{Fidelity, SyntheticDataset};
+use flight_telemetry::{CollectingSink, EventKind, Telemetry};
+use flightnn::configs::NetworkConfig;
+
+#[test]
+fn smoke_training_emits_ordered_epoch_spans_and_k_histogram() {
+    let profile = BenchProfile::for_fidelity(Fidelity::Smoke);
+    let cfg = NetworkConfig::by_id(1);
+    let data = SyntheticDataset::generate(&profile.dataset_spec(cfg.dataset), profile.seed);
+    let sink = Arc::new(CollectingSink::new());
+    let telemetry = Telemetry::new(sink.clone());
+
+    train_model(&cfg, &flight_b(), &data, &profile, &telemetry);
+
+    let events = sink.events();
+    let epoch_ends: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanEnd && e.name == "train.epoch")
+        .collect();
+    assert_eq!(
+        epoch_ends.len(),
+        profile.epochs,
+        "one closed train.epoch span per training epoch"
+    );
+
+    // Span ids and sequence numbers are allocated monotonically, so the
+    // stream must replay the epochs in order.
+    let ids: Vec<u64> = epoch_ends.iter().map(|e| e.span.expect("span id")).collect();
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "epoch span ids must be strictly increasing: {ids:?}"
+    );
+    let seqs: Vec<u64> = epoch_ends.iter().map(|e| e.seq).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "epoch seq numbers must be strictly increasing: {seqs:?}"
+    );
+
+    // Every epoch of an FLight run reports the per-filter k_i histogram.
+    let hist = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Histogram && e.name == "train.k_hist")
+        .next_back()
+        .expect("FLight training emits train.k_hist");
+    assert!(!hist.buckets.is_empty(), "k_i histogram has buckets");
+    let total: u64 = hist.buckets.iter().map(|(_, n)| n).sum();
+    assert!(total > 0, "k_i histogram counted at least one filter");
+    assert_eq!(hist.value, total as f64, "histogram value is the total count");
+}

@@ -296,16 +296,20 @@ impl QuantConv2d {
     /// strict indicator `‖r‖ > t` even at the initial `t_j = 0`, which is
     /// how FLightNN's per-filter `k_i` selection materializes.
     ///
-    /// No-op for non-FLightNN layers.
-    pub fn apply_reg_prox(&mut self, reg: &RegStrength, step: f32) {
+    /// Returns the number of residual groups captured at exactly zero by
+    /// this step (the trainer's `train.prox_captures` telemetry counter).
+    /// No-op (returning 0) for non-FLightNN layers.
+    pub fn apply_reg_prox(&mut self, reg: &RegStrength, step: f32) -> usize {
         if !matches!(self.quant, WeightQuant::FLight { .. }) || reg.is_zero() || step <= 0.0 {
-            return;
+            return 0;
         }
         let filters = self.filters();
         let window = crate::pow2::ExponentWindow::fit(self.shadow.value.as_slice());
+        let mut captures = 0;
         for i in 0..filters {
-            group_lasso_prox(self.shadow.value.outer_mut(i), reg, step, &window);
+            captures += group_lasso_prox(self.shadow.value.outer_mut(i), reg, step, &window);
         }
+        captures
     }
 
     /// The most recent quantized weight tensor (present after a forward
@@ -537,28 +541,33 @@ impl QuantLinear {
     }
 
     /// Proximal group-lasso step; see [`QuantConv2d::apply_reg_prox`].
-    pub fn apply_reg_prox(&mut self, reg: &RegStrength, step: f32) {
+    /// Returns the number of residual groups captured at exactly zero.
+    pub fn apply_reg_prox(&mut self, reg: &RegStrength, step: f32) -> usize {
         if !matches!(self.quant, WeightQuant::FLight { .. }) || reg.is_zero() || step <= 0.0 {
-            return;
+            return 0;
         }
         let rows = self.out_features();
         let window = crate::pow2::ExponentWindow::fit(self.shadow.value.as_slice());
+        let mut captures = 0;
         for i in 0..rows {
-            group_lasso_prox(self.shadow.value.outer_mut(i), reg, step, &window);
+            captures += group_lasso_prox(self.shadow.value.outer_mut(i), reg, step, &window);
         }
+        captures
     }
 }
 
 /// The sequential proximal operator of `Σ_j λ_j‖r_j(w)‖₂` on one filter:
 /// level 0 shrinks the whole filter (pruning pressure), level `j ≥ 1`
 /// shrinks the residual `w − Q_j(w)` toward the current `j`-shift grid
-/// point, capturing it at exactly zero when `‖r_j‖ ≤ step·λ_j`.
+/// point, capturing it at exactly zero when `‖r_j‖ ≤ step·λ_j`. Returns
+/// how many residual groups this call captured.
 fn group_lasso_prox(
     filter: &mut [f32],
     reg: &RegStrength,
     step: f32,
     window: &crate::pow2::ExponentWindow,
-) {
+) -> usize {
+    let mut captures = 0;
     // Level 0: standard group-lasso prox on the whole filter.
     let s0 = step * reg.lambda(0);
     if s0 > 0.0 {
@@ -569,7 +578,7 @@ fn group_lasso_prox(
             .sqrt() as f32;
         if norm <= s0 {
             filter.iter_mut().for_each(|x| *x = 0.0);
-            return;
+            return captures + 1;
         } else if norm > 0.0 {
             let scale = 1.0 - s0 / norm;
             filter.iter_mut().for_each(|x| *x *= scale);
@@ -596,6 +605,7 @@ fn group_lasso_prox(
         let norm = norm.sqrt() as f32;
         if norm <= sj {
             filter.copy_from_slice(&q_acc);
+            captures += 1;
         } else if norm > 0.0 {
             let scale = 1.0 - sj / norm;
             for (w, &qa) in filter.iter_mut().zip(&q_acc) {
@@ -603,6 +613,7 @@ fn group_lasso_prox(
             }
         }
     }
+    captures
 }
 
 impl std::fmt::Debug for QuantLinear {

@@ -39,6 +39,7 @@
 use flight_nn::loss::{softmax_cross_entropy, top_k_accuracy};
 use flight_nn::optim::{Adam, Optimizer};
 use flight_nn::{Batch, EpochStats, Layer, Param};
+use flight_telemetry::{FixedHistogram, Telemetry};
 use flight_tensor::Tensor;
 
 use crate::net::QuantNet;
@@ -81,6 +82,7 @@ pub struct FlightTrainer {
     threshold_lr: f32,
     allow_pruning: bool,
     reg_mode: RegMode,
+    telemetry: Telemetry,
 }
 
 impl FlightTrainer {
@@ -98,7 +100,22 @@ impl FlightTrainer {
             threshold_lr: lr * DEFAULT_THRESHOLD_LR_SCALE,
             allow_pruning: false,
             reg_mode: RegMode::default(),
+            telemetry: Telemetry::null(),
         }
+    }
+
+    /// Attaches a telemetry handle (default: the null sink). Each epoch
+    /// then emits a `train.epoch` span, loss/accuracy/throughput gauges,
+    /// the threshold trajectories `t_j`, the per-filter `k_i` histogram,
+    /// and the proximal-capture counter.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry handle in use.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Selects how the regularizer is optimized (default
@@ -160,9 +177,12 @@ impl FlightTrainer {
     /// Runs one training epoch and returns the epoch statistics (loss
     /// includes the regularization term).
     pub fn train_epoch(&mut self, net: &mut QuantNet, batches: &[Batch]) -> EpochStats {
+        let start = std::time::Instant::now();
+        let epoch_span = self.telemetry.span("train.epoch");
         let mut total_loss = 0.0f64;
         let mut correct = 0.0f64;
         let mut samples = 0usize;
+        let mut prox_captures = 0u64;
 
         // Effective strengths: phase scale applied; the pruning term λ_0
         // is disabled unless pruning was requested (a zero level-0
@@ -210,8 +230,10 @@ impl FlightTrainer {
             // the weight step, capturing fully-shrunk groups at zero.
             if self.reg_mode == RegMode::Proximal && !reg.is_zero() {
                 let step = self.opt.learning_rate();
-                net.visit_quant_convs(&mut |c| c.apply_reg_prox(&reg, step));
-                net.visit_quant_linears(&mut |l| l.apply_reg_prox(&reg, step));
+                net.visit_quant_convs(&mut |c| prox_captures += c.apply_reg_prox(&reg, step) as u64);
+                net.visit_quant_linears(&mut |l| {
+                    prox_captures += l.apply_reg_prox(&reg, step) as u64;
+                });
             }
 
             // Threshold step (plain SGD) + projection onto [0, ∞).
@@ -235,13 +257,62 @@ impl FlightTrainer {
             samples += n;
         }
 
-        if samples == 0 {
-            return EpochStats::default();
+        let stats =
+            EpochStats::from_totals(total_loss, correct, samples, start.elapsed().as_secs_f32());
+        self.record_epoch(net, &stats, prox_captures);
+        drop(epoch_span);
+        stats
+    }
+
+    /// Emits one epoch's telemetry: loss/accuracy/throughput gauges, the
+    /// threshold trajectories `t_j` of every quantized layer, the
+    /// per-filter `k_i` histogram, and the proximal-capture counter.
+    /// Returns immediately (no allocation) when the sink is disabled.
+    fn record_epoch(&self, net: &mut QuantNet, stats: &EpochStats, prox_captures: u64) {
+        if !self.telemetry.enabled() {
+            return;
         }
-        EpochStats {
-            loss: (total_loss / samples as f64) as f32,
-            accuracy: (correct / samples as f64) as f32,
-            samples,
+        let telemetry = &self.telemetry;
+        telemetry.gauge("train.epoch.loss", stats.loss as f64, "nats");
+        telemetry.gauge("train.epoch.accuracy", stats.accuracy as f64, "ratio");
+        telemetry.gauge(
+            "train.epoch.samples_per_sec",
+            stats.samples_per_sec as f64,
+            "samples/s",
+        );
+        telemetry.counter("train.prox_captures", prox_captures, "group");
+
+        // Threshold trajectories, named by layer kind and position.
+        let mut conv = 0usize;
+        net.visit_quant_convs(&mut |c| {
+            if let Some(t) = c.thresholds() {
+                for (j, &tj) in t.value.as_slice().iter().enumerate() {
+                    telemetry.gauge(&format!("train.threshold.c{conv}.t{j}"), tj as f64, "norm");
+                }
+            }
+            conv += 1;
+        });
+        let mut fc = 0usize;
+        net.visit_quant_linears(&mut |l| {
+            if let Some(t) = l.thresholds() {
+                for (j, &tj) in t.value.as_slice().iter().enumerate() {
+                    telemetry.gauge(&format!("train.threshold.f{fc}.t{j}"), tj as f64, "norm");
+                }
+            }
+            fc += 1;
+        });
+
+        // Per-filter shift counts k_i across the whole network.
+        let counts = net.all_shift_counts();
+        if !counts.is_empty() {
+            let mut hist = FixedHistogram::integers(self.reg.levels());
+            for &k in &counts {
+                hist.record_usize(k);
+            }
+            telemetry.histogram("train.k_hist", &hist);
+            let mean_k = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+            telemetry.gauge("train.mean_k", mean_k, "shifts");
+            telemetry.gauge("train.filters", counts.len() as f64, "count");
         }
     }
 
@@ -357,19 +428,29 @@ mod tests {
     use crate::configs::NetworkConfig;
     use flight_data::{DatasetKind, Fidelity, SyntheticDataset};
     use flight_nn::evaluate;
+    use flight_telemetry::CollectingSink;
     use flight_tensor::TensorRng;
 
-    fn train_scheme(scheme: &QuantScheme, epochs: usize, seed: u64) -> (f32, QuantNet) {
+    fn train_scheme_with(
+        scheme: &QuantScheme,
+        epochs: usize,
+        seed: u64,
+        telemetry: Telemetry,
+    ) -> (f32, QuantNet) {
         let data = SyntheticDataset::preset(DatasetKind::Cifar10Like, Fidelity::Smoke, 7);
         let mut rng = TensorRng::seed(seed);
         let cfg = NetworkConfig::by_id(1);
         let mut net = cfg.build(scheme, &mut rng, data.classes(), data.image_dims(), 0.25);
-        let mut trainer = FlightTrainer::new(scheme, 1e-2);
+        let mut trainer = FlightTrainer::new(scheme, 1e-2).with_telemetry(telemetry);
         let train = data.train_batches(16);
         trainer.fit_two_phase(&mut net, &train, epochs);
         let test = data.test_batches(32);
         let stats = evaluate(&mut net, &test, 1);
         (stats.accuracy, net)
+    }
+
+    fn train_scheme(scheme: &QuantScheme, epochs: usize, seed: u64) -> (f32, QuantNet) {
+        train_scheme_with(scheme, epochs, seed, Telemetry::null())
     }
 
     #[test]
@@ -395,21 +476,48 @@ mod tests {
     fn strong_regularization_reduces_shift_counts() {
         // With a strong snap λ the release phase must gate some second
         // shifts off: the average k_i drops below the k_max = 2 start.
-        let (_, mut strong) = train_scheme(
+        let sink = std::sync::Arc::new(CollectingSink::new());
+        let (_, mut strong) = train_scheme_with(
             &crate::scheme::QuantScheme::flight_with(
                 RegStrength::new(vec![0.0, 6.0]),
                 2,
             ),
             30,
             3,
+            Telemetry::new(sink.clone()),
         );
         let counts = strong.all_shift_counts();
         let mean_k: f32 =
             counts.iter().sum::<usize>() as f32 / counts.len().max(1) as f32;
-        eprintln!("strong-reg mean k_i = {mean_k} over {} filters", counts.len());
         assert!(
             mean_k < 1.5,
             "heavy regularization left mean k_i at {mean_k}"
+        );
+
+        // The trainer reports the same trajectory through telemetry: the
+        // last train.mean_k gauge matches the post-hoc recount, and the
+        // filter count is published alongside it.
+        let events = sink.events();
+        let reported: Vec<f64> = events
+            .iter()
+            .filter(|e| e.name == "train.mean_k")
+            .map(|e| e.value)
+            .collect();
+        assert!(!reported.is_empty(), "train.mean_k must be emitted per epoch");
+        assert!(
+            (reported.last().unwrap() - mean_k as f64).abs() < 1e-3,
+            "telemetry mean_k {} != recount {mean_k}",
+            reported.last().unwrap()
+        );
+        let filters = events
+            .iter()
+            .rev()
+            .find(|e| e.name == "train.filters")
+            .expect("train.filters gauge");
+        assert_eq!(filters.value as usize, counts.len());
+        assert!(
+            events.iter().any(|e| e.name == "train.prox_captures" && e.value > 0.0),
+            "strong λ must capture residual groups through the prox operator"
         );
     }
 

@@ -38,6 +38,30 @@ impl OpCounts {
     pub fn total(&self) -> u64 {
         self.float_mults + self.float_adds + self.int_mults + self.int_adds + self.shifts
     }
+
+    /// Elementwise difference from an earlier snapshot (saturating, so a
+    /// stale snapshot can never underflow). Telemetry uses this to turn
+    /// a running accumulator into per-stage costs.
+    pub fn delta(self, earlier: OpCounts) -> OpCounts {
+        OpCounts {
+            float_mults: self.float_mults.saturating_sub(earlier.float_mults),
+            float_adds: self.float_adds.saturating_sub(earlier.float_adds),
+            int_mults: self.int_mults.saturating_sub(earlier.int_mults),
+            int_adds: self.int_adds.saturating_sub(earlier.int_adds),
+            shifts: self.shifts.saturating_sub(earlier.shifts),
+        }
+    }
+
+    /// The counts as `(field name, value)` pairs, in declaration order.
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("float_mults", self.float_mults),
+            ("float_adds", self.float_adds),
+            ("int_mults", self.int_mults),
+            ("int_adds", self.int_adds),
+            ("shifts", self.shifts),
+        ]
+    }
 }
 
 impl std::ops::Add for OpCounts {
@@ -83,5 +107,31 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!OpCounts::default().to_string().is_empty());
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let before = OpCounts {
+            shifts: 10,
+            int_adds: 4,
+            ..OpCounts::default()
+        };
+        let after = OpCounts {
+            shifts: 25,
+            int_adds: 4,
+            int_mults: 7,
+            ..OpCounts::default()
+        };
+        let d = after.delta(before);
+        assert_eq!(d.shifts, 15);
+        assert_eq!(d.int_adds, 0);
+        assert_eq!(d.int_mults, 7);
+        // A stale (larger) snapshot saturates to zero instead of wrapping.
+        assert_eq!(before.delta(after).shifts, 0);
+        assert_eq!(
+            d.fields().iter().filter(|(_, n)| *n > 0).count(),
+            2,
+            "only the changed fields are nonzero"
+        );
     }
 }

@@ -18,6 +18,7 @@
 //! model costs — the numbers the ASIC energy model prices.
 
 use flight_nn::layers::MaxPool2d;
+use flight_telemetry::Telemetry;
 use flight_tensor::Tensor;
 use flightnn::convert::shift_plan;
 use flightnn::layers::{QuantConv2d, QuantLinear};
@@ -116,6 +117,7 @@ impl std::error::Error for CompileError {}
 #[derive(Debug, Clone)]
 pub struct IntNetwork {
     layers: Vec<IntLayer>,
+    telemetry: Telemetry,
 }
 
 impl IntNetwork {
@@ -129,7 +131,10 @@ impl IntNetwork {
     /// [`NetworkConfig::build`](flightnn::configs::NetworkConfig::build)).
     pub fn compile(net: &mut QuantNet) -> Result<Self, CompileError> {
         let layers = compile_layers(net)?;
-        Ok(IntNetwork { layers })
+        Ok(IntNetwork {
+            layers,
+            telemetry: Telemetry::null(),
+        })
     }
 
     /// Compiles with batch norms folded into the preceding conv's
@@ -141,7 +146,23 @@ impl IntNetwork {
     pub fn compile_folded(net: &mut QuantNet) -> Result<Self, CompileError> {
         let mut layers = compile_layers(net)?;
         fold_affines(&mut layers);
-        Ok(IntNetwork { layers })
+        Ok(IntNetwork {
+            layers,
+            telemetry: Telemetry::null(),
+        })
+    }
+
+    /// Attaches a telemetry handle (default: the null sink). With a live
+    /// sink, [`IntNetwork::forward`] emits a `kernel.forward` span plus a
+    /// per-stage latency span and per-stage op counters.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry handle in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of pipeline stages (after folding, if any).
@@ -151,10 +172,58 @@ impl IntNetwork {
 
     /// Runs the integer pipeline on a float input batch, returning the
     /// logits and the aggregate integer-op counts of this pass.
+    ///
+    /// When a live telemetry sink is attached the pass is bracketed by a
+    /// `kernel.forward` span, and every pipeline stage `i` emits a
+    /// `kernel.stage.<i>.<kind>` span plus one counter per nonzero
+    /// [`OpCounts`] field that stage spent. With the default null sink
+    /// this is exactly [`IntNetwork::forward_untraced`].
     pub fn forward(&self, input: &Tensor) -> (Tensor, OpCounts) {
+        if !self.telemetry.enabled() {
+            return self.forward_untraced(input);
+        }
+        let forward_span = self.telemetry.span("kernel.forward");
+        let mut counts = OpCounts::default();
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let before = counts;
+            let name = format!("kernel.stage.{i:02}.{}", stage_kind(layer));
+            let stage_span = self.telemetry.span(&name);
+            x = run_layer(layer, &x, &mut counts);
+            drop(stage_span);
+            for (field, n) in counts.delta(before).fields() {
+                if n > 0 {
+                    self.telemetry.counter(&format!("{name}.{field}"), n, "op");
+                }
+            }
+        }
+        drop(forward_span);
+        (x, counts)
+    }
+
+    /// The uninstrumented pipeline: no telemetry branches at all. This is
+    /// both the hot path `forward` delegates to when the sink is disabled
+    /// and the baseline the `telemetry_overhead` criterion bench compares
+    /// against.
+    pub fn forward_untraced(&self, input: &Tensor) -> (Tensor, OpCounts) {
         let mut counts = OpCounts::default();
         let out = run_layers(&self.layers, input, &mut counts);
         (out, counts)
+    }
+}
+
+/// Short stage label used in telemetry event names.
+fn stage_kind(layer: &IntLayer) -> &'static str {
+    match layer {
+        IntLayer::Conv { .. } => "conv",
+        IntLayer::Affine { .. } => "affine",
+        IntLayer::LeakyRelu { .. } => "leaky_relu",
+        IntLayer::MaxPool { .. } => "maxpool",
+        IntLayer::GlobalAvgPool => "global_avg_pool",
+        IntLayer::Flatten => "flatten",
+        IntLayer::Linear { .. } => "linear",
+        IntLayer::Residual { .. } => "residual",
+        IntLayer::Requant => "requant",
     }
 }
 

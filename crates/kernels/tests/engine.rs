@@ -136,6 +136,47 @@ fn op_counts_track_mean_k() {
 }
 
 #[test]
+fn traced_forward_matches_untraced_and_emits_stage_events() {
+    use flight_telemetry::{CollectingSink, EventKind, Telemetry};
+    use std::sync::Arc;
+
+    let (mut net, data) = trained(1, &QuantScheme::l1(), 1);
+    let engine = IntNetwork::compile_folded(&mut net).expect("compiles");
+    let input = as_8bit(&data.test_batches(2)[0].input);
+    let (plain_logits, plain_counts) = engine.forward(&input);
+
+    let sink = Arc::new(CollectingSink::new());
+    let engine = engine.with_telemetry(Telemetry::new(sink.clone()));
+    let (traced_logits, traced_counts) = engine.forward(&input);
+
+    assert!(
+        plain_logits.allclose(&traced_logits, 0.0),
+        "tracing must not change the results"
+    );
+    assert_eq!(plain_counts, traced_counts);
+
+    let events = sink.events();
+    let stage_ends = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanEnd && e.name.starts_with("kernel.stage."))
+        .count();
+    assert_eq!(stage_ends, engine.stages(), "one latency span per stage");
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::SpanEnd && e.name == "kernel.forward"),
+        "whole-pass span present"
+    );
+    let shift_total: u64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Counter && e.name.ends_with(".shifts"))
+        .map(|e| e.value as u64)
+        .sum();
+    assert_eq!(
+        shift_total, traced_counts.shifts,
+        "per-stage shift counters must sum to the aggregate"
+    );
+}
+
+#[test]
 fn full_precision_network_still_compiles() {
     let (mut net, data) = trained(1, &QuantScheme::full(), 1);
     let engine = IntNetwork::compile(&mut net).expect("compiles");

@@ -54,6 +54,32 @@ pub struct EpochStats {
     pub accuracy: f32,
     /// Number of samples seen.
     pub samples: usize,
+    /// Wall-clock seconds the pass took.
+    pub wall_secs: f32,
+    /// Training/evaluation throughput (`samples / wall_secs`; 0 when the
+    /// pass was too fast to time).
+    pub samples_per_sec: f32,
+}
+
+impl EpochStats {
+    /// Builds the aggregate from per-pass totals plus the measured
+    /// wall-clock time.
+    pub fn from_totals(total_loss: f64, correct: f64, samples: usize, wall_secs: f32) -> Self {
+        if samples == 0 {
+            return EpochStats::default();
+        }
+        EpochStats {
+            loss: (total_loss / samples as f64) as f32,
+            accuracy: (correct / samples as f64) as f32,
+            samples,
+            wall_secs,
+            samples_per_sec: if wall_secs > 0.0 {
+                samples as f32 / wall_secs
+            } else {
+                0.0
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for EpochStats {
@@ -64,7 +90,15 @@ impl std::fmt::Display for EpochStats {
             self.loss,
             self.accuracy * 100.0,
             self.samples
-        )
+        )?;
+        if self.wall_secs > 0.0 {
+            write!(
+                f,
+                " in {:.2}s ({:.1} samples/s)",
+                self.wall_secs, self.samples_per_sec
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -83,6 +117,7 @@ pub fn train_epoch(
     batches: &[Batch],
     opt: &mut dyn Optimizer,
 ) -> EpochStats {
+    let start = std::time::Instant::now();
     let mut total_loss = 0.0f64;
     let mut correct = 0.0f64;
     let mut samples = 0usize;
@@ -101,13 +136,14 @@ pub fn train_epoch(
         correct += top_k_accuracy(&logits, &batch.labels, 1) as f64 * n as f64;
         samples += n;
     }
-    finalize(total_loss, correct, samples)
+    EpochStats::from_totals(total_loss, correct, samples, start.elapsed().as_secs_f32())
 }
 
 /// Evaluates `net` on `batches` without touching parameters, reporting
 /// top-`k` accuracy (`k = 1` for the paper's CIFAR/SVHN tables, `k = 5`
 /// for ImageNet).
 pub fn evaluate(net: &mut dyn Layer, batches: &[Batch], k: usize) -> EpochStats {
+    let start = std::time::Instant::now();
     let mut total_loss = 0.0f64;
     let mut correct = 0.0f64;
     let mut samples = 0usize;
@@ -122,18 +158,7 @@ pub fn evaluate(net: &mut dyn Layer, batches: &[Batch], k: usize) -> EpochStats 
         correct += top_k_accuracy(&logits, &batch.labels, k) as f64 * n as f64;
         samples += n;
     }
-    finalize(total_loss, correct, samples)
-}
-
-fn finalize(total_loss: f64, correct: f64, samples: usize) -> EpochStats {
-    if samples == 0 {
-        return EpochStats::default();
-    }
-    EpochStats {
-        loss: (total_loss / samples as f64) as f32,
-        accuracy: (correct / samples as f64) as f32,
-        samples,
-    }
+    EpochStats::from_totals(total_loss, correct, samples, start.elapsed().as_secs_f32())
 }
 
 #[cfg(test)]
@@ -203,9 +228,36 @@ mod tests {
             loss: 0.5,
             accuracy: 0.75,
             samples: 100,
+            wall_secs: 2.0,
+            samples_per_sec: 50.0,
         };
         let text = s.to_string();
         assert!(text.contains("0.5"));
         assert!(text.contains("75.00%"));
+        assert!(text.contains("2.00s"));
+        assert!(text.contains("50.0 samples/s"));
+    }
+
+    #[test]
+    fn from_totals_derives_throughput() {
+        let s = EpochStats::from_totals(20.0, 15.0, 20, 0.5);
+        assert!((s.loss - 1.0).abs() < 1e-6);
+        assert!((s.accuracy - 0.75).abs() < 1e-6);
+        assert!((s.samples_per_sec - 40.0).abs() < 1e-3);
+        // Untimed passes report zero throughput instead of infinity.
+        assert_eq!(EpochStats::from_totals(1.0, 1.0, 4, 0.0).samples_per_sec, 0.0);
+        assert_eq!(EpochStats::from_totals(0.0, 0.0, 0, 1.0), EpochStats::default());
+    }
+
+    #[test]
+    fn training_pass_is_timed() {
+        let mut rng = TensorRng::seed(9);
+        let train = separable_batches(&mut rng, 2);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 4, 2));
+        let mut opt = Adam::new(1e-3);
+        let stats = train_epoch(&mut net, &train, &mut opt);
+        assert!(stats.wall_secs > 0.0, "epoch wall-clock must be measured");
+        assert!(stats.samples_per_sec > 0.0);
     }
 }

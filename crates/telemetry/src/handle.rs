@@ -1,0 +1,346 @@
+//! The `Telemetry` handle and scoped spans.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::event::{Event, EventKind};
+use crate::hist::FixedHistogram;
+use crate::jsonl::JsonlSink;
+use crate::sink::{NullSink, StderrSink, TelemetrySink};
+
+/// Global emission order across every handle in the process.
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
+/// Span ids; 0 is reserved for disabled spans.
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// A cheap, clonable handle to a [`TelemetrySink`].
+///
+/// Configuration structs store one of these (defaulting to the null
+/// sink) and instrumentation calls the emitting methods; each method
+/// checks [`Telemetry::enabled`] first and returns without allocating
+/// when the sink is disabled.
+#[derive(Clone)]
+pub struct Telemetry {
+    sink: Arc<dyn TelemetrySink>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::null()
+    }
+}
+
+// `Arc<dyn TelemetrySink>` has no useful Debug; report only liveness so
+// containing structs can keep `#[derive(Debug)]`.
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Telemetry({})",
+            if self.enabled() { "enabled" } else { "null" }
+        )
+    }
+}
+
+impl Telemetry {
+    /// The environment variable [`Telemetry::from_env`] reads.
+    pub const ENV_VAR: &'static str = "FLIGHT_TELEMETRY";
+
+    /// Wraps an explicit sink.
+    pub fn new(sink: Arc<dyn TelemetrySink>) -> Self {
+        Telemetry { sink }
+    }
+
+    /// The disabled default.
+    pub fn null() -> Self {
+        static NULL: OnceLock<Arc<NullSink>> = OnceLock::new();
+        Telemetry {
+            sink: NULL.get_or_init(|| Arc::new(NullSink)).clone(),
+        }
+    }
+
+    /// Human-readable events on stderr.
+    pub fn stderr() -> Self {
+        Telemetry::new(Arc::new(StderrSink))
+    }
+
+    /// JSON Lines events appended to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-open error (see [`JsonlSink::append`]).
+    pub fn jsonl(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Telemetry::new(Arc::new(JsonlSink::append(path)?)))
+    }
+
+    /// The sink selected by the `FLIGHT_TELEMETRY` environment variable
+    /// (see the [crate docs](crate) for the contract). Never fails: bad
+    /// values warn on stderr and fall back to the null sink.
+    pub fn from_env() -> Self {
+        match std::env::var(Telemetry::ENV_VAR) {
+            Ok(spec) => Telemetry::from_spec(&spec),
+            Err(_) => Telemetry::null(),
+        }
+    }
+
+    /// Parses one `FLIGHT_TELEMETRY` value (the testable core of
+    /// [`Telemetry::from_env`]).
+    pub fn from_spec(spec: &str) -> Self {
+        match spec.trim() {
+            "" | "null" | "none" | "off" => Telemetry::null(),
+            "stderr" => Telemetry::stderr(),
+            other => match other.strip_prefix("jsonl:") {
+                Some(path) if !path.is_empty() => match Telemetry::jsonl(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!(
+                            "[flight-telemetry] cannot open {path:?} for appending ({e}); \
+                             telemetry disabled"
+                        );
+                        Telemetry::null()
+                    }
+                },
+                _ => {
+                    eprintln!(
+                        "[flight-telemetry] unknown {}={other:?} (expected \
+                         stderr | jsonl:<path> | null); telemetry disabled",
+                        Telemetry::ENV_VAR
+                    );
+                    Telemetry::null()
+                }
+            },
+        }
+    }
+
+    /// `true` when events reach a live sink. Hot paths branch on this
+    /// once and skip instrumentation entirely when it is `false`.
+    pub fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    fn emit(
+        &self,
+        name: &str,
+        kind: EventKind,
+        value: f64,
+        unit: &'static str,
+        span: Option<u64>,
+        buckets: Vec<(String, u64)>,
+        text: Option<String>,
+    ) {
+        self.sink.emit(Event {
+            seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+            name: name.to_string(),
+            kind,
+            value,
+            unit,
+            span,
+            buckets,
+            text,
+        });
+    }
+
+    /// Emits a counter increment.
+    pub fn counter(&self, name: &str, delta: u64, unit: &'static str) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit(name, EventKind::Counter, delta as f64, unit, None, Vec::new(), None);
+    }
+
+    /// Emits a point-in-time reading.
+    pub fn gauge(&self, name: &str, value: f64, unit: &'static str) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit(name, EventKind::Gauge, value, unit, None, Vec::new(), None);
+    }
+
+    /// Emits a histogram snapshot; `value` carries the total count.
+    pub fn histogram(&self, name: &str, hist: &FixedHistogram) {
+        if !self.enabled() {
+            return;
+        }
+        let buckets = hist
+            .buckets()
+            .map(|(label, count)| (label.to_string(), count))
+            .collect();
+        self.emit(
+            name,
+            EventKind::Histogram,
+            hist.total() as f64,
+            "count",
+            None,
+            buckets,
+            None,
+        );
+    }
+
+    /// Emits a manifest annotation whose `text` carries a JSON payload.
+    pub fn manifest(&self, name: &str, text: &str) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit(
+            name,
+            EventKind::Manifest,
+            1.0,
+            "",
+            None,
+            Vec::new(),
+            Some(text.to_string()),
+        );
+    }
+
+    /// Opens a scoped wall-clock timer: `span_start` now, `span_end`
+    /// with the elapsed seconds when the returned guard drops. Disabled
+    /// handles return an inert guard with id 0.
+    pub fn span(&self, name: &str) -> Span {
+        if !self.enabled() {
+            return Span {
+                telemetry: None,
+                name: String::new(),
+                id: 0,
+                start: Instant::now(),
+            };
+        }
+        let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+        self.emit(name, EventKind::SpanStart, 0.0, "s", Some(id), Vec::new(), None);
+        Span {
+            telemetry: Some(self.clone()),
+            name: name.to_string(),
+            id,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// RAII guard of one [`Telemetry::span`]; emits `span_end` on drop.
+#[derive(Debug)]
+pub struct Span {
+    telemetry: Option<Telemetry>,
+    name: String,
+    id: u64,
+    start: Instant,
+}
+
+impl Span {
+    /// The span id (0 for inert spans from disabled handles).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Seconds since the span opened.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.emit(
+                &self.name,
+                EventKind::SpanEnd,
+                self.start.elapsed().as_secs_f64(),
+                "s",
+                Some(self.id),
+                Vec::new(),
+                None,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectingSink;
+
+    #[test]
+    fn null_handle_emits_nothing_and_spans_are_inert() {
+        let t = Telemetry::null();
+        assert!(!t.enabled());
+        t.counter("c", 1, "");
+        t.gauge("g", 2.0, "");
+        let span = t.span("s");
+        assert_eq!(span.id(), 0);
+        drop(span);
+        // Nothing to assert against a null sink beyond "did not panic";
+        // the collecting-sink test below checks the emitting path.
+    }
+
+    #[test]
+    fn span_brackets_inner_events_with_increasing_seq() {
+        let sink = Arc::new(CollectingSink::new());
+        let t = Telemetry::new(sink.clone());
+        {
+            let span = t.span("outer");
+            assert!(span.id() > 0);
+            t.gauge("inner", 1.0, "");
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[1].kind, EventKind::Gauge);
+        assert_eq!(events[2].kind, EventKind::SpanEnd);
+        assert_eq!(events[0].span, events[2].span);
+        assert!(events[2].value >= 0.0, "elapsed seconds are non-negative");
+        assert!(
+            events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "seq must increase monotonically"
+        );
+    }
+
+    #[test]
+    fn consecutive_spans_get_increasing_ids() {
+        let sink = Arc::new(CollectingSink::new());
+        let t = Telemetry::new(sink.clone());
+        let first = t.span("a").id();
+        let second = t.span("b").id();
+        assert!(second > first);
+    }
+
+    #[test]
+    fn histogram_snapshot_carries_buckets() {
+        let sink = Arc::new(CollectingSink::new());
+        let t = Telemetry::new(sink.clone());
+        let mut h = FixedHistogram::integers(2);
+        h.record_usize(1);
+        h.record_usize(2);
+        t.histogram("k_hist", &h);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Histogram);
+        assert_eq!(events[0].value, 2.0);
+        assert_eq!(events[0].buckets.len(), 4);
+    }
+
+    #[test]
+    fn spec_parsing_selects_sinks() {
+        assert!(!Telemetry::from_spec("").enabled());
+        assert!(!Telemetry::from_spec("null").enabled());
+        assert!(!Telemetry::from_spec("off").enabled());
+        assert!(Telemetry::from_spec("stderr").enabled());
+        // Unknown values fall back to disabled instead of failing.
+        assert!(!Telemetry::from_spec("sqlite:events.db").enabled());
+        assert!(!Telemetry::from_spec("jsonl:").enabled());
+    }
+
+    #[test]
+    fn jsonl_spec_opens_a_live_sink() {
+        let path = std::env::temp_dir().join(format!(
+            "flight-telemetry-spec-{}.jsonl",
+            std::process::id()
+        ));
+        let t = Telemetry::from_spec(&format!("jsonl:{}", path.display()));
+        assert!(t.enabled());
+        t.counter("hits", 1, "");
+        drop(t);
+        let text = std::fs::read_to_string(&path).expect("events written");
+        assert!(text.contains("\"hits\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,153 @@
+//! Fixed-bucket histograms.
+
+/// A histogram whose buckets are fixed at construction.
+///
+/// The reproduction's canonical use is the per-filter shift-count
+/// distribution `k_i` (a small-integer histogram), but general ascending
+/// float bucket edges are supported too.
+///
+/// # Example
+///
+/// ```
+/// use flight_telemetry::FixedHistogram;
+///
+/// let mut h = FixedHistogram::integers(2); // buckets "0", "1", "2", ">2"
+/// for k in [1usize, 1, 2, 5] {
+///     h.record_usize(k);
+/// }
+/// assert_eq!(h.total(), 4);
+/// let buckets: Vec<(&str, u64)> = h.buckets().collect();
+/// assert_eq!(buckets, [("0", 0), ("1", 2), ("2", 1), (">2", 1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedHistogram {
+    /// Ascending upper bounds (inclusive); one extra overflow bucket
+    /// follows the last edge.
+    edges: Vec<f64>,
+    labels: Vec<String>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl FixedHistogram {
+    /// A histogram with buckets `(-inf, e0]`, `(e0, e1]`, …,
+    /// `(e_last, inf)`, labelled `<=e0`, …, `>e_last`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty, non-finite, or not strictly
+    /// ascending.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.iter().all(|e| e.is_finite()),
+            "histogram edges must be finite"
+        );
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly ascending"
+        );
+        let mut labels: Vec<String> = edges.iter().map(|e| format!("<={e}")).collect();
+        labels.push(format!(">{}", edges[edges.len() - 1]));
+        let counts = vec![0; edges.len() + 1];
+        FixedHistogram {
+            edges,
+            labels,
+            counts,
+            total: 0,
+        }
+    }
+
+    /// An integer histogram with one bucket per value `0..=max` plus an
+    /// overflow bucket, labelled `"0"`, `"1"`, …, `">max"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max + 1` overflows the edge list (practically never).
+    pub fn integers(max: usize) -> Self {
+        let edges: Vec<f64> = (0..=max).map(|v| v as f64).collect();
+        let mut h = FixedHistogram::new(edges);
+        for (label, v) in h.labels.iter_mut().zip(0..=max) {
+            *label = v.to_string();
+        }
+        h.labels[max + 1] = format!(">{max}");
+        h
+    }
+
+    /// Records one observation (NaN falls into the overflow bucket).
+    pub fn record(&mut self, v: f64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| v <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Records one integer observation.
+    pub fn record_usize(&mut self, v: usize) {
+        self.record(v as f64);
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// `(label, count)` pairs in bucket order.
+    pub fn buckets(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.labels
+            .iter()
+            .map(String::as_str)
+            .zip(self.counts.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_edges_bucket_inclusively() {
+        let mut h = FixedHistogram::new(vec![0.5, 1.5]);
+        h.record(0.5); // <=0.5
+        h.record(0.6); // <=1.5
+        h.record(2.0); // >1.5
+        let buckets: Vec<(&str, u64)> = h.buckets().collect();
+        assert_eq!(buckets, [("<=0.5", 1), ("<=1.5", 1), (">1.5", 1)]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn integer_labels_are_plain() {
+        let h = FixedHistogram::integers(3);
+        let labels: Vec<&str> = h.buckets().map(|(l, _)| l).collect();
+        assert_eq!(labels, ["0", "1", "2", "3", ">3"]);
+    }
+
+    #[test]
+    fn nan_lands_in_overflow() {
+        let mut h = FixedHistogram::integers(1);
+        h.record(f64::NAN);
+        let buckets: Vec<(&str, u64)> = h.buckets().collect();
+        assert_eq!(buckets.last(), Some(&(">1", 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_edges() {
+        FixedHistogram::new(vec![1.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn rejects_empty_edges() {
+        FixedHistogram::new(Vec::new());
+    }
+}

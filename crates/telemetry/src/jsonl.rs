@@ -1,0 +1,154 @@
+//! The JSON Lines file sink.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::sink::TelemetrySink;
+
+/// Appends one JSON object per event to a file.
+///
+/// * **Append-only**: opening an existing file never truncates it, so
+///   consecutive runs pointed at the same path concatenate their event
+///   streams (each run restarts `seq` at 0, which is how runs are told
+///   apart).
+/// * **One line per event**: every line is a complete JSON object with
+///   the schema of [`Event::to_json`].
+/// * **Flushed per event**: the file is tail-able while a run is in
+///   flight; this sink is for opted-in tracing, not the hot path.
+///
+/// Selected at runtime via `FLIGHT_TELEMETRY=jsonl:<path>` (see
+/// [`Telemetry::from_env`](crate::Telemetry::from_env)).
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Opens `path` for appending, creating it if missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `std::fs` error (missing parent
+    /// directory, permissions, …).
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn emit(&self, event: Event) {
+        let line = event.to_json().render();
+        let mut out = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Sinks must not panic; a full disk loses events, not the run.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::json::JsonValue;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "flight-telemetry-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn event(seq: u64, name: &str) -> Event {
+        Event {
+            seq,
+            name: name.to_string(),
+            kind: EventKind::Gauge,
+            value: seq as f64 * 0.5,
+            unit: "s",
+            span: (seq % 2 == 0).then_some(seq + 10),
+            buckets: if seq == 2 {
+                vec![("0".to_string(), 1), (">0".to_string(), 2)]
+            } else {
+                Vec::new()
+            },
+            text: None,
+        }
+    }
+
+    #[test]
+    fn every_line_is_valid_json_in_emission_order() {
+        let path = temp_path("order");
+        {
+            let sink = JsonlSink::append(&path).expect("open temp file");
+            for seq in 0..5 {
+                sink.emit(event(seq, &format!("e{seq}")));
+            }
+        }
+        let text = std::fs::read_to_string(&path).expect("file written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for (i, line) in lines.iter().enumerate() {
+            let v = JsonValue::parse(line).expect("line parses as JSON");
+            assert_eq!(v.get("seq").and_then(JsonValue::as_f64), Some(i as f64));
+            assert_eq!(
+                v.get("name").and_then(JsonValue::as_str),
+                Some(format!("e{i}").as_str())
+            );
+            assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("gauge"));
+            assert_eq!(v.get("unit").and_then(JsonValue::as_str), Some("s"));
+        }
+        // Histogram buckets survive the round trip.
+        let hist = JsonValue::parse(lines[2]).unwrap();
+        let buckets = hist.get("buckets").expect("buckets present");
+        assert_eq!(buckets.get(">0").and_then(JsonValue::as_f64), Some(2.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopening_appends_instead_of_truncating() {
+        let path = temp_path("append");
+        {
+            let sink = JsonlSink::append(&path).expect("first open");
+            sink.emit(event(0, "first-run"));
+        }
+        {
+            let sink = JsonlSink::append(&path).expect("second open");
+            sink.emit(event(0, "second-run"));
+            sink.emit(event(1, "second-run"));
+        }
+        let text = std::fs::read_to_string(&path).expect("file written");
+        let names: Vec<String> = text
+            .lines()
+            .map(|l| {
+                JsonValue::parse(l)
+                    .expect("valid JSON")
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .expect("name field")
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(names, ["first-run", "second-run", "second-run"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_failure_is_reported() {
+        let missing_dir = std::env::temp_dir()
+            .join("flight-telemetry-no-such-dir")
+            .join("x.jsonl");
+        assert!(JsonlSink::append(missing_dir).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Structured telemetry for the FLightNN reproduction — zero
+//! dependencies, `std` only.
+//!
+//! The paper's runtime claims (Algorithm 1 convergence, per-filter `k_i`
+//! distributions, shift/add op counts vs fixed-point) are only debuggable
+//! when the training loop and the integer kernels can report what they
+//! are doing. This crate is the reporting layer:
+//!
+//! * [`Event`] — one telemetry record: name, kind, value, unit, optional
+//!   span id, optional histogram buckets.
+//! * [`TelemetrySink`] — where events go. Three built-in sinks:
+//!   [`NullSink`] (default; disabled, zero overhead), [`StderrSink`]
+//!   (human-readable lines), and [`JsonlSink`] (append-only JSON Lines
+//!   file). [`CollectingSink`] buffers events in memory for tests.
+//! * [`Telemetry`] — a cheap, clonable handle (`Arc<dyn TelemetrySink>`)
+//!   threaded through config structs. Every emitting method early-returns
+//!   without allocating when the sink is disabled, so instrumented hot
+//!   paths cost one virtual call on the null sink.
+//! * [`Span`] — a scoped wall-clock timer: emits `span_start` on
+//!   creation and `span_end` with the elapsed seconds on drop.
+//! * [`FixedHistogram`] — a fixed-bucket histogram (e.g. the per-filter
+//!   shift-count distribution `k_i`).
+//! * [`json`] — a minimal JSON value with render *and* parse, shared by
+//!   the JSONL sink, the bench run manifests, and the tests that validate
+//!   both.
+//!
+//! # Environment contract
+//!
+//! [`Telemetry::from_env`] reads `FLIGHT_TELEMETRY`:
+//!
+//! | Value                | Sink |
+//! |----------------------|------|
+//! | unset / `""` / `null` / `none` / `off` | [`NullSink`] |
+//! | `stderr`             | [`StderrSink`] |
+//! | `jsonl:<path>`       | [`JsonlSink`] appending to `<path>` |
+//!
+//! Unknown values (and unopenable JSONL paths) warn once on stderr and
+//! fall back to the null sink, so a typo never aborts a long training
+//! run.
+//!
+//! # Example
+//!
+//! ```
+//! use flight_telemetry::{CollectingSink, EventKind, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(CollectingSink::new());
+//! let telemetry = Telemetry::new(sink.clone());
+//! {
+//!     let _span = telemetry.span("train.epoch");
+//!     telemetry.gauge("train.epoch.loss", 0.25, "");
+//! }
+//! let events = sink.events();
+//! assert_eq!(events.len(), 3); // span_start, gauge, span_end
+//! assert_eq!(events[2].kind, EventKind::SpanEnd);
+//! ```
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod jsonl;
+pub mod sink;
+
+mod handle;
+
+pub use event::{Event, EventKind};
+pub use handle::{Span, Telemetry};
+pub use hist::FixedHistogram;
+pub use jsonl::JsonlSink;
+pub use sink::{CollectingSink, NullSink, StderrSink, TelemetrySink};
