@@ -1,0 +1,116 @@
+//! Batched inference throughput exhibit: sequential vs parallel
+//! execution of the compiled integer pipeline at batch 32, network 1.
+//! Set FLIGHT_FIDELITY=smoke|bench|full and (optionally)
+//! FLIGHT_TELEMETRY=stderr|jsonl:<path>. The manifest records both
+//! paths as table rows, with `speedup` of the parallel row relative to
+//! the sequential baseline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use flight_bench::suite::ModelRow;
+use flight_bench::{BenchProfile, BenchRun};
+use flight_data::{DatasetKind, Fidelity, SyntheticDataset};
+use flight_kernels::{CompileOptions, ExecutionPolicy, IntNetwork};
+use flight_telemetry::{CollectingSink, EventKind, Telemetry};
+use flight_tensor::TensorRng;
+use flightnn::configs::NetworkConfig;
+use flightnn::QuantScheme;
+
+const BATCH: usize = 32;
+
+fn main() {
+    let run = BenchRun::start("batch");
+    let profile = BenchProfile::from_env();
+    println!(
+        "Batch throughput: network 1, L-1, batch {BATCH}, profile {:?}",
+        profile.fidelity
+    );
+
+    let cfg = NetworkConfig::by_id(1);
+    let data = SyntheticDataset::preset(DatasetKind::Cifar10Like, Fidelity::Smoke, 5);
+    let scheme = QuantScheme::l1();
+    let mut rng = TensorRng::seed(profile.seed);
+    let mut net = cfg.build(
+        &scheme,
+        &mut rng,
+        data.classes(),
+        data.image_dims(),
+        profile.width_scale(cfg.width),
+    );
+
+    // At least two workers even on a single-core host, so the parallel
+    // path (and its per-worker telemetry) always engages.
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let threads = cores.max(2);
+
+    let engine = IntNetwork::compile_with(
+        &mut net,
+        CompileOptions::new()
+            .fold_batch_norm(true)
+            .telemetry(run.telemetry().clone()),
+    )
+    .expect("network 1 compiles");
+    let seq = engine.clone().with_policy(ExecutionPolicy::Sequential);
+    let par = engine.with_policy(ExecutionPolicy::Parallel { threads });
+
+    let input = data.train_batches(BATCH)[0].input.clone();
+
+    // Parity gate: the parallel split must be bit-identical to the
+    // sequential path before its timing means anything.
+    let (seq_logits, seq_counts) = seq.forward(&input);
+    let (par_logits, par_counts) = par.forward(&input);
+    assert_eq!(
+        seq_logits.as_slice(),
+        par_logits.as_slice(),
+        "parallel logits diverge from sequential"
+    );
+    assert_eq!(seq_counts, par_counts, "parallel op counts diverge");
+
+    // Engagement gate: a probe forward through a collecting sink must
+    // report >= 2 workers on the whole-pass gauge.
+    let probe_sink = Arc::new(CollectingSink::new());
+    let probe = par.clone().with_telemetry(Telemetry::new(probe_sink.clone()));
+    let _ = probe.forward(&input);
+    let workers = probe_sink
+        .events()
+        .iter()
+        .find(|e| e.kind == EventKind::Gauge && e.name == "kernel.forward.workers")
+        .map(|e| e.value)
+        .expect("parallel forward reports its worker count");
+    assert!(workers >= 2.0, "parallel path not engaged: {workers} workers");
+    println!("parity OK, {workers} workers on {cores} cores");
+
+    let reps = if profile.fidelity == Fidelity::Smoke { 3 } else { 10 };
+    let time = |engine: &IntNetwork| {
+        let start = Instant::now();
+        for _ in 0..reps {
+            let _ = engine.forward(&input);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        (reps * BATCH) as f64 / secs.max(1e-9)
+    };
+    // Untraced copies for timing, so sink costs don't pollute the
+    // throughput numbers.
+    let seq_ips = time(&seq.clone().with_telemetry(Telemetry::null()));
+    let par_ips = time(&par.clone().with_telemetry(Telemetry::null()));
+    let speedup = par_ips / seq_ips.max(1e-9);
+    println!(
+        "sequential {seq_ips:.1} img/s | parallel({threads}) {par_ips:.1} img/s | {speedup:.2}x"
+    );
+
+    let row = |label: &str, ips: f64, rel: f64| ModelRow {
+        label: label.to_string(),
+        accuracy: 0.0,
+        storage_mb: 0.0,
+        throughput: ips,
+        speedup: rel,
+        energy_uj: 0.0,
+        mean_k: None,
+    };
+    let rows = vec![
+        row("sequential", seq_ips, 1.0),
+        row(&format!("parallel x{threads}"), par_ips, speedup),
+    ];
+    run.finish(Some(&profile), &[("batch32".to_string(), rows)]);
+}

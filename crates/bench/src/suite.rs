@@ -4,7 +4,7 @@
 use flight_asic::{ComputeStyle, OpEnergy};
 use flight_data::{DatasetKind, SyntheticDataset};
 use flight_fpga::{implement_layer, Datapath, LayerDesign, ZC706};
-use flight_kernels::IntNetwork;
+use flight_kernels::{CompileOptions, IntNetwork};
 use flight_nn::evaluate;
 use flight_telemetry::Telemetry;
 use flight_tensor::TensorRng;
@@ -130,8 +130,11 @@ pub fn train_model(
 /// spans and op counters alongside the training events. Skipped (with a
 /// stderr note) if the model does not compile.
 fn probe_int_engine(net: &mut QuantNet, data: &SyntheticDataset, telemetry: &Telemetry) {
-    let engine = match IntNetwork::compile_folded(net) {
-        Ok(engine) => engine.with_telemetry(telemetry.clone()),
+    let options = CompileOptions::new()
+        .fold_batch_norm(true)
+        .telemetry(telemetry.clone());
+    let engine = match IntNetwork::compile_with(net, options) {
+        Ok(engine) => engine,
         Err(e) => {
             eprintln!("skipping integer-engine probe: {e}");
             return;

@@ -208,13 +208,36 @@ pub struct QuantResidualBlock {
 
 impl QuantResidualBlock {
     /// Assembles a block from an already-built main path and optional
-    /// shortcut (used by the config builder).
+    /// shortcut (used by the config builder). The joining activation is
+    /// the default LeakyReLU.
     pub fn from_parts(main: QuantNet, shortcut: Option<QuantNet>) -> Self {
         QuantResidualBlock {
             main,
             shortcut,
             act: LeakyRelu::default(),
         }
+    }
+
+    /// Like [`QuantResidualBlock::from_parts`], with an explicit slope
+    /// for the LeakyReLU applied after the join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slope` is negative or non-finite (see
+    /// [`LeakyRelu::with_slope`]).
+    pub fn from_parts_with_slope(main: QuantNet, shortcut: Option<QuantNet>, slope: f32) -> Self {
+        QuantResidualBlock {
+            main,
+            shortcut,
+            act: LeakyRelu::with_slope(slope),
+        }
+    }
+
+    /// Slope of the LeakyReLU applied after the residual join. The
+    /// integer-engine compiler reads this so the compiled block matches
+    /// the float block exactly instead of assuming the default slope.
+    pub fn activation_slope(&self) -> f32 {
+        self.act.slope()
     }
 
     /// Whether the block has a projection shortcut.
@@ -340,6 +363,11 @@ mod tests {
         main.push_conv(QuantConv2d::new(&mut rng, &scheme, 4, 4, 3, 1, 1));
         main.push_plain(BatchNorm2d::new(4));
         let block = QuantResidualBlock::from_parts(main, None);
+        assert_eq!(
+            block.activation_slope(),
+            0.01,
+            "from_parts keeps the default joining slope"
+        );
         let mut net = QuantNet::new();
         net.push_residual(block);
         assert_eq!(net.conv_count(), 1);
@@ -348,6 +376,20 @@ mod tests {
         assert_eq!(y.dims(), &[1, 4, 4, 4]);
         let dx = net.backward(&Tensor::ones(y.dims()));
         assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn residual_block_carries_custom_slope() {
+        let mut rng = TensorRng::seed(14);
+        let scheme = QuantScheme::l1();
+        let mut main = QuantNet::new();
+        main.push_conv(QuantConv2d::new(&mut rng, &scheme, 2, 2, 3, 1, 1));
+        let mut block = QuantResidualBlock::from_parts_with_slope(main, None, 0.2);
+        assert_eq!(block.activation_slope(), 0.2);
+        // The custom slope must actually shape the joining activation.
+        let x = uniform(&mut rng, &[1, 2, 4, 4], -1.0, 1.0);
+        let y = block.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 2, 4, 4]);
     }
 
     #[test]

@@ -71,6 +71,20 @@ impl std::ops::Add for OpCounts {
     }
 }
 
+impl std::ops::AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        *self = self.merged(rhs);
+    }
+}
+
+/// Counts merge associatively, so per-worker accumulators from the
+/// parallel engine reduce with a plain `.sum()` in any grouping.
+impl std::iter::Sum for OpCounts {
+    fn sum<I: Iterator<Item = OpCounts>>(iter: I) -> OpCounts {
+        iter.fold(OpCounts::default(), OpCounts::merged)
+    }
+}
+
 impl std::fmt::Display for OpCounts {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -102,6 +116,32 @@ mod tests {
         assert_eq!(c.int_adds, 5);
         assert_eq!(c.shifts, 4);
         assert_eq!(c.total(), 11);
+    }
+
+    #[test]
+    fn sum_reduces_associatively() {
+        let parts = [
+            OpCounts {
+                shifts: 3,
+                int_adds: 2,
+                ..OpCounts::default()
+            },
+            OpCounts {
+                shifts: 1,
+                float_mults: 9,
+                ..OpCounts::default()
+            },
+            OpCounts {
+                int_mults: 4,
+                ..OpCounts::default()
+            },
+        ];
+        let all: OpCounts = parts.iter().copied().sum();
+        // Reduce in a different grouping (as parallel workers would).
+        let mut regrouped = parts[2].merged(parts[0]);
+        regrouped += parts[1];
+        assert_eq!(all, regrouped);
+        assert_eq!(all.total(), 19);
     }
 
     #[test]

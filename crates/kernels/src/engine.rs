@@ -1,6 +1,6 @@
 //! Whole-network integer inference.
 //!
-//! [`IntNetwork::compile`] lowers a trained
+//! [`IntNetwork::compile_with`] lowers a trained
 //! [`QuantNet`](flightnn::QuantNet) into a deployment pipeline where
 //! every convolution and fully connected layer runs on the integer
 //! kernels of this crate — shift-add for (F)LightNN weights, integer
@@ -8,10 +8,18 @@
 //! with running statistics, LeakyReLU, pooling) runs as cheap float
 //! glue, exactly as an accelerator would keep them in wider fixed point.
 //!
-//! Batch-norm layers can optionally be folded into per-channel affine
-//! scale/bias applied to the conv output
-//! ([`IntNetwork::compile_folded`]), which is the standard deployment
-//! transform; folded and unfolded pipelines produce identical results.
+//! Compilation is configured through [`CompileOptions`]: batch-norm
+//! folding (the standard deployment transform — folded and unfolded
+//! pipelines produce identical results), a telemetry handle, and an
+//! [`ExecutionPolicy`] selecting sequential or multi-threaded batched
+//! execution. A single [`IntNetwork::forward`] dispatches internally to
+//! the traced/untraced and sequential/parallel paths.
+//!
+//! Activations are quantized with one scale **per image**, so each
+//! image's integer pipeline is independent of its batchmates. That is
+//! what makes the parallel path bit-identical to the sequential one (and
+//! logits invariant under batch composition): splitting the batch across
+//! workers cannot change any image's quantization grid.
 //!
 //! The compiled network reports aggregate [`OpCounts`], so a single
 //! forward pass measures exactly how many shifts/multiplies/adds the
@@ -19,20 +27,20 @@
 
 use flight_nn::layers::MaxPool2d;
 use flight_telemetry::Telemetry;
-use flight_tensor::Tensor;
+use flight_tensor::{Conv2dGeometry, Tensor};
 use flightnn::convert::shift_plan;
 use flightnn::layers::{QuantConv2d, QuantLinear};
 use flightnn::net::{NetLayer, QuantNet};
 
 use crate::counts::OpCounts;
-use crate::fixed::FixedWeights;
+use crate::exec::{forward_parallel, Scratch};
+use crate::fixed::{fixed_point_conv_core, FixedWeights};
 use crate::qact::QuantActivations;
-use crate::shift::{shift_add_conv, ShiftKernel};
-use crate::{fixed_point_conv};
+use crate::shift::{shift_add_conv_core, ShiftKernel};
 
 /// How a compiled conv/linear layer multiplies.
 #[derive(Debug, Clone)]
-enum IntWeights {
+pub(crate) enum IntWeights {
     /// Shift-add taps ((F)LightNN).
     Shift(ShiftKernel),
     /// Integer multiplies (fixed-point baseline).
@@ -43,7 +51,7 @@ enum IntWeights {
 }
 
 #[derive(Debug, Clone)]
-enum IntLayer {
+pub(crate) enum IntLayer {
     Conv {
         weights: IntWeights,
         bias: Tensor,
@@ -73,7 +81,7 @@ enum IntLayer {
     Requant,
 }
 
-/// Errors from [`IntNetwork::compile`].
+/// Errors from [`IntNetwork::compile_with`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
     /// A plain layer the compiler does not recognize.
@@ -92,13 +100,124 @@ impl std::fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// How [`IntNetwork::forward`] walks a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionPolicy {
+    /// One thread, image after image — deterministic stage-by-stage
+    /// tracing (per-stage spans and counters when telemetry is live).
+    Sequential,
+    /// Split the batch into contiguous image chunks on a crossbeam
+    /// scoped-thread pool. `threads == 0` means "use every available
+    /// core" (`std::thread::available_parallelism`). The worker count is
+    /// additionally capped by the batch size, and batches of one image
+    /// fall back to the sequential path.
+    Parallel {
+        /// Upper bound on worker threads; 0 = auto.
+        threads: usize,
+    },
+}
+
+impl Default for ExecutionPolicy {
+    /// Parallel with auto-sized thread count.
+    fn default() -> Self {
+        ExecutionPolicy::Parallel { threads: 0 }
+    }
+}
+
+impl ExecutionPolicy {
+    /// Worker threads this policy engages for a batch of `batch` images
+    /// (1 means "run sequentially").
+    pub fn worker_count(&self, batch: usize) -> usize {
+        match *self {
+            ExecutionPolicy::Sequential => 1,
+            ExecutionPolicy::Parallel { threads } => {
+                let limit = if threads == 0 {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                } else {
+                    threads
+                };
+                limit.min(batch).max(1)
+            }
+        }
+    }
+}
+
+/// Builder for [`IntNetwork::compile_with`]: everything that used to be
+/// spread across `compile`/`compile_folded` × `with_telemetry` plus the
+/// new execution policy, in one place.
+///
+/// ```
+/// use flight_kernels::{CompileOptions, ExecutionPolicy};
+/// use flight_telemetry::Telemetry;
+///
+/// let options = CompileOptions::new()
+///     .fold_batch_norm(true)
+///     .telemetry(Telemetry::from_env())
+///     .policy(ExecutionPolicy::Parallel { threads: 4 });
+/// assert!(options.folds_batch_norm());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    fold_batch_norm: bool,
+    telemetry: Telemetry,
+    policy: ExecutionPolicy,
+}
+
+impl CompileOptions {
+    /// The defaults: no batch-norm folding, null telemetry, parallel
+    /// execution with auto-sized thread count.
+    pub fn new() -> Self {
+        CompileOptions::default()
+    }
+
+    /// Folds batch norms into the preceding conv's affine epilogue
+    /// (bit-identical results, fewer stages).
+    pub fn fold_batch_norm(mut self, fold: bool) -> Self {
+        self.fold_batch_norm = fold;
+        self
+    }
+
+    /// Attaches a telemetry handle (default: the null sink).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the execution policy.
+    pub fn policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shorthand for `policy(ExecutionPolicy::Parallel { threads })`.
+    pub fn threads(self, threads: usize) -> Self {
+        self.policy(ExecutionPolicy::Parallel { threads })
+    }
+
+    /// Shorthand for `policy(ExecutionPolicy::Sequential)`.
+    pub fn sequential(self) -> Self {
+        self.policy(ExecutionPolicy::Sequential)
+    }
+
+    /// Whether batch-norm folding is enabled.
+    pub fn folds_batch_norm(&self) -> bool {
+        self.fold_batch_norm
+    }
+
+    /// The configured execution policy.
+    pub fn execution_policy(&self) -> ExecutionPolicy {
+        self.policy
+    }
+}
+
 /// A `QuantNet` lowered to integer execution.
 ///
 /// # Example
 ///
 /// ```
-/// use flight_kernels::IntNetwork;
-/// use flight_nn::Layer;
+/// use flight_kernels::{CompileOptions, IntNetwork};
 /// use flight_tensor::{Tensor, TensorRng};
 /// use flightnn::{configs::NetworkConfig, QuantScheme};
 ///
@@ -106,7 +225,7 @@ impl std::error::Error for CompileError {}
 /// let mut rng = TensorRng::seed(0);
 /// let mut net = NetworkConfig::by_id(1)
 ///     .build(&QuantScheme::l1(), &mut rng, 10, [3, 16, 16], 0.25);
-/// let engine = IntNetwork::compile(&mut net)?;
+/// let engine = IntNetwork::compile_with(&mut net, CompileOptions::new())?;
 /// let x = Tensor::zeros(&[1, 3, 16, 16]);
 /// let (logits, counts) = engine.forward(&x);
 /// assert_eq!(logits.dims(), &[1, 10]);
@@ -118,43 +237,51 @@ impl std::error::Error for CompileError {}
 pub struct IntNetwork {
     layers: Vec<IntLayer>,
     telemetry: Telemetry,
+    policy: ExecutionPolicy,
 }
 
 impl IntNetwork {
-    /// Compiles a trained network, keeping batch norms as explicit
-    /// affine stages.
+    /// Compiles a trained network according to `options`.
     ///
     /// # Errors
     ///
     /// Returns [`CompileError::UnsupportedLayer`] for plain layers the
     /// integer pipeline does not know (none are produced by
     /// [`NetworkConfig::build`](flightnn::configs::NetworkConfig::build)).
-    pub fn compile(net: &mut QuantNet) -> Result<Self, CompileError> {
-        let layers = compile_layers(net)?;
+    pub fn compile_with(net: &mut QuantNet, options: CompileOptions) -> Result<Self, CompileError> {
+        let mut layers = compile_layers(net)?;
+        if options.fold_batch_norm {
+            fold_affines(&mut layers);
+        }
         Ok(IntNetwork {
             layers,
-            telemetry: Telemetry::null(),
+            telemetry: options.telemetry,
+            policy: options.policy,
         })
+    }
+
+    /// Compiles with the default options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `IntNetwork::compile_with(net, CompileOptions::new())`"
+    )]
+    pub fn compile(net: &mut QuantNet) -> Result<Self, CompileError> {
+        IntNetwork::compile_with(net, CompileOptions::new())
     }
 
     /// Compiles with batch norms folded into the preceding conv's
-    /// affine epilogue where possible (standard deployment transform).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`IntNetwork::compile`].
+    /// affine epilogue.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `IntNetwork::compile_with(net, CompileOptions::new().fold_batch_norm(true))`"
+    )]
     pub fn compile_folded(net: &mut QuantNet) -> Result<Self, CompileError> {
-        let mut layers = compile_layers(net)?;
-        fold_affines(&mut layers);
-        Ok(IntNetwork {
-            layers,
-            telemetry: Telemetry::null(),
-        })
+        IntNetwork::compile_with(net, CompileOptions::new().fold_batch_norm(true))
     }
 
     /// Attaches a telemetry handle (default: the null sink). With a live
-    /// sink, [`IntNetwork::forward`] emits a `kernel.forward` span plus a
-    /// per-stage latency span and per-stage op counters.
+    /// sink, [`IntNetwork::forward`] emits a `kernel.forward` span plus
+    /// per-stage spans (sequential) or per-worker spans (parallel).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
@@ -165,31 +292,112 @@ impl IntNetwork {
         self.telemetry = telemetry;
     }
 
+    /// Replaces the execution policy, keeping the compiled stages — the
+    /// cheap way to compare sequential and parallel runs of one network.
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the execution policy in place.
+    pub fn set_policy(&mut self, policy: ExecutionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active execution policy.
+    pub fn policy(&self) -> ExecutionPolicy {
+        self.policy
+    }
+
     /// Number of pipeline stages (after folding, if any).
     pub fn stages(&self) -> usize {
         self.layers.len()
     }
 
-    /// Runs the integer pipeline on a float input batch, returning the
-    /// logits and the aggregate integer-op counts of this pass.
+    /// Runs the integer pipeline on a float input batch `[n, …]`,
+    /// returning the logits and the aggregate integer-op counts of this
+    /// pass.
     ///
-    /// When a live telemetry sink is attached the pass is bracketed by a
-    /// `kernel.forward` span, and every pipeline stage `i` emits a
-    /// `kernel.stage.<i>.<kind>` span plus one counter per nonzero
-    /// [`OpCounts`] field that stage spent. With the default null sink
-    /// this is exactly [`IntNetwork::forward_untraced`].
+    /// Dispatches internally:
+    ///
+    /// * **Parallel** (policy allows it and `n ≥ 2`): the batch is split
+    ///   into contiguous image chunks on a crossbeam scoped-thread pool;
+    ///   per-worker scratch buffers are reused across stages and
+    ///   [`OpCounts`] are reduced associatively. With a live sink the
+    ///   pass is bracketed by a `kernel.forward` span, reports a
+    ///   `kernel.forward.workers` gauge, and each worker `w` emits
+    ///   `kernel.worker.<w>.chunk` spans/counters.
+    /// * **Sequential + traced**: every pipeline stage `i` emits a
+    ///   `kernel.stage.<i>.<kind>` span plus one counter per nonzero
+    ///   [`OpCounts`] field that stage spent.
+    /// * **Sequential + null sink**: the uninstrumented hot loop, no
+    ///   telemetry branches inside.
+    ///
+    /// Activation scales are per image, so all three paths produce
+    /// bit-identical logits and identical op counts.
     pub fn forward(&self, input: &Tensor) -> (Tensor, OpCounts) {
-        if !self.telemetry.enabled() {
-            return self.forward_untraced(input);
+        let batch = input.dims().first().copied().unwrap_or(0);
+        let workers = self.policy.worker_count(batch);
+        if workers > 1 {
+            let span = self.telemetry.span("kernel.forward");
+            self.telemetry
+                .gauge("kernel.forward.workers", workers as f64, "worker");
+            let result = forward_parallel(&self.layers, &self.telemetry, input, workers);
+            drop(span);
+            result
+        } else if self.telemetry.enabled() {
+            self.forward_traced(input)
+        } else {
+            let mut counts = OpCounts::default();
+            let mut scratch = Scratch::default();
+            let out = run_layers(&self.layers, input, &mut counts, &mut scratch);
+            (out, counts)
         }
-        let forward_span = self.telemetry.span("kernel.forward");
+    }
+
+    /// Like [`IntNetwork::forward`], but writes the logits into a
+    /// caller-provided tensor — the serving path keeps one logits buffer
+    /// alive instead of allocating per request. When `out` already has
+    /// the right shape its allocation is reused; otherwise it is
+    /// replaced.
+    pub fn forward_into(&self, input: &Tensor, out: &mut Tensor) -> OpCounts {
+        let (logits, counts) = self.forward(input);
+        if out.dims() == logits.dims() {
+            out.as_mut_slice().copy_from_slice(logits.as_slice());
+        } else {
+            *out = logits;
+        }
+        counts
+    }
+
+    /// The sequential pipeline, ignoring telemetry and policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `IntNetwork::forward`; the null sink already skips tracing, and \
+                `CompileOptions::sequential()` pins single-threaded execution"
+    )]
+    pub fn forward_untraced(&self, input: &Tensor) -> (Tensor, OpCounts) {
         let mut counts = OpCounts::default();
-        let mut x = input.clone();
+        let mut scratch = Scratch::default();
+        let out = run_layers(&self.layers, input, &mut counts, &mut scratch);
+        (out, counts)
+    }
+
+    /// Sequential execution with per-stage spans and counters.
+    fn forward_traced(&self, input: &Tensor) -> (Tensor, OpCounts) {
+        let forward_span = self.telemetry.span("kernel.forward");
+        self.telemetry.gauge("kernel.forward.workers", 1.0, "worker");
+        let mut counts = OpCounts::default();
+        let mut scratch = Scratch::default();
+        // Borrow the input for the first stage instead of cloning it;
+        // every later stage consumes the previous stage's output.
+        let mut owned: Option<Tensor> = None;
         for (i, layer) in self.layers.iter().enumerate() {
             let before = counts;
             let name = format!("kernel.stage.{i:02}.{}", stage_kind(layer));
             let stage_span = self.telemetry.span(&name);
-            x = run_layer(layer, &x, &mut counts);
+            let x = owned.as_ref().unwrap_or(input);
+            owned = Some(run_layer(layer, x, &mut counts, &mut scratch));
             drop(stage_span);
             for (field, n) in counts.delta(before).fields() {
                 if n > 0 {
@@ -198,17 +406,7 @@ impl IntNetwork {
             }
         }
         drop(forward_span);
-        (x, counts)
-    }
-
-    /// The uninstrumented pipeline: no telemetry branches at all. This is
-    /// both the hot path `forward` delegates to when the sink is disabled
-    /// and the baseline the `telemetry_overhead` criterion bench compares
-    /// against.
-    pub fn forward_untraced(&self, input: &Tensor) -> (Tensor, OpCounts) {
-        let mut counts = OpCounts::default();
-        let out = run_layers(&self.layers, input, &mut counts);
-        (out, counts)
+        (owned.unwrap_or_else(|| input.clone()), counts)
     }
 }
 
@@ -234,6 +432,7 @@ fn compile_layers(net: &mut QuantNet) -> Result<Vec<IntLayer>, CompileError> {
             NetLayer::Conv(conv) => out.push(compile_conv(conv)),
             NetLayer::Linear(lin) => out.push(compile_linear(lin)),
             NetLayer::Residual(block) => {
+                let slope = block.activation_slope();
                 let main = compile_layers(block.main_mut())?;
                 let shortcut = match block.shortcut_mut() {
                     Some(sc) => Some(compile_layers(sc)?),
@@ -242,7 +441,7 @@ fn compile_layers(net: &mut QuantNet) -> Result<Vec<IntLayer>, CompileError> {
                 out.push(IntLayer::Residual {
                     main,
                     shortcut,
-                    slope: 0.01,
+                    slope,
                 });
             }
             NetLayer::Plain(boxed) => {
@@ -403,15 +602,100 @@ fn fold_affines(layers: &mut Vec<IntLayer>) {
     }
 }
 
-fn run_layers(layers: &[IntLayer], input: &Tensor, counts: &mut OpCounts) -> Tensor {
-    let mut x = input.clone();
+/// Runs the full stage list sequentially. The input is borrowed for the
+/// first stage (no upfront clone); `scratch` holds the reusable
+/// activation-quantization buffers.
+pub(crate) fn run_layers(
+    layers: &[IntLayer],
+    input: &Tensor,
+    counts: &mut OpCounts,
+    scratch: &mut Scratch,
+) -> Tensor {
+    let mut owned: Option<Tensor> = None;
     for layer in layers {
-        x = run_layer(layer, &x, counts);
+        let x = owned.as_ref().unwrap_or(input);
+        owned = Some(run_layer(layer, x, counts, scratch));
     }
-    x
+    owned.unwrap_or_else(|| input.clone())
 }
 
-fn run_layer(layer: &IntLayer, x: &Tensor, counts: &mut OpCounts) -> Tensor {
+/// One integer conv over `x` with whichever datapath the layer compiled
+/// to, quantizing activations per image through the scratch buffers.
+fn conv_stage(
+    weights: &IntWeights,
+    act_bits: u32,
+    x: &Tensor,
+    stride: usize,
+    padding: usize,
+    counts: &mut OpCounts,
+    scratch: &mut Scratch,
+) -> Tensor {
+    let d = x.dims();
+    assert_eq!(d.len(), 4, "conv input must be [n, c, h, w]");
+    match weights {
+        IntWeights::Shift(kernel) => {
+            QuantActivations::quantize_per_image_into(
+                x,
+                act_bits,
+                &mut scratch.codes,
+                &mut scratch.scales,
+            );
+            let geom = Conv2dGeometry::new(d[1], d[2], d[3], kernel.kernel_size(), stride, padding);
+            let mut out = Tensor::zeros(&[d[0], kernel.filters(), geom.out_h, geom.out_w]);
+            shift_add_conv_core(
+                &scratch.codes,
+                &scratch.scales,
+                &geom,
+                kernel,
+                out.as_mut_slice(),
+                counts,
+            );
+            out
+        }
+        IntWeights::Fixed(fw) => {
+            QuantActivations::quantize_per_image_into(
+                x,
+                act_bits,
+                &mut scratch.codes,
+                &mut scratch.scales,
+            );
+            let geom = Conv2dGeometry::new(d[1], d[2], d[3], fw.dims()[2], stride, padding);
+            let mut out = Tensor::zeros(&[d[0], fw.dims()[0], geom.out_h, geom.out_w]);
+            fixed_point_conv_core(
+                &scratch.codes,
+                &scratch.scales,
+                &geom,
+                fw,
+                out.as_mut_slice(),
+                counts,
+            );
+            out
+        }
+        IntWeights::Float(w) => {
+            let (o, _) = flight_nn::layers::functional::conv2d_forward(
+                x,
+                w,
+                &Tensor::zeros(&[w.dims()[0]]),
+                stride,
+                padding,
+                false,
+            );
+            // macs = weights × output positions × batch.
+            let filters = w.dims()[0];
+            let macs = (w.len() * o.len() / filters.max(1)) as u64;
+            counts.float_mults += macs;
+            counts.float_adds += macs;
+            o
+        }
+    }
+}
+
+pub(crate) fn run_layer(
+    layer: &IntLayer,
+    x: &Tensor,
+    counts: &mut OpCounts,
+    scratch: &mut Scratch,
+) -> Tensor {
     match layer {
         IntLayer::Conv {
             weights,
@@ -420,33 +704,7 @@ fn run_layer(layer: &IntLayer, x: &Tensor, counts: &mut OpCounts) -> Tensor {
             padding,
             act_bits,
         } => {
-            let qa = QuantActivations::quantize(x, *act_bits);
-            let (mut out, c) = match weights {
-                IntWeights::Shift(kernel) => shift_add_conv(&qa, kernel, *stride, *padding),
-                IntWeights::Fixed(fw) => fixed_point_conv(&qa, fw, *stride, *padding),
-                IntWeights::Float(w) => {
-                    let (o, _) = flight_nn::layers::functional::conv2d_forward(
-                        x,
-                        w,
-                        &Tensor::zeros(&[w.dims()[0]]),
-                        *stride,
-                        *padding,
-                        false,
-                    );
-                    // macs = weights × output positions × batch.
-                    let filters = w.dims()[0];
-                    let macs = (w.len() * o.len() / filters.max(1)) as u64;
-                    (
-                        o,
-                        OpCounts {
-                            float_mults: macs,
-                            float_adds: macs,
-                            ..OpCounts::default()
-                        },
-                    )
-                }
-            };
-            *counts = counts.merged(c);
+            let mut out = conv_stage(weights, *act_bits, x, *stride, *padding, counts, scratch);
             add_channel_bias(&mut out, bias);
             out
         }
@@ -459,16 +717,11 @@ fn run_layer(layer: &IntLayer, x: &Tensor, counts: &mut OpCounts) -> Tensor {
             let n = x.dims()[0];
             let f = x.len() / n.max(1);
             let as_img = x.reshape(&[n, f, 1, 1]);
-            let lifted = IntLayer::Conv {
-                weights: weights.clone(),
-                bias: bias.clone(),
-                stride: 1,
-                padding: 0,
-                act_bits: *act_bits,
-            };
-            let out = run_layer(&lifted, &as_img, counts);
+            let mut out = conv_stage(weights, *act_bits, &as_img, 1, 0, counts, scratch);
+            add_channel_bias(&mut out, bias);
             let classes = out.len() / n.max(1);
-            out.reshape(&[n, classes])
+            out.reshape_in_place(&[n, classes]);
+            out
         }
         IntLayer::Affine { scale, bias } => {
             let mut out = x.clone();
@@ -492,16 +745,27 @@ fn run_layer(layer: &IntLayer, x: &Tensor, counts: &mut OpCounts) -> Tensor {
             x.reshape(&[n, x.len() / n.max(1)])
         }
         IntLayer::Requant => {
-            QuantActivations::quantize(x, 8).dequantize()
+            QuantActivations::quantize_per_image_into(x, 8, &mut scratch.codes, &mut scratch.scales);
+            let n = x.dims()[0];
+            let stride = if n == 0 { 0 } else { x.len() / n };
+            let mut data = Vec::with_capacity(x.len());
+            for (b, &s) in scratch.scales.iter().enumerate() {
+                data.extend(
+                    scratch.codes[b * stride..(b + 1) * stride]
+                        .iter()
+                        .map(|&c| c as f32 * s),
+                );
+            }
+            Tensor::from_vec(data, x.dims())
         }
         IntLayer::Residual {
             main,
             shortcut,
             slope,
         } => {
-            let main_out = run_layers(main, x, counts);
+            let main_out = run_layers(main, x, counts, scratch);
             let short_out = match shortcut {
-                Some(sc) => run_layers(sc, x, counts),
+                Some(sc) => run_layers(sc, x, counts, scratch),
                 None => x.clone(),
             };
             let sum = &main_out + &short_out;
@@ -539,5 +803,5 @@ fn scale_channels(out: &mut Tensor, scale: &Tensor, bias: &Tensor) {
     }
 }
 
-// Tests live in tests/engine.rs (they need trained networks and are
-// slower than unit scale).
+// Tests live in tests/engine.rs and tests/parity.rs (they need trained
+// or hand-built networks and are slower than unit scale).

@@ -1,0 +1,113 @@
+//! Batched parallel execution of a compiled [`IntNetwork`]
+//! (crate-internal; the public entry point is `IntNetwork::forward`).
+//!
+//! The batch dimension is the natural work axis: activation scales are
+//! per image, so every image's integer pipeline is independent of its
+//! batchmates and a contiguous chunk of images can run on its own thread
+//! with no synchronization beyond the final stitch. The threading
+//! pattern mirrors the crossbeam scoped-thread matmul in
+//! `flight-tensor/src/ops.rs`: size the pool, hand each worker a
+//! disjoint slice, join, merge.
+//!
+//! Each worker owns one [`Scratch`] arena, so the activation-quantization
+//! buffers inside the conv kernels are allocated once per worker instead
+//! of once per stage per image, and one [`OpCounts`] accumulator, merged
+//! associatively after the join.
+//!
+//! [`IntNetwork`]: crate::IntNetwork
+
+use flight_telemetry::Telemetry;
+use flight_tensor::Tensor;
+
+use crate::counts::OpCounts;
+use crate::engine::{run_layers, IntLayer};
+
+/// Per-worker reusable buffers for activation quantization: integer
+/// codes plus one scale per image. Cleared and refilled by every conv
+/// stage, so the backing allocations grow to the largest activation
+/// plane once and are reused from then on.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// Integer activation codes, row-major over the whole chunk.
+    pub codes: Vec<i32>,
+    /// One quantization scale per image.
+    pub scales: Vec<f32>,
+}
+
+/// Runs `layers` over `input` (`[n, …]`, `n ≥ 2`) split into
+/// `workers` contiguous image chunks on scoped threads. Returns the
+/// stitched logits and the associatively merged op counts — bit-identical
+/// to the sequential path because every image quantizes against its own
+/// scale.
+///
+/// With a live sink each worker `w` emits its events through a
+/// `kernel.worker.<w>.` prefixed handle: a `chunk` span, a
+/// `chunk.images` gauge, and one `chunk.<field>` counter per nonzero
+/// op-count field.
+pub(crate) fn forward_parallel(
+    layers: &[IntLayer],
+    telemetry: &Telemetry,
+    input: &Tensor,
+    workers: usize,
+) -> (Tensor, OpCounts) {
+    let dims = input.dims();
+    let n = dims[0];
+    debug_assert!(workers >= 2 && workers <= n, "dispatcher sizes the pool");
+    let img_len = input.len() / n;
+    let per = n.div_ceil(workers);
+    let chunks = n.div_ceil(per);
+    let data = input.as_slice();
+
+    let mut results: Vec<Option<(Tensor, OpCounts)>> = Vec::new();
+    results.resize_with(chunks, || None);
+
+    crossbeam::scope(|scope| {
+        for (w, slot) in results.iter_mut().enumerate() {
+            let start = w * per;
+            let end = (start + per).min(n);
+            let worker_telemetry = telemetry.with_prefix(&format!("kernel.worker.{w:02}."));
+            let mut chunk_dims = dims.to_vec();
+            chunk_dims[0] = end - start;
+            scope.spawn(move |_| {
+                let span = worker_telemetry.span("chunk");
+                let chunk = Tensor::from_vec(
+                    data[start * img_len..end * img_len].to_vec(),
+                    &chunk_dims,
+                );
+                let mut counts = OpCounts::default();
+                let mut scratch = Scratch::default();
+                let out = run_layers(layers, &chunk, &mut counts, &mut scratch);
+                if worker_telemetry.enabled() {
+                    worker_telemetry.gauge("chunk.images", (end - start) as f64, "img");
+                    for (field, ops) in counts.fields() {
+                        if ops > 0 {
+                            worker_telemetry.counter(&format!("chunk.{field}"), ops, "op");
+                        }
+                    }
+                }
+                drop(span);
+                *slot = Some((out, counts));
+            });
+        }
+    })
+    .expect("forward worker thread panicked");
+
+    // Stitch chunk outputs back together in batch order and reduce the
+    // counts. Merge order does not matter — OpCounts is associative —
+    // but we keep chunk order for determinism anyway.
+    let mut merged = OpCounts::default();
+    let mut out_dims: Vec<usize> = Vec::new();
+    let mut out_data: Vec<f32> = Vec::new();
+    for slot in results {
+        let (chunk_out, counts) = slot.expect("every spawned chunk reports a result");
+        if out_dims.is_empty() {
+            out_dims = chunk_out.dims().to_vec();
+            let chunk_n = out_dims[0].max(1);
+            out_data.reserve(chunk_out.len() / chunk_n * n);
+        }
+        merged += counts;
+        out_data.extend_from_slice(chunk_out.as_slice());
+    }
+    out_dims[0] = n;
+    (Tensor::from_vec(out_data, &out_dims), merged)
+}

@@ -70,21 +70,54 @@ pub fn fixed_point_conv(
     let ad = act.dims();
     assert_eq!(ad.len(), 4, "activations must be [n, c, h, w]");
     let (n, c, h, w) = (ad[0], ad[1], ad[2], ad[3]);
+    let geom = Conv2dGeometry::new(c, h, w, weights.dims[2], stride, padding);
+    let mut out = Tensor::zeros(&[n, weights.dims[0], geom.out_h, geom.out_w]);
+    let scales = vec![act.scale(); n];
+    let mut counts = OpCounts::default();
+    fixed_point_conv_core(
+        act.codes(),
+        &scales,
+        &geom,
+        weights,
+        out.as_mut_slice(),
+        &mut counts,
+    );
+    (out, counts)
+}
+
+/// Fixed-point convolution over raw integer codes with one scale per
+/// image — the per-worker scratch entry point of the batched execution
+/// engine (see `shift_add_conv_core` in `shift.rs` for the layout
+/// contract, which is identical).
+pub(crate) fn fixed_point_conv_core(
+    codes: &[i32],
+    scales: &[f32],
+    geom: &Conv2dGeometry,
+    weights: &FixedWeights,
+    out: &mut [f32],
+    counts: &mut OpCounts,
+) {
+    let n = scales.len();
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
     let wd = &weights.dims;
     let (f, wc, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
     assert_eq!(kh, kw, "kernels must be square");
     assert_eq!(wc, c, "weight channels {wc} != activation channels {c}");
-
-    let geom = Conv2dGeometry::new(c, h, w, kh, stride, padding);
-    let mut out = Tensor::zeros(&[n, f, geom.out_h, geom.out_w]);
-    let out_scale = act.scale() * weights.scale;
-    let codes = act.codes();
+    assert_eq!(kh, geom.kernel, "geometry/kernel size mismatch");
+    assert_eq!(codes.len(), n * c * h * w, "codes length mismatch");
+    assert_eq!(
+        out.len(),
+        n * f * geom.out_positions(),
+        "output length mismatch"
+    );
+    let (stride, padding) = (geom.stride, geom.padding);
     let wcodes = &weights.codes;
-    let mut counts = OpCounts::default();
 
     for b in 0..n {
+        let out_scale = scales[b] * weights.scale;
         for fi in 0..f {
             for oi in 0..geom.out_h {
+                let row = ((b * f + fi) * geom.out_h + oi) * geom.out_w;
                 for oj in 0..geom.out_w {
                     let mut acc: i64 = 0;
                     for ch in 0..c {
@@ -106,15 +139,11 @@ pub fn fixed_point_conv(
                             }
                         }
                     }
-                    out.set(
-                        &[b, fi, oi, oj],
-                        acc as f32 * out_scale,
-                    );
+                    out[row + oj] = acc as f32 * out_scale;
                 }
             }
         }
     }
-    (out, counts)
 }
 
 #[cfg(test)]

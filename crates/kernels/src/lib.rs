@@ -13,20 +13,26 @@
 //!   (the (F)LightNN datapath),
 //! * [`counts`] — operation counting shared with the ASIC energy model,
 //! * [`engine`] — whole-network integer inference: compile a trained
-//!   `QuantNet` into a multiplier-free deployment pipeline with optional
-//!   batch-norm folding.
+//!   `QuantNet` with [`IntNetwork::compile_with`] into a multiplier-free
+//!   deployment pipeline, configured by a [`CompileOptions`] builder
+//!   (batch-norm folding, telemetry, sequential vs parallel
+//!   [`ExecutionPolicy`]). The batched parallel executor splits a batch
+//!   across crossbeam scoped threads with per-worker scratch arenas and
+//!   produces logits bit-identical to the sequential path, because
+//!   activations are quantized with one scale per image.
 //!
 //! Both kernels are validated bit-for-bit against the floating-point
 //! reference convolution of the same quantized values.
 
 pub mod counts;
 pub mod engine;
+mod exec;
 pub mod fixed;
 pub mod qact;
 pub mod shift;
 
 pub use counts::OpCounts;
-pub use engine::IntNetwork;
+pub use engine::{CompileOptions, ExecutionPolicy, IntNetwork};
 pub use fixed::fixed_point_conv;
 pub use qact::QuantActivations;
 pub use shift::{shift_add_conv, ShiftKernel};

@@ -52,6 +52,69 @@ impl QuantActivations {
         }
     }
 
+    /// Quantizes one contiguous slab into a caller-owned code buffer and
+    /// returns the scale. `codes` is cleared first, so a worker can reuse
+    /// one buffer across stages without reallocating — the scratch-arena
+    /// path of the batched execution engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2`.
+    pub fn quantize_slice_into(x: &[f32], bits: u32, codes: &mut Vec<i32>) -> f32 {
+        assert!(bits >= 2, "activation quantization needs at least 2 bits");
+        let qmax = ((1u32 << (bits - 1)) - 1) as f32;
+        let max = x.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max == 0.0 { 1.0 } else { max / qmax };
+        codes.clear();
+        codes.reserve(x.len());
+        codes.extend(
+            x.iter()
+                .map(|&v| (v / scale).round().clamp(-qmax, qmax) as i32),
+        );
+        scale
+    }
+
+    /// Quantizes each image of a `[n, …]` batch independently: image `b`
+    /// gets its own scale `max|x_b| / (2^{bits−1} − 1)` in `scales[b]`,
+    /// and its codes land in `codes[b·stride .. (b+1)·stride]` where
+    /// `stride = x.len() / n`. Both buffers are cleared and refilled.
+    ///
+    /// Per-image scales make each image's integer pipeline independent of
+    /// its batchmates, which is what lets the parallel engine split a
+    /// batch across workers and still produce logits bit-identical to the
+    /// sequential path (and to submitting the image alone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` or `x` has no dims.
+    pub fn quantize_per_image_into(
+        x: &Tensor,
+        bits: u32,
+        codes: &mut Vec<i32>,
+        scales: &mut Vec<f32>,
+    ) {
+        assert!(bits >= 2, "activation quantization needs at least 2 bits");
+        assert!(!x.dims().is_empty(), "batch tensor needs a leading dim");
+        let n = x.dims()[0];
+        let qmax = ((1u32 << (bits - 1)) - 1) as f32;
+        let stride = if n == 0 { 0 } else { x.len() / n };
+        let data = x.as_slice();
+        codes.clear();
+        codes.reserve(data.len());
+        scales.clear();
+        scales.reserve(n);
+        for b in 0..n {
+            let slab = &data[b * stride..(b + 1) * stride];
+            let max = slab.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let scale = if max == 0.0 { 1.0 } else { max / qmax };
+            scales.push(scale);
+            codes.extend(
+                slab.iter()
+                    .map(|&v| (v / scale).round().clamp(-qmax, qmax) as i32),
+            );
+        }
+    }
+
     /// The integer codes, row-major.
     pub fn codes(&self) -> &[i32] {
         &self.codes
@@ -120,5 +183,60 @@ mod tests {
         let q = QuantActivations::quantize(&Tensor::zeros(&[4]), 8);
         assert!(q.codes().iter().all(|&c| c == 0));
         assert_eq!(q.scale(), 1.0);
+    }
+
+    #[test]
+    fn slice_into_matches_quantize_and_reuses_buffer() {
+        let mut rng = TensorRng::seed(11);
+        let x = uniform(&mut rng, &[1, 3, 4, 4], -1.5, 1.5);
+        let reference = QuantActivations::quantize(&x, 8);
+        let mut codes = vec![99; 3]; // stale garbage must be cleared
+        let scale = QuantActivations::quantize_slice_into(x.as_slice(), 8, &mut codes);
+        assert_eq!(scale, reference.scale());
+        assert_eq!(codes, reference.codes());
+    }
+
+    #[test]
+    fn per_image_matches_quantizing_each_image_alone() {
+        let mut rng = TensorRng::seed(12);
+        let x = uniform(&mut rng, &[3, 2, 4, 4], -2.0, 2.0);
+        let mut codes = Vec::new();
+        let mut scales = Vec::new();
+        QuantActivations::quantize_per_image_into(&x, 8, &mut codes, &mut scales);
+        assert_eq!(scales.len(), 3);
+        assert_eq!(codes.len(), x.len());
+        let stride = x.len() / 3;
+        for b in 0..3 {
+            let img = Tensor::from_vec(x.outer(b).to_vec(), &[1, 2, 4, 4]);
+            let solo = QuantActivations::quantize(&img, 8);
+            assert_eq!(scales[b], solo.scale(), "image {b} scale");
+            assert_eq!(
+                &codes[b * stride..(b + 1) * stride],
+                solo.codes(),
+                "image {b} codes"
+            );
+        }
+    }
+
+    #[test]
+    fn per_image_handles_empty_batch_and_zero_images() {
+        let mut codes = vec![1, 2];
+        let mut scales = vec![0.5];
+        QuantActivations::quantize_per_image_into(
+            &Tensor::zeros(&[0, 2, 2]),
+            8,
+            &mut codes,
+            &mut scales,
+        );
+        assert!(codes.is_empty());
+        assert!(scales.is_empty());
+        QuantActivations::quantize_per_image_into(
+            &Tensor::zeros(&[2, 3]),
+            8,
+            &mut codes,
+            &mut scales,
+        );
+        assert_eq!(scales, vec![1.0, 1.0], "all-zero images keep scale 1");
+        assert!(codes.iter().all(|&c| c == 0));
     }
 }

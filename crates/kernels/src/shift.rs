@@ -128,10 +128,88 @@ impl ShiftKernel {
         self.taps.len()
     }
 
+    /// Square kernel side the taps were compiled for.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    /// Input channels the taps were compiled for.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
     /// Total shift taps (shift operations per output position summed over
     /// filters).
     pub fn total_taps(&self) -> usize {
         self.taps.iter().map(Vec::len).sum()
+    }
+}
+
+/// Shift-add convolution over raw integer codes with one scale per image.
+///
+/// `scales.len()` is the batch size `n`; image `b`'s codes occupy
+/// `codes[b·chw .. (b+1)·chw]` and its outputs are rescaled by
+/// `scales[b] · kernel.base_scale`. Results accumulate into `out`
+/// (length `n · filters · out_positions`, row-major `[n, f, oh, ow]`)
+/// and op counts into `counts`, so the execution engine can drive this
+/// from reusable per-worker scratch buffers.
+///
+/// Per-image scales are what make each image's pipeline independent of
+/// its batchmates — the invariant the batched engine's bit-exact
+/// parallel/sequential parity rests on.
+pub(crate) fn shift_add_conv_core(
+    codes: &[i32],
+    scales: &[f32],
+    geom: &Conv2dGeometry,
+    kernel: &ShiftKernel,
+    out: &mut [f32],
+    counts: &mut OpCounts,
+) {
+    let n = scales.len();
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let k = geom.kernel;
+    assert_eq!(
+        c, kernel.in_channels,
+        "activation channels {c} != kernel channels {}",
+        kernel.in_channels
+    );
+    assert_eq!(k, kernel.kernel, "geometry/kernel size mismatch");
+    assert_eq!(codes.len(), n * c * h * w, "codes length mismatch");
+    assert_eq!(
+        out.len(),
+        n * kernel.filters() * geom.out_positions(),
+        "output length mismatch"
+    );
+    let (stride, padding) = (geom.stride, geom.padding);
+
+    for b in 0..n {
+        let out_scale = scales[b] * kernel.base_scale;
+        for (fi, taps) in kernel.taps.iter().enumerate() {
+            for oi in 0..geom.out_h {
+                let row = ((b * kernel.filters() + fi) * geom.out_h + oi) * geom.out_w;
+                for oj in 0..geom.out_w {
+                    let mut acc: i64 = 0;
+                    for tap in taps {
+                        // Decode the tap's position in the [c, k, k] volume.
+                        let off = tap.offset as usize;
+                        let ch = off / (k * k);
+                        let ki = (off / k) % k;
+                        let kj = off % k;
+                        let ii = (oi * stride + ki) as isize - padding as isize;
+                        let jj = (oj * stride + kj) as isize - padding as isize;
+                        if ii < 0 || jj < 0 || ii as usize >= h || jj as usize >= w {
+                            continue;
+                        }
+                        let a = codes[((b * c + ch) * h + ii as usize) * w + jj as usize] as i64;
+                        let term = a << tap.shift;
+                        acc += if tap.negative { -term } else { term };
+                        counts.shifts += 1;
+                        counts.int_adds += 1;
+                    }
+                    out[row + oj] = acc as f32 * out_scale;
+                }
+            }
+        }
     }
 }
 
@@ -152,45 +230,18 @@ pub fn shift_add_conv(
     let ad = act.dims();
     assert_eq!(ad.len(), 4, "activations must be [n, c, h, w]");
     let (n, c, h, w) = (ad[0], ad[1], ad[2], ad[3]);
-    assert_eq!(
-        c, kernel.in_channels,
-        "activation channels {c} != kernel channels {}",
-        kernel.in_channels
-    );
-    let k = kernel.kernel;
-    let geom = Conv2dGeometry::new(c, h, w, k, stride, padding);
+    let geom = Conv2dGeometry::new(c, h, w, kernel.kernel, stride, padding);
     let mut out = Tensor::zeros(&[n, kernel.filters(), geom.out_h, geom.out_w]);
-    let out_scale = act.scale() * kernel.base_scale;
-    let codes = act.codes();
+    let scales = vec![act.scale(); n];
     let mut counts = OpCounts::default();
-
-    for b in 0..n {
-        for (fi, taps) in kernel.taps.iter().enumerate() {
-            for oi in 0..geom.out_h {
-                for oj in 0..geom.out_w {
-                    let mut acc: i64 = 0;
-                    for tap in taps {
-                        // Decode the tap's position in the [c, k, k] volume.
-                        let off = tap.offset as usize;
-                        let ch = off / (k * k);
-                        let ki = (off / k) % k;
-                        let kj = off % k;
-                        let ii = (oi * stride + ki) as isize - padding as isize;
-                        let jj = (oj * stride + kj) as isize - padding as isize;
-                        if ii < 0 || jj < 0 || ii as usize >= h || jj as usize >= w {
-                            continue;
-                        }
-                        let a = codes[((b * c + ch) * h + ii as usize) * w + jj as usize] as i64;
-                        let term = a << tap.shift;
-                        acc += if tap.negative { -term } else { term };
-                        counts.shifts += 1;
-                        counts.int_adds += 1;
-                    }
-                    out.set(&[b, fi, oi, oj], acc as f32 * out_scale);
-                }
-            }
-        }
-    }
+    shift_add_conv_core(
+        act.codes(),
+        &scales,
+        &geom,
+        kernel,
+        out.as_mut_slice(),
+        &mut counts,
+    );
     (out, counts)
 }
 
@@ -261,6 +312,39 @@ mod tests {
             k2.total_taps() > k1.total_taps(),
             "L-2 should need more shift taps than L-1"
         );
+    }
+
+    #[test]
+    fn core_with_per_image_scales_matches_solo_images() {
+        let mut rng = TensorRng::seed(16);
+        let mut conv = QuantConv2d::new(&mut rng, &QuantScheme::l1(), 2, 3, 3, 1, 1);
+        let plan = shift_plan(&mut conv);
+        let kernel = ShiftKernel::compile(&plan, &[3, 2, 3, 3]);
+        let x = uniform(&mut rng, &[3, 2, 6, 6], -1.0, 1.0);
+
+        let mut codes = Vec::new();
+        let mut scales = Vec::new();
+        QuantActivations::quantize_per_image_into(&x, 8, &mut codes, &mut scales);
+        let geom = Conv2dGeometry::new(2, 6, 6, 3, 1, 1);
+        let mut out = vec![0.0f32; 3 * kernel.filters() * geom.out_positions()];
+        let mut counts = OpCounts::default();
+        shift_add_conv_core(&codes, &scales, &geom, &kernel, &mut out, &mut counts);
+
+        // Each image must be bit-identical to submitting it alone.
+        let img_out = kernel.filters() * geom.out_positions();
+        let mut solo_counts = OpCounts::default();
+        for b in 0..3 {
+            let img = Tensor::from_vec(x.outer(b).to_vec(), &[1, 2, 6, 6]);
+            let qa = QuantActivations::quantize(&img, 8);
+            let (solo, c) = shift_add_conv(&qa, &kernel, 1, 1);
+            solo_counts += c;
+            assert_eq!(
+                &out[b * img_out..(b + 1) * img_out],
+                solo.as_slice(),
+                "image {b} diverges from solo inference"
+            );
+        }
+        assert_eq!(counts, solo_counts, "op counts reduce associatively");
     }
 
     #[test]

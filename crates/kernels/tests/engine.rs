@@ -2,7 +2,7 @@
 //! float quantized network on real trained models, multiplier-free.
 
 use flight_data::{Fidelity, SyntheticDataset};
-use flight_kernels::IntNetwork;
+use flight_kernels::{CompileOptions, IntNetwork};
 use flight_nn::Layer;
 use flight_tensor::TensorRng;
 use flightnn::configs::NetworkConfig;
@@ -36,7 +36,7 @@ fn max_logit_gap(a: &flight_tensor::Tensor, b: &flight_tensor::Tensor) -> f32 {
 #[test]
 fn vgg_lightnn_pipeline_matches_float_path() {
     let (mut net, data) = trained(1, &QuantScheme::l2(), 2);
-    let engine = IntNetwork::compile(&mut net).expect("compiles");
+    let engine = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("compiles");
     let input = as_8bit(&data.test_batches(8)[0].input);
     let float_logits = net.forward(&input, false);
     let (int_logits, counts) = engine.forward(&input);
@@ -54,7 +54,7 @@ fn vgg_lightnn_pipeline_matches_float_path() {
 #[test]
 fn resnet_flightnn_pipeline_matches_float_path() {
     let (mut net, data) = trained(2, &QuantScheme::flight(0.0), 2);
-    let engine = IntNetwork::compile(&mut net).expect("compiles");
+    let engine = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("compiles");
     let input = as_8bit(&data.test_batches(4)[0].input);
     let float_logits = net.forward(&input, false);
     let (int_logits, counts) = engine.forward(&input);
@@ -67,7 +67,7 @@ fn resnet_flightnn_pipeline_matches_float_path() {
 #[test]
 fn fixed_point_pipeline_multiplies_instead_of_shifting() {
     let (mut net, data) = trained(1, &QuantScheme::fp4w8a(), 2);
-    let engine = IntNetwork::compile(&mut net).expect("compiles");
+    let engine = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("compiles");
     let input = as_8bit(&data.test_batches(4)[0].input);
     let float_logits = net.forward(&input, false);
     let (int_logits, counts) = engine.forward(&input);
@@ -81,8 +81,9 @@ fn fixed_point_pipeline_multiplies_instead_of_shifting() {
 #[test]
 fn folded_pipeline_is_bit_identical_to_unfolded() {
     let (mut net, data) = trained(1, &QuantScheme::l1(), 2);
-    let plain = IntNetwork::compile(&mut net).expect("compiles");
-    let folded = IntNetwork::compile_folded(&mut net).expect("compiles folded");
+    let plain = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("compiles");
+    let folded = IntNetwork::compile_with(&mut net, CompileOptions::new().fold_batch_norm(true))
+        .expect("compiles folded");
     let batch = &data.test_batches(4)[0];
     let (a, _) = plain.forward(&batch.input);
     let (b, _) = folded.forward(&batch.input);
@@ -96,7 +97,7 @@ fn folded_pipeline_is_bit_identical_to_unfolded() {
 fn integer_accuracy_matches_float_accuracy() {
     use flight_nn::loss::top_k_accuracy;
     let (mut net, data) = trained(1, &QuantScheme::l2(), 6);
-    let engine = IntNetwork::compile(&mut net).expect("compiles");
+    let engine = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("compiles");
     let mut float_correct = 0.0;
     let mut int_correct = 0.0;
     let mut n = 0;
@@ -121,8 +122,8 @@ fn op_counts_track_mean_k() {
     // architecture on the same input.
     let (mut l1, data) = trained(1, &QuantScheme::l1(), 1);
     let (mut l2, _) = trained(1, &QuantScheme::l2(), 1);
-    let e1 = IntNetwork::compile(&mut l1).expect("compiles");
-    let e2 = IntNetwork::compile(&mut l2).expect("compiles");
+    let e1 = IntNetwork::compile_with(&mut l1, CompileOptions::new()).expect("compiles");
+    let e2 = IntNetwork::compile_with(&mut l2, CompileOptions::new()).expect("compiles");
     let batch = &data.test_batches(2)[0];
     let (_, c1) = e1.forward(&batch.input);
     let (_, c2) = e2.forward(&batch.input);
@@ -141,7 +142,13 @@ fn traced_forward_matches_untraced_and_emits_stage_events() {
     use std::sync::Arc;
 
     let (mut net, data) = trained(1, &QuantScheme::l1(), 1);
-    let engine = IntNetwork::compile_folded(&mut net).expect("compiles");
+    // Sequential policy: per-stage spans only exist on the sequential
+    // traced path (the parallel path reports per-worker spans instead).
+    let engine = IntNetwork::compile_with(
+        &mut net,
+        CompileOptions::new().fold_batch_norm(true).sequential(),
+    )
+    .expect("compiles");
     let input = as_8bit(&data.test_batches(2)[0].input);
     let (plain_logits, plain_counts) = engine.forward(&input);
 
@@ -179,7 +186,7 @@ fn traced_forward_matches_untraced_and_emits_stage_events() {
 #[test]
 fn full_precision_network_still_compiles() {
     let (mut net, data) = trained(1, &QuantScheme::full(), 1);
-    let engine = IntNetwork::compile(&mut net).expect("compiles");
+    let engine = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("compiles");
     let input = as_8bit(&data.test_batches(2)[0].input);
     let float_logits = net.forward(&input, false);
     let (logits, counts) = engine.forward(&input);

@@ -1,0 +1,325 @@
+//! Parallel/sequential parity suite for the batched execution engine.
+//!
+//! The engine quantizes activations with one scale per image, so the
+//! parallel path must be **bit-identical** to the sequential path — same
+//! logits, same [`OpCounts`] — for every batch size and every compiled
+//! datapath (shift-add, fixed-point, float fallback), folded or not.
+//! These tests use small hand-built untrained networks: parity is a
+//! property of the execution engine, not of the weights, and untrained
+//! nets keep the debug-mode test run fast.
+
+use std::sync::Arc;
+
+use flight_kernels::{CompileOptions, ExecutionPolicy, IntNetwork, OpCounts};
+use flight_nn::layers::{BatchNorm2d, Flatten, GlobalAvgPool, LeakyRelu, MaxPool2d};
+use flight_tensor::{uniform, Tensor, TensorRng};
+use flight_telemetry::{CollectingSink, EventKind, Telemetry};
+use flightnn::layers::{ActQuant, QuantConv2d, QuantLinear};
+use flightnn::net::QuantResidualBlock;
+use flightnn::{QuantNet, QuantScheme};
+use proptest::prelude::*;
+
+const IMG_DIMS: [usize; 3] = [3, 6, 6];
+
+/// conv → BN → LeakyReLU → maxpool → requant → conv → BN → LeakyReLU →
+/// GAP → flatten → linear; covers every non-residual stage kind.
+fn conv_net(scheme: &QuantScheme, seed: u64) -> QuantNet {
+    let mut rng = TensorRng::seed(seed);
+    let mut net = QuantNet::new();
+    net.push_conv(QuantConv2d::new(&mut rng, scheme, 3, 4, 3, 1, 1));
+    net.push_plain(BatchNorm2d::new(4));
+    net.push_plain(LeakyRelu::default());
+    net.push_plain(MaxPool2d::new(2));
+    net.push_plain(ActQuant::new(8));
+    net.push_conv(QuantConv2d::new(&mut rng, scheme, 4, 6, 3, 1, 1));
+    net.push_plain(BatchNorm2d::new(6));
+    net.push_plain(LeakyRelu::default());
+    net.push_plain(GlobalAvgPool::new());
+    net.push_plain(Flatten::new());
+    net.push_linear(QuantLinear::new(&mut rng, scheme, 6, 4));
+    net
+}
+
+/// conv → residual block (custom joining slope) → GAP → flatten → linear.
+fn residual_net(scheme: &QuantScheme, seed: u64) -> QuantNet {
+    let mut rng = TensorRng::seed(seed);
+    let mut net = QuantNet::new();
+    net.push_conv(QuantConv2d::new(&mut rng, scheme, 3, 4, 3, 1, 1));
+    let mut main = QuantNet::new();
+    main.push_conv(QuantConv2d::new(&mut rng, scheme, 4, 4, 3, 1, 1));
+    main.push_plain(BatchNorm2d::new(4));
+    net.push_residual(QuantResidualBlock::from_parts_with_slope(main, None, 0.2));
+    net.push_plain(GlobalAvgPool::new());
+    net.push_plain(Flatten::new());
+    net.push_linear(QuantLinear::new(&mut rng, scheme, 4, 4));
+    net
+}
+
+fn input_batch(n: usize, seed: u64) -> Tensor {
+    let mut rng = TensorRng::seed(seed);
+    uniform(
+        &mut rng,
+        &[n, IMG_DIMS[0], IMG_DIMS[1], IMG_DIMS[2]],
+        -1.0,
+        1.0,
+    )
+}
+
+/// Compiles once, then checks parallel vs sequential bit-exactness at
+/// every batch size in `1..=max_batch`.
+fn assert_parity(net: &mut QuantNet, fold: bool, label: &str) {
+    let engine = IntNetwork::compile_with(net, CompileOptions::new().fold_batch_norm(fold))
+        .expect("test network compiles");
+    let seq = engine.clone().with_policy(ExecutionPolicy::Sequential);
+    let par = engine.with_policy(ExecutionPolicy::Parallel { threads: 4 });
+    for n in 1..=33usize {
+        let x = input_batch(n, 100 + n as u64);
+        let (a, ca) = seq.forward(&x);
+        let (b, cb) = par.forward(&x);
+        assert_eq!(a.dims(), b.dims(), "{label}: dims diverge at batch {n}");
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "{label}: logits diverge at batch {n}"
+        );
+        assert_eq!(ca, cb, "{label}: op counts diverge at batch {n}");
+    }
+}
+
+#[test]
+fn shift_l1_net_parallel_matches_sequential() {
+    assert_parity(&mut conv_net(&QuantScheme::l1(), 1), false, "l1");
+}
+
+#[test]
+fn shift_l2_net_folded_parallel_matches_sequential() {
+    assert_parity(&mut conv_net(&QuantScheme::l2(), 2), true, "l2-folded");
+}
+
+#[test]
+fn fixed_point_net_parallel_matches_sequential() {
+    assert_parity(&mut conv_net(&QuantScheme::fp4w8a(), 3), false, "fp4w8a");
+}
+
+#[test]
+fn full_precision_net_parallel_matches_sequential() {
+    assert_parity(&mut conv_net(&QuantScheme::full(), 4), true, "full-folded");
+}
+
+#[test]
+fn residual_net_parallel_matches_sequential() {
+    assert_parity(&mut residual_net(&QuantScheme::flight(1e-5), 5), false, "residual");
+    assert_parity(&mut residual_net(&QuantScheme::l1(), 6), true, "residual-folded");
+}
+
+#[test]
+fn logits_are_invariant_under_batch_composition() {
+    // Per-image activation scales make an image's logits independent of
+    // its batchmates: forwarding a batch equals forwarding each image
+    // alone. (This is the invariant the parallel split relies on.)
+    let mut net = conv_net(&QuantScheme::l2(), 7);
+    let engine = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("compiles");
+    let x = input_batch(5, 77);
+    let (batched, _) = engine.forward(&x);
+    let classes = batched.dims()[1];
+    for i in 0..5 {
+        let img = Tensor::from_vec(
+            x.outer(i).to_vec(),
+            &[1, IMG_DIMS[0], IMG_DIMS[1], IMG_DIMS[2]],
+        );
+        let (solo, _) = engine.forward(&img);
+        assert_eq!(
+            solo.as_slice(),
+            &batched.as_slice()[i * classes..(i + 1) * classes],
+            "image {i} depends on its batchmates"
+        );
+    }
+}
+
+#[test]
+fn forward_into_reuses_or_replaces_the_buffer() {
+    let mut net = conv_net(&QuantScheme::l1(), 8);
+    let engine = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("compiles");
+    let x = input_batch(3, 88);
+    let (expected, expected_counts) = engine.forward(&x);
+
+    // Right shape: the allocation is reused in place.
+    let mut out = Tensor::zeros(expected.dims());
+    let counts = engine.forward_into(&x, &mut out);
+    assert_eq!(out.as_slice(), expected.as_slice());
+    assert_eq!(counts, expected_counts);
+
+    // Wrong shape: the buffer is replaced with the fresh logits.
+    let mut wrong = Tensor::zeros(&[1]);
+    engine.forward_into(&x, &mut wrong);
+    assert_eq!(wrong.dims(), expected.dims());
+    assert_eq!(wrong.as_slice(), expected.as_slice());
+}
+
+#[test]
+fn parallel_forward_reports_workers_and_chunks() {
+    let mut net = conv_net(&QuantScheme::l1(), 9);
+    let sink = Arc::new(CollectingSink::new());
+    let engine = IntNetwork::compile_with(
+        &mut net,
+        CompileOptions::new()
+            .telemetry(Telemetry::new(sink.clone()))
+            .threads(3),
+    )
+    .expect("compiles");
+    let x = input_batch(5, 99);
+    let (_, counts) = engine.forward(&x);
+
+    let events = sink.events();
+    let workers = events
+        .iter()
+        .find(|e| e.kind == EventKind::Gauge && e.name == "kernel.forward.workers")
+        .expect("worker-count gauge emitted");
+    assert_eq!(workers.value, 3.0, "batch 5 on 3 threads engages 3 workers");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::SpanEnd && e.name == "kernel.forward"),
+        "whole-pass span present"
+    );
+    let chunk_spans = events
+        .iter()
+        .filter(|e| {
+            e.kind == EventKind::SpanEnd
+                && e.name.starts_with("kernel.worker.")
+                && e.name.ends_with(".chunk")
+        })
+        .count();
+    assert_eq!(chunk_spans, 3, "one chunk span per worker");
+    let images: f64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Gauge && e.name.ends_with(".chunk.images"))
+        .map(|e| e.value)
+        .sum();
+    assert_eq!(images, 5.0, "chunks cover the whole batch");
+    let worker_shifts: u64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Counter && e.name.ends_with(".chunk.shifts"))
+        .map(|e| e.value as u64)
+        .sum();
+    assert_eq!(
+        worker_shifts, counts.shifts,
+        "per-worker shift counters must sum to the aggregate"
+    );
+}
+
+#[test]
+fn residual_slope_is_plumbed_through_compilation() {
+    // Two identical nets except for the residual joining slope must
+    // compile to engines that disagree — with the old hardcoded 0.01 the
+    // slope would be silently ignored.
+    let mut rng = TensorRng::seed(10);
+    let x = uniform(&mut rng, &[2, 3, 6, 6], -1.0, 1.0);
+    let scheme = QuantScheme::l1();
+
+    let run = |slope: f32| {
+        let mut rng = TensorRng::seed(21);
+        let mut net = QuantNet::new();
+        net.push_conv(QuantConv2d::new(&mut rng, &scheme, 3, 4, 3, 1, 1));
+        let mut main = QuantNet::new();
+        main.push_conv(QuantConv2d::new(&mut rng, &scheme, 4, 4, 3, 1, 1));
+        net.push_residual(QuantResidualBlock::from_parts_with_slope(main, None, slope));
+        let engine = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("compiles");
+        engine.forward(&x).0
+    };
+
+    let steep = run(0.5);
+    let default = run(0.01);
+    assert!(
+        steep.as_slice() != default.as_slice(),
+        "changing the residual slope must change the compiled block's output"
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_compile_with() {
+    let x = input_batch(3, 55);
+
+    let old = IntNetwork::compile(&mut conv_net(&QuantScheme::l1(), 11)).expect("compiles");
+    let new = IntNetwork::compile_with(&mut conv_net(&QuantScheme::l1(), 11), CompileOptions::new())
+        .expect("compiles");
+    let (ol, oc) = old.forward(&x);
+    let (nl, nc) = new.forward(&x);
+    assert_eq!(ol.as_slice(), nl.as_slice(), "compile shim equals compile_with");
+    assert_eq!(oc, nc);
+
+    let folded_old =
+        IntNetwork::compile_folded(&mut conv_net(&QuantScheme::l2(), 12)).expect("compiles");
+    let folded_new = IntNetwork::compile_with(
+        &mut conv_net(&QuantScheme::l2(), 12),
+        CompileOptions::new().fold_batch_norm(true),
+    )
+    .expect("compiles");
+    let (fo, foc) = folded_old.forward(&x);
+    let (fn_, fnc) = folded_new.forward(&x);
+    assert_eq!(
+        fo.as_slice(),
+        fn_.as_slice(),
+        "compile_folded shim equals fold_batch_norm(true)"
+    );
+    assert_eq!(foc, fnc);
+
+    let (ul, uc) = folded_old.forward_untraced(&x);
+    assert_eq!(
+        ul.as_slice(),
+        fo.as_slice(),
+        "forward_untraced shim equals forward"
+    );
+    assert_eq!(uc, foc);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any `CompileOptions` combination must produce the same logits and
+    /// counts as the plain sequential/null reference with matching
+    /// folding — execution policy and telemetry are observability and
+    /// scheduling knobs, never numerics knobs.
+    #[test]
+    fn random_compile_options_never_change_the_numbers(
+        fold in any::<bool>(),
+        sequential in any::<bool>(),
+        threads in 0usize..6,
+        trace in any::<bool>(),
+        n in 1usize..7,
+    ) {
+        let mut reference_net = conv_net(&QuantScheme::l2(), 42);
+        let reference = IntNetwork::compile_with(
+            &mut reference_net,
+            CompileOptions::new().fold_batch_norm(fold).sequential(),
+        )
+        .expect("compiles");
+
+        let policy = if sequential {
+            ExecutionPolicy::Sequential
+        } else {
+            ExecutionPolicy::Parallel { threads }
+        };
+        let telemetry = if trace {
+            Telemetry::new(Arc::new(CollectingSink::new()))
+        } else {
+            Telemetry::null()
+        };
+        let mut net = conv_net(&QuantScheme::l2(), 42);
+        let engine = IntNetwork::compile_with(
+            &mut net,
+            CompileOptions::new()
+                .fold_batch_norm(fold)
+                .policy(policy)
+                .telemetry(telemetry),
+        )
+        .expect("compiles");
+
+        let x = input_batch(n, 200 + n as u64);
+        let (a, ca): (Tensor, OpCounts) = reference.forward(&x);
+        let (b, cb) = engine.forward(&x);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+        prop_assert_eq!(ca, cb);
+    }
+}

@@ -8,7 +8,7 @@ use std::time::Instant;
 use crate::event::{Event, EventKind};
 use crate::hist::FixedHistogram;
 use crate::jsonl::JsonlSink;
-use crate::sink::{NullSink, StderrSink, TelemetrySink};
+use crate::sink::{NullSink, PrefixSink, StderrSink, TelemetrySink};
 
 /// Global emission order across every handle in the process.
 static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -118,6 +118,21 @@ impl Telemetry {
     /// once and skip instrumentation entirely when it is `false`.
     pub fn enabled(&self) -> bool {
         self.sink.enabled()
+    }
+
+    /// A derived handle that prepends `prefix` to every event name
+    /// before forwarding to the same sink (see [`PrefixSink`]).
+    ///
+    /// The integer engine uses this for per-worker span attribution:
+    /// worker `w` gets `with_prefix("kernel.worker.<w>.")` and emits
+    /// plain names like `chunk`. Disabled handles (and empty prefixes)
+    /// return a plain clone, so the null-sink fast path stays one
+    /// virtual call with no wrapper allocation.
+    pub fn with_prefix(&self, prefix: &str) -> Telemetry {
+        if prefix.is_empty() || !self.enabled() {
+            return self.clone();
+        }
+        Telemetry::new(Arc::new(PrefixSink::new(prefix, self.sink.clone())))
     }
 
     fn emit(
@@ -301,6 +316,39 @@ mod tests {
         let first = t.span("a").id();
         let second = t.span("b").id();
         assert!(second > first);
+    }
+
+    #[test]
+    fn prefixed_handle_attributes_spans_to_workers() {
+        let sink = Arc::new(CollectingSink::new());
+        let t = Telemetry::new(sink.clone());
+        let worker = t.with_prefix("kernel.worker.00.");
+        {
+            let _span = worker.span("chunk");
+            worker.counter("chunk.shifts", 7, "op");
+        }
+        t.gauge("kernel.forward.workers", 2.0, "worker");
+        let names: Vec<_> = sink.events().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "kernel.worker.00.chunk",
+                "kernel.worker.00.chunk.shifts",
+                "kernel.worker.00.chunk",
+                "kernel.forward.workers",
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixing_a_disabled_handle_stays_null() {
+        let t = Telemetry::null().with_prefix("kernel.worker.00.");
+        assert!(!t.enabled());
+        // Empty prefixes skip the wrapper entirely.
+        let sink = Arc::new(CollectingSink::new());
+        let live = Telemetry::new(sink.clone()).with_prefix("");
+        live.counter("bare", 1, "");
+        assert_eq!(sink.events()[0].name, "bare");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`TelemetrySink`] — where events go. Three built-in sinks:
 //!   [`NullSink`] (default; disabled, zero overhead), [`StderrSink`]
 //!   (human-readable lines), and [`JsonlSink`] (append-only JSON Lines
-//!   file). [`CollectingSink`] buffers events in memory for tests.
+//!   file). [`CollectingSink`] buffers events in memory for tests, and
+//!   [`PrefixSink`] renames events for per-worker attribution (built
+//!   via [`Telemetry::with_prefix`]).
 //! * [`Telemetry`] — a cheap, clonable handle (`Arc<dyn TelemetrySink>`)
 //!   threaded through config structs. Every emitting method early-returns
 //!   without allocating when the sink is disabled, so instrumented hot
@@ -67,4 +69,4 @@ pub use event::{Event, EventKind};
 pub use handle::{Span, Telemetry};
 pub use hist::FixedHistogram;
 pub use jsonl::JsonlSink;
-pub use sink::{CollectingSink, NullSink, StderrSink, TelemetrySink};
+pub use sink::{CollectingSink, NullSink, PrefixSink, StderrSink, TelemetrySink};

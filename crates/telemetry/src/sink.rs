@@ -1,6 +1,6 @@
 //! Sink trait and the in-process sinks.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::event::Event;
 
@@ -42,6 +42,48 @@ impl TelemetrySink for StderrSink {
             Some(text) => eprintln!("[flight-telemetry] {event} {text}"),
             None => eprintln!("[flight-telemetry] {event}"),
         }
+    }
+}
+
+/// Renames every event with a fixed prefix before forwarding it to an
+/// inner sink.
+///
+/// This is how concurrent producers attribute their streams without
+/// threading names through every emit call: the integer engine hands
+/// each worker a handle built with
+/// [`Telemetry::with_prefix`](crate::Telemetry::with_prefix), so a
+/// worker's `chunk` span reaches the sink as
+/// `kernel.worker.<w>.chunk`. Sequence numbers, span ids, and
+/// timestamps are untouched — only `name` changes.
+pub struct PrefixSink {
+    prefix: String,
+    inner: Arc<dyn TelemetrySink>,
+}
+
+impl PrefixSink {
+    /// Wraps `inner`, prepending `prefix` to every event name.
+    pub fn new(prefix: impl Into<String>, inner: Arc<dyn TelemetrySink>) -> Self {
+        PrefixSink {
+            prefix: prefix.into(),
+            inner,
+        }
+    }
+}
+
+impl std::fmt::Debug for PrefixSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PrefixSink({:?})", self.prefix)
+    }
+}
+
+impl TelemetrySink for PrefixSink {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn emit(&self, mut event: Event) {
+        event.name.insert_str(0, &self.prefix);
+        self.inner.emit(event);
     }
 }
 
@@ -115,6 +157,24 @@ mod tests {
         let sink = NullSink;
         assert!(!sink.enabled());
         sink.emit(event(0, "dropped"));
+    }
+
+    #[test]
+    fn prefix_sink_renames_and_forwards() {
+        let inner = Arc::new(CollectingSink::new());
+        let sink = PrefixSink::new("kernel.worker.03.", inner.clone());
+        assert!(sink.enabled());
+        sink.emit(event(0, "chunk"));
+        let events = inner.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "kernel.worker.03.chunk");
+        assert_eq!(events[0].seq, 0, "only the name is rewritten");
+    }
+
+    #[test]
+    fn prefix_sink_tracks_inner_enablement() {
+        let sink = PrefixSink::new("w.", Arc::new(NullSink));
+        assert!(!sink.enabled());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! ```
 
 use flight_data::{DatasetKind, Fidelity, SyntheticDataset};
-use flight_kernels::IntNetwork;
+use flight_kernels::{CompileOptions, IntNetwork};
 use flight_nn::loss::top_k_accuracy;
 use flight_nn::Layer;
 use flight_tensor::TensorRng;
@@ -39,8 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut deployed = cfg.build(&scheme, &mut rng2, data.classes(), data.image_dims(), 0.25);
     load_params(&mut deployed, &mut checkpoint.as_slice())?;
 
-    // 3. Compile to the integer pipeline with folded batch norms.
-    let engine = IntNetwork::compile_folded(&mut deployed)?;
+    // 3. Compile to the integer pipeline with folded batch norms. The
+    //    default execution policy splits each batch across all cores.
+    let engine =
+        IntNetwork::compile_with(&mut deployed, CompileOptions::new().fold_batch_norm(true))?;
     println!("compiled integer pipeline: {} stages", engine.stages());
 
     // 4. Compare float vs integer accuracy, and count operations.
