@@ -6,7 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flight_kernels::fixed::FixedWeights;
-use flight_kernels::{fixed_point_conv, shift_add_conv, QuantActivations, ShiftKernel};
+use flight_kernels::{
+    fixed_point_conv, shift_add_conv, shift_add_conv_reference, QuantActivations, ShiftKernel,
+};
 use flight_tensor::{uniform, TensorRng};
 use flightnn::convert::shift_plan;
 use flightnn::layers::QuantConv2d;
@@ -46,6 +48,27 @@ fn bench_conv_kernels(c: &mut Criterion) {
             b.iter(|| shift_add_conv(&qa, kern, 1, 1))
         });
     }
+    group.finish();
+}
+
+fn bench_kernel_lowering(c: &mut Criterion) {
+    // CIFAR-scale shift layer, interpreted tap loop vs lowered tap
+    // program — the timing counterpart of the `lowering` exhibit bin's
+    // single-thread speedup field.
+    let mut rng = TensorRng::seed(9);
+    let x = uniform(&mut rng, &[1, 32, 32, 32], -1.0, 1.0);
+    let qa = QuantActivations::quantize(&x, 8);
+    let mut conv = QuantConv2d::new(&mut rng, &QuantScheme::l2(), 32, 32, 3, 1, 1);
+    let plan = shift_plan(&mut conv);
+    let kernel = ShiftKernel::compile(&plan, &[32, 32, 3, 3]);
+
+    let mut group = c.benchmark_group("kernel_lowering");
+    group.bench_function("naive_shift", |b| {
+        b.iter(|| shift_add_conv_reference(&qa, &kernel, 1, 1))
+    });
+    group.bench_function("lowered_shift", |b| {
+        b.iter(|| shift_add_conv(&qa, &kernel, 1, 1))
+    });
     group.finish();
 }
 
@@ -142,6 +165,6 @@ fn bench_batch_throughput(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_conv_kernels, bench_quantizers, bench_training_step, bench_telemetry_overhead, bench_batch_throughput
+    targets = bench_conv_kernels, bench_kernel_lowering, bench_quantizers, bench_training_step, bench_telemetry_overhead, bench_batch_throughput
 }
 criterion_main!(benches);

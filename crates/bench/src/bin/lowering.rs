@@ -1,0 +1,142 @@
+//! Kernel-lowering exhibit: interpreted tap loops vs the lowered tap
+//! programs (precomputed offsets, interior/border split) on a
+//! CIFAR-scale shift-add layer, plus the lowered cores under both
+//! engine execution policies. Set FLIGHT_FIDELITY=smoke|bench|full and
+//! (optionally) FLIGHT_TELEMETRY=stderr|jsonl:<path>. The manifest
+//! carries top-level `parity` and `speedup` fields so CI can gate on
+//! them: `parity` is the bitwise logits-and-counts agreement of every
+//! pair measured here, `speedup` is lowered over naive, single thread.
+
+use std::time::Instant;
+
+use flight_bench::suite::ModelRow;
+use flight_bench::{BenchProfile, BenchRun};
+use flight_data::Fidelity;
+use flight_kernels::{
+    shift_add_conv, shift_add_conv_reference, CompileOptions, ExecutionPolicy, IntNetwork,
+    QuantActivations, ShiftKernel,
+};
+use flight_telemetry::json::JsonValue;
+use flight_tensor::{uniform, TensorRng};
+use flightnn::convert::shift_plan;
+use flightnn::layers::QuantConv2d;
+use flightnn::{QuantNet, QuantScheme};
+
+/// CIFAR-scale layer: 32 input planes at 32x32, 32 filters, 3x3, pad 1.
+const CHANNELS: usize = 32;
+const FILTERS: usize = 32;
+const SIDE: usize = 32;
+
+fn main() {
+    let run = BenchRun::start("lowering");
+    let profile = BenchProfile::from_env();
+    let smoke = profile.fidelity == Fidelity::Smoke;
+    let batch = if smoke { 4 } else { 16 };
+    let reps = if smoke { 3 } else { 10 };
+    println!(
+        "Kernel lowering: {CHANNELS}ch {SIDE}x{SIDE} k3 L-2, batch {batch}, profile {:?}",
+        profile.fidelity
+    );
+
+    // One real quantized layer, compiled to a tap program.
+    let scheme = QuantScheme::l2();
+    let mut rng = TensorRng::seed(profile.seed);
+    let mut conv = QuantConv2d::new(&mut rng, &scheme, CHANNELS, FILTERS, 3, 1, 1);
+    let plan = shift_plan(&mut conv);
+    let kernel = ShiftKernel::compile(&plan, &[FILTERS, CHANNELS, 3, 3]);
+    let x = uniform(&mut rng, &[batch, CHANNELS, SIDE, SIDE], -1.0, 1.0);
+    let qa = QuantActivations::quantize(&x, 8);
+
+    // Parity gate 1: lowered kernel vs interpreted reference, bitwise,
+    // logits and op counts both.
+    let (lo_out, lo_counts) = shift_add_conv(&qa, &kernel, 1, 1);
+    let (re_out, re_counts) = shift_add_conv_reference(&qa, &kernel, 1, 1);
+    let kernel_parity = lo_out.as_slice() == re_out.as_slice() && lo_counts == re_counts;
+
+    let time = |f: &dyn Fn()| {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        (reps * batch) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    };
+    let naive_ips = time(&|| {
+        let _ = shift_add_conv_reference(&qa, &kernel, 1, 1);
+    });
+    let lowered_ips = time(&|| {
+        let _ = shift_add_conv(&qa, &kernel, 1, 1);
+    });
+    let speedup = lowered_ips / naive_ips.max(1e-9);
+    println!(
+        "single thread: naive {naive_ips:.1} img/s | lowered {lowered_ips:.1} img/s | {speedup:.2}x"
+    );
+
+    // Engine pass: the same lowered cores behind both execution
+    // policies, sharing one geometry-keyed lowering cache per kernel.
+    let mut net = QuantNet::new();
+    let mut nrng = TensorRng::seed(profile.seed.wrapping_add(1));
+    net.push_conv(QuantConv2d::new(&mut nrng, &scheme, 3, 8, 3, 1, 1));
+    net.push_conv(QuantConv2d::new(&mut nrng, &scheme, 8, 8, 3, 1, 1));
+    let engine = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("net compiles");
+    let seq = engine.clone().with_policy(ExecutionPolicy::Sequential);
+    let threads = std::thread::available_parallelism().map_or(2, |c| c.get().max(2));
+    let par = engine.with_policy(ExecutionPolicy::Parallel { threads });
+    let nx = uniform(&mut nrng, &[batch, 3, SIDE, SIDE], -1.0, 1.0);
+
+    // Parity gate 2: sequential vs parallel over the lowered cores.
+    let (sq_out, sq_counts) = seq.forward(&nx);
+    let (pr_out, pr_counts) = par.forward(&nx);
+    let engine_parity = sq_out.as_slice() == pr_out.as_slice() && sq_counts == pr_counts;
+
+    let seq_ips = time(&|| {
+        let _ = seq.forward(&nx);
+    });
+    let par_ips = time(&|| {
+        let _ = par.forward(&nx);
+    });
+    println!(
+        "engine: sequential {seq_ips:.1} img/s | parallel({threads}) {par_ips:.1} img/s"
+    );
+
+    let parity = kernel_parity && engine_parity;
+    println!("parity: {parity} (kernel {kernel_parity}, engine {engine_parity})");
+
+    let row = |label: &str, ips: f64, rel: f64| ModelRow {
+        label: label.to_string(),
+        accuracy: 0.0,
+        storage_mb: 0.0,
+        throughput: ips,
+        speedup: rel,
+        energy_uj: 0.0,
+        mean_k: None,
+    };
+    let tables = [
+        (
+            "shift_conv".to_string(),
+            vec![
+                row("naive", naive_ips, 1.0),
+                row("lowered", lowered_ips, speedup),
+            ],
+        ),
+        (
+            "engine".to_string(),
+            vec![
+                row("lowered sequential", seq_ips, 1.0),
+                row(
+                    &format!("lowered parallel x{threads}"),
+                    par_ips,
+                    par_ips / seq_ips.max(1e-9),
+                ),
+            ],
+        ),
+    ];
+    run.finish_with(
+        Some(&profile),
+        &tables,
+        &[
+            ("parity", JsonValue::Bool(parity)),
+            ("speedup", JsonValue::Number(speedup)),
+        ],
+    );
+    assert!(parity, "lowered kernels diverged from the references");
+}

@@ -59,12 +59,26 @@ impl BenchRun {
     /// pairs a table name (e.g. `"network1"`) with its final rows;
     /// exhibits without a profile or tables pass `None` / `&[]`.
     pub fn finish(self, profile: Option<&BenchProfile>, tables: &[(String, Vec<ModelRow>)]) {
+        self.finish_with(profile, tables, &[]);
+    }
+
+    /// [`BenchRun::finish`] with exhibit-specific top-level manifest
+    /// fields appended after the shared schema — e.g. the `lowering`
+    /// exhibit records `"parity": true` and its measured `"speedup"` so
+    /// CI can gate on them with a plain grep.
+    pub fn finish_with(
+        self,
+        profile: Option<&BenchProfile>,
+        tables: &[(String, Vec<ModelRow>)],
+        extras: &[(&str, JsonValue)],
+    ) {
         let manifest = render_manifest(
             &self.exhibit,
             profile,
             tables,
             self.span.elapsed_secs(),
             &git_describe(),
+            extras,
         );
         self.telemetry.manifest("bench.run_manifest", &manifest);
         drop(self.span);
@@ -79,13 +93,17 @@ impl BenchRun {
 }
 
 /// Builds the manifest JSON text (separated from [`BenchRun::finish`] so
-/// tests can check the schema without touching the filesystem).
+/// tests can check the schema without touching the filesystem). `extras`
+/// are exhibit-specific top-level fields appended after the shared
+/// schema; the layout of the shared fields is still schema version
+/// [`MANIFEST_SCHEMA_VERSION`] (additions are backward compatible).
 pub fn render_manifest(
     exhibit: &str,
     profile: Option<&BenchProfile>,
     tables: &[(String, Vec<ModelRow>)],
     elapsed_secs: f64,
     git_describe: &str,
+    extras: &[(&str, JsonValue)],
 ) -> String {
     let profile_json = match profile {
         Some(p) => JsonObject::new()
@@ -110,15 +128,17 @@ pub fn render_manifest(
                 .build()
         })
         .collect();
-    JsonObject::new()
+    let mut obj = JsonObject::new()
         .field("schema_version", MANIFEST_SCHEMA_VERSION)
         .field("exhibit", exhibit)
         .field("profile", profile_json)
         .field("git_describe", git_describe)
         .field("elapsed_secs", elapsed_secs)
-        .field("tables", tables_json)
-        .build()
-        .render()
+        .field("tables", tables_json);
+    for (key, value) in extras {
+        obj = obj.field(*key, value.clone());
+    }
+    obj.build().render()
 }
 
 fn row_json(row: &ModelRow) -> JsonValue {
@@ -168,7 +188,7 @@ mod tests {
     fn manifest_parses_and_carries_the_schema() {
         let profile = BenchProfile::for_fidelity(Fidelity::Smoke);
         let tables = vec![("network1".to_string(), vec![row("Full"), row("FL_b")])];
-        let text = render_manifest("table2", Some(&profile), &tables, 3.5, "abc123-dirty");
+        let text = render_manifest("table2", Some(&profile), &tables, 3.5, "abc123-dirty", &[]);
         let v = JsonValue::parse(&text).expect("manifest is valid JSON");
         assert_eq!(
             v.get("schema_version").and_then(JsonValue::as_f64),
@@ -192,13 +212,27 @@ mod tests {
 
     #[test]
     fn profileless_manifest_has_null_profile() {
-        let text = render_manifest("fig4", None, &[], 0.1, "unknown");
+        let text = render_manifest("fig4", None, &[], 0.1, "unknown", &[]);
         let v = JsonValue::parse(&text).expect("valid JSON");
         assert!(matches!(v.get("profile"), Some(JsonValue::Null)));
         assert_eq!(
             v.get("tables").and_then(JsonValue::as_array).map(|t| t.len()),
             Some(0)
         );
+    }
+
+    #[test]
+    fn extras_become_top_level_manifest_fields() {
+        let extras = [
+            ("parity", JsonValue::Bool(true)),
+            ("speedup", JsonValue::Number(2.9)),
+        ];
+        let text = render_manifest("lowering", None, &[], 0.2, "unknown", &extras);
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        assert!(matches!(v.get("parity"), Some(JsonValue::Bool(true))));
+        assert_eq!(v.get("speedup").and_then(JsonValue::as_f64), Some(2.9));
+        // Shared schema fields survive the append.
+        assert_eq!(v.get("exhibit").and_then(JsonValue::as_str), Some("lowering"));
     }
 
     #[test]

@@ -8,6 +8,26 @@ use serde::{Deserialize, Serialize};
 /// fixed-point datapath spends integer multiplies, a (F)LightNN datapath
 /// spends barrel shifts and adds, a full-precision datapath spends float
 /// multiplies and adds.
+///
+/// # Counting conventions
+///
+/// Counts charge only **executed** taps — a tap clipped away by padding
+/// costs nothing, so border positions are cheaper than interior ones.
+/// Per output position and filter with `t` executed taps:
+///
+/// * **shift-add datapath** (`shifts`/`int_adds`): `t` shifts and
+///   `t − 1` adds — the paper's §3 cost model (`k` shifts, `k − 1`
+///   adds): an accumulator seeded from the first shifted term needs one
+///   add per *additional* term. Positions with `t = 0` charge nothing
+///   (`saturating_sub`).
+/// * **fixed-point datapath** (`int_mults`/`int_adds`): `t` multiplies
+///   and `t` accumulates — a fused MAC per tap, so the two fields are
+///   always equal for this path.
+///
+/// The lowered kernels precompute these totals per geometry (interior
+/// analytically, border by dry run) and must stay bit-identical to the
+/// interpreted reference cores, which count inside the loop; the parity
+/// tests in `crates/kernels/tests/lowering.rs` pin both conventions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct OpCounts {
     /// 32-bit float multiplies.

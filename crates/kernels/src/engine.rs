@@ -350,7 +350,13 @@ impl IntNetwork {
         } else {
             let mut counts = OpCounts::default();
             let mut scratch = Scratch::default();
-            let out = run_layers(&self.layers, input, &mut counts, &mut scratch);
+            let out = run_layers(
+                &self.layers,
+                &self.telemetry,
+                input,
+                &mut counts,
+                &mut scratch,
+            );
             (out, counts)
         }
     }
@@ -379,7 +385,8 @@ impl IntNetwork {
     pub fn forward_untraced(&self, input: &Tensor) -> (Tensor, OpCounts) {
         let mut counts = OpCounts::default();
         let mut scratch = Scratch::default();
-        let out = run_layers(&self.layers, input, &mut counts, &mut scratch);
+        let null = Telemetry::default();
+        let out = run_layers(&self.layers, &null, input, &mut counts, &mut scratch);
         (out, counts)
     }
 
@@ -397,7 +404,13 @@ impl IntNetwork {
             let name = format!("kernel.stage.{i:02}.{}", stage_kind(layer));
             let stage_span = self.telemetry.span(&name);
             let x = owned.as_ref().unwrap_or(input);
-            owned = Some(run_layer(layer, x, &mut counts, &mut scratch));
+            owned = Some(run_layer(
+                layer,
+                &self.telemetry,
+                x,
+                &mut counts,
+                &mut scratch,
+            ));
             drop(stage_span);
             for (field, n) in counts.delta(before).fields() {
                 if n > 0 {
@@ -607,6 +620,7 @@ fn fold_affines(layers: &mut Vec<IntLayer>) {
 /// activation-quantization buffers.
 pub(crate) fn run_layers(
     layers: &[IntLayer],
+    telemetry: &Telemetry,
     input: &Tensor,
     counts: &mut OpCounts,
     scratch: &mut Scratch,
@@ -614,15 +628,47 @@ pub(crate) fn run_layers(
     let mut owned: Option<Tensor> = None;
     for layer in layers {
         let x = owned.as_ref().unwrap_or(input);
-        owned = Some(run_layer(layer, x, counts, scratch));
+        owned = Some(run_layer(layer, telemetry, x, counts, scratch));
     }
     owned.unwrap_or_else(|| input.clone())
+}
+
+/// Emits the `kernel.lowering` span and gauges describing how an integer
+/// conv stage decomposes `geom` — interior/border position split and
+/// taps per filter — attributed per worker through the caller's
+/// [`PrefixSink`](flight_telemetry::Telemetry::with_prefix)ed handle.
+/// Returns the span guard bracketing the kernel run (`None` on the null
+/// sink, which keeps the hot path free of telemetry work).
+fn lowering_span(
+    telemetry: &Telemetry,
+    stats: crate::shift::LoweringStats,
+) -> Option<flight_telemetry::Span> {
+    if !telemetry.enabled() {
+        return None;
+    }
+    telemetry.gauge(
+        "kernel.lowering.interior_positions",
+        stats.interior_positions as f64,
+        "pos",
+    );
+    telemetry.gauge(
+        "kernel.lowering.border_positions",
+        stats.border_positions as f64,
+        "pos",
+    );
+    telemetry.gauge(
+        "kernel.lowering.taps_per_filter",
+        stats.mean_taps_per_filter(),
+        "tap",
+    );
+    Some(telemetry.span("kernel.lowering"))
 }
 
 /// One integer conv over `x` with whichever datapath the layer compiled
 /// to, quantizing activations per image through the scratch buffers.
 fn conv_stage(
     weights: &IntWeights,
+    telemetry: &Telemetry,
     act_bits: u32,
     x: &Tensor,
     stride: usize,
@@ -642,6 +688,7 @@ fn conv_stage(
             );
             let geom = Conv2dGeometry::new(d[1], d[2], d[3], kernel.kernel_size(), stride, padding);
             let mut out = Tensor::zeros(&[d[0], kernel.filters(), geom.out_h, geom.out_w]);
+            let span = lowering_span(telemetry, kernel.lowering_stats(&geom));
             shift_add_conv_core(
                 &scratch.codes,
                 &scratch.scales,
@@ -650,6 +697,7 @@ fn conv_stage(
                 out.as_mut_slice(),
                 counts,
             );
+            drop(span);
             out
         }
         IntWeights::Fixed(fw) => {
@@ -661,6 +709,7 @@ fn conv_stage(
             );
             let geom = Conv2dGeometry::new(d[1], d[2], d[3], fw.dims()[2], stride, padding);
             let mut out = Tensor::zeros(&[d[0], fw.dims()[0], geom.out_h, geom.out_w]);
+            let span = lowering_span(telemetry, fw.lowering_stats(&geom));
             fixed_point_conv_core(
                 &scratch.codes,
                 &scratch.scales,
@@ -669,6 +718,7 @@ fn conv_stage(
                 out.as_mut_slice(),
                 counts,
             );
+            drop(span);
             out
         }
         IntWeights::Float(w) => {
@@ -692,6 +742,7 @@ fn conv_stage(
 
 pub(crate) fn run_layer(
     layer: &IntLayer,
+    telemetry: &Telemetry,
     x: &Tensor,
     counts: &mut OpCounts,
     scratch: &mut Scratch,
@@ -704,7 +755,9 @@ pub(crate) fn run_layer(
             padding,
             act_bits,
         } => {
-            let mut out = conv_stage(weights, *act_bits, x, *stride, *padding, counts, scratch);
+            let mut out = conv_stage(
+                weights, telemetry, *act_bits, x, *stride, *padding, counts, scratch,
+            );
             add_channel_bias(&mut out, bias);
             out
         }
@@ -717,7 +770,7 @@ pub(crate) fn run_layer(
             let n = x.dims()[0];
             let f = x.len() / n.max(1);
             let as_img = x.reshape(&[n, f, 1, 1]);
-            let mut out = conv_stage(weights, *act_bits, &as_img, 1, 0, counts, scratch);
+            let mut out = conv_stage(weights, telemetry, *act_bits, &as_img, 1, 0, counts, scratch);
             add_channel_bias(&mut out, bias);
             let classes = out.len() / n.max(1);
             out.reshape_in_place(&[n, classes]);
@@ -763,9 +816,9 @@ pub(crate) fn run_layer(
             shortcut,
             slope,
         } => {
-            let main_out = run_layers(main, x, counts, scratch);
+            let main_out = run_layers(main, telemetry, x, counts, scratch);
             let short_out = match shortcut {
-                Some(sc) => run_layers(sc, x, counts, scratch),
+                Some(sc) => run_layers(sc, telemetry, x, counts, scratch),
                 None => x.clone(),
             };
             let sum = &main_out + &short_out;

@@ -76,7 +76,7 @@ pub(crate) fn forward_parallel(
                 );
                 let mut counts = OpCounts::default();
                 let mut scratch = Scratch::default();
-                let out = run_layers(layers, &chunk, &mut counts, &mut scratch);
+                let out = run_layers(layers, &worker_telemetry, &chunk, &mut counts, &mut scratch);
                 if worker_telemetry.enabled() {
                     worker_telemetry.gauge("chunk.images", (end - start) as f64, "img");
                     for (field, ops) in counts.fields() {

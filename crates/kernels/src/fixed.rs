@@ -1,17 +1,43 @@
 //! Fixed-point convolution with true integer multiplies.
+//!
+//! Like the shift-add path (`shift.rs`), the interpreted tap loop is
+//! lowered once per [`Conv2dGeometry`] into a static schedule: per-tap
+//! flat input offsets precomputed in `(channel, row, column)` order, the
+//! output map split into a branchless interior and a checked border, and
+//! op accounting hoisted out of the loops (interior analytic, border
+//! from a one-time dry run). The interpreted loop is retained as
+//! [`fixed_point_conv_reference`] — the parity oracle and bench
+//! baseline. The fixed-point cost convention is unchanged: one integer
+//! multiply and one accumulate per executed tap (see [`OpCounts`]).
+
+use std::sync::{Arc, Mutex};
 
 use flight_tensor::{Conv2dGeometry, Tensor};
 
 use crate::counts::OpCounts;
+use crate::lower::{for_each_border_position, interior_rect, InteriorRect};
 use crate::qact::QuantActivations;
+use crate::shift::LoweringStats;
+
+type LoweredCache = Arc<Mutex<Vec<(Conv2dGeometry, Arc<LoweredFixed>)>>>;
 
 /// Fixed-point weights: integer codes plus one per-layer scale,
 /// `w ≈ codes · scale`, codes in `±(2^{bits−1} − 1)`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FixedWeights {
     codes: Vec<i32>,
     scale: f32,
     dims: Vec<usize>,
+    /// Geometry-keyed lowered programs, shared across clones (and
+    /// therefore across the parallel engine's workers).
+    lowered: LoweredCache,
+}
+
+// The lowering cache is derived state; equality is about the weights.
+impl PartialEq for FixedWeights {
+    fn eq(&self, other: &Self) -> bool {
+        self.codes == other.codes && self.scale == other.scale && self.dims == other.dims
+    }
 }
 
 impl FixedWeights {
@@ -34,6 +60,7 @@ impl FixedWeights {
                 .collect(),
             scale,
             dims: weights.dims().to_vec(),
+            lowered: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -48,6 +75,186 @@ impl FixedWeights {
     /// Weight tensor dims `[f, c, k, k]`.
     pub fn dims(&self) -> &[usize] {
         &self.dims
+    }
+
+    /// The interior/border decomposition these weights use for `geom`
+    /// (forces the lowering, which is cached). For the dense fixed-point
+    /// path every filter has `c · k · k` taps.
+    pub fn lowering_stats(&self, geom: &Conv2dGeometry) -> LoweringStats {
+        let lowered = self.lowered(geom);
+        let (f, c, kh, kw) = (self.dims[0], self.dims[1], self.dims[2], self.dims[3]);
+        LoweringStats {
+            interior_positions: lowered.interior_positions,
+            border_positions: lowered.border_positions,
+            total_taps: f * c * kh * kw,
+            filters: f,
+        }
+    }
+
+    /// The lowered program for `geom`, building and caching it on first
+    /// use.
+    fn lowered(&self, geom: &Conv2dGeometry) -> Arc<LoweredFixed> {
+        let mut cache = self.lowered.lock().expect("lowering cache poisoned");
+        if let Some((_, program)) = cache.iter().find(|(g, _)| g == geom) {
+            return program.clone();
+        }
+        let program = Arc::new(LoweredFixed::build(self, geom));
+        cache.push((*geom, program.clone()));
+        program
+    }
+}
+
+/// One dense tap on the checked border path: channel plane base plus the
+/// tap's kernel-window deltas (the position loop folds padding into its
+/// window origin).
+#[derive(Debug, Clone, Copy)]
+struct BorderTap {
+    /// `ch · h · w` — flat base of the tap's input channel plane.
+    plane: u32,
+    /// Kernel row `ki`.
+    di: i32,
+    /// Kernel column `kj`.
+    dj: i32,
+}
+
+/// [`FixedWeights`] lowered against one concrete geometry.
+#[derive(Debug)]
+struct LoweredFixed {
+    rect: InteriorRect,
+    /// Per tap of one filter volume (`c · k · k` entries, in weight
+    /// order): flat input offset relative to the window origin.
+    offsets: Vec<u32>,
+    /// Per tap: checked-path decoding (parallel to `offsets`).
+    border: Vec<BorderTap>,
+    /// Per-image op totals; the fixed convention is one multiply and one
+    /// add per executed tap, so the two counts are equal.
+    macs_per_image: u64,
+    interior_positions: usize,
+    border_positions: usize,
+}
+
+impl LoweredFixed {
+    fn build(weights: &FixedWeights, geom: &Conv2dGeometry) -> LoweredFixed {
+        let (h, w) = (geom.in_h, geom.in_w);
+        let (f, c, kh, kw) = (
+            weights.dims[0],
+            weights.dims[1],
+            weights.dims[2],
+            weights.dims[3],
+        );
+        debug_assert_eq!(kh, geom.kernel, "geometry/kernel size mismatch");
+        assert!(
+            geom.in_channels * h * w <= u32::MAX as usize,
+            "input volume too large for lowered offsets"
+        );
+        let p = geom.padding as i32;
+        let rect = interior_rect(geom);
+
+        // Unlike the sparse shift taps, the fixed filter volume is dense:
+        // offsets are the same for every filter, in weight-code order.
+        let mut offsets = Vec::with_capacity(c * kh * kw);
+        let mut border = Vec::with_capacity(c * kh * kw);
+        for ch in 0..c {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    offsets.push((ch * h * w + ki * w + kj) as u32);
+                    border.push(BorderTap {
+                        plane: (ch * h * w) as u32,
+                        di: ki as i32,
+                        dj: kj as i32,
+                    });
+                }
+            }
+        }
+
+        // Interior accounting is analytic; border is a one-time dry run
+        // of the checked path. Executed taps are filter-independent, so
+        // count once per position and multiply by `f`.
+        let interior_positions = rect.positions();
+        let mut macs = (f * c * kh * kw * interior_positions) as u64;
+        let mut border_positions = 0usize;
+        for_each_border_position(geom, &rect, |oi, oj| {
+            border_positions += 1;
+            let ii0 = (oi * geom.stride) as i32 - p;
+            let jj0 = (oj * geom.stride) as i32 - p;
+            let executed = border
+                .iter()
+                .filter(|bt| {
+                    let ii = ii0 + bt.di;
+                    let jj = jj0 + bt.dj;
+                    (0..h as i32).contains(&ii) && (0..w as i32).contains(&jj)
+                })
+                .count() as u64;
+            macs += executed * f as u64;
+        });
+
+        LoweredFixed {
+            rect,
+            offsets,
+            border,
+            macs_per_image: macs,
+            interior_positions,
+            border_positions,
+        }
+    }
+
+    /// Executes the lowered program: branchless interior MACs, checked
+    /// border. Writes outputs only — accounting is precomputed.
+    fn run(
+        &self,
+        weights: &FixedWeights,
+        codes_in: &[i32],
+        scales: &[f32],
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+    ) {
+        let n = scales.len();
+        let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+        let chw = c * h * w;
+        let (stride, padding) = (geom.stride, geom.padding);
+        let (f, ckk) = (weights.dims[0], self.offsets.len());
+        let (out_h, out_w) = (geom.out_h, geom.out_w);
+        let rect = self.rect;
+        let wcodes = &weights.codes;
+
+        for b in 0..n {
+            let out_scale = scales[b] * weights.scale;
+            let img = &codes_in[b * chw..(b + 1) * chw];
+            for fi in 0..f {
+                let filter = &wcodes[fi * ckk..(fi + 1) * ckk];
+
+                // Interior: no padding branch, no index decode, no
+                // per-tap accounting — load, multiply, accumulate.
+                for oi in rect.oi_lo..rect.oi_hi {
+                    let out_row = ((b * f + fi) * out_h + oi) * out_w;
+                    let in_row = (oi * stride - padding) * w;
+                    for oj in rect.oj_lo..rect.oj_hi {
+                        let base = in_row + oj * stride - padding;
+                        let mut acc: i64 = 0;
+                        for (&o, &wv) in self.offsets.iter().zip(filter) {
+                            acc += img[base + o as usize] as i64 * wv as i64;
+                        }
+                        out[out_row + oj] = acc as f32 * out_scale;
+                    }
+                }
+
+                // Border: the checked path, on the thin frame only.
+                for_each_border_position(geom, &rect, |oi, oj| {
+                    let ii0 = (oi * stride) as i32 - padding as i32;
+                    let jj0 = (oj * stride) as i32 - padding as i32;
+                    let mut acc: i64 = 0;
+                    for (bt, &wv) in self.border.iter().zip(filter) {
+                        let ii = ii0 + bt.di;
+                        let jj = jj0 + bt.dj;
+                        if (0..h as i32).contains(&ii) && (0..w as i32).contains(&jj) {
+                            let a = img[bt.plane as usize + ii as usize * w + jj as usize];
+                            acc += a as i64 * wv as i64;
+                        }
+                    }
+                    out[((b * f + fi) * out_h + oi) * out_w + oj] = acc as f32 * out_scale;
+                });
+            }
+        }
     }
 }
 
@@ -67,6 +274,31 @@ pub fn fixed_point_conv(
     stride: usize,
     padding: usize,
 ) -> (Tensor, OpCounts) {
+    fixed_point_conv_with(act, weights, stride, padding, fixed_point_conv_core)
+}
+
+/// [`fixed_point_conv`] on the retained interpreted core — the oracle the
+/// lowered path is tested against, and the fixed-point baseline of the
+/// `lowering` bench exhibit. Bit-identical outputs and counts to the
+/// lowered path.
+pub fn fixed_point_conv_reference(
+    act: &QuantActivations,
+    weights: &FixedWeights,
+    stride: usize,
+    padding: usize,
+) -> (Tensor, OpCounts) {
+    fixed_point_conv_with(act, weights, stride, padding, fixed_point_conv_reference_core)
+}
+
+type FixedCore = fn(&[i32], &[f32], &Conv2dGeometry, &FixedWeights, &mut [f32], &mut OpCounts);
+
+fn fixed_point_conv_with(
+    act: &QuantActivations,
+    weights: &FixedWeights,
+    stride: usize,
+    padding: usize,
+    core: FixedCore,
+) -> (Tensor, OpCounts) {
     let ad = act.dims();
     assert_eq!(ad.len(), 4, "activations must be [n, c, h, w]");
     let (n, c, h, w) = (ad[0], ad[1], ad[2], ad[3]);
@@ -74,7 +306,7 @@ pub fn fixed_point_conv(
     let mut out = Tensor::zeros(&[n, weights.dims[0], geom.out_h, geom.out_w]);
     let scales = vec![act.scale(); n];
     let mut counts = OpCounts::default();
-    fixed_point_conv_core(
+    core(
         act.codes(),
         &scales,
         &geom,
@@ -85,17 +317,14 @@ pub fn fixed_point_conv(
     (out, counts)
 }
 
-/// Fixed-point convolution over raw integer codes with one scale per
-/// image — the per-worker scratch entry point of the batched execution
-/// engine (see `shift_add_conv_core` in `shift.rs` for the layout
-/// contract, which is identical).
-pub(crate) fn fixed_point_conv_core(
+/// Validates the shared layout contract of the conv cores (see
+/// `shift_add_conv_core` in `shift.rs`, which is identical).
+fn check_core_shapes(
     codes: &[i32],
     scales: &[f32],
     geom: &Conv2dGeometry,
     weights: &FixedWeights,
-    out: &mut [f32],
-    counts: &mut OpCounts,
+    out: &[f32],
 ) {
     let n = scales.len();
     let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
@@ -110,6 +339,42 @@ pub(crate) fn fixed_point_conv_core(
         n * f * geom.out_positions(),
         "output length mismatch"
     );
+}
+
+/// Fixed-point convolution over raw integer codes with one scale per
+/// image — the per-worker scratch entry point of the batched execution
+/// engine (lowered path).
+pub(crate) fn fixed_point_conv_core(
+    codes: &[i32],
+    scales: &[f32],
+    geom: &Conv2dGeometry,
+    weights: &FixedWeights,
+    out: &mut [f32],
+    counts: &mut OpCounts,
+) {
+    check_core_shapes(codes, scales, geom, weights, out);
+    let lowered = weights.lowered(geom);
+    lowered.run(weights, codes, scales, geom, out);
+    let n = scales.len() as u64;
+    counts.int_mults += n * lowered.macs_per_image;
+    counts.int_adds += n * lowered.macs_per_image;
+}
+
+/// The interpreted tap loop the lowered core replaced: per-tap bounds
+/// checks and per-tap count bumps. Retained as the parity oracle.
+pub(crate) fn fixed_point_conv_reference_core(
+    codes: &[i32],
+    scales: &[f32],
+    geom: &Conv2dGeometry,
+    weights: &FixedWeights,
+    out: &mut [f32],
+    counts: &mut OpCounts,
+) {
+    check_core_shapes(codes, scales, geom, weights, out);
+    let n = scales.len();
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let wd = &weights.dims;
+    let (f, kh, kw) = (wd[0], wd[2], wd[3]);
     let (stride, padding) = (geom.stride, geom.padding);
     let wcodes = &weights.codes;
 
@@ -177,6 +442,11 @@ mod tests {
         );
         assert!(counts.int_mults > 0);
         assert_eq!(counts.int_mults, counts.int_adds);
+
+        // The lowered path and the interpreted oracle are bit-identical.
+        let (oracle, oracle_counts) = fixed_point_conv_reference(&qa, &qw, 1, 1);
+        assert_eq!(out.as_slice(), oracle.as_slice(), "lowered != oracle");
+        assert_eq!(counts, oracle_counts, "lowered counts != oracle counts");
     }
 
     #[test]
@@ -195,8 +465,12 @@ mod tests {
                 p,
                 false,
             );
-            let (out, _) = fixed_point_conv(&qa, &qw, s, p);
+            let (out, counts) = fixed_point_conv(&qa, &qw, s, p);
             assert!(out.allclose(&reference, 1e-4), "s={s} p={p}");
+
+            let (oracle, oracle_counts) = fixed_point_conv_reference(&qa, &qw, s, p);
+            assert_eq!(out.as_slice(), oracle.as_slice(), "s={s} p={p}: lowered != oracle");
+            assert_eq!(counts, oracle_counts, "s={s} p={p}: counts diverge");
         }
     }
 
@@ -206,5 +480,20 @@ mod tests {
         let w = uniform(&mut rng, &[2, 2, 3, 3], -1.0, 1.0);
         let qw = FixedWeights::quantize(&w, 4);
         assert!(qw.codes.iter().all(|&c| c.abs() <= 7));
+    }
+
+    #[test]
+    fn lowering_stats_count_dense_taps() {
+        let mut rng = TensorRng::seed(8);
+        let w = uniform(&mut rng, &[2, 3, 3, 3], -1.0, 1.0);
+        let qw = FixedWeights::quantize(&w, 4);
+        let geom = Conv2dGeometry::new(3, 8, 8, 3, 1, 1);
+        let stats = qw.lowering_stats(&geom);
+        assert_eq!(stats.total_taps, 2 * 3 * 3 * 3);
+        assert_eq!(stats.filters, 2);
+        assert_eq!(
+            stats.interior_positions + stats.border_positions,
+            geom.out_positions()
+        );
     }
 }

@@ -11,7 +11,8 @@
 //! * [`shift`] — shift-add convolution driven by the
 //!   [`ShiftPlan`](flightnn::convert::ShiftPlan) of a quantized layer
 //!   (the (F)LightNN datapath),
-//! * [`counts`] — operation counting shared with the ASIC energy model,
+//! * [`counts`] — operation counting shared with the ASIC energy model
+//!   (see [`OpCounts`] for the exact per-datapath conventions),
 //! * [`engine`] — whole-network integer inference: compile a trained
 //!   `QuantNet` with [`IntNetwork::compile_with`] into a multiplier-free
 //!   deployment pipeline, configured by a [`CompileOptions`] builder
@@ -21,6 +22,16 @@
 //!   produces logits bit-identical to the sequential path, because
 //!   activations are quantized with one scale per image.
 //!
+//! Both integer datapaths run **lowered tap programs**: the interpreted
+//! per-tap loop is compiled once per layer geometry into precomputed
+//! flat input offsets (shift/sign packed into one `u32` per tap for the
+//! shift path), the output map is split into a branchless interior and a
+//! checked border (the `lower` module), and op accounting is hoisted out
+//! of the loops entirely. The interpreted loops are retained as
+//! [`shift_add_conv_reference`] / [`fixed_point_conv_reference`] — the
+//! parity oracles (bit-identical logits *and* counts, enforced by
+//! proptests) and the baselines of the `lowering` bench exhibit.
+//!
 //! Both kernels are validated bit-for-bit against the floating-point
 //! reference convolution of the same quantized values.
 
@@ -28,11 +39,14 @@ pub mod counts;
 pub mod engine;
 mod exec;
 pub mod fixed;
+mod lower;
 pub mod qact;
 pub mod shift;
 
 pub use counts::OpCounts;
 pub use engine::{CompileOptions, ExecutionPolicy, IntNetwork};
-pub use fixed::fixed_point_conv;
+pub use fixed::{fixed_point_conv, fixed_point_conv_reference};
 pub use qact::QuantActivations;
-pub use shift::{shift_add_conv, ShiftKernel};
+pub use shift::{
+    shift_add_conv, shift_add_conv_reference, LoweringStats, ShiftCompileError, ShiftKernel,
+};

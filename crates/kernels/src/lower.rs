@@ -1,0 +1,179 @@
+//! Shared geometry machinery for lowered conv kernels.
+//!
+//! Both integer datapaths (shift-add and fixed-point) are lowered from an
+//! interpreted per-tap loop to a static schedule split by *where the
+//! receptive field lands*:
+//!
+//! * the **interior** — output positions whose full `k × k` window is
+//!   inside the input, so no tap can be clipped by padding and the inner
+//!   loop needs no bounds checks and no per-tap bookkeeping;
+//! * the **border** — the thin frame of remaining positions, which keeps
+//!   the checked path.
+//!
+//! The split depends only on the [`Conv2dGeometry`], not on the tap
+//! pattern (a conservative rectangle: a border position may still have
+//! every tap in bounds), which is what makes interior op counting purely
+//! analytic (`taps × positions`) and border counting a one-time
+//! per-geometry dry run.
+
+use flight_tensor::Conv2dGeometry;
+
+/// The half-open interior rectangle `[oi_lo, oi_hi) × [oj_lo, oj_hi)` of
+/// output positions whose entire kernel window lies inside the input.
+/// Empty rectangles are normalized to `hi == lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct InteriorRect {
+    pub oi_lo: usize,
+    pub oi_hi: usize,
+    pub oj_lo: usize,
+    pub oj_hi: usize,
+}
+
+impl InteriorRect {
+    /// Number of interior output positions.
+    pub fn positions(&self) -> usize {
+        (self.oi_hi - self.oi_lo) * (self.oj_hi - self.oj_lo)
+    }
+
+    /// Whether `(oi, oj)` lies in the interior.
+    pub fn contains(&self, oi: usize, oj: usize) -> bool {
+        (self.oi_lo..self.oi_hi).contains(&oi) && (self.oj_lo..self.oj_hi).contains(&oj)
+    }
+}
+
+/// One axis of the interior: the output coordinates `o` with
+/// `0 <= o·stride − padding` and `o·stride + k − 1 − padding < dim`.
+fn interior_axis(dim: usize, k: usize, stride: usize, padding: usize, out: usize) -> (usize, usize) {
+    let lo = padding.div_ceil(stride).min(out);
+    let hi = if dim + padding >= k {
+        ((dim + padding - k) / stride + 1).min(out)
+    } else {
+        0
+    };
+    (lo, hi.max(lo))
+}
+
+/// Computes the interior rectangle of `geom`.
+pub(crate) fn interior_rect(geom: &Conv2dGeometry) -> InteriorRect {
+    let (oi_lo, oi_hi) = interior_axis(geom.in_h, geom.kernel, geom.stride, geom.padding, geom.out_h);
+    let (oj_lo, oj_hi) = interior_axis(geom.in_w, geom.kernel, geom.stride, geom.padding, geom.out_w);
+    InteriorRect {
+        oi_lo,
+        oi_hi,
+        oj_lo,
+        oj_hi,
+    }
+}
+
+/// Visits every output position *outside* `rect` exactly once, row-major:
+/// the full rows above and below the interior band, plus the left/right
+/// column strips of the interior rows.
+pub(crate) fn for_each_border_position(
+    geom: &Conv2dGeometry,
+    rect: &InteriorRect,
+    mut visit: impl FnMut(usize, usize),
+) {
+    for oi in 0..geom.out_h {
+        if (rect.oi_lo..rect.oi_hi).contains(&oi) {
+            for oj in 0..rect.oj_lo {
+                visit(oi, oj);
+            }
+            for oj in rect.oj_hi..geom.out_w {
+                visit(oi, oj);
+            }
+        } else {
+            for oj in 0..geom.out_w {
+                visit(oi, oj);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geoms() -> Vec<Conv2dGeometry> {
+        let mut out = Vec::new();
+        for k in [1usize, 3, 5] {
+            for stride in [1usize, 2] {
+                for padding in [0usize, 1, 2] {
+                    for (h, w) in [(5usize, 7usize), (7, 5), (9, 9), (6, 11)] {
+                        if h + 2 * padding >= k && w + 2 * padding >= k {
+                            out.push(Conv2dGeometry::new(2, h, w, k, stride, padding));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Brute-force interior definition: every (ki, kj) tap in bounds.
+    fn is_interior(geom: &Conv2dGeometry, oi: usize, oj: usize) -> bool {
+        let k = geom.kernel;
+        (0..k).all(|ki| {
+            let ii = (oi * geom.stride + ki) as isize - geom.padding as isize;
+            ii >= 0 && (ii as usize) < geom.in_h
+        }) && (0..k).all(|kj| {
+            let jj = (oj * geom.stride + kj) as isize - geom.padding as isize;
+            jj >= 0 && (jj as usize) < geom.in_w
+        })
+    }
+
+    #[test]
+    fn rect_matches_bruteforce_interior() {
+        for geom in geoms() {
+            let rect = interior_rect(&geom);
+            for oi in 0..geom.out_h {
+                for oj in 0..geom.out_w {
+                    assert_eq!(
+                        rect.contains(oi, oj),
+                        is_interior(&geom, oi, oj),
+                        "geom {geom:?} position ({oi},{oj})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn border_iteration_is_the_exact_complement() {
+        for geom in geoms() {
+            let rect = interior_rect(&geom);
+            let mut seen = vec![false; geom.out_positions()];
+            let mut border = 0usize;
+            for_each_border_position(&geom, &rect, |oi, oj| {
+                let idx = oi * geom.out_w + oj;
+                assert!(!seen[idx], "border position ({oi},{oj}) visited twice");
+                assert!(!rect.contains(oi, oj), "interior leaked into the border");
+                seen[idx] = true;
+                border += 1;
+            });
+            assert_eq!(
+                border + rect.positions(),
+                geom.out_positions(),
+                "geom {geom:?}: split must partition the output"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_padding_stride_one_is_all_interior() {
+        let geom = Conv2dGeometry::new(3, 8, 8, 3, 1, 0);
+        let rect = interior_rect(&geom);
+        assert_eq!(rect.positions(), geom.out_positions());
+    }
+
+    #[test]
+    fn tiny_input_is_all_border() {
+        // 3x3 input, 5x5 kernel, padding 1: no position has the full
+        // window inside.
+        let geom = Conv2dGeometry::new(1, 3, 3, 5, 1, 1);
+        let rect = interior_rect(&geom);
+        assert_eq!(rect.positions(), 0);
+        let mut border = 0;
+        for_each_border_position(&geom, &rect, |_, _| border += 1);
+        assert_eq!(border, geom.out_positions());
+    }
+}

@@ -5,24 +5,169 @@
 //! computes every multiply as `±(a << s)` over the integer activation
 //! codes, accumulating in `i64`, and rescales once at the end by
 //! `2^{e_min} · act_scale`.
+//!
+//! # Lowered tap programs
+//!
+//! [`ShiftKernel::compile`] decodes the plan once into a flat tap table
+//! sorted by `(channel, kernel row, kernel column)` with the shift amount
+//! and sign packed into a single `u32` per tap. On first contact with a
+//! concrete [`Conv2dGeometry`] the kernel lowers that table into a
+//! per-geometry program (cached, shared across clones and worker
+//! threads):
+//!
+//! * every tap gets a precomputed flat input offset relative to the
+//!   output position's window origin, so the hot loop is a branchless
+//!   load → shift → sign-fold → accumulate with no index arithmetic;
+//! * the output map splits into an **interior** (no tap can fall outside
+//!   the input; the padding branch disappears) and a thin **border**
+//!   that keeps the checked path (see the `lower` module);
+//! * op accounting is hoisted out of the loops entirely: interior counts
+//!   are `taps × positions`, computed analytically, and border counts
+//!   come from a one-time per-geometry dry run — [`OpCounts`] stays
+//!   bit-identical to the interpreted reference
+//!   ([`shift_add_conv_reference`]), which is retained as the parity
+//!   oracle and the lowering bench baseline.
+
+use std::sync::{Arc, Mutex};
 
 use flight_tensor::{Conv2dGeometry, Tensor};
 use flightnn::convert::ShiftPlan;
 use flightnn::pow2::pow2_exponent;
 
 use crate::counts::OpCounts;
+use crate::lower::{for_each_border_position, interior_rect, InteriorRect};
 use crate::qact::QuantActivations;
 
-/// One compiled tap: flat kernel-space offset, left-shift amount, sign.
+/// Packed tap code layout: shift amount in the low 6 bits, sign in the
+/// top bit (`1` = subtract).
+const SHIFT_MASK: u32 = 0x3f;
+const SIGN_BIT: u32 = 1 << 31;
+
+/// One compiled tap: flat kernel-space offset plus the packed shift/sign
+/// code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Tap {
     /// Index into the `[c, kh, kw]` filter volume.
     offset: u32,
-    /// Left shift relative to the layer's minimum exponent.
-    shift: u8,
-    /// `true` = subtract instead of add.
-    negative: bool,
+    /// Shift amount and sign, packed (`SHIFT_MASK` / `SIGN_BIT`).
+    code: u32,
 }
+
+/// Why a [`ShiftPlan`] cannot compile to shift taps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShiftCompileError {
+    /// `weight_dims` is not rank 4.
+    BadWeightRank(usize),
+    /// The kernel window is not square.
+    NonSquareKernel {
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+    },
+    /// The plan's filter count disagrees with the weight shape.
+    FilterCountMismatch {
+        /// Filters in the plan.
+        plan: usize,
+        /// Filters in `weight_dims`.
+        weights: usize,
+    },
+    /// The plan's filter length disagrees with `c · kh · kw`.
+    FilterLenMismatch {
+        /// Coefficients per filter in the plan.
+        plan: usize,
+        /// `c · kh · kw` from `weight_dims`.
+        weights: usize,
+    },
+    /// A nonzero tap is not `±2^e` — the plan is not a shift program.
+    NotPowerOfTwo {
+        /// Filter index.
+        filter: usize,
+        /// Flat coefficient index within the filter volume.
+        index: usize,
+        /// The offending coefficient.
+        value: f32,
+    },
+    /// A tap's shift relative to the layer minimum exceeds the barrel
+    /// shifter's range.
+    ShiftOutOfRange {
+        /// Filter index.
+        filter: usize,
+        /// Flat coefficient index within the filter volume.
+        index: usize,
+        /// The out-of-range shift amount.
+        shift: i32,
+    },
+}
+
+impl std::fmt::Display for ShiftCompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShiftCompileError::BadWeightRank(rank) => {
+                write!(f, "weights must be [f, c, k, k], got rank {rank}")
+            }
+            ShiftCompileError::NonSquareKernel { kh, kw } => {
+                write!(f, "kernels must be square, got {kh}x{kw}")
+            }
+            ShiftCompileError::FilterCountMismatch { plan, weights } => {
+                write!(f, "plan has {plan} filters but weights have {weights}")
+            }
+            ShiftCompileError::FilterLenMismatch { plan, weights } => {
+                write!(f, "plan filter length {plan} != weight volume {weights}")
+            }
+            ShiftCompileError::NotPowerOfTwo {
+                filter,
+                index,
+                value,
+            } => write!(
+                f,
+                "filter {filter} tap {index} is {value}, not a power of two"
+            ),
+            ShiftCompileError::ShiftOutOfRange {
+                filter,
+                index,
+                shift,
+            } => write!(f, "filter {filter} tap {index}: shift {shift} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ShiftCompileError {}
+
+/// `Some(e)` iff `v == ±2^e` exactly.
+fn strict_pow2_exponent(v: f32) -> Option<i32> {
+    let e = pow2_exponent(v)?;
+    ((e as f32).exp2() == v.abs()).then_some(e)
+}
+
+/// How a [`ShiftKernel`] decomposes one output geometry — surfaced to
+/// telemetry (`kernel.lowering.*` gauges) and the lowering bench exhibit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweringStats {
+    /// Output positions on the branchless interior path.
+    pub interior_positions: usize,
+    /// Output positions on the checked border path.
+    pub border_positions: usize,
+    /// Total shift taps across all filters.
+    pub total_taps: usize,
+    /// Number of filters.
+    pub filters: usize,
+}
+
+impl LoweringStats {
+    /// Mean taps per filter (`0.0` for an empty kernel).
+    pub fn mean_taps_per_filter(&self) -> f64 {
+        if self.filters == 0 {
+            0.0
+        } else {
+            self.total_taps as f64 / self.filters as f64
+        }
+    }
+}
+
+/// Geometry-keyed cache of lowered programs. Networks see one geometry
+/// per layer, so the list stays tiny; linear lookup beats hashing.
+type LoweredCache = Arc<Mutex<Vec<(Conv2dGeometry, Arc<LoweredShift>)>>>;
 
 /// A conv layer compiled for shift-add execution.
 ///
@@ -43,44 +188,71 @@ struct Tap {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ShiftKernel {
-    /// Per filter, the taps of all its subfilters concatenated.
-    taps: Vec<Vec<Tap>>,
+    /// All filters' taps, concatenated; within each filter sorted by flat
+    /// offset, i.e. by `(channel, kernel row, kernel column)`, so the
+    /// lowered inner loop walks input memory forward.
+    taps: Vec<Tap>,
+    /// Filter `f`'s taps are `taps[bounds[f] as usize..bounds[f+1] as usize]`.
+    bounds: Vec<u32>,
     /// Global scale `2^{e_min}` restoring real weight magnitudes.
     base_scale: f32,
     /// Filter volume dims `[c, kh, kw]`.
     in_channels: usize,
     kernel: usize,
+    /// Lowered tap programs, one per geometry, shared across clones (and
+    /// therefore across the parallel engine's workers).
+    lowered: LoweredCache,
 }
 
 impl ShiftKernel {
     /// Compiles a [`ShiftPlan`] into shift taps. `weight_dims` is the
     /// original weight shape `[f, c, kh, kw]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan does not match `weight_dims`, or a tap is not a
-    /// power of two.
-    pub fn compile(plan: &ShiftPlan, weight_dims: &[usize]) -> Self {
-        assert_eq!(weight_dims.len(), 4, "weights must be [f, c, k, k]");
+    /// Returns a [`ShiftCompileError`] if the plan does not match
+    /// `weight_dims`, a nonzero tap is not an exact power of two, or a
+    /// shift amount exceeds the barrel shifter's range.
+    pub fn try_compile(plan: &ShiftPlan, weight_dims: &[usize]) -> Result<Self, ShiftCompileError> {
+        if weight_dims.len() != 4 {
+            return Err(ShiftCompileError::BadWeightRank(weight_dims.len()));
+        }
         let (f, c, kh, kw) = (
             weight_dims[0],
             weight_dims[1],
             weight_dims[2],
             weight_dims[3],
         );
-        assert_eq!(kh, kw, "kernels must be square");
-        assert_eq!(plan.filters.len(), f, "plan filter count mismatch");
-        assert_eq!(plan.filter_len, c * kh * kw, "plan filter size mismatch");
+        if kh != kw {
+            return Err(ShiftCompileError::NonSquareKernel { kh, kw });
+        }
+        if plan.filters.len() != f {
+            return Err(ShiftCompileError::FilterCountMismatch {
+                plan: plan.filters.len(),
+                weights: f,
+            });
+        }
+        if plan.filter_len != c * kh * kw {
+            return Err(ShiftCompileError::FilterLenMismatch {
+                plan: plan.filter_len,
+                weights: c * kh * kw,
+            });
+        }
 
         // Find the minimum exponent across all taps so shifts are >= 0.
         let mut min_exp = i32::MAX;
-        for fp in &plan.filters {
+        for (fi, fp) in plan.filters.iter().enumerate() {
             for sub in &fp.subfilters {
-                for &v in &sub.coefficients {
-                    if v != 0.0 {
-                        min_exp =
-                            min_exp.min(pow2_exponent(v).expect("nonzero tap is a power of two"));
+                for (idx, &v) in sub.coefficients.iter().enumerate() {
+                    if v == 0.0 {
+                        continue;
                     }
+                    let e = strict_pow2_exponent(v).ok_or(ShiftCompileError::NotPowerOfTwo {
+                        filter: fi,
+                        index: idx,
+                        value: v,
+                    })?;
+                    min_exp = min_exp.min(e);
                 }
             }
         }
@@ -88,44 +260,68 @@ impl ShiftKernel {
             min_exp = 0; // all-zero layer
         }
 
-        let taps = plan
-            .filters
-            .iter()
-            .map(|fp| {
-                let mut filter_taps = Vec::new();
-                for sub in &fp.subfilters {
-                    for (idx, &v) in sub.coefficients.iter().enumerate() {
-                        if v == 0.0 {
-                            continue;
-                        }
-                        let e = pow2_exponent(v).expect("nonzero tap is a power of two");
-                        let shift = e - min_exp;
-                        assert!(
-                            (0..64).contains(&shift),
-                            "shift amount {shift} out of range"
-                        );
-                        filter_taps.push(Tap {
-                            offset: idx as u32,
-                            shift: shift as u8,
-                            negative: v < 0.0,
+        let mut taps = Vec::new();
+        let mut bounds = Vec::with_capacity(f + 1);
+        bounds.push(0u32);
+        for (fi, fp) in plan.filters.iter().enumerate() {
+            let filter_start = taps.len();
+            for sub in &fp.subfilters {
+                for (idx, &v) in sub.coefficients.iter().enumerate() {
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let e = strict_pow2_exponent(v).expect("validated above");
+                    let shift = e - min_exp;
+                    if !(0..=SHIFT_MASK as i32).contains(&shift) {
+                        return Err(ShiftCompileError::ShiftOutOfRange {
+                            filter: fi,
+                            index: idx,
+                            shift,
                         });
                     }
+                    let mut code = shift as u32;
+                    if v < 0.0 {
+                        code |= SIGN_BIT;
+                    }
+                    taps.push(Tap {
+                        offset: idx as u32,
+                        code,
+                    });
                 }
-                filter_taps
-            })
-            .collect();
+            }
+            // Sort this filter's taps by offset == (ch, ki, kj) so the
+            // lowered loop reads the input front to back. Integer
+            // accumulation is exact, so reordering cannot change results.
+            taps[filter_start..].sort_unstable_by_key(|t| t.offset);
+            bounds.push(taps.len() as u32);
+        }
 
-        ShiftKernel {
+        Ok(ShiftKernel {
             taps,
+            bounds,
             base_scale: (min_exp as f32).exp2(),
             in_channels: c,
             kernel: kh,
-        }
+            lowered: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// Compiles a [`ShiftPlan`] into shift taps, panicking on invalid
+    /// input — the historical API; see [`ShiftKernel::try_compile`] for
+    /// the `Result`-returning form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not match `weight_dims`, or a tap is not a
+    /// power of two.
+    pub fn compile(plan: &ShiftPlan, weight_dims: &[usize]) -> Self {
+        ShiftKernel::try_compile(plan, weight_dims)
+            .unwrap_or_else(|e| panic!("ShiftKernel::compile: {e}"))
     }
 
     /// Number of filters.
     pub fn filters(&self) -> usize {
-        self.taps.len()
+        self.bounds.len() - 1
     }
 
     /// Square kernel side the taps were compiled for.
@@ -141,11 +337,240 @@ impl ShiftKernel {
     /// Total shift taps (shift operations per output position summed over
     /// filters).
     pub fn total_taps(&self) -> usize {
-        self.taps.iter().map(Vec::len).sum()
+        self.taps.len()
+    }
+
+    /// The interior/border decomposition this kernel uses for `geom`
+    /// (forces the lowering, which is cached).
+    pub fn lowering_stats(&self, geom: &Conv2dGeometry) -> LoweringStats {
+        let lowered = self.lowered(geom);
+        LoweringStats {
+            interior_positions: lowered.interior_positions,
+            border_positions: lowered.border_positions,
+            total_taps: self.total_taps(),
+            filters: self.filters(),
+        }
+    }
+
+    /// The lowered program for `geom`, building and caching it on first
+    /// use. Clones share the cache, so the parallel engine lowers each
+    /// layer geometry exactly once.
+    fn lowered(&self, geom: &Conv2dGeometry) -> Arc<LoweredShift> {
+        let mut cache = self.lowered.lock().expect("lowering cache poisoned");
+        if let Some((_, program)) = cache.iter().find(|(g, _)| g == geom) {
+            return program.clone();
+        }
+        let program = Arc::new(LoweredShift::build(self, geom));
+        cache.push((*geom, program.clone()));
+        program
     }
 }
 
-/// Shift-add convolution over raw integer codes with one scale per image.
+/// One tap on the checked border path: channel plane base plus the tap's
+/// kernel-window deltas (the position loop folds padding into its window
+/// origin).
+#[derive(Debug, Clone, Copy)]
+struct BorderTap {
+    /// `ch · h · w` — flat base of the tap's input channel plane.
+    plane: u32,
+    /// Kernel row `ki`.
+    di: i32,
+    /// Kernel column `kj`.
+    dj: i32,
+}
+
+/// A [`ShiftKernel`] lowered against one concrete [`Conv2dGeometry`]:
+/// precomputed interior offsets, decoded border taps, and the op totals
+/// hoisted out of the runtime loops.
+#[derive(Debug)]
+struct LoweredShift {
+    rect: InteriorRect,
+    /// Per tap: flat input offset relative to the output position's
+    /// window origin (`ch·h·w + ki·w + kj`); indexed by the kernel's
+    /// `bounds`.
+    offsets: Vec<u32>,
+    /// Per tap: packed shift/sign code (parallel to `offsets`).
+    codes: Vec<u32>,
+    /// Per tap: checked-path decoding (parallel to `offsets`).
+    border: Vec<BorderTap>,
+    /// Shift ops one image costs (interior analytic + border dry run).
+    shifts_per_image: u64,
+    /// Integer adds one image costs under the `k` shifts / `k−1` adds
+    /// convention (see [`OpCounts`]).
+    adds_per_image: u64,
+    interior_positions: usize,
+    border_positions: usize,
+}
+
+impl LoweredShift {
+    fn build(kernel: &ShiftKernel, geom: &Conv2dGeometry) -> LoweredShift {
+        let (h, w) = (geom.in_h, geom.in_w);
+        let k = geom.kernel;
+        let p = geom.padding as i32;
+        debug_assert_eq!(k, kernel.kernel, "geometry/kernel size mismatch");
+        assert!(
+            geom.in_channels * h * w <= u32::MAX as usize,
+            "input volume too large for lowered offsets"
+        );
+        let rect = interior_rect(geom);
+
+        let mut offsets = Vec::with_capacity(kernel.taps.len());
+        let mut codes = Vec::with_capacity(kernel.taps.len());
+        let mut border = Vec::with_capacity(kernel.taps.len());
+        for tap in &kernel.taps {
+            let off = tap.offset as usize;
+            let (ch, ki, kj) = (off / (k * k), (off / k) % k, off % k);
+            offsets.push((ch * h * w + ki * w + kj) as u32);
+            codes.push(tap.code);
+            border.push(BorderTap {
+                plane: (ch * h * w) as u32,
+                di: ki as i32,
+                dj: kj as i32,
+            });
+        }
+
+        // Interior accounting is analytic: every tap executes at every
+        // interior position, and a filter with `t` executed taps costs
+        // `t` shifts and `t − 1` adds.
+        let interior_positions = rect.positions();
+        let mut shifts = 0u64;
+        let mut adds = 0u64;
+        for fi in 0..kernel.filters() {
+            let t = (kernel.bounds[fi + 1] - kernel.bounds[fi]) as u64;
+            shifts += t * interior_positions as u64;
+            adds += t.saturating_sub(1) * interior_positions as u64;
+        }
+
+        // Border accounting is a one-time dry run of the checked path.
+        let mut border_positions = 0usize;
+        for_each_border_position(geom, &rect, |oi, oj| {
+            border_positions += 1;
+            let ii0 = (oi * geom.stride) as i32 - p;
+            let jj0 = (oj * geom.stride) as i32 - p;
+            for fi in 0..kernel.filters() {
+                let lo = kernel.bounds[fi] as usize;
+                let hi = kernel.bounds[fi + 1] as usize;
+                let executed = border[lo..hi]
+                    .iter()
+                    .filter(|bt| {
+                        let ii = ii0 + bt.di;
+                        let jj = jj0 + bt.dj;
+                        (0..h as i32).contains(&ii) && (0..w as i32).contains(&jj)
+                    })
+                    .count() as u64;
+                shifts += executed;
+                adds += executed.saturating_sub(1);
+            }
+        });
+
+        LoweredShift {
+            rect,
+            offsets,
+            codes,
+            border,
+            shifts_per_image: shifts,
+            adds_per_image: adds,
+            interior_positions,
+            border_positions,
+        }
+    }
+
+    /// Executes the lowered program: branchless interior, checked border.
+    /// Writes outputs only — op accounting lives in the precomputed
+    /// per-image totals.
+    fn run(
+        &self,
+        kernel: &ShiftKernel,
+        codes_in: &[i32],
+        scales: &[f32],
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+    ) {
+        let n = scales.len();
+        let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+        let chw = c * h * w;
+        let (stride, padding) = (geom.stride, geom.padding);
+        let f = kernel.filters();
+        let (out_h, out_w) = (geom.out_h, geom.out_w);
+        let rect = self.rect;
+
+        for b in 0..n {
+            let out_scale = scales[b] * kernel.base_scale;
+            let img = &codes_in[b * chw..(b + 1) * chw];
+            for fi in 0..f {
+                let lo = kernel.bounds[fi] as usize;
+                let hi = kernel.bounds[fi + 1] as usize;
+                let offs = &self.offsets[lo..hi];
+                let tap_codes = &self.codes[lo..hi];
+
+                // Interior: no padding branch, no index decode, no
+                // per-tap accounting — load, shift, sign-fold, add.
+                for oi in rect.oi_lo..rect.oi_hi {
+                    let out_row = ((b * f + fi) * out_h + oi) * out_w;
+                    let in_row = (oi * stride - padding) * w;
+                    for oj in rect.oj_lo..rect.oj_hi {
+                        let base = in_row + oj * stride - padding;
+                        let mut acc: i64 = 0;
+                        for (&o, &cd) in offs.iter().zip(tap_codes) {
+                            let a = img[base + o as usize] as i64;
+                            let term = a << (cd & SHIFT_MASK);
+                            let mask = ((cd as i32) >> 31) as i64;
+                            acc += (term ^ mask) - mask;
+                        }
+                        out[out_row + oj] = acc as f32 * out_scale;
+                    }
+                }
+
+                // Border: the checked path, on the thin frame only.
+                let border_taps = &self.border[lo..hi];
+                for_each_border_position(geom, &rect, |oi, oj| {
+                    let ii0 = (oi * stride) as i32 - padding as i32;
+                    let jj0 = (oj * stride) as i32 - padding as i32;
+                    let mut acc: i64 = 0;
+                    for (bt, &cd) in border_taps.iter().zip(tap_codes) {
+                        let ii = ii0 + bt.di;
+                        let jj = jj0 + bt.dj;
+                        if (0..h as i32).contains(&ii) && (0..w as i32).contains(&jj) {
+                            let a =
+                                img[bt.plane as usize + ii as usize * w + jj as usize] as i64;
+                            let term = a << (cd & SHIFT_MASK);
+                            let mask = ((cd as i32) >> 31) as i64;
+                            acc += (term ^ mask) - mask;
+                        }
+                    }
+                    out[((b * f + fi) * out_h + oi) * out_w + oj] = acc as f32 * out_scale;
+                });
+            }
+        }
+    }
+}
+
+/// Validates the shared layout contract of the conv cores.
+fn check_core_shapes(
+    codes: &[i32],
+    scales: &[f32],
+    geom: &Conv2dGeometry,
+    kernel: &ShiftKernel,
+    out: &[f32],
+) {
+    let n = scales.len();
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    assert_eq!(
+        c, kernel.in_channels,
+        "activation channels {c} != kernel channels {}",
+        kernel.in_channels
+    );
+    assert_eq!(geom.kernel, kernel.kernel, "geometry/kernel size mismatch");
+    assert_eq!(codes.len(), n * c * h * w, "codes length mismatch");
+    assert_eq!(
+        out.len(),
+        n * kernel.filters() * geom.out_positions(),
+        "output length mismatch"
+    );
+}
+
+/// Shift-add convolution over raw integer codes with one scale per image
+/// — the lowered core.
 ///
 /// `scales.len()` is the batch size `n`; image `b`'s codes occupy
 /// `codes[b·chw .. (b+1)·chw]` and its outputs are rescaled by
@@ -165,30 +590,43 @@ pub(crate) fn shift_add_conv_core(
     out: &mut [f32],
     counts: &mut OpCounts,
 ) {
+    check_core_shapes(codes, scales, geom, kernel, out);
+    let lowered = kernel.lowered(geom);
+    lowered.run(kernel, codes, scales, geom, out);
+    let n = scales.len() as u64;
+    counts.shifts += n * lowered.shifts_per_image;
+    counts.int_adds += n * lowered.adds_per_image;
+}
+
+/// The interpreted tap loop the lowered core replaced: re-decodes every
+/// tap's `(ch, ki, kj)` per output position and checks padding bounds per
+/// tap. Retained as the bit-exactness oracle for the lowering (the
+/// parity proptests compare against it) and as the baseline of the
+/// `lowering` bench exhibit.
+pub(crate) fn shift_add_conv_reference_core(
+    codes: &[i32],
+    scales: &[f32],
+    geom: &Conv2dGeometry,
+    kernel: &ShiftKernel,
+    out: &mut [f32],
+    counts: &mut OpCounts,
+) {
+    check_core_shapes(codes, scales, geom, kernel, out);
     let n = scales.len();
     let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
     let k = geom.kernel;
-    assert_eq!(
-        c, kernel.in_channels,
-        "activation channels {c} != kernel channels {}",
-        kernel.in_channels
-    );
-    assert_eq!(k, kernel.kernel, "geometry/kernel size mismatch");
-    assert_eq!(codes.len(), n * c * h * w, "codes length mismatch");
-    assert_eq!(
-        out.len(),
-        n * kernel.filters() * geom.out_positions(),
-        "output length mismatch"
-    );
     let (stride, padding) = (geom.stride, geom.padding);
+    let f = kernel.filters();
 
     for b in 0..n {
         let out_scale = scales[b] * kernel.base_scale;
-        for (fi, taps) in kernel.taps.iter().enumerate() {
+        for fi in 0..f {
+            let taps = &kernel.taps[kernel.bounds[fi] as usize..kernel.bounds[fi + 1] as usize];
             for oi in 0..geom.out_h {
-                let row = ((b * kernel.filters() + fi) * geom.out_h + oi) * geom.out_w;
+                let row = ((b * f + fi) * geom.out_h + oi) * geom.out_w;
                 for oj in 0..geom.out_w {
                     let mut acc: i64 = 0;
+                    let mut executed: u64 = 0;
                     for tap in taps {
                         // Decode the tap's position in the [c, k, k] volume.
                         let off = tap.offset as usize;
@@ -201,11 +639,12 @@ pub(crate) fn shift_add_conv_core(
                             continue;
                         }
                         let a = codes[((b * c + ch) * h + ii as usize) * w + jj as usize] as i64;
-                        let term = a << tap.shift;
-                        acc += if tap.negative { -term } else { term };
-                        counts.shifts += 1;
-                        counts.int_adds += 1;
+                        let term = a << (tap.code & SHIFT_MASK);
+                        acc += if tap.code & SIGN_BIT != 0 { -term } else { term };
+                        executed += 1;
                     }
+                    counts.shifts += executed;
+                    counts.int_adds += executed.saturating_sub(1);
                     out[row + oj] = acc as f32 * out_scale;
                 }
             }
@@ -213,10 +652,11 @@ pub(crate) fn shift_add_conv_core(
     }
 }
 
-/// Shift-add convolution over integer activation codes.
+/// Shift-add convolution over integer activation codes (lowered path).
 ///
 /// Returns the float output `[n, f, oh, ow]` and the operation counts
-/// (one shift and one add per tap — no multiplies anywhere).
+/// (`k` shifts and `k − 1` adds per position under the paper's §3 cost
+/// model — see [`OpCounts`]; no multiplies anywhere).
 ///
 /// # Panics
 ///
@@ -227,6 +667,32 @@ pub fn shift_add_conv(
     stride: usize,
     padding: usize,
 ) -> (Tensor, OpCounts) {
+    shift_add_conv_with(act, kernel, stride, padding, shift_add_conv_core)
+}
+
+/// [`shift_add_conv`] on the retained interpreted core — the oracle the
+/// lowered path is tested against, and the baseline the `lowering` bench
+/// exhibit times. Bit-identical outputs and counts to the lowered path,
+/// only slower.
+pub fn shift_add_conv_reference(
+    act: &QuantActivations,
+    kernel: &ShiftKernel,
+    stride: usize,
+    padding: usize,
+) -> (Tensor, OpCounts) {
+    shift_add_conv_with(act, kernel, stride, padding, shift_add_conv_reference_core)
+}
+
+type ShiftCore =
+    fn(&[i32], &[f32], &Conv2dGeometry, &ShiftKernel, &mut [f32], &mut OpCounts);
+
+fn shift_add_conv_with(
+    act: &QuantActivations,
+    kernel: &ShiftKernel,
+    stride: usize,
+    padding: usize,
+    core: ShiftCore,
+) -> (Tensor, OpCounts) {
     let ad = act.dims();
     assert_eq!(ad.len(), 4, "activations must be [n, c, h, w]");
     let (n, c, h, w) = (ad[0], ad[1], ad[2], ad[3]);
@@ -234,7 +700,7 @@ pub fn shift_add_conv(
     let mut out = Tensor::zeros(&[n, kernel.filters(), geom.out_h, geom.out_w]);
     let scales = vec![act.scale(); n];
     let mut counts = OpCounts::default();
-    shift_add_conv_core(
+    core(
         act.codes(),
         &scales,
         &geom,
@@ -250,7 +716,7 @@ mod tests {
     use super::*;
     use flight_nn::layers::functional::conv2d_forward;
     use flight_tensor::{uniform, TensorRng};
-    use flightnn::convert::shift_plan;
+    use flightnn::convert::{shift_plan, FilterPlan, SubFilter};
     use flightnn::layers::QuantConv2d;
     use flightnn::QuantScheme;
 
@@ -281,6 +747,11 @@ mod tests {
         );
         assert_eq!(counts.int_mults, 0, "shift kernel must not multiply");
         assert!(counts.shifts > 0);
+
+        // The lowered path and the interpreted oracle are bit-identical.
+        let (oracle, oracle_counts) = shift_add_conv_reference(&qa, &kernel, 1, 1);
+        assert_eq!(out.as_slice(), oracle.as_slice(), "lowered != oracle");
+        assert_eq!(counts, oracle_counts, "lowered counts != oracle counts");
     }
 
     #[test]
@@ -365,5 +836,132 @@ mod tests {
         );
         let (out, _) = shift_add_conv(&qa, &kernel, 2, 1);
         assert!(out.allclose(&reference, 1e-3));
+    }
+
+    /// A hand-built plan: one filter over a [1, 2, 2] volume.
+    fn tiny_plan(coefficients: Vec<f32>) -> ShiftPlan {
+        ShiftPlan {
+            filters: vec![FilterPlan {
+                subfilters: vec![SubFilter { coefficients }],
+            }],
+            filter_len: 4,
+        }
+    }
+
+    #[test]
+    fn try_compile_rejects_non_power_of_two_taps() {
+        let plan = tiny_plan(vec![0.5, 0.0, 0.3, -1.0]);
+        let err = ShiftKernel::try_compile(&plan, &[1, 1, 2, 2]).unwrap_err();
+        assert_eq!(
+            err,
+            ShiftCompileError::NotPowerOfTwo {
+                filter: 0,
+                index: 2,
+                value: 0.3
+            }
+        );
+        assert!(err.to_string().contains("not a power of two"));
+    }
+
+    #[test]
+    fn try_compile_rejects_shape_mismatches() {
+        let plan = tiny_plan(vec![0.5, 0.0, 0.25, -1.0]);
+        assert_eq!(
+            ShiftKernel::try_compile(&plan, &[1, 1, 2]).unwrap_err(),
+            ShiftCompileError::BadWeightRank(3)
+        );
+        assert_eq!(
+            ShiftKernel::try_compile(&plan, &[1, 1, 2, 3]).unwrap_err(),
+            ShiftCompileError::NonSquareKernel { kh: 2, kw: 3 }
+        );
+        assert_eq!(
+            ShiftKernel::try_compile(&plan, &[2, 1, 2, 2]).unwrap_err(),
+            ShiftCompileError::FilterCountMismatch {
+                plan: 1,
+                weights: 2
+            }
+        );
+        assert_eq!(
+            ShiftKernel::try_compile(&plan, &[1, 2, 2, 2]).unwrap_err(),
+            ShiftCompileError::FilterLenMismatch {
+                plan: 4,
+                weights: 8
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn compile_panics_where_try_compile_errors() {
+        let plan = tiny_plan(vec![0.3, 0.0, 0.0, 0.0]);
+        let _ = ShiftKernel::compile(&plan, &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn taps_are_sorted_for_sequential_access() {
+        // Two subfilters whose taps interleave: compile must merge-sort
+        // them by flat offset within the filter.
+        let plan = ShiftPlan {
+            filters: vec![FilterPlan {
+                subfilters: vec![
+                    SubFilter {
+                        coefficients: vec![0.0, 1.0, 0.0, -0.5],
+                    },
+                    SubFilter {
+                        coefficients: vec![2.0, 0.0, 0.25, 0.0],
+                    },
+                ],
+            }],
+            filter_len: 4,
+        };
+        let kernel = ShiftKernel::compile(&plan, &[1, 1, 2, 2]);
+        let offsets: Vec<u32> = kernel.taps.iter().map(|t| t.offset).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cost_convention_k_shifts_k_minus_1_adds() {
+        // Padding 0: every position is interior and executes all taps, so
+        // the §3 cost model is exact: taps shifts, taps−1 adds per
+        // position.
+        let plan = tiny_plan(vec![0.5, -1.0, 2.0, 0.0]); // 3 taps
+        let kernel = ShiftKernel::compile(&plan, &[1, 1, 2, 2]);
+        let mut rng = TensorRng::seed(17);
+        let x = uniform(&mut rng, &[2, 1, 5, 5], -1.0, 1.0);
+        let qa = QuantActivations::quantize(&x, 8);
+        let (_, counts) = shift_add_conv(&qa, &kernel, 1, 0);
+        let positions = 4 * 4 * 2; // out 4x4, batch 2
+        assert_eq!(counts.shifts, 3 * positions);
+        assert_eq!(counts.int_adds, 2 * positions);
+        let (_, oracle) = shift_add_conv_reference(&qa, &kernel, 1, 0);
+        assert_eq!(counts, oracle);
+    }
+
+    #[test]
+    fn lowering_stats_split_the_output_map() {
+        let plan = tiny_plan(vec![0.5, -1.0, 2.0, 0.25]);
+        let kernel = ShiftKernel::compile(&plan, &[1, 1, 2, 2]);
+        let geom = Conv2dGeometry::new(1, 6, 6, 2, 1, 1);
+        let stats = kernel.lowering_stats(&geom);
+        assert_eq!(
+            stats.interior_positions + stats.border_positions,
+            geom.out_positions()
+        );
+        assert!(stats.interior_positions > 0, "6x6 k2 p1 has an interior");
+        assert!(stats.border_positions > 0, "padding creates a border");
+        assert_eq!(stats.total_taps, 4);
+        assert_eq!(stats.filters, 1);
+        assert_eq!(stats.mean_taps_per_filter(), 4.0);
+    }
+
+    #[test]
+    fn lowered_cache_is_shared_across_clones() {
+        let plan = tiny_plan(vec![0.5, -1.0, 0.0, 0.25]);
+        let kernel = ShiftKernel::compile(&plan, &[1, 1, 2, 2]);
+        let geom = Conv2dGeometry::new(1, 6, 6, 2, 1, 1);
+        let clone = kernel.clone();
+        let a = kernel.lowered(&geom);
+        let b = clone.lowered(&geom);
+        assert!(Arc::ptr_eq(&a, &b), "clones must share lowered programs");
     }
 }

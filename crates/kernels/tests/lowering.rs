@@ -1,0 +1,271 @@
+//! Parity suite for the lowered tap-program kernels.
+//!
+//! The lowered cores (precomputed offsets, interior/border split,
+//! analytic op accounting) must be **bit-identical** — logits and
+//! [`OpCounts`] — to the retained interpreted reference cores across the
+//! whole geometry space: every kernel size, stride, padding, and odd
+//! input shape, including degenerate all-border and all-interior cases.
+//! The reference cores are the oracle; they count ops inside the loop,
+//! so agreement also pins the counting conventions documented on
+//! [`OpCounts`].
+
+use std::sync::Arc;
+
+use flight_kernels::fixed::{fixed_point_conv, fixed_point_conv_reference, FixedWeights};
+use flight_kernels::shift::{
+    shift_add_conv, shift_add_conv_reference, ShiftCompileError, ShiftKernel,
+};
+use flight_kernels::{CompileOptions, IntNetwork, OpCounts, QuantActivations};
+use flight_tensor::{uniform, Conv2dGeometry, Tensor, TensorRng};
+use flight_telemetry::{CollectingSink, EventKind, Telemetry};
+use flightnn::convert::{shift_plan, FilterPlan, ShiftPlan, SubFilter};
+use flightnn::layers::QuantConv2d;
+use flightnn::{QuantNet, QuantScheme};
+use proptest::prelude::*;
+
+/// Compiles a shift kernel for the given shape from a real quantized
+/// conv layer.
+fn shift_kernel(seed: u64, scheme: &QuantScheme, c: usize, f: usize, k: usize) -> ShiftKernel {
+    let mut rng = TensorRng::seed(seed);
+    let mut conv = QuantConv2d::new(&mut rng, scheme, c, f, k, 1, 0);
+    let plan = shift_plan(&mut conv);
+    ShiftKernel::compile(&plan, &[f, c, k, k])
+}
+
+fn activations(seed: u64, n: usize, c: usize, h: usize, w: usize) -> QuantActivations {
+    let mut rng = TensorRng::seed(seed);
+    let x = uniform(&mut rng, &[n, c, h, w], -1.0, 1.0);
+    QuantActivations::quantize(&x, 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lowered shift-add conv == interpreted reference, bitwise, over the
+    /// geometry space the interior/border split has to get right.
+    #[test]
+    fn lowered_shift_conv_is_bit_identical_to_reference(
+        k_idx in 0usize..3,
+        stride in 1usize..3,
+        padding in 0usize..3,
+        h in 3usize..12,
+        w in 3usize..12,
+        c in 1usize..4,
+        f in 1usize..5,
+        n in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let k = [1, 3, 5][k_idx];
+        prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+
+        let kernel = shift_kernel(seed, &QuantScheme::l2(), c, f, k);
+        let qa = activations(seed.wrapping_add(1), n, c, h, w);
+
+        let (lowered, lc) = shift_add_conv(&qa, &kernel, stride, padding);
+        let (reference, rc) = shift_add_conv_reference(&qa, &kernel, stride, padding);
+        prop_assert_eq!(lowered.as_slice(), reference.as_slice(),
+            "logits diverge at k={} s={} p={} {}x{}", k, stride, padding, h, w);
+        prop_assert_eq!(lc, rc,
+            "op counts diverge at k={} s={} p={} {}x{}", k, stride, padding, h, w);
+    }
+
+    /// Lowered fixed-point conv == interpreted reference, bitwise.
+    #[test]
+    fn lowered_fixed_conv_is_bit_identical_to_reference(
+        k_idx in 0usize..3,
+        stride in 1usize..3,
+        padding in 0usize..3,
+        h in 3usize..12,
+        w in 3usize..12,
+        c in 1usize..4,
+        f in 1usize..5,
+        n in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let k = [1, 3, 5][k_idx];
+        prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+
+        let mut rng = TensorRng::seed(seed);
+        let weights = FixedWeights::quantize(&uniform(&mut rng, &[f, c, k, k], -0.5, 0.5), 4);
+        let qa = activations(seed.wrapping_add(1), n, c, h, w);
+
+        let (lowered, lc) = fixed_point_conv(&qa, &weights, stride, padding);
+        let (reference, rc) = fixed_point_conv_reference(&qa, &weights, stride, padding);
+        prop_assert_eq!(lowered.as_slice(), reference.as_slice(),
+            "outputs diverge at k={} s={} p={} {}x{}", k, stride, padding, h, w);
+        prop_assert_eq!(lc, rc,
+            "op counts diverge at k={} s={} p={} {}x{}", k, stride, padding, h, w);
+    }
+}
+
+#[test]
+fn shift_counts_follow_k_shifts_k_minus_1_adds_analytically() {
+    // Padding 0: every output position is interior and executes every
+    // tap, so the totals close in closed form: `taps` shifts per position
+    // and `taps − 1` adds per filter with at least one tap.
+    let kernel = shift_kernel(3, &QuantScheme::l2(), 2, 3, 3);
+    let qa = activations(4, 2, 2, 9, 9);
+    let (_, counts) = shift_add_conv(&qa, &kernel, 1, 0);
+    let positions = 7 * 7 * 2; // out 7x7, batch 2
+    assert_eq!(counts.shifts, kernel.total_taps() as u64 * positions);
+    assert!(counts.int_adds < counts.shifts, "k taps cost k−1 adds");
+    assert_eq!(counts.int_mults, 0, "shift path never multiplies");
+}
+
+#[test]
+fn fixed_counts_follow_one_mac_per_tap_analytically() {
+    let mut rng = TensorRng::seed(5);
+    let weights = FixedWeights::quantize(&uniform(&mut rng, &[3, 2, 3, 3], -0.5, 0.5), 4);
+    let qa = activations(6, 2, 2, 9, 9);
+    let (_, counts) = fixed_point_conv(&qa, &weights, 1, 0);
+    let taps_per_position = 3 * 2 * 3 * 3;
+    let positions = 7 * 7 * 2;
+    assert_eq!(counts.int_mults, (taps_per_position * positions) as u64);
+    assert_eq!(counts.int_mults, counts.int_adds, "one fused MAC per tap");
+    assert_eq!(counts.shifts, 0, "fixed path never shifts");
+}
+
+#[test]
+fn lowering_stats_partition_every_geometry() {
+    let kernel = shift_kernel(7, &QuantScheme::l1(), 2, 3, 3);
+    for (h, w, stride, padding) in [(7, 9, 1, 1), (8, 8, 2, 1), (3, 3, 1, 2), (9, 5, 2, 0)] {
+        let geom = Conv2dGeometry::new(2, h, w, 3, stride, padding);
+        let stats = kernel.lowering_stats(&geom);
+        assert_eq!(
+            stats.interior_positions + stats.border_positions,
+            geom.out_positions(),
+            "{h}x{w} s{stride} p{padding}: split must partition the output map"
+        );
+        if padding == 0 {
+            assert_eq!(stats.border_positions, 0, "no padding → no border");
+        }
+    }
+}
+
+#[test]
+fn try_compile_surfaces_errors_through_the_public_api() {
+    let plan = ShiftPlan {
+        filters: vec![FilterPlan {
+            subfilters: vec![SubFilter {
+                coefficients: vec![0.75, 0.0, 0.5, -1.0],
+            }],
+        }],
+        filter_len: 4,
+    };
+    let err = ShiftKernel::try_compile(&plan, &[1, 1, 2, 2]).unwrap_err();
+    assert!(
+        matches!(err, ShiftCompileError::NotPowerOfTwo { filter: 0, index: 0, .. }),
+        "0.75 is not ±2^e: {err}"
+    );
+    // The panicking wrapper and the Result path agree on valid input.
+    let good = ShiftPlan {
+        filters: vec![FilterPlan {
+            subfilters: vec![SubFilter {
+                coefficients: vec![0.25, 0.0, 0.5, -1.0],
+            }],
+        }],
+        filter_len: 4,
+    };
+    let a = ShiftKernel::try_compile(&good, &[1, 1, 2, 2]).expect("valid plan compiles");
+    let b = ShiftKernel::compile(&good, &[1, 1, 2, 2]);
+    assert_eq!(a.total_taps(), b.total_taps());
+}
+
+/// One small shift-datapath net: conv → conv → linear-ish tail kept
+/// minimal so traced runs stay fast.
+fn tiny_net(seed: u64) -> QuantNet {
+    let mut rng = TensorRng::seed(seed);
+    let mut net = QuantNet::new();
+    net.push_conv(QuantConv2d::new(&mut rng, &QuantScheme::l1(), 3, 4, 3, 1, 1));
+    net.push_conv(QuantConv2d::new(&mut rng, &QuantScheme::l1(), 4, 4, 3, 1, 1));
+    net
+}
+
+#[test]
+fn sequential_trace_emits_kernel_lowering_events() {
+    let sink = Arc::new(CollectingSink::new());
+    let engine = IntNetwork::compile_with(
+        &mut tiny_net(11),
+        CompileOptions::new()
+            .telemetry(Telemetry::new(sink.clone()))
+            .sequential(),
+    )
+    .expect("compiles");
+    let mut rng = TensorRng::seed(12);
+    let x = uniform(&mut rng, &[2, 3, 6, 6], -1.0, 1.0);
+    let _ = engine.forward(&x);
+
+    let events = sink.events();
+    let spans = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanEnd && e.name == "kernel.lowering")
+        .count();
+    assert_eq!(spans, 2, "one lowering span per conv stage");
+    let interior = events
+        .iter()
+        .find(|e| e.kind == EventKind::Gauge && e.name == "kernel.lowering.interior_positions")
+        .expect("interior-position gauge emitted");
+    let border = events
+        .iter()
+        .find(|e| e.kind == EventKind::Gauge && e.name == "kernel.lowering.border_positions")
+        .expect("border-position gauge emitted");
+    // 6x6, k3 s1 p1 → 6x6 output with a 4x4 interior and 20-position border.
+    assert_eq!(interior.value, 16.0);
+    assert_eq!(border.value, 20.0);
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::Gauge && e.name == "kernel.lowering.taps_per_filter"),
+        "taps-per-filter gauge emitted"
+    );
+}
+
+#[test]
+fn parallel_workers_attribute_lowering_events_through_prefix_sink() {
+    let sink = Arc::new(CollectingSink::new());
+    let engine = IntNetwork::compile_with(
+        &mut tiny_net(13),
+        CompileOptions::new()
+            .telemetry(Telemetry::new(sink.clone()))
+            .threads(2),
+    )
+    .expect("compiles");
+    let mut rng = TensorRng::seed(14);
+    let x = uniform(&mut rng, &[4, 3, 6, 6], -1.0, 1.0);
+    let _ = engine.forward(&x);
+
+    let events = sink.events();
+    for worker in ["kernel.worker.00.", "kernel.worker.01."] {
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::SpanEnd
+                && e.name == format!("{worker}kernel.lowering")),
+            "{worker} emits prefixed lowering spans"
+        );
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::Gauge
+                && e.name == format!("{worker}kernel.lowering.interior_positions")),
+            "{worker} emits prefixed lowering gauges"
+        );
+    }
+}
+
+#[test]
+fn null_sink_emits_nothing_but_computes_the_same() {
+    // The lowered cores must not depend on telemetry being live.
+    let traced_sink = Arc::new(CollectingSink::new());
+    let traced = IntNetwork::compile_with(
+        &mut tiny_net(15),
+        CompileOptions::new()
+            .telemetry(Telemetry::new(traced_sink))
+            .sequential(),
+    )
+    .expect("compiles");
+    let silent = IntNetwork::compile_with(&mut tiny_net(15), CompileOptions::new().sequential())
+        .expect("compiles");
+    let mut rng = TensorRng::seed(16);
+    let x = uniform(&mut rng, &[3, 3, 6, 6], -1.0, 1.0);
+    let (a, ca): (Tensor, OpCounts) = traced.forward(&x);
+    let (b, cb) = silent.forward(&x);
+    assert_eq!(a.as_slice(), b.as_slice());
+    assert_eq!(ca, cb);
+}
