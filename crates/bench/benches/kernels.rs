@@ -106,7 +106,7 @@ fn bench_training_step(c: &mut Criterion) {
 fn bench_telemetry_overhead(c: &mut Criterion) {
     use flight_data::{DatasetKind, Fidelity, SyntheticDataset};
     use flight_kernels::{CompileOptions, IntNetwork};
-    use flight_telemetry::{CollectingSink, Telemetry};
+    use flight_telemetry::{AggregatingSink, CollectingSink, Telemetry};
     use flightnn::configs::NetworkConfig;
     use flightnn::FlightTrainer;
     use std::sync::Arc;
@@ -121,7 +121,12 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     trainer.train_epoch(&mut net, &batches[..1]);
     let options = CompileOptions::new().fold_batch_norm(true).sequential();
     let engine = IntNetwork::compile_with(&mut net, options).expect("network 1 folds");
-    let input = data.test_batches(8).first().expect("test data").input.clone();
+    let input = data
+        .test_batches(8)
+        .first()
+        .expect("test data")
+        .input
+        .clone();
 
     // The acceptance bar: `forward` on the default null sink must sit
     // within noise of the traced loop's dispatch overhead (<2% — one
@@ -133,6 +138,17 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         .clone()
         .with_telemetry(Telemetry::new(Arc::new(CollectingSink::new())));
     group.bench_function("forward_traced", |b| b.iter(|| traced.forward(&input)));
+    // Aggregated tracing: same event stream folded by an
+    // AggregatingSink, so the inner sink sees O(names) snapshots instead
+    // of O(events) — the cost of folding should be comparable to the
+    // cost of collecting.
+    let aggregated = engine.with_telemetry(Telemetry::new(Arc::new(AggregatingSink::new(
+        Arc::new(CollectingSink::new()),
+        flight_telemetry::agg::DEFAULT_SNAPSHOT_EVERY,
+    ))));
+    group.bench_function("forward_aggregated", |b| {
+        b.iter(|| aggregated.forward(&input))
+    });
     group.finish();
 }
 

@@ -19,7 +19,13 @@ use crate::profile::BenchProfile;
 use crate::suite::ModelRow;
 
 /// Manifest schema version; bump when the JSON layout changes.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the flat `metrics` object — every scalar the run produced
+/// under a stable dotted name (`tables.<table>.<label>.<field>`, plus
+/// numeric/bool exhibit extras), which is what `flightctl diff` gates
+/// on. v1 manifests are still readable: the diff tool synthesizes the
+/// same names from the raw table rows.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
 
 /// Environment variable naming the directory manifests are written to
 /// (default: the working directory).
@@ -138,7 +144,57 @@ pub fn render_manifest(
     for (key, value) in extras {
         obj = obj.field(*key, value.clone());
     }
+    obj = obj.field("metrics", metrics_json(tables, elapsed_secs, extras));
     obj.build().render()
+}
+
+/// The schema-v2 flat `metrics` object: every scalar of the run under a
+/// stable dotted name, so `flightctl diff` compares manifests without
+/// knowing any exhibit's table shape. Row labels are sanitized
+/// (whitespace → `_`) to keep `--metrics` prefixes shell-friendly;
+/// `None` fields are omitted rather than zeroed; bool extras become
+/// 1/0.
+fn metrics_json(
+    tables: &[(String, Vec<ModelRow>)],
+    elapsed_secs: f64,
+    extras: &[(&str, JsonValue)],
+) -> JsonValue {
+    let mut metrics = JsonObject::new()
+        .field("schema_version", MANIFEST_SCHEMA_VERSION)
+        .field("elapsed_secs", elapsed_secs);
+    for (table, rows) in tables {
+        for row in rows {
+            let base = format!("tables.{table}.{}", sanitize_label(&row.label));
+            metrics = metrics
+                .field(&format!("{base}.accuracy"), row.accuracy)
+                .field(&format!("{base}.storage_mb"), row.storage_mb)
+                .field(&format!("{base}.throughput"), row.throughput)
+                .field(&format!("{base}.speedup"), row.speedup)
+                .field(&format!("{base}.energy_uj"), row.energy_uj);
+            if let Some(k) = row.mean_k {
+                metrics = metrics.field(&format!("{base}.mean_k"), k);
+            }
+        }
+    }
+    for (key, value) in extras {
+        let scalar = match value {
+            JsonValue::Number(x) => Some(*x),
+            JsonValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        };
+        if let Some(x) = scalar {
+            metrics = metrics.field(key, x);
+        }
+    }
+    metrics.build()
+}
+
+/// Row labels as metric-name segments: whitespace collapses to `_`.
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
 }
 
 fn row_json(row: &ModelRow) -> JsonValue {
@@ -200,13 +256,25 @@ mod tests {
             Some("abc123-dirty")
         );
         let profile = v.get("profile").expect("profile object");
-        assert_eq!(profile.get("fidelity").and_then(JsonValue::as_str), Some("smoke"));
+        assert_eq!(
+            profile.get("fidelity").and_then(JsonValue::as_str),
+            Some("smoke")
+        );
         assert_eq!(profile.get("epochs").and_then(JsonValue::as_f64), Some(8.0));
-        let tables = v.get("tables").and_then(JsonValue::as_array).expect("tables");
+        let tables = v
+            .get("tables")
+            .and_then(JsonValue::as_array)
+            .expect("tables");
         assert_eq!(tables.len(), 1);
-        let rows = tables[0].get("rows").and_then(JsonValue::as_array).expect("rows");
+        let rows = tables[0]
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .expect("rows");
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[1].get("label").and_then(JsonValue::as_str), Some("FL_b"));
+        assert_eq!(
+            rows[1].get("label").and_then(JsonValue::as_str),
+            Some("FL_b")
+        );
         assert_eq!(rows[1].get("mean_k").and_then(JsonValue::as_f64), Some(1.5));
     }
 
@@ -216,7 +284,9 @@ mod tests {
         let v = JsonValue::parse(&text).expect("valid JSON");
         assert!(matches!(v.get("profile"), Some(JsonValue::Null)));
         assert_eq!(
-            v.get("tables").and_then(JsonValue::as_array).map(|t| t.len()),
+            v.get("tables")
+                .and_then(JsonValue::as_array)
+                .map(|t| t.len()),
             Some(0)
         );
     }
@@ -232,7 +302,43 @@ mod tests {
         assert!(matches!(v.get("parity"), Some(JsonValue::Bool(true))));
         assert_eq!(v.get("speedup").and_then(JsonValue::as_f64), Some(2.9));
         // Shared schema fields survive the append.
-        assert_eq!(v.get("exhibit").and_then(JsonValue::as_str), Some("lowering"));
+        assert_eq!(
+            v.get("exhibit").and_then(JsonValue::as_str),
+            Some("lowering")
+        );
+    }
+
+    #[test]
+    fn v2_metrics_object_flattens_rows_and_extras() {
+        let tables = vec![(
+            "engine".to_string(),
+            vec![ModelRow {
+                mean_k: None,
+                ..row("lowered parallel x4")
+            }],
+        )];
+        let extras = [
+            ("parity", JsonValue::Bool(true)),
+            ("speedup", JsonValue::Number(2.9)),
+            ("note", JsonValue::String("not a metric".to_string())),
+        ];
+        let text = render_manifest("lowering", None, &tables, 1.5, "abc", &extras);
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        let m = v.get("metrics").expect("metrics object");
+        let get = |n: &str| m.get(n).and_then(JsonValue::as_f64);
+        assert_eq!(get("schema_version"), Some(MANIFEST_SCHEMA_VERSION as f64));
+        assert_eq!(get("elapsed_secs"), Some(1.5));
+        // Labels sanitize, every numeric row field lands, None is absent.
+        assert_eq!(
+            get("tables.engine.lowered_parallel_x4.throughput"),
+            Some(100.0)
+        );
+        assert_eq!(get("tables.engine.lowered_parallel_x4.accuracy"), Some(0.5));
+        assert!(m.get("tables.engine.lowered_parallel_x4.mean_k").is_none());
+        // Bool extras become 1/0; string extras are not metrics.
+        assert_eq!(get("parity"), Some(1.0));
+        assert_eq!(get("speedup"), Some(2.9));
+        assert!(m.get("note").is_none());
     }
 
     #[test]

@@ -61,9 +61,16 @@ pub(crate) enum IntLayer {
     },
     /// Per-channel `y = scale·x + bias` (a batch norm at inference time,
     /// possibly folded away into the conv epilogue).
-    Affine { scale: Tensor, bias: Tensor },
-    LeakyRelu { slope: f32 },
-    MaxPool { window: usize },
+    Affine {
+        scale: Tensor,
+        bias: Tensor,
+    },
+    LeakyRelu {
+        slope: f32,
+    },
+    MaxPool {
+        window: usize,
+    },
     GlobalAvgPool,
     Flatten,
     Linear {
@@ -329,7 +336,11 @@ impl IntNetwork {
     ///   `kernel.worker.<w>.chunk` spans/counters.
     /// * **Sequential + traced**: every pipeline stage `i` emits a
     ///   `kernel.stage.<i>.<kind>` span plus one counter per nonzero
-    ///   [`OpCounts`] field that stage spent.
+    ///   [`OpCounts`] field that stage spent. Every activation
+    ///   quantization additionally reports
+    ///   `kernel.qact.<conv|linear|requant>.saturated` / `.quantized`
+    ///   counters (codes at the representable rail vs codes produced),
+    ///   the clamp-rate signal `flightctl health` checks.
     /// * **Sequential + null sink**: the uninstrumented hot loop, no
     ///   telemetry branches inside.
     ///
@@ -393,7 +404,8 @@ impl IntNetwork {
     /// Sequential execution with per-stage spans and counters.
     fn forward_traced(&self, input: &Tensor) -> (Tensor, OpCounts) {
         let forward_span = self.telemetry.span("kernel.forward");
-        self.telemetry.gauge("kernel.forward.workers", 1.0, "worker");
+        self.telemetry
+            .gauge("kernel.forward.workers", 1.0, "worker");
         let mut counts = OpCounts::default();
         let mut scratch = Scratch::default();
         // Borrow the input for the first stage instead of cloning it;
@@ -664,11 +676,35 @@ fn lowering_span(
     Some(telemetry.span("kernel.lowering"))
 }
 
+/// Reports how many just-quantized activation codes sit at the
+/// representable rail, as `kernel.qact.<stage>.saturated` /
+/// `.quantized` counters. The post-pass over the codes only runs with a
+/// live sink, so the null-sink hot path never pays for it.
+fn emit_saturation(telemetry: &Telemetry, stage: &'static str, codes: &[i32], bits: u32) {
+    if !telemetry.enabled() || codes.is_empty() {
+        return;
+    }
+    telemetry.counter(
+        &format!("kernel.qact.{stage}.saturated"),
+        QuantActivations::saturation_count(codes, bits),
+        "op",
+    );
+    telemetry.counter(
+        &format!("kernel.qact.{stage}.quantized"),
+        codes.len() as u64,
+        "op",
+    );
+}
+
 /// One integer conv over `x` with whichever datapath the layer compiled
 /// to, quantizing activations per image through the scratch buffers.
+/// `stage` labels the quantization site (`"conv"` / `"linear"`) in the
+/// saturation counters.
+#[allow(clippy::too_many_arguments)]
 fn conv_stage(
     weights: &IntWeights,
     telemetry: &Telemetry,
+    stage: &'static str,
     act_bits: u32,
     x: &Tensor,
     stride: usize,
@@ -686,6 +722,7 @@ fn conv_stage(
                 &mut scratch.codes,
                 &mut scratch.scales,
             );
+            emit_saturation(telemetry, stage, &scratch.codes, act_bits);
             let geom = Conv2dGeometry::new(d[1], d[2], d[3], kernel.kernel_size(), stride, padding);
             let mut out = Tensor::zeros(&[d[0], kernel.filters(), geom.out_h, geom.out_w]);
             let span = lowering_span(telemetry, kernel.lowering_stats(&geom));
@@ -707,6 +744,7 @@ fn conv_stage(
                 &mut scratch.codes,
                 &mut scratch.scales,
             );
+            emit_saturation(telemetry, stage, &scratch.codes, act_bits);
             let geom = Conv2dGeometry::new(d[1], d[2], d[3], fw.dims()[2], stride, padding);
             let mut out = Tensor::zeros(&[d[0], fw.dims()[0], geom.out_h, geom.out_w]);
             let span = lowering_span(telemetry, fw.lowering_stats(&geom));
@@ -756,7 +794,7 @@ pub(crate) fn run_layer(
             act_bits,
         } => {
             let mut out = conv_stage(
-                weights, telemetry, *act_bits, x, *stride, *padding, counts, scratch,
+                weights, telemetry, "conv", *act_bits, x, *stride, *padding, counts, scratch,
             );
             add_channel_bias(&mut out, bias);
             out
@@ -770,7 +808,9 @@ pub(crate) fn run_layer(
             let n = x.dims()[0];
             let f = x.len() / n.max(1);
             let as_img = x.reshape(&[n, f, 1, 1]);
-            let mut out = conv_stage(weights, telemetry, *act_bits, &as_img, 1, 0, counts, scratch);
+            let mut out = conv_stage(
+                weights, telemetry, "linear", *act_bits, &as_img, 1, 0, counts, scratch,
+            );
             add_channel_bias(&mut out, bias);
             let classes = out.len() / n.max(1);
             out.reshape_in_place(&[n, classes]);
@@ -798,7 +838,13 @@ pub(crate) fn run_layer(
             x.reshape(&[n, x.len() / n.max(1)])
         }
         IntLayer::Requant => {
-            QuantActivations::quantize_per_image_into(x, 8, &mut scratch.codes, &mut scratch.scales);
+            QuantActivations::quantize_per_image_into(
+                x,
+                8,
+                &mut scratch.codes,
+                &mut scratch.scales,
+            );
+            emit_saturation(telemetry, "requant", &scratch.codes, 8);
             let n = x.dims()[0];
             let stride = if n == 0 { 0 } else { x.len() / n };
             let mut data = Vec::with_capacity(x.len());

@@ -120,6 +120,26 @@ impl QuantActivations {
         &self.codes
     }
 
+    /// Counts codes sitting at the representable rail `±(2^{bits−1}−1)`.
+    ///
+    /// With a dynamic per-image scale the clamp in quantization never
+    /// truncates — the max-magnitude value lands exactly on the rail —
+    /// so this measures how much of the tensor is pinned at the extreme
+    /// code, not how much was cut off. A high rail rate means the
+    /// distribution has heavy tails relative to the grid (one outlier is
+    /// stretching the scale), which is the activation-quantization
+    /// failure mode `flightctl health` watches through the
+    /// `kernel.qact.<stage>.saturated` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2`.
+    pub fn saturation_count(codes: &[i32], bits: u32) -> u64 {
+        assert!(bits >= 2, "activation quantization needs at least 2 bits");
+        let qmax = ((1u32 << (bits - 1)) - 1) as i32;
+        codes.iter().filter(|c| c.abs() >= qmax).count() as u64
+    }
+
     /// The shared scale.
     pub fn scale(&self) -> f32 {
         self.scale
@@ -216,6 +236,25 @@ mod tests {
                 "image {b} codes"
             );
         }
+    }
+
+    #[test]
+    fn saturation_counts_codes_at_the_rail() {
+        // Dynamic scale: the max-magnitude element always sits on the
+        // rail, so a well-spread tensor has exactly the extremes there.
+        let x = Tensor::from_slice(&[1.0, -1.0, 0.5, 0.25, 0.0]);
+        let q = QuantActivations::quantize(&x, 8);
+        assert_eq!(QuantActivations::saturation_count(q.codes(), 8), 2);
+        // A heavy-tailed tensor pins only its outlier.
+        let y = Tensor::from_slice(&[100.0, 0.1, 0.2, 0.05]);
+        let qy = QuantActivations::quantize(&y, 8);
+        assert_eq!(QuantActivations::saturation_count(qy.codes(), 8), 1);
+        // All-zero codes never saturate.
+        let z = QuantActivations::quantize(&Tensor::zeros(&[4]), 8);
+        assert_eq!(QuantActivations::saturation_count(z.codes(), 8), 0);
+        // At 2 bits the rail is ±1, so most nonzero codes sit on it.
+        let q2 = QuantActivations::quantize(&x, 2);
+        assert_eq!(QuantActivations::saturation_count(q2.codes(), 2), 3);
     }
 
     #[test]

@@ -169,7 +169,9 @@ fn traced_forward_matches_untraced_and_emits_stage_events() {
         .count();
     assert_eq!(stage_ends, engine.stages(), "one latency span per stage");
     assert!(
-        events.iter().any(|e| e.kind == EventKind::SpanEnd && e.name == "kernel.forward"),
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::SpanEnd && e.name == "kernel.forward"),
         "whole-pass span present"
     );
     let shift_total: u64 = events
@@ -180,6 +182,66 @@ fn traced_forward_matches_untraced_and_emits_stage_events() {
     assert_eq!(
         shift_total, traced_counts.shifts,
         "per-stage shift counters must sum to the aggregate"
+    );
+}
+
+#[test]
+fn quantization_saturation_counters_track_every_quantization_site() {
+    use flight_telemetry::{CollectingSink, EventKind, Telemetry};
+    use std::sync::Arc;
+
+    let (mut net, data) = trained(1, &QuantScheme::l1(), 1);
+    let sink = Arc::new(CollectingSink::new());
+    let engine = IntNetwork::compile_with(
+        &mut net,
+        CompileOptions::new()
+            .telemetry(Telemetry::new(sink.clone()))
+            .sequential(),
+    )
+    .expect("compiles");
+    let batch = 3;
+    let input = as_8bit(&data.test_batches(batch)[0].input);
+    engine.forward(&input);
+
+    let events = sink.events();
+    let total = |suffix: &str| -> u64 {
+        events
+            .iter()
+            .filter(|e| {
+                e.kind == EventKind::Counter
+                    && e.name.contains("kernel.qact.")
+                    && e.name.ends_with(suffix)
+            })
+            .map(|e| e.value as u64)
+            .sum()
+    };
+    let saturated = total(".saturated");
+    let quantized = total(".quantized");
+    assert!(quantized > 0, "conv inputs were quantized");
+    assert!(saturated <= quantized);
+    // The per-image dynamic scale puts each image's max-magnitude
+    // element exactly on the rail, so every quantization of a nonzero
+    // batch saturates at least `batch` codes.
+    let conv_quantizations = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Counter && e.name.ends_with(".quantized"))
+        .count() as u64;
+    assert!(conv_quantizations > 0);
+    assert!(
+        saturated >= conv_quantizations * batch as u64,
+        "≥ batch rail hits per site: {saturated} < {conv_quantizations}×{batch}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "kernel.qact.conv.saturated"),
+        "conv stage labelled"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "kernel.qact.linear.quantized"),
+        "linear stage labelled"
     );
 }
 

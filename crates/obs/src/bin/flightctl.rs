@@ -1,0 +1,156 @@
+//! `flightctl` — trace analysis and the perf-regression gate.
+//!
+//! ```text
+//! flightctl summarize <trace.jsonl>
+//! flightctl diff <baseline> <candidate> [--tolerance 0.05] [--metrics p1,p2]
+//! flightctl health <trace.jsonl>
+//! ```
+//!
+//! Exit codes: `0` success / within tolerance, `1` regression or health
+//! warnings, `2` usage or I/O errors. Argument parsing is hand-rolled —
+//! three subcommands do not justify a dependency.
+
+use flight_obs::diff::{diff, load_metrics, DiffOptions};
+use flight_obs::{health, read_trace, summarize};
+
+const USAGE: &str = "usage:
+  flightctl summarize <trace.jsonl>
+  flightctl diff <baseline> <candidate> [--tolerance <rel>] [--metrics <prefix,...>]
+  flightctl health <trace.jsonl>
+
+inputs are JSONL telemetry traces or BENCH_*.manifest.json run manifests (diff).
+exit codes: 0 ok, 1 regression/warnings, 2 usage or I/O error.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}
+
+fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("summarize") => cmd_summarize(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("health") => cmd_health(&args[1..]),
+        Some("-h" | "--help" | "help") => {
+            println!("{USAGE}");
+            0
+        }
+        _ => usage_error("missing or unknown subcommand"),
+    }
+}
+
+fn usage_error(message: &str) -> i32 {
+    eprintln!("flightctl: {message}\n{USAGE}");
+    2
+}
+
+fn cmd_summarize(args: &[String]) -> i32 {
+    let [path] = args else {
+        return usage_error("summarize takes exactly one trace path");
+    };
+    match read_trace(path) {
+        Ok(trace) => {
+            print!("{}", summarize(&trace));
+            0
+        }
+        Err(e) => {
+            eprintln!("flightctl: cannot read {path}: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_health(args: &[String]) -> i32 {
+    let [path] = args else {
+        return usage_error("health takes exactly one trace path");
+    };
+    match read_trace(path) {
+        Ok(trace) => {
+            let report = health(&trace);
+            print!("{}", report.render());
+            if report.warnings == 0 {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("flightctl: cannot read {path}: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> i32 {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut options = DiffOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        // Accept both `--flag value` and `--flag=value`.
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg, None),
+        };
+        let value = |i: &mut usize| -> Option<String> {
+            match inline {
+                Some(ref v) => Some(v.clone()),
+                None => {
+                    *i += 1;
+                    args.get(*i).cloned()
+                }
+            }
+        };
+        match flag {
+            "--tolerance" => {
+                let Some(raw) = value(&mut i) else {
+                    return usage_error("--tolerance needs a value");
+                };
+                match raw.parse::<f64>() {
+                    Ok(t) if t >= 0.0 && t.is_finite() => options.tolerance = t,
+                    _ => return usage_error("--tolerance must be a non-negative number"),
+                }
+            }
+            "--metrics" => {
+                let Some(raw) = value(&mut i) else {
+                    return usage_error("--metrics needs a value");
+                };
+                options.prefixes = raw
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            _ if flag.starts_with('-') => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [baseline, candidate] = paths[..] else {
+        return usage_error("diff takes exactly two input paths");
+    };
+    let old = match load_metrics(baseline) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("flightctl: {e}");
+            return 2;
+        }
+    };
+    let new = match load_metrics(candidate) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("flightctl: {e}");
+            return 2;
+        }
+    };
+    let report = diff(&old, &new, &options);
+    print!("{}", report.render());
+    if report.has_regressions() {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,316 @@
+//! `flightctl health` — sanity checks over training-run traces.
+//!
+//! Three signals the FLightNN training loop can silently get wrong:
+//!
+//! * **`k_i` drift** — Algorithm 1 exists to shrink the per-filter
+//!   shift count; if `train.mean_k` ends *higher* than it started, the
+//!   sparsity regularizer is not biting.
+//! * **Threshold saturation** — learned thresholds `t_j` pinned at zero
+//!   quantize every weight to the same code; a mostly-saturated
+//!   threshold set means the quantizer has collapsed.
+//! * **Activation clamping** — `kernel.qact.<stage>.saturated` counts
+//!   quantized activation codes at the representable rail; a high rate
+//!   relative to `.quantized` means the activation range estimate is
+//!   too tight and accuracy claims are suspect.
+//!
+//! Each check degrades to "no signal in trace" when the run did not
+//! emit the relevant events, so the command works on kernel-only traces
+//! too.
+
+use std::fmt::Write as _;
+
+use flight_telemetry::EventKind;
+
+use crate::summarize::last_snapshots;
+use crate::trace::Trace;
+
+/// Clamp rate above which activation quantization is flagged.
+pub const CLAMP_WARN_RATE: f64 = 0.05;
+/// Fraction of thresholds pinned at zero above which the quantizer is
+/// flagged as collapsed.
+pub const SATURATION_WARN_FRACTION: f64 = 0.5;
+
+/// One health run: the rendered report plus the warning count.
+#[derive(Debug)]
+pub struct HealthReport {
+    /// Human-readable findings, one per line.
+    pub lines: Vec<String>,
+    /// Checks that fired a warning.
+    pub warnings: usize,
+}
+
+impl HealthReport {
+    /// The report plus a final verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            let _ = writeln!(out, "{line}");
+        }
+        if self.warnings == 0 {
+            let _ = writeln!(out, "health: OK");
+        } else {
+            let _ = writeln!(out, "health: {} warning(s)", self.warnings);
+        }
+        out
+    }
+}
+
+/// Runs every check against a parsed trace.
+pub fn health(trace: &Trace) -> HealthReport {
+    let mut report = HealthReport {
+        lines: Vec::new(),
+        warnings: 0,
+    };
+    if trace.malformed > 0 {
+        report.lines.push(format!(
+            "trace: {} malformed line(s) skipped (crash-truncated tail?)",
+            trace.malformed
+        ));
+    }
+    check_mean_k(trace, &mut report);
+    check_threshold_saturation(trace, &mut report);
+    check_activation_clamping(trace, &mut report);
+    report
+}
+
+/// First→last trajectory of every gauge matching `filter`.
+fn gauge_trajectories<'a>(
+    trace: &'a Trace,
+    filter: impl Fn(&str) -> bool,
+) -> Vec<(&'a str, f64, f64)> {
+    let mut traj: Vec<(&str, f64, f64)> = Vec::new();
+    for event in &trace.events {
+        if event.kind != EventKind::Gauge || !event.value.is_finite() || !filter(&event.name) {
+            continue;
+        }
+        match traj.iter_mut().find(|(n, _, _)| *n == event.name) {
+            Some((_, _, last)) => *last = event.value,
+            None => traj.push((&event.name, event.value, event.value)),
+        }
+    }
+    // Aggregated traces only keep the last reading.
+    for (event, stats) in last_snapshots(&trace.events) {
+        if stats.agg == "gauge"
+            && filter(&event.name)
+            && !traj.iter().any(|(n, _, _)| *n == event.name)
+        {
+            traj.push((&event.name, stats.last, stats.last));
+        }
+    }
+    traj
+}
+
+fn check_mean_k(trace: &Trace, report: &mut HealthReport) {
+    let traj = gauge_trajectories(trace, |n| n.ends_with("train.mean_k"));
+    let Some((_, first, last)) = traj.first() else {
+        report.lines.push("mean k: no signal in trace".to_string());
+        return;
+    };
+    let drift = last - first;
+    report.lines.push(format!(
+        "mean k: {first:.3} → {last:.3} shifts/filter (drift {drift:+.3})"
+    ));
+    if drift > 1e-9 {
+        report.warnings += 1;
+        report.lines.push(
+            "  warning: mean k grew over training — the sparsity regularizer is not reducing \
+             shift counts"
+                .to_string(),
+        );
+    }
+}
+
+fn check_threshold_saturation(trace: &Trace, report: &mut HealthReport) {
+    let traj = gauge_trajectories(trace, |n| n.contains("train.threshold."));
+    if traj.is_empty() {
+        report
+            .lines
+            .push("thresholds: no signal in trace".to_string());
+        return;
+    }
+    let saturated = traj.iter().filter(|(_, _, last)| last.abs() < 1e-6).count();
+    report.lines.push(format!(
+        "thresholds: {saturated}/{} pinned at zero after training",
+        traj.len()
+    ));
+    if saturated as f64 >= SATURATION_WARN_FRACTION * traj.len() as f64 && saturated > 0 {
+        report.warnings += 1;
+        report.lines.push(
+            "  warning: most thresholds saturated at zero — the quantizer has collapsed and \
+             codes carry no information"
+                .to_string(),
+        );
+    }
+}
+
+fn check_activation_clamping(trace: &Trace, report: &mut HealthReport) {
+    // Counter totals per full name; `contains` (not prefix) because
+    // parallel workers emit prefixed names like
+    // `kernel.worker.00.kernel.qact.conv.saturated`.
+    let mut totals: Vec<(String, f64)> = Vec::new();
+    let mut add = |name: &str, delta: f64| match totals.iter_mut().find(|(n, _)| n == name) {
+        Some((_, t)) => *t += delta,
+        None => totals.push((name.to_string(), delta)),
+    };
+    for event in &trace.events {
+        if event.kind == EventKind::Counter
+            && event.value.is_finite()
+            && event.name.contains("kernel.qact.")
+        {
+            add(&event.name, event.value);
+        }
+    }
+    for (event, stats) in last_snapshots(&trace.events) {
+        if stats.agg == "counter" && event.name.contains("kernel.qact.") {
+            add(&event.name, stats.sum);
+        }
+    }
+    // Fold worker prefixes away: stage = the segment after "kernel.qact.".
+    let mut stages: Vec<(String, f64, f64)> = Vec::new(); // (stage, saturated, quantized)
+    for (name, total) in &totals {
+        let tail = &name[name.find("kernel.qact.").expect("filtered") + "kernel.qact.".len()..];
+        let Some((stage, field)) = tail.split_once('.') else {
+            continue;
+        };
+        let entry = match stages.iter_mut().position(|(s, _, _)| s == stage) {
+            Some(i) => &mut stages[i],
+            None => {
+                stages.push((stage.to_string(), 0.0, 0.0));
+                stages.last_mut().expect("just pushed")
+            }
+        };
+        match field {
+            "saturated" => entry.1 += total,
+            "quantized" => entry.2 += total,
+            _ => {}
+        }
+    }
+    if stages.is_empty() {
+        report
+            .lines
+            .push("activation clamping: no signal in trace".to_string());
+        return;
+    }
+    for (stage, saturated, quantized) in stages {
+        if quantized <= 0.0 {
+            continue;
+        }
+        let rate = saturated / quantized;
+        report.lines.push(format!(
+            "activation clamping [{stage}]: {rate:.2}% of codes at the rail ({saturated:.0}/{quantized:.0})",
+            rate = rate * 100.0
+        ));
+        if rate > CLAMP_WARN_RATE {
+            report.warnings += 1;
+            report.lines.push(format!(
+                "  warning: {stage} clamp rate above {:.0}% — activation range too tight for \
+                 the quantizer",
+                CLAMP_WARN_RATE * 100.0
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_trace;
+
+    fn gauge(seq: u64, name: &str, value: f64) -> String {
+        format!(r#"{{"seq":{seq},"name":"{name}","kind":"gauge","value":{value},"unit":""}}"#)
+    }
+
+    fn counter(seq: u64, name: &str, value: f64) -> String {
+        format!(r#"{{"seq":{seq},"name":"{name}","kind":"counter","value":{value},"unit":"op"}}"#)
+    }
+
+    #[test]
+    fn healthy_run_reports_ok() {
+        let body = [
+            gauge(0, "train.mean_k", 2.0),
+            gauge(1, "train.threshold.c0.t0", 1.0),
+            gauge(2, "train.threshold.c0.t1", 0.5),
+            counter(3, "kernel.qact.conv.saturated", 1.0),
+            counter(4, "kernel.qact.conv.quantized", 1000.0),
+            gauge(5, "train.mean_k", 1.4),
+            gauge(6, "train.threshold.c0.t0", 0.8),
+            gauge(7, "train.threshold.c0.t1", 0.3),
+        ]
+        .join("\n");
+        let report = health(&parse_trace(&body));
+        assert_eq!(report.warnings, 0, "{}", report.render());
+        let text = report.render();
+        assert!(text.contains("mean k: 2.000 → 1.400"), "{text}");
+        assert!(text.contains("0/2 pinned at zero"), "{text}");
+        assert!(text.contains("[conv]"), "{text}");
+        assert!(text.contains("health: OK"), "{text}");
+    }
+
+    #[test]
+    fn growing_mean_k_warns() {
+        let body = [gauge(0, "train.mean_k", 1.0), gauge(1, "train.mean_k", 2.5)].join("\n");
+        let report = health(&parse_trace(&body));
+        assert_eq!(report.warnings, 1);
+        assert!(
+            report.render().contains("mean k grew"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn collapsed_thresholds_warn() {
+        let body = [
+            gauge(0, "train.threshold.c0.t0", 0.0),
+            gauge(1, "train.threshold.c0.t1", 0.0),
+            gauge(2, "train.threshold.f0.t0", 0.4),
+        ]
+        .join("\n");
+        let report = health(&parse_trace(&body));
+        assert_eq!(report.warnings, 1);
+        let text = report.render();
+        assert!(text.contains("2/3 pinned at zero"), "{text}");
+        assert!(text.contains("collapsed"), "{text}");
+    }
+
+    #[test]
+    fn high_clamp_rate_warns_even_under_worker_prefixes() {
+        let body = [
+            counter(0, "kernel.worker.00.kernel.qact.conv.saturated", 60.0),
+            counter(1, "kernel.worker.00.kernel.qact.conv.quantized", 500.0),
+            counter(2, "kernel.worker.01.kernel.qact.conv.saturated", 40.0),
+            counter(3, "kernel.worker.01.kernel.qact.conv.quantized", 500.0),
+        ]
+        .join("\n");
+        let report = health(&parse_trace(&body));
+        assert_eq!(report.warnings, 1, "{}", report.render());
+        let text = report.render();
+        assert!(
+            text.contains("10.00% of codes at the rail (100/1000)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_degrades_to_no_signal_everywhere() {
+        let report = health(&parse_trace(""));
+        assert_eq!(report.warnings, 0);
+        let text = report.render();
+        assert!(text.contains("mean k: no signal"), "{text}");
+        assert!(text.contains("thresholds: no signal"), "{text}");
+        assert!(text.contains("activation clamping: no signal"), "{text}");
+        assert!(text.contains("health: OK"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_counters_feed_the_clamp_check() {
+        let body = concat!(
+            r#"{"seq":0,"name":"kernel.qact.requant.saturated","kind":"snapshot","value":200,"unit":"op","text":"{\"agg\":\"counter\",\"count\":2,\"sum\":200,\"min\":100,\"max\":100,\"last\":100}"}"#,
+            "\n",
+            r#"{"seq":1,"name":"kernel.qact.requant.quantized","kind":"snapshot","value":1000,"unit":"op","text":"{\"agg\":\"counter\",\"count\":2,\"sum\":1000,\"min\":500,\"max\":500,\"last\":500}"}"#,
+        );
+        let report = health(&parse_trace(body));
+        assert_eq!(report.warnings, 1, "{}", report.render());
+        assert!(report.render().contains("[requant]"), "{}", report.render());
+    }
+}

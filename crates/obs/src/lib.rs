@@ -1,0 +1,34 @@
+//! Trace analysis for the FLightNN reproduction — the read side of
+//! [`flight_telemetry`].
+//!
+//! Every run in this workspace can write a JSONL telemetry trace
+//! (`FLIGHT_TELEMETRY=jsonl:run.jsonl`) and every bench exhibit writes a
+//! `BENCH_*.manifest.json` run manifest. This crate turns those files
+//! back into answers, through the `flightctl` binary:
+//!
+//! * `flightctl summarize <trace>` — span table (count, total/self
+//!   time, p50/p95/max), top op counters, final `k_i` histogram, and
+//!   threshold trajectories ([`summarize`]).
+//! * `flightctl diff <baseline> <candidate>` — flatten two traces or
+//!   manifests into named metrics and compare under a relative
+//!   tolerance; nonzero exit on regression, which is the CI perf gate
+//!   ([`diff`]).
+//! * `flightctl health <trace>` — drift/saturation/clamp-rate checks
+//!   over the training signals ([`health`]).
+//!
+//! Readers never trust the file: malformed lines (crash-truncated
+//! tails included) are skipped and counted ([`trace`]), and span-tree
+//! reconstruction tolerates unclosed spans and interleaved workers
+//! ([`tree`]).
+
+pub mod diff;
+pub mod health;
+pub mod summarize;
+pub mod trace;
+pub mod tree;
+
+pub use diff::{diff, load_metrics, DiffOptions, DiffReport};
+pub use health::{health, HealthReport};
+pub use summarize::summarize;
+pub use trace::{parse_trace, read_trace, Trace, TraceEvent};
+pub use tree::{SpanStats, SpanSummary};

@@ -1,0 +1,418 @@
+//! `flightctl summarize` — one readable report per trace.
+//!
+//! The report answers the questions a trace is usually opened for:
+//! where did the wall clock go (span table with self time and
+//! quantiles), what did the kernels do (top op counters), what did
+//! training converge to (final `k_i` histogram, threshold trajectories,
+//! mean-k drift) — and how trustworthy the file is (malformed lines,
+//! unclosed spans).
+//!
+//! Aggregated traces (written through `FLIGHT_TELEMETRY=agg:<spec>`)
+//! carry `snapshot` events instead of raw gauges/counters/span pairs;
+//! the summary folds the *last* snapshot per name into the same
+//! sections, since each snapshot covers the run so far.
+
+use std::fmt::Write as _;
+
+use flight_telemetry::json::JsonValue;
+use flight_telemetry::EventKind;
+
+use crate::trace::{Trace, TraceEvent};
+use crate::tree::SpanSummary;
+
+/// How many counter rows the report prints.
+const TOP_COUNTERS: usize = 12;
+/// How many threshold trajectories the report prints before eliding.
+const MAX_TRAJECTORIES: usize = 24;
+
+/// The stats payload of one `snapshot` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotStats {
+    /// `"counter"`, `"gauge"`, or `"span"`.
+    pub agg: String,
+    /// Events folded into this snapshot.
+    pub count: u64,
+    /// Sum of folded values.
+    pub sum: f64,
+    /// Smallest folded value.
+    pub min: f64,
+    /// Largest folded value.
+    pub max: f64,
+    /// Most recent folded value.
+    pub last: f64,
+}
+
+/// Parses the JSON stats payload a `snapshot` event carries in `text`.
+pub fn snapshot_stats(event: &TraceEvent) -> Option<SnapshotStats> {
+    if event.kind != EventKind::Snapshot {
+        return None;
+    }
+    let v = JsonValue::parse(event.text.as_deref()?).ok()?;
+    let num = |key: &str| v.get(key).and_then(JsonValue::as_f64);
+    Some(SnapshotStats {
+        agg: v.get("agg").and_then(JsonValue::as_str)?.to_string(),
+        count: num("count")? as u64,
+        sum: num("sum")?,
+        min: num("min").unwrap_or(f64::NAN),
+        max: num("max").unwrap_or(f64::NAN),
+        last: num("last").unwrap_or(f64::NAN),
+    })
+}
+
+/// Last snapshot per name with its parsed stats (snapshots accumulate,
+/// so the last one per name is the whole-run summary).
+pub fn last_snapshots(events: &[TraceEvent]) -> Vec<(&TraceEvent, SnapshotStats)> {
+    let mut out: Vec<(&TraceEvent, SnapshotStats)> = Vec::new();
+    for event in events {
+        if let Some(stats) = snapshot_stats(event) {
+            match out.iter_mut().find(|(e, _)| e.name == event.name) {
+                Some(slot) => *slot = (event, stats),
+                None => out.push((event, stats)),
+            }
+        }
+    }
+    out
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.1}")
+    } else if s >= 0.01 {
+        format!("{s:.3}")
+    } else {
+        format!("{s:.2e}")
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        "nan".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders the full report for a parsed trace.
+pub fn summarize(trace: &Trace) -> String {
+    let mut out = String::new();
+    let spans = SpanSummary::from_events(&trace.events);
+    let snapshots = last_snapshots(&trace.events);
+
+    let _ = writeln!(
+        out,
+        "trace: {} events ({} malformed lines skipped)",
+        trace.events.len(),
+        trace.malformed
+    );
+    if spans.unclosed > 0 {
+        let _ = writeln!(
+            out,
+            "note: {} unclosed span(s) — truncated tail or killed run",
+            spans.unclosed
+        );
+    }
+
+    render_spans(&mut out, &spans, &snapshots);
+    render_counters(&mut out, &trace.events, &snapshots);
+    render_histograms(&mut out, &trace.events);
+    render_trajectories(&mut out, &trace.events, &snapshots);
+    out
+}
+
+fn render_spans(out: &mut String, spans: &SpanSummary, snapshots: &[(&TraceEvent, SnapshotStats)]) {
+    let rows = spans.by_total_time();
+    let span_snaps: Vec<_> = snapshots
+        .iter()
+        .filter(|(e, s)| s.agg == "span" && !spans.names.iter().any(|n| *n == e.name))
+        .collect();
+    if rows.iter().all(|(_, s)| s.count == 0) && span_snaps.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nspans (by total time):");
+    let _ = writeln!(
+        out,
+        "  {:<44} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "name", "count", "total_s", "self_s", "p50_s", "p95_s", "max_s"
+    );
+    for (name, stats) in rows {
+        if stats.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9}",
+            name,
+            stats.count,
+            fmt_secs(stats.total_s),
+            fmt_secs(stats.self_s),
+            fmt_secs(stats.quantile(0.5)),
+            fmt_secs(stats.quantile(0.95)),
+            fmt_secs(stats.max())
+        );
+    }
+    // Aggregated traces: span snapshots carry count/total/min/max but no
+    // per-call durations, so the quantile columns stay blank.
+    for (event, stats) in span_snaps {
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9}  (snapshot)",
+            event.name,
+            stats.count,
+            fmt_secs(stats.sum),
+            "-",
+            "-",
+            "-",
+            fmt_secs(stats.max)
+        );
+    }
+}
+
+fn render_counters(
+    out: &mut String,
+    events: &[TraceEvent],
+    snapshots: &[(&TraceEvent, SnapshotStats)],
+) {
+    // name → (total, unit); raw counters sum, counter snapshots
+    // contribute their final running sum.
+    let mut totals: Vec<(String, f64, String)> = Vec::new();
+    let mut add =
+        |name: &str, delta: f64, unit: &str| match totals.iter_mut().find(|(n, _, _)| n == name) {
+            Some((_, t, _)) => *t += delta,
+            None => totals.push((name.to_string(), delta, unit.to_string())),
+        };
+    for event in events {
+        if event.kind == EventKind::Counter && event.value.is_finite() {
+            add(&event.name, event.value, &event.unit);
+        }
+    }
+    for (event, stats) in snapshots {
+        if stats.agg == "counter" {
+            add(&event.name, stats.sum, &event.unit);
+        }
+    }
+    if totals.is_empty() {
+        return;
+    }
+    totals.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let _ = writeln!(
+        out,
+        "\ncounters (top {} by total):",
+        TOP_COUNTERS.min(totals.len())
+    );
+    for (name, total, unit) in totals.iter().take(TOP_COUNTERS) {
+        let _ = writeln!(out, "  {:<52} {:>14} {}", name, fmt_value(*total), unit);
+    }
+    if totals.len() > TOP_COUNTERS {
+        let _ = writeln!(out, "  … and {} more", totals.len() - TOP_COUNTERS);
+    }
+}
+
+fn render_histograms(out: &mut String, events: &[TraceEvent]) {
+    // Final histogram per name (later snapshots of the same histogram
+    // replace earlier ones — e.g. train.k_hist per epoch).
+    let mut finals: Vec<&TraceEvent> = Vec::new();
+    for event in events {
+        if event.kind != EventKind::Histogram {
+            continue;
+        }
+        match finals.iter_mut().find(|e| e.name == event.name) {
+            Some(slot) => *slot = event,
+            None => finals.push(event),
+        }
+    }
+    for event in finals {
+        let _ = writeln!(
+            out,
+            "\nhistogram {} (final, {} samples):",
+            event.name,
+            fmt_value(event.value)
+        );
+        let total: u64 = event.buckets.iter().map(|(_, c)| *c).sum::<u64>().max(1);
+        for (label, count) in &event.buckets {
+            let bar = "#".repeat(((*count * 40) / total) as usize);
+            let _ = writeln!(out, "  {label:>6}: {count:>8} {bar}");
+        }
+    }
+}
+
+fn render_trajectories(
+    out: &mut String,
+    events: &[TraceEvent],
+    snapshots: &[(&TraceEvent, SnapshotStats)],
+) {
+    // Gauge first→last per name, for the training signals worth
+    // eyeballing: per-threshold t_j values and the mean shift count.
+    let mut traj: Vec<(&str, f64, f64)> = Vec::new();
+    for event in events {
+        if event.kind != EventKind::Gauge || !event.value.is_finite() {
+            continue;
+        }
+        let interesting =
+            event.name.contains("train.threshold.") || event.name.ends_with("train.mean_k");
+        if !interesting {
+            continue;
+        }
+        match traj.iter_mut().find(|(n, _, _)| *n == event.name) {
+            Some((_, _, last)) => *last = event.value,
+            None => traj.push((&event.name, event.value, event.value)),
+        }
+    }
+    for (event, stats) in snapshots {
+        let interesting =
+            event.name.contains("train.threshold.") || event.name.ends_with("train.mean_k");
+        if stats.agg == "gauge" && interesting && !traj.iter().any(|(n, _, _)| *n == event.name) {
+            // Snapshots fold away the first reading; show last only.
+            traj.push((&event.name, stats.last, stats.last));
+        }
+    }
+    if traj.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\ntraining trajectories (first → last):");
+    for (name, first, last) in traj.iter().take(MAX_TRAJECTORIES) {
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>10} → {:>10}",
+            name,
+            fmt_value(*first),
+            fmt_value(*last)
+        );
+    }
+    if traj.len() > MAX_TRAJECTORIES {
+        let _ = writeln!(out, "  … and {} more", traj.len() - MAX_TRAJECTORIES);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_trace;
+
+    fn synthetic_two_epoch_trace() -> String {
+        // A miniature of what the trainer + engine emit over two epochs.
+        let mut lines = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |s: String, seq: &mut u64| {
+            lines.push(s);
+            *seq += 1;
+        };
+        for epoch in 0..2 {
+            let id = epoch + 1;
+            push(
+                format!(
+                    r#"{{"seq":{seq},"name":"train.epoch","kind":"span_start","value":0,"unit":"s","span":{id}}}"#
+                ),
+                &mut seq,
+            );
+            push(
+                format!(
+                    r#"{{"seq":{seq},"name":"train.epoch.loss","kind":"gauge","value":{},"unit":"nats"}}"#,
+                    1.0 / (epoch + 1) as f64
+                ),
+                &mut seq,
+            );
+            push(
+                format!(
+                    r#"{{"seq":{seq},"name":"train.threshold.c0.t0","kind":"gauge","value":{},"unit":""}}"#,
+                    1.0 - 0.4 * epoch as f64
+                ),
+                &mut seq,
+            );
+            push(
+                format!(
+                    r#"{{"seq":{seq},"name":"train.mean_k","kind":"gauge","value":{},"unit":"shift"}}"#,
+                    2.0 - 0.5 * epoch as f64
+                ),
+                &mut seq,
+            );
+            push(
+                format!(
+                    r#"{{"seq":{seq},"name":"kernel.shifts","kind":"counter","value":1000,"unit":"op"}}"#
+                ),
+                &mut seq,
+            );
+            push(
+                format!(
+                    r#"{{"seq":{seq},"name":"train.k_hist","kind":"histogram","value":4,"unit":"count","buckets":{{"1":{},"2":{}}}}}"#,
+                    3 + epoch,
+                    1
+                ),
+                &mut seq,
+            );
+            push(
+                format!(
+                    r#"{{"seq":{seq},"name":"train.epoch","kind":"span_end","value":0.5,"unit":"s","span":{id}}}"#
+                ),
+                &mut seq,
+            );
+        }
+        lines.join("\n") + "\n"
+    }
+
+    #[test]
+    fn two_epoch_trace_summary_has_every_section() {
+        let trace = parse_trace(&synthetic_two_epoch_trace());
+        assert_eq!(trace.malformed, 0);
+        let report = summarize(&trace);
+        assert!(report.contains("trace: 14 events"), "{report}");
+        assert!(report.contains("train.epoch"), "{report}");
+        assert!(report.contains("kernel.shifts"), "{report}");
+        assert!(report.contains("2000 op"), "counter sums: {report}");
+        assert!(report.contains("histogram train.k_hist"), "{report}");
+        // Final epoch's histogram wins: bucket 1 has 4 samples.
+        assert!(report.contains("1:        4"), "{report}");
+        assert!(report.contains("train.threshold.c0.t0"), "{report}");
+        assert!(report.contains("1 →"), "first value shown: {report}");
+        assert!(report.contains("0.6"), "last threshold value: {report}");
+        assert!(!report.contains("unclosed"), "clean trace has no warning");
+    }
+
+    #[test]
+    fn truncated_trace_reports_unclosed_spans() {
+        let body = synthetic_two_epoch_trace();
+        // Cut the trace mid-run: drop the final span_end line.
+        let cut = body.rfind(r#""kind":"span_end""#).unwrap();
+        let line_start = body[..cut].rfind('\n').unwrap() + 1;
+        let trace = parse_trace(&body[..line_start]);
+        let report = summarize(&trace);
+        assert!(report.contains("1 unclosed span(s)"), "{report}");
+    }
+
+    #[test]
+    fn snapshot_only_trace_still_summarizes() {
+        let body = concat!(
+            r#"{"seq":0,"name":"kernel.shifts","kind":"snapshot","value":500,"unit":"op","text":"{\"agg\":\"counter\",\"count\":5,\"sum\":500,\"min\":100,\"max\":100,\"last\":100}"}"#,
+            "\n",
+            r#"{"seq":1,"name":"kernel.shifts","kind":"snapshot","value":900,"unit":"op","text":"{\"agg\":\"counter\",\"count\":9,\"sum\":900,\"min\":100,\"max\":100,\"last\":100}"}"#,
+            "\n",
+            r#"{"seq":2,"name":"kernel.forward","kind":"snapshot","value":1.5,"unit":"s","text":"{\"agg\":\"span\",\"count\":3,\"sum\":1.5,\"min\":0.4,\"max\":0.6,\"last\":0.5}"}"#,
+            "\n",
+        );
+        let trace = parse_trace(body);
+        let report = summarize(&trace);
+        // Last snapshot per name wins — not 500+900.
+        assert!(report.contains("900"), "{report}");
+        assert!(
+            !report.contains("1400"),
+            "snapshots must not double-count: {report}"
+        );
+        assert!(report.contains("kernel.forward"), "{report}");
+        assert!(report.contains("(snapshot)"), "{report}");
+    }
+
+    #[test]
+    fn snapshot_stats_rejects_non_snapshots_and_bad_payloads() {
+        let trace = parse_trace(
+            r#"{"seq":0,"name":"g","kind":"gauge","value":1,"unit":""}
+{"seq":1,"name":"s","kind":"snapshot","value":1,"unit":"","text":"not json"}
+{"seq":2,"name":"t","kind":"snapshot","value":1,"unit":""}
+"#,
+        );
+        assert_eq!(trace.events.len(), 3);
+        assert!(snapshot_stats(&trace.events[0]).is_none());
+        assert!(snapshot_stats(&trace.events[1]).is_none());
+        assert!(snapshot_stats(&trace.events[2]).is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! End-to-end tests of the `flightctl` binary: real process, real
+//! files, real exit codes — the same contract CI scripts rely on.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn flightctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flightctl"))
+        .args(args)
+        .output()
+        .expect("flightctl runs")
+}
+
+fn write_temp(tag: &str, body: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("flightctl-test-{tag}-{}.tmp", std::process::id()));
+    std::fs::write(&path, body).expect("temp file written");
+    path
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+/// A small but representative training trace: two epochs with spans,
+/// gauges, counters, and a histogram.
+fn trace_body() -> String {
+    let mut lines = Vec::new();
+    for epoch in 0u64..2 {
+        let id = epoch + 1;
+        let t0 = 1.0 - 0.4 * epoch as f64;
+        lines.push(format!(
+            r#"{{"seq":{},"name":"train.epoch","kind":"span_start","value":0,"unit":"s","span":{id}}}"#,
+            epoch * 6
+        ));
+        lines.push(format!(
+            r#"{{"seq":{},"name":"train.mean_k","kind":"gauge","value":{},"unit":"shift"}}"#,
+            epoch * 6 + 1,
+            2.0 - 0.5 * epoch as f64
+        ));
+        lines.push(format!(
+            r#"{{"seq":{},"name":"train.threshold.c0.t0","kind":"gauge","value":{t0},"unit":""}}"#,
+            epoch * 6 + 2
+        ));
+        lines.push(format!(
+            r#"{{"seq":{},"name":"kernel.shifts","kind":"counter","value":1000,"unit":"op"}}"#,
+            epoch * 6 + 3
+        ));
+        lines.push(format!(
+            r#"{{"seq":{},"name":"train.k_hist","kind":"histogram","value":4,"unit":"count","buckets":{{"1":3,"2":1}}}}"#,
+            epoch * 6 + 4
+        ));
+        lines.push(format!(
+            r#"{{"seq":{},"name":"train.epoch","kind":"span_end","value":0.5,"unit":"s","span":{id}}}"#,
+            epoch * 6 + 5
+        ));
+    }
+    lines.join("\n") + "\n"
+}
+
+fn manifest_body(throughput: f64, parity: bool) -> String {
+    format!(
+        r#"{{"schema_version":2,"exhibit":"lowering","profile":null,"git_describe":"test","elapsed_secs":1.0,"tables":[],"parity":{parity},"metrics":{{"schema_version":2,"parity":{parity},"tables.shift_conv.lowered.throughput":{throughput}}}}}"#
+    )
+}
+
+#[test]
+fn summarize_renders_every_section_and_exits_zero() {
+    let path = write_temp("summarize", &trace_body());
+    let out = flightctl(&["summarize", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(
+        text.contains("trace: 12 events (0 malformed lines skipped)"),
+        "{text}"
+    );
+    assert!(text.contains("train.epoch"), "{text}");
+    assert!(text.contains("kernel.shifts"), "{text}");
+    assert!(text.contains("histogram train.k_hist"), "{text}");
+    assert!(text.contains("train.threshold.c0.t0"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn summarize_skips_and_counts_a_truncated_trace() {
+    let body = trace_body();
+    // Kill the run mid-write: keep only half of the final line.
+    let cut = body.trim_end().rfind('\n').unwrap() + 1;
+    let partial = &body[..cut + (body.len() - cut) / 2];
+    let path = write_temp("truncated", partial);
+    let out = flightctl(&["summarize", path.to_str().unwrap()]);
+    assert!(out.status.success(), "truncation must not abort: {out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("1 malformed lines skipped"), "{text}");
+    assert!(text.contains("unclosed span"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn diff_gates_identical_and_perturbed_manifests() {
+    let base = write_temp("diff-base", &manifest_body(100.0, true));
+    let same = write_temp("diff-same", &manifest_body(100.0, true));
+    let worse = write_temp("diff-worse", &manifest_body(80.0, true));
+
+    let ok = flightctl(&[
+        "diff",
+        base.to_str().unwrap(),
+        same.to_str().unwrap(),
+        "--tolerance",
+        "0",
+    ]);
+    assert_eq!(ok.status.code(), Some(0), "{}", stdout(&ok));
+
+    // A 20% throughput drop fails the default 5% gate…
+    let bad = flightctl(&["diff", base.to_str().unwrap(), worse.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(1), "{}", stdout(&bad));
+    assert!(stdout(&bad).contains("REGRESSION"), "{}", stdout(&bad));
+
+    // …is absorbed by a loose tolerance…
+    let loose = flightctl(&[
+        "diff",
+        base.to_str().unwrap(),
+        worse.to_str().unwrap(),
+        "--tolerance=0.25",
+    ]);
+    assert_eq!(loose.status.code(), Some(0), "{}", stdout(&loose));
+
+    // …and is invisible when the gate only watches stable metrics.
+    let gated = flightctl(&[
+        "diff",
+        base.to_str().unwrap(),
+        worse.to_str().unwrap(),
+        "--tolerance",
+        "0",
+        "--metrics",
+        "parity,schema_version",
+    ]);
+    assert_eq!(gated.status.code(), Some(0), "{}", stdout(&gated));
+
+    for p in [base, same, worse] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+#[test]
+fn diff_fails_when_the_candidate_loses_parity() {
+    let base = write_temp("parity-base", &manifest_body(100.0, true));
+    let broken = write_temp("parity-broken", &manifest_body(100.0, false));
+    let out = flightctl(&[
+        "diff",
+        base.to_str().unwrap(),
+        broken.to_str().unwrap(),
+        "--tolerance",
+        "0",
+        "--metrics",
+        "parity",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&broken).ok();
+}
+
+#[test]
+fn diff_compares_traces_too() {
+    let a = write_temp("trace-a", &trace_body());
+    let b = write_temp("trace-b", &trace_body());
+    let out = flightctl(&[
+        "diff",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--tolerance",
+        "0",
+        "--metrics",
+        "counter.,gauge.",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("counter.kernel.shifts"),
+        "{}",
+        stdout(&out)
+    );
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn health_warns_and_exits_one_on_sick_runs() {
+    let healthy = write_temp("health-ok", &trace_body());
+    let out = flightctl(&["health", healthy.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("health: OK"), "{}", stdout(&out));
+
+    let sick_body = concat!(
+        r#"{"seq":0,"name":"train.mean_k","kind":"gauge","value":1.0,"unit":"shift"}"#,
+        "\n",
+        r#"{"seq":1,"name":"train.mean_k","kind":"gauge","value":2.0,"unit":"shift"}"#,
+        "\n",
+    );
+    let sick = write_temp("health-sick", sick_body);
+    let out = flightctl(&["health", sick.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("warning"), "{}", stdout(&out));
+
+    std::fs::remove_file(&healthy).ok();
+    std::fs::remove_file(&sick).ok();
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    assert_eq!(flightctl(&[]).status.code(), Some(2));
+    assert_eq!(flightctl(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(flightctl(&["summarize"]).status.code(), Some(2));
+    assert_eq!(
+        flightctl(&["summarize", "/no/such/trace.jsonl"])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(flightctl(&["diff", "only-one-path"]).status.code(), Some(2));
+    assert_eq!(
+        flightctl(&["diff", "a", "b", "--tolerance", "-1"])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(flightctl(&["help"]).status.code(), Some(0));
+}

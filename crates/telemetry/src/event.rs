@@ -19,6 +19,13 @@ pub enum EventKind {
     Histogram,
     /// A run manifest annotation; `text` carries the manifest JSON.
     Manifest,
+    /// A streaming aggregate of many prior events (one metric name per
+    /// snapshot event): `value` is the aggregate headline (last gauge
+    /// reading, counter sum, or total span seconds), `buckets` holds the
+    /// nonzero magnitude-decade histogram buckets, and `text` carries a
+    /// JSON object with `agg`/`count`/`sum`/`min`/`max`/`last`. Emitted
+    /// by [`AggregatingSink`](crate::AggregatingSink).
+    Snapshot,
 }
 
 impl EventKind {
@@ -31,7 +38,23 @@ impl EventKind {
             EventKind::Gauge => "gauge",
             EventKind::Histogram => "histogram",
             EventKind::Manifest => "manifest",
+            EventKind::Snapshot => "snapshot",
         }
+    }
+
+    /// The inverse of [`EventKind::as_str`]; `None` for unknown wire
+    /// names. Trace readers use this to map JSONL lines back to kinds.
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "span_start" => EventKind::SpanStart,
+            "span_end" => EventKind::SpanEnd,
+            "counter" => EventKind::Counter,
+            "gauge" => EventKind::Gauge,
+            "histogram" => EventKind::Histogram,
+            "manifest" => EventKind::Manifest,
+            "snapshot" => EventKind::Snapshot,
+            _ => return None,
+        })
     }
 }
 
@@ -142,7 +165,10 @@ mod tests {
     fn json_includes_schema_fields() {
         let v = sample().to_json();
         assert_eq!(v.get("seq").and_then(JsonValue::as_f64), Some(7.0));
-        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("train.k_hist"));
+        assert_eq!(
+            v.get("name").and_then(JsonValue::as_str),
+            Some("train.k_hist")
+        );
         assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("histogram"));
         assert_eq!(v.get("value").and_then(JsonValue::as_f64), Some(4.0));
         assert_eq!(v.get("unit").and_then(JsonValue::as_str), Some("count"));
@@ -160,6 +186,23 @@ mod tests {
         assert!(v.get("span").is_none());
         assert!(v.get("buckets").is_none());
         assert!(v.get("text").is_none());
+    }
+
+    #[test]
+    fn kind_wire_names_round_trip() {
+        for kind in [
+            EventKind::SpanStart,
+            EventKind::SpanEnd,
+            EventKind::Counter,
+            EventKind::Gauge,
+            EventKind::Histogram,
+            EventKind::Manifest,
+            EventKind::Snapshot,
+        ] {
+            assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("spam"), None);
+        assert_eq!(EventKind::parse(""), None);
     }
 
     #[test]

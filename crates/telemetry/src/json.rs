@@ -516,4 +516,117 @@ mod tests {
         assert_eq!(v.get("x").and_then(JsonValue::as_f64), Some(2.0));
         assert!(v.get("y").is_none());
     }
+
+    // ------------------------------------------------------------------
+    // Adversarial coverage: this parser now backs both the sinks and the
+    // flightctl trace readers, so its behavior on hostile input is API.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn every_escape_round_trips() {
+        // All escapes JSON defines, plus raw multibyte UTF-8.
+        let text = r#""q\" b\\ s\/ n\n r\r t\t bs\b ff\f ué é 漢""#;
+        let v = JsonValue::parse(text).expect("escapes parse");
+        let s = v.as_str().expect("string");
+        assert_eq!(s, "q\" b\\ s/ n\n r\r t\t bs\u{8} ff\u{c} ué é 漢");
+        // Render → parse is the identity on the decoded value.
+        assert_eq!(JsonValue::parse(&JsonValue::from(s).render()).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_are_replaced() {
+        let pair = JsonValue::parse(r#""😀""#).expect("surrogate pair");
+        assert_eq!(pair.as_str(), Some("😀"));
+        let lone = JsonValue::parse(r#""a\ud800b""#).expect("lone surrogate tolerated");
+        assert_eq!(lone.as_str(), Some("a\u{FFFD}b"));
+        // Truncated \u escapes are syntax errors, not panics.
+        assert!(JsonValue::parse(r#""\u12"#).is_err());
+        assert!(JsonValue::parse(r#""\uzzzz""#).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_arrays_parse_and_round_trip() {
+        let mut text = String::new();
+        let depth = 64;
+        for _ in 0..depth {
+            text.push('[');
+        }
+        text.push('1');
+        for _ in 0..depth {
+            text.push(']');
+        }
+        let mut v = JsonValue::parse(&text).expect("nested arrays parse");
+        let rendered_matches = v.render() == text;
+        assert!(rendered_matches);
+        for _ in 0..depth {
+            let items = v.as_array().expect("array at every depth");
+            assert_eq!(items.len(), 1);
+            v = items[0].clone();
+        }
+        assert_eq!(v.as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn non_finite_policy_renders_null_and_rejects_keywords() {
+        // Render side: JSON has no NaN/Inf — they become null.
+        assert_eq!(JsonValue::Number(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Number(f64::INFINITY).render(), "null");
+        assert_eq!(JsonValue::Number(f64::NEG_INFINITY).render(), "null");
+        let obj = JsonObject::new().field("v", f64::NAN).build();
+        let back = JsonValue::parse(&obj.render()).expect("nan field round-trips as null");
+        assert!(matches!(back.get("v"), Some(JsonValue::Null)));
+        // Parse side: the JS-flavored keywords are not JSON.
+        for bad in ["NaN", "Infinity", "-Infinity", "{\"v\":NaN}", "[Infinity]"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        // Overflowing literals saturate to f64 infinity on parse; the
+        // value is accepted (f64::from_str's behavior) but re-renders as
+        // null under the same non-finite policy.
+        let big = JsonValue::parse("1e999").expect("overflow saturates");
+        assert_eq!(big.as_f64(), Some(f64::INFINITY));
+        assert_eq!(big.render(), "null");
+    }
+
+    #[test]
+    fn number_grammar_edges() {
+        for (text, want) in [
+            ("-0", 0.0),
+            ("0.0001", 0.0001),
+            ("1E+2", 100.0),
+            ("2.5e-3", 0.0025),
+            ("9007199254740993", 9007199254740992.0), // f64 rounds 2^53+1
+        ] {
+            assert_eq!(JsonValue::parse(text).unwrap().as_f64(), Some(want));
+        }
+        for bad in ["1.2.3", "--1", "1e", "0x10", "+1", ".5"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_keep_insertion_order_and_first_wins_on_get() {
+        let v = JsonValue::parse(r#"{"k":1,"k":2}"#).expect("duplicates tolerated");
+        assert_eq!(v.get("k").and_then(JsonValue::as_f64), Some(1.0));
+        match &v {
+            JsonValue::Object(fields) => assert_eq!(fields.len(), 2),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_event_lines_fail_cleanly() {
+        // Prefixes of a real JSONL event line — what a killed run leaves
+        // behind. Every prefix must error (never panic, never succeed).
+        let line = r#"{"seq":7,"name":"train.k_hist","kind":"histogram","value":4,"unit":"count","buckets":{"1":3,"2":1}}"#;
+        for cut in 1..line.len() {
+            if !line.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                JsonValue::parse(&line[..cut]).is_err(),
+                "prefix of length {cut} must not parse"
+            );
+        }
+        assert!(JsonValue::parse(line).is_ok());
+    }
 }

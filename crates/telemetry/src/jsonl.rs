@@ -1,7 +1,7 @@
 //! The JSON Lines file sink.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::Path;
 use std::sync::Mutex;
 
@@ -16,14 +16,20 @@ use crate::sink::TelemetrySink;
 ///   apart).
 /// * **One line per event**: every line is a complete JSON object with
 ///   the schema of [`Event::to_json`].
-/// * **Flushed per event**: the file is tail-able while a run is in
-///   flight; this sink is for opted-in tracing, not the hot path.
+/// * **Crash-safe lines**: each event is rendered to one buffer —
+///   trailing newline included — and written with a single `write_all`
+///   call on the unbuffered file handle. There is no user-space buffer
+///   that a killed run could leave half-drained, so after any completed
+///   emit the file ends in a newline; a process killed *mid-write* can
+///   leave at most one partial final line, which trace readers
+///   (`flight-obs`) skip and count instead of aborting on. The file is
+///   also tail-able while a run is in flight.
 ///
 /// Selected at runtime via `FLIGHT_TELEMETRY=jsonl:<path>` (see
 /// [`Telemetry::from_env`](crate::Telemetry::from_env)).
 #[derive(Debug)]
 pub struct JsonlSink {
-    out: Mutex<BufWriter<File>>,
+    out: Mutex<File>,
 }
 
 impl JsonlSink {
@@ -36,21 +42,21 @@ impl JsonlSink {
     pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(JsonlSink {
-            out: Mutex::new(BufWriter::new(file)),
+            out: Mutex::new(file),
         })
     }
 }
 
 impl TelemetrySink for JsonlSink {
     fn emit(&self, event: Event) {
-        let line = event.to_json().render();
+        let mut line = event.to_json().render();
+        line.push('\n');
         let mut out = self
             .out
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Sinks must not panic; a full disk loses events, not the run.
-        let _ = writeln!(out, "{line}");
-        let _ = out.flush();
+        let _ = out.write_all(line.as_bytes());
     }
 }
 
@@ -141,6 +147,31 @@ mod tests {
             })
             .collect();
         assert_eq!(names, ["first-run", "second-run", "second-run"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The crash-safety contract: after any completed `emit` the file
+    /// ends in a newline and every line parses — even for events far
+    /// larger than any stdio buffer, and *without* dropping (flushing)
+    /// the sink. A run killed between emits therefore never leaves a
+    /// partial trailing line.
+    #[test]
+    fn mid_run_file_has_only_whole_lines() {
+        let path = temp_path("whole-lines");
+        let sink = JsonlSink::append(&path).expect("open temp file");
+        let mut big = event(0, "big");
+        big.text = Some("x".repeat(256 * 1024)); // >> any BufWriter default
+        sink.emit(big);
+        sink.emit(event(1, "after"));
+        // The sink is still alive and has not been flushed or dropped.
+        let text = std::fs::read_to_string(&path).expect("file readable mid-run");
+        assert!(text.ends_with('\n'), "file must end on a line boundary");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            JsonValue::parse(line).expect("every line is complete JSON");
+        }
+        drop(sink);
         std::fs::remove_file(&path).ok();
     }
 

@@ -14,6 +14,10 @@
 //!   file). [`CollectingSink`] buffers events in memory for tests, and
 //!   [`PrefixSink`] renames events for per-worker attribution (built
 //!   via [`Telemetry::with_prefix`]).
+//! * [`AggregatingSink`] — wraps any sink and folds counters, gauges,
+//!   and span timings into per-name streaming summaries emitted as
+//!   periodic `snapshot` events, so long runs produce O(metric names)
+//!   lines instead of O(events).
 //! * [`Telemetry`] — a cheap, clonable handle (`Arc<dyn TelemetrySink>`)
 //!   threaded through config structs. Every emitting method early-returns
 //!   without allocating when the sink is disabled, so instrumented hot
@@ -35,6 +39,7 @@
 //! | unset / `""` / `null` / `none` / `off` | [`NullSink`] |
 //! | `stderr`             | [`StderrSink`] |
 //! | `jsonl:<path>`       | [`JsonlSink`] appending to `<path>` |
+//! | `agg:<spec>`         | [`AggregatingSink`] wrapping the sink `<spec>` selects (e.g. `agg:jsonl:run.jsonl`) |
 //!
 //! Unknown values (and unopenable JSONL paths) warn once on stderr and
 //! fall back to the null sink, so a typo never aborts a long training
@@ -57,6 +62,7 @@
 //! assert_eq!(events[2].kind, EventKind::SpanEnd);
 //! ```
 
+pub mod agg;
 pub mod event;
 pub mod hist;
 pub mod json;
@@ -65,6 +71,7 @@ pub mod sink;
 
 mod handle;
 
+pub use agg::AggregatingSink;
 pub use event::{Event, EventKind};
 pub use handle::{Span, Telemetry};
 pub use hist::FixedHistogram;
