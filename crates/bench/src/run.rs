@@ -78,13 +78,21 @@ impl BenchRun {
         tables: &[(String, Vec<ModelRow>)],
         extras: &[(&str, JsonValue)],
     ) {
+        // Record the companion JSONL trace path (when one is being
+        // written) so the manifest says where to point
+        // `flightctl export` / `summarize` without shell archaeology.
+        let mut extras: Vec<(&str, JsonValue)> = extras.to_vec();
+        let spec = std::env::var(Telemetry::ENV_VAR).unwrap_or_default();
+        if let Some(path) = trace_path_from_spec(&spec) {
+            extras.push(("trace_path", JsonValue::String(path)));
+        }
         let manifest = render_manifest(
             &self.exhibit,
             profile,
             tables,
             self.span.elapsed_secs(),
             &git_describe(),
-            extras,
+            &extras,
         );
         self.telemetry.manifest("bench.run_manifest", &manifest);
         drop(self.span);
@@ -187,6 +195,19 @@ fn metrics_json(
         }
     }
     metrics.build()
+}
+
+/// The JSONL trace path a `FLIGHT_TELEMETRY` spec writes to, if any:
+/// `jsonl:<path>` and any `agg:`-wrapped nesting of it resolve to
+/// `<path>`; every other spec (stderr, null, typos) resolves to `None`.
+pub fn trace_path_from_spec(spec: &str) -> Option<String> {
+    let mut rest = spec.trim();
+    while let Some(inner) = rest.strip_prefix("agg:") {
+        rest = inner;
+    }
+    rest.strip_prefix("jsonl:")
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
 }
 
 /// Row labels as metric-name segments: whitespace collapses to `_`.
@@ -339,6 +360,22 @@ mod tests {
         assert_eq!(get("parity"), Some(1.0));
         assert_eq!(get("speedup"), Some(2.9));
         assert!(m.get("note").is_none());
+    }
+
+    #[test]
+    fn trace_path_resolves_jsonl_specs_only() {
+        assert_eq!(
+            trace_path_from_spec("jsonl:run.jsonl"),
+            Some("run.jsonl".to_string())
+        );
+        assert_eq!(
+            trace_path_from_spec("agg:jsonl:out/t.jsonl"),
+            Some("out/t.jsonl".to_string())
+        );
+        assert_eq!(trace_path_from_spec("stderr"), None);
+        assert_eq!(trace_path_from_spec("agg:stderr"), None);
+        assert_eq!(trace_path_from_spec("jsonl:"), None);
+        assert_eq!(trace_path_from_spec(""), None);
     }
 
     #[test]

@@ -19,13 +19,91 @@ use crate::quant::{quantize_fixed_point, quantize_lightnn, FilterTrace, Threshol
 use crate::reg::{accumulate_filter_reg_grad, filter_reg_loss, RegStrength};
 use crate::scheme::QuantScheme;
 
+/// Per-epoch training-dynamics accumulator for a quantized layer.
+///
+/// Filled by the backward pass (quantized-path gradient norm, STE clip
+/// counts) and by [`FlightTrainer`]'s batch loop (shadow-path gradient
+/// norm, after regularization subgradients are folded in), then drained
+/// once per epoch with `take_train_stats` and emitted as
+/// `train.layer.*` telemetry.
+///
+/// [`FlightTrainer`]: crate::trainer::FlightTrainer
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LayerTrainStats {
+    /// Backward passes folded in.
+    pub batches: u64,
+    /// Σ over batches of `‖∂L/∂w^q‖₂` (the quantized-path gradient).
+    pub grad_norm_quant_sum: f64,
+    /// Σ over batches of `‖∂L/∂w‖₂` on the shadow weights after STE
+    /// routing and (in gradient reg mode) regularization subgradients.
+    pub grad_norm_shadow_sum: f64,
+    /// Elements the STE carried a gradient for despite their quantized
+    /// value being exactly zero (shadow weight nonzero): the weights
+    /// whose updates the hard forward pass cannot see.
+    pub ste_clipped: u64,
+    /// Total weight elements seen by backward.
+    pub ste_total: u64,
+}
+
+impl LayerTrainStats {
+    /// Mean per-batch quantized-path gradient norm.
+    pub fn mean_grad_norm_quant(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.grad_norm_quant_sum / self.batches as f64
+        }
+    }
+
+    /// Mean per-batch shadow-path gradient norm.
+    pub fn mean_grad_norm_shadow(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.grad_norm_shadow_sum / self.batches as f64
+        }
+    }
+
+    /// Fraction of weight elements whose quantized value was zero while
+    /// the shadow weight was not.
+    pub fn clip_rate(&self) -> f64 {
+        if self.ste_total == 0 {
+            0.0
+        } else {
+            self.ste_clipped as f64 / self.ste_total as f64
+        }
+    }
+
+    fn observe_backward(&mut self, quant_grad: &[f32], quantized: &[f32], shadow: &[f32]) {
+        self.batches += 1;
+        self.grad_norm_quant_sum += l2_f64(quant_grad);
+        self.ste_total += quantized.len() as u64;
+        self.ste_clipped += quantized
+            .iter()
+            .zip(shadow)
+            .filter(|&(&q, &w)| q == 0.0 && w != 0.0)
+            .count() as u64;
+    }
+}
+
+fn l2_f64(v: &[f32]) -> f64 {
+    v.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
+}
+
 /// Per-layer weight quantization behaviour derived from a
 /// [`QuantScheme`].
 #[derive(Debug, Clone)]
 enum WeightQuant {
     Float,
-    FixedPoint { bits: u32 },
-    LightNn { k: usize },
+    FixedPoint {
+        bits: u32,
+    },
+    LightNn {
+        k: usize,
+    },
     FLight {
         quantizer: ThresholdQuantizer,
         tau: f32,
@@ -36,11 +114,13 @@ impl WeightQuant {
     fn from_scheme(scheme: &QuantScheme) -> Self {
         match scheme {
             QuantScheme::Full => WeightQuant::Float,
-            QuantScheme::FixedPoint { weight_bits, .. } => WeightQuant::FixedPoint {
-                bits: *weight_bits,
-            },
+            QuantScheme::FixedPoint { weight_bits, .. } => {
+                WeightQuant::FixedPoint { bits: *weight_bits }
+            }
             QuantScheme::LightNn { k, .. } => WeightQuant::LightNn { k: *k },
-            QuantScheme::FLight { k_max, mode, tau, .. } => WeightQuant::FLight {
+            QuantScheme::FLight {
+                k_max, mode, tau, ..
+            } => WeightQuant::FLight {
                 quantizer: ThresholdQuantizer::new(*k_max, *mode),
                 tau: *tau,
             },
@@ -122,6 +202,7 @@ pub struct QuantConv2d {
     cache: Option<Conv2dCache>,
     last_quantized: Option<Tensor>,
     last_traces: Vec<FilterTrace>,
+    train_stats: LayerTrainStats,
 }
 
 impl QuantConv2d {
@@ -142,7 +223,10 @@ impl QuantConv2d {
         stride: usize,
         padding: usize,
     ) -> Self {
-        assert!(in_channels > 0 && filters > 0 && kernel > 0, "zero-sized conv");
+        assert!(
+            in_channels > 0 && filters > 0 && kernel > 0,
+            "zero-sized conv"
+        );
         assert!(stride > 0, "stride must be positive");
         let fan_in = in_channels * kernel * kernel;
         let shadow = kaiming_uniform(rng, &[filters, in_channels, kernel, kernel], fan_in);
@@ -163,6 +247,7 @@ impl QuantConv2d {
             cache: None,
             last_quantized: None,
             last_traces: Vec::new(),
+            train_stats: LayerTrainStats::default(),
         }
     }
 
@@ -211,9 +296,10 @@ impl QuantConv2d {
     pub fn quantize_weights(&mut self) -> Tensor {
         let (q, traces) = match &self.quant {
             WeightQuant::Float => (self.shadow.value.clone(), Vec::new()),
-            WeightQuant::FixedPoint { bits } => {
-                (quantize_fixed_point(&self.shadow.value, *bits).0, Vec::new())
-            }
+            WeightQuant::FixedPoint { bits } => (
+                quantize_fixed_point(&self.shadow.value, *bits).0,
+                Vec::new(),
+            ),
             WeightQuant::LightNn { k } => (quantize_lightnn(&self.shadow.value, *k), Vec::new()),
             WeightQuant::FLight { quantizer, .. } => {
                 let t = self
@@ -320,6 +406,26 @@ impl QuantConv2d {
             None => self.quantize_weights(),
         }
     }
+
+    /// Folds the currently accumulated shadow-weight gradient norm into
+    /// the training-dynamics stats. The trainer calls this once per
+    /// batch *after* regularization subgradients are applied, so the
+    /// shadow-path norm reflects everything the optimizer will see.
+    pub fn observe_shadow_grad(&mut self) {
+        self.train_stats.grad_norm_shadow_sum += l2_f64(self.shadow.grad.as_slice());
+    }
+
+    /// Drains the per-epoch training-dynamics accumulator.
+    pub fn take_train_stats(&mut self) -> LayerTrainStats {
+        std::mem::take(&mut self.train_stats)
+    }
+
+    /// Per-order residual-norm sums `Σ_i ‖r_{i,j}‖₂` from the most
+    /// recent quantization (index `j` matches `λ_j`; empty for
+    /// non-FLightNN layers or before any quantization).
+    pub fn residual_norm_sums(&self) -> Vec<f64> {
+        residual_norm_sums(&self.last_traces)
+    }
 }
 
 impl std::fmt::Debug for QuantConv2d {
@@ -359,6 +465,11 @@ impl Layer for QuantConv2d {
             .as_ref()
             .expect("forward stores the quantized weights");
         let (dx, dwq, db) = conv2d_backward(&cache, q, grad_out);
+        self.train_stats.observe_backward(
+            dwq.as_slice(),
+            q.as_slice(),
+            self.shadow.value.as_slice(),
+        );
 
         // STE: apply the quantized-weight gradient to the shadow weights.
         self.shadow.grad.axpy(1.0, &dwq);
@@ -405,6 +516,7 @@ pub struct QuantLinear {
     cache: Option<LinearCache>,
     last_quantized: Option<Tensor>,
     last_traces: Vec<FilterTrace>,
+    train_stats: LayerTrainStats,
 }
 
 impl QuantLinear {
@@ -436,6 +548,7 @@ impl QuantLinear {
             cache: None,
             last_quantized: None,
             last_traces: Vec::new(),
+            train_stats: LayerTrainStats::default(),
         }
     }
 
@@ -489,9 +602,10 @@ impl QuantLinear {
     pub fn quantize_weights(&mut self) -> Tensor {
         let (q, traces) = match &self.quant {
             WeightQuant::Float => (self.shadow.value.clone(), Vec::new()),
-            WeightQuant::FixedPoint { bits } => {
-                (quantize_fixed_point(&self.shadow.value, *bits).0, Vec::new())
-            }
+            WeightQuant::FixedPoint { bits } => (
+                quantize_fixed_point(&self.shadow.value, *bits).0,
+                Vec::new(),
+            ),
             WeightQuant::LightNn { k } => (quantize_lightnn(&self.shadow.value, *k), Vec::new()),
             WeightQuant::FLight { quantizer, .. } => {
                 let t = self
@@ -532,10 +646,7 @@ impl QuantLinear {
             WeightQuant::LightNn { k } => 4 * k * weights,
             WeightQuant::FLight { .. } => {
                 let row = weights / self.out_features();
-                self.row_shift_counts()
-                    .iter()
-                    .map(|&ki| 4 * ki * row)
-                    .sum()
+                self.row_shift_counts().iter().map(|&ki| 4 * ki * row).sum()
             }
         }
     }
@@ -554,6 +665,36 @@ impl QuantLinear {
         }
         captures
     }
+
+    /// Folds the accumulated shadow-weight gradient norm into the
+    /// training-dynamics stats; see [`QuantConv2d::observe_shadow_grad`].
+    pub fn observe_shadow_grad(&mut self) {
+        self.train_stats.grad_norm_shadow_sum += l2_f64(self.shadow.grad.as_slice());
+    }
+
+    /// Drains the per-epoch training-dynamics accumulator.
+    pub fn take_train_stats(&mut self) -> LayerTrainStats {
+        std::mem::take(&mut self.train_stats)
+    }
+
+    /// Per-order residual-norm sums; see
+    /// [`QuantConv2d::residual_norm_sums`].
+    pub fn residual_norm_sums(&self) -> Vec<f64> {
+        residual_norm_sums(&self.last_traces)
+    }
+}
+
+/// Sums `‖r_{i,j}‖₂` over filters per level `j` (the telemetry view of
+/// the group-lasso objective, one number per `λ_j`).
+fn residual_norm_sums(traces: &[FilterTrace]) -> Vec<f64> {
+    let levels = traces.iter().map(|t| t.norms.len()).max().unwrap_or(0);
+    let mut sums = vec![0.0f64; levels];
+    for trace in traces {
+        for (sum, &norm) in sums.iter_mut().zip(&trace.norms) {
+            *sum += norm as f64;
+        }
+    }
+    sums
 }
 
 /// The sequential proximal operator of `Σ_j λ_j‖r_j(w)‖₂` on one filter:
@@ -642,6 +783,11 @@ impl Layer for QuantLinear {
             .as_ref()
             .expect("forward stores the quantized weights");
         let (dx, dwq, db) = linear_backward(&cache, q, grad_out);
+        self.train_stats.observe_backward(
+            dwq.as_slice(),
+            q.as_slice(),
+            self.shadow.value.as_slice(),
+        );
         self.shadow.grad.axpy(1.0, &dwq);
         self.bias.grad.axpy(1.0, &db);
         if let WeightQuant::FLight { tau, .. } = self.quant {
@@ -820,6 +966,66 @@ mod tests {
         assert_eq!(dx.dims(), &[4, 6]);
         assert!(fc.shadow().grad.abs_max() > 0.0);
         assert_eq!(fc.row_shift_counts().len(), 3);
+    }
+
+    #[test]
+    fn backward_accumulates_train_stats() {
+        let mut r = rng();
+        let mut conv = QuantConv2d::new(&mut r, &QuantScheme::flight(1e-5), 1, 2, 3, 1, 1);
+        let x = uniform(&mut r, &[1, 1, 5, 5], -1.0, 1.0);
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::ones(y.dims()));
+        conv.observe_shadow_grad();
+
+        let stats = conv.take_train_stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.ste_total, 2 * 3 * 3);
+        assert!(stats.grad_norm_quant_sum > 0.0);
+        // Identity STE with no reg gradients: both paths see the same
+        // per-batch gradient.
+        assert!(
+            (stats.mean_grad_norm_quant() - stats.mean_grad_norm_shadow()).abs() < 1e-9,
+            "quant {} vs shadow {}",
+            stats.mean_grad_norm_quant(),
+            stats.mean_grad_norm_shadow()
+        );
+        assert!(stats.clip_rate() >= 0.0 && stats.clip_rate() <= 1.0);
+
+        // Draining resets the accumulator.
+        assert_eq!(conv.take_train_stats(), LayerTrainStats::default());
+    }
+
+    #[test]
+    fn ste_clip_counts_weights_quantized_to_zero() {
+        let mut r = rng();
+        let mut fc = QuantLinear::new(&mut r, &QuantScheme::flight(1e-5), 4, 2);
+        // An astronomical second threshold plus a first threshold above
+        // every row norm forces k_i = 0: all weights quantize to zero.
+        fc.thresholds_mut().unwrap().value = Tensor::from_slice(&[1e6, 1e6]);
+        let x = uniform(&mut r, &[2, 4], -1.0, 1.0);
+        let y = fc.forward(&x, true);
+        fc.backward(&Tensor::ones(y.dims()));
+        let stats = fc.take_train_stats();
+        assert_eq!(stats.ste_clipped, stats.ste_total);
+        assert_eq!(stats.clip_rate(), 1.0);
+    }
+
+    #[test]
+    fn residual_norm_sums_follow_the_traces() {
+        let mut r = rng();
+        let mut conv = QuantConv2d::new(&mut r, &QuantScheme::flight(1e-5), 1, 3, 3, 1, 1);
+        assert!(conv.residual_norm_sums().is_empty(), "no traces yet");
+        conv.quantize_weights();
+        let sums = conv.residual_norm_sums();
+        assert_eq!(sums.len(), 2, "one sum per level j < k_max");
+        // r_0 is the whole filter, so its sum dominates the level-1
+        // residual left after the first shift.
+        assert!(sums[0] > sums[1] && sums[1] > 0.0, "sums {sums:?}");
+
+        // Full-precision layers have no traces and no sums.
+        let mut full = QuantConv2d::new(&mut r, &QuantScheme::full(), 1, 2, 3, 1, 1);
+        full.quantize_weights();
+        assert!(full.residual_norm_sums().is_empty());
     }
 
     #[test]

@@ -42,6 +42,7 @@ use flight_nn::{Batch, EpochStats, Layer, Param};
 use flight_telemetry::{FixedHistogram, Telemetry};
 use flight_tensor::Tensor;
 
+use crate::layers::LayerTrainStats;
 use crate::net::QuantNet;
 use crate::reg::RegStrength;
 use crate::scheme::QuantScheme;
@@ -107,7 +108,9 @@ impl FlightTrainer {
     /// Attaches a telemetry handle (default: the null sink). Each epoch
     /// then emits a `train.epoch` span, loss/accuracy/throughput gauges,
     /// the threshold trajectories `t_j`, the per-filter `k_i` histogram,
-    /// and the proximal-capture counter.
+    /// the proximal-capture counter, and the per-layer training-dynamics
+    /// signals (`train.layer.*` gradient norms, STE clip rates and
+    /// shadow-weight histograms; `train.reg.r{j}`/`lambda{j}` sums).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
@@ -170,7 +173,10 @@ impl FlightTrainer {
     ///
     /// Panics if `scale` is negative or not finite.
     pub fn set_reg_scale(&mut self, scale: f32) {
-        assert!(scale.is_finite() && scale >= 0.0, "invalid reg scale {scale}");
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "invalid reg scale {scale}"
+        );
         self.reg_scale = scale;
     }
 
@@ -216,6 +222,12 @@ impl FlightTrainer {
                 net.visit_quant_linears(&mut |l| reg_loss += l.accumulate_reg(&reg));
             }
 
+            // Fold the post-reg shadow-gradient norm into each layer's
+            // training-dynamics stats (the quantized-path norm and STE
+            // clip counts were recorded inside backward).
+            net.visit_quant_convs(&mut |c| c.observe_shadow_grad());
+            net.visit_quant_linears(&mut |l| l.observe_shadow_grad());
+
             // Thresholds get their own optimizer: stash their gradients and
             // zero them so the weight optimizer skips them.
             let mut stash: Vec<(u64, Tensor)> = Vec::new();
@@ -230,7 +242,9 @@ impl FlightTrainer {
             // the weight step, capturing fully-shrunk groups at zero.
             if self.reg_mode == RegMode::Proximal && !reg.is_zero() {
                 let step = self.opt.learning_rate();
-                net.visit_quant_convs(&mut |c| prox_captures += c.apply_reg_prox(&reg, step) as u64);
+                net.visit_quant_convs(&mut |c| {
+                    prox_captures += c.apply_reg_prox(&reg, step) as u64
+                });
                 net.visit_quant_linears(&mut |l| {
                     prox_captures += l.apply_reg_prox(&reg, step) as u64;
                 });
@@ -259,17 +273,33 @@ impl FlightTrainer {
 
         let stats =
             EpochStats::from_totals(total_loss, correct, samples, start.elapsed().as_secs_f32());
-        self.record_epoch(net, &stats, prox_captures);
+        self.record_epoch(net, &stats, prox_captures, &reg);
         drop(epoch_span);
         stats
     }
 
     /// Emits one epoch's telemetry: loss/accuracy/throughput gauges, the
     /// threshold trajectories `t_j` of every quantized layer, the
-    /// per-filter `k_i` histogram, and the proximal-capture counter.
-    /// Returns immediately (no allocation) when the sink is disabled.
-    fn record_epoch(&self, net: &mut QuantNet, stats: &EpochStats, prox_captures: u64) {
+    /// per-filter `k_i` histogram, the proximal-capture counter, and the
+    /// training-dynamics signals (per-layer gradient norms along both
+    /// paths, STE clip rates, shadow-weight magnitude histograms, and
+    /// the per-order residual norms `Σ_i ‖r_{i,j}‖₂` next to their
+    /// effective `λ_j`). Drains the per-layer accumulators either way so
+    /// their per-epoch semantics survive a disabled sink.
+    fn record_epoch(
+        &self,
+        net: &mut QuantNet,
+        stats: &EpochStats,
+        prox_captures: u64,
+        reg: &RegStrength,
+    ) {
         if !self.telemetry.enabled() {
+            net.visit_quant_convs(&mut |c| {
+                c.take_train_stats();
+            });
+            net.visit_quant_linears(&mut |l| {
+                l.take_train_stats();
+            });
             return;
         }
         let telemetry = &self.telemetry;
@@ -282,7 +312,10 @@ impl FlightTrainer {
         );
         telemetry.counter("train.prox_captures", prox_captures, "group");
 
-        // Threshold trajectories, named by layer kind and position.
+        // Per-layer signals, named by layer kind and position: threshold
+        // trajectories, training dynamics, and residual-norm sums (the
+        // latter accumulated network-wide per order).
+        let mut reg_sums: Vec<f64> = Vec::new();
         let mut conv = 0usize;
         net.visit_quant_convs(&mut |c| {
             if let Some(t) = c.thresholds() {
@@ -290,6 +323,14 @@ impl FlightTrainer {
                     telemetry.gauge(&format!("train.threshold.c{conv}.t{j}"), tj as f64, "norm");
                 }
             }
+            let dyn_stats = c.take_train_stats();
+            record_layer_dynamics(
+                telemetry,
+                &format!("c{conv}"),
+                &dyn_stats,
+                c.shadow().value.as_slice(),
+            );
+            accumulate_reg_sums(&mut reg_sums, c.residual_norm_sums());
             conv += 1;
         });
         let mut fc = 0usize;
@@ -299,8 +340,31 @@ impl FlightTrainer {
                     telemetry.gauge(&format!("train.threshold.f{fc}.t{j}"), tj as f64, "norm");
                 }
             }
+            let dyn_stats = l.take_train_stats();
+            record_layer_dynamics(
+                telemetry,
+                &format!("f{fc}"),
+                &dyn_stats,
+                l.shadow().value.as_slice(),
+            );
+            accumulate_reg_sums(&mut reg_sums, l.residual_norm_sums());
             fc += 1;
         });
+
+        // The group-lasso objective per order, next to its effective λ_j
+        // (flightctl health gates its stagnation check on λ_j > 0).
+        if !reg_sums.is_empty() {
+            for (j, &sum) in reg_sums.iter().enumerate() {
+                telemetry.gauge(&format!("train.reg.r{j}"), sum, "l2");
+            }
+            for j in 0..reg.levels() {
+                telemetry.gauge(
+                    &format!("train.reg.lambda{j}"),
+                    reg.lambda(j) as f64,
+                    "strength",
+                );
+            }
+        }
 
         // Per-filter shift counts k_i across the whole network.
         let counts = net.all_shift_counts();
@@ -410,6 +474,58 @@ impl FlightTrainer {
     }
 }
 
+/// Emits one layer's per-epoch training-dynamics telemetry: mean
+/// gradient norms along the quantized and shadow paths, the STE clip
+/// rate (weights the hard forward cannot see but whose shadow values
+/// still move), and a log₂-spaced `|w|` histogram of the shadow weights.
+fn record_layer_dynamics(
+    telemetry: &Telemetry,
+    label: &str,
+    stats: &LayerTrainStats,
+    shadow: &[f32],
+) {
+    if stats.batches > 0 {
+        telemetry.gauge(
+            &format!("train.layer.{label}.grad_norm.quant"),
+            stats.mean_grad_norm_quant(),
+            "l2",
+        );
+        telemetry.gauge(
+            &format!("train.layer.{label}.grad_norm.shadow"),
+            stats.mean_grad_norm_shadow(),
+            "l2",
+        );
+        telemetry.gauge(
+            &format!("train.layer.{label}.ste.clip_rate"),
+            stats.clip_rate(),
+            "ratio",
+        );
+        telemetry.counter(
+            &format!("train.layer.{label}.ste.clipped"),
+            stats.ste_clipped,
+            "element",
+        );
+    }
+    if !shadow.is_empty() {
+        let mut hist = FixedHistogram::new((-8..=0).map(|e| f64::powi(2.0, e)).collect());
+        for &w in shadow {
+            hist.record(w.abs() as f64);
+        }
+        telemetry.histogram(&format!("train.layer.{label}.shadow_absw"), &hist);
+    }
+}
+
+/// Elementwise-accumulates one layer's residual-norm sums into the
+/// network-wide per-order totals.
+fn accumulate_reg_sums(acc: &mut Vec<f64>, sums: Vec<f64>) {
+    if sums.len() > acc.len() {
+        acc.resize(sums.len(), 0.0);
+    }
+    for (a, s) in acc.iter_mut().zip(sums) {
+        *a += s;
+    }
+}
+
 impl std::fmt::Debug for FlightTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -469,7 +585,11 @@ mod tests {
         let mut trainer = FlightTrainer::new(&scheme, 3e-3);
         trainer.fit(&mut net, &data.train_batches(16), 6);
         let stats = evaluate(&mut net, &data.test_batches(32), 1);
-        assert!(stats.accuracy > 0.3, "L-2 accuracy stuck at {}", stats.accuracy);
+        assert!(
+            stats.accuracy > 0.3,
+            "L-2 accuracy stuck at {}",
+            stats.accuracy
+        );
     }
 
     #[test]
@@ -478,17 +598,13 @@ mod tests {
         // shifts off: the average k_i drops below the k_max = 2 start.
         let sink = std::sync::Arc::new(CollectingSink::new());
         let (_, mut strong) = train_scheme_with(
-            &crate::scheme::QuantScheme::flight_with(
-                RegStrength::new(vec![0.0, 6.0]),
-                2,
-            ),
+            &crate::scheme::QuantScheme::flight_with(RegStrength::new(vec![0.0, 6.0]), 2),
             30,
             3,
             Telemetry::new(sink.clone()),
         );
         let counts = strong.all_shift_counts();
-        let mean_k: f32 =
-            counts.iter().sum::<usize>() as f32 / counts.len().max(1) as f32;
+        let mean_k: f32 = counts.iter().sum::<usize>() as f32 / counts.len().max(1) as f32;
         assert!(
             mean_k < 1.5,
             "heavy regularization left mean k_i at {mean_k}"
@@ -503,7 +619,10 @@ mod tests {
             .filter(|e| e.name == "train.mean_k")
             .map(|e| e.value)
             .collect();
-        assert!(!reported.is_empty(), "train.mean_k must be emitted per epoch");
+        assert!(
+            !reported.is_empty(),
+            "train.mean_k must be emitted per epoch"
+        );
         assert!(
             (reported.last().unwrap() - mean_k as f64).abs() < 1e-3,
             "telemetry mean_k {} != recount {mean_k}",
@@ -516,7 +635,9 @@ mod tests {
             .expect("train.filters gauge");
         assert_eq!(filters.value as usize, counts.len());
         assert!(
-            events.iter().any(|e| e.name == "train.prox_captures" && e.value > 0.0),
+            events
+                .iter()
+                .any(|e| e.name == "train.prox_captures" && e.value > 0.0),
             "strong λ must capture residual groups through the prox operator"
         );
     }
@@ -525,11 +646,53 @@ mod tests {
     fn zero_regularization_keeps_k_max() {
         let (_, mut free) = train_scheme(&QuantScheme::flight(0.0), 4, 4);
         let counts = free.all_shift_counts();
-        let mean_k: f32 =
-            counts.iter().sum::<usize>() as f32 / counts.len().max(1) as f32;
+        let mean_k: f32 = counts.iter().sum::<usize>() as f32 / counts.len().max(1) as f32;
         // Thresholds start at 0 and nothing pushes them up aggressively in
         // a few epochs; filters should overwhelmingly stay at two shifts.
         assert!(mean_k > 1.8, "mean k_i {mean_k} without regularization");
+    }
+
+    #[test]
+    fn epoch_telemetry_carries_training_dynamics() {
+        let sink = std::sync::Arc::new(CollectingSink::new());
+        train_scheme_with(
+            &QuantScheme::flight(1e-4),
+            2,
+            6,
+            Telemetry::new(sink.clone()),
+        );
+        let events = sink.events();
+        let last = |name: &str| {
+            events
+                .iter()
+                .rev()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("missing signal {name}"))
+                .value
+        };
+
+        // Both gradient paths are tracked per layer and are live.
+        assert!(last("train.layer.c0.grad_norm.quant") > 0.0);
+        assert!(last("train.layer.c0.grad_norm.shadow") > 0.0);
+        let clip = last("train.layer.c0.ste.clip_rate");
+        assert!((0.0..=1.0).contains(&clip), "clip rate {clip}");
+
+        // Residual-norm sums per order, with the effective λ next to
+        // them: λ0 is zeroed (no pruning), λ1 is the graduated 3λ and
+        // the 2-epoch two-phase run ends in the settle phase (scale 1).
+        assert!(last("train.reg.r0") > 0.0);
+        assert!(last("train.reg.r1") > 0.0);
+        assert_eq!(last("train.reg.lambda0"), 0.0);
+        let lambda1 = (1e-4f32 * 3.0) as f64;
+        assert!((last("train.reg.lambda1") - lambda1).abs() < 1e-12);
+
+        // Shadow-weight histograms are emitted per layer per epoch.
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == "train.layer.f0.shadow_absw"),
+            "shadow-weight histogram missing"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!
 //! [`IntNetwork`]: crate::IntNetwork
 
-use flight_telemetry::Telemetry;
+use flight_telemetry::{worker_prefix, Telemetry};
 use flight_tensor::Tensor;
 
 use crate::counts::OpCounts;
@@ -65,15 +65,13 @@ pub(crate) fn forward_parallel(
         for (w, slot) in results.iter_mut().enumerate() {
             let start = w * per;
             let end = (start + per).min(n);
-            let worker_telemetry = telemetry.with_prefix(&format!("kernel.worker.{w:02}."));
+            let worker_telemetry = telemetry.with_prefix(&worker_prefix(w));
             let mut chunk_dims = dims.to_vec();
             chunk_dims[0] = end - start;
             scope.spawn(move |_| {
                 let span = worker_telemetry.span("chunk");
-                let chunk = Tensor::from_vec(
-                    data[start * img_len..end * img_len].to_vec(),
-                    &chunk_dims,
-                );
+                let chunk =
+                    Tensor::from_vec(data[start * img_len..end * img_len].to_vec(), &chunk_dims);
                 let mut counts = OpCounts::default();
                 let mut scratch = Scratch::default();
                 let out = run_layers(layers, &worker_telemetry, &chunk, &mut counts, &mut scratch);

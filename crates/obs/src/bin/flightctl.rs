@@ -1,24 +1,33 @@
 //! `flightctl` — trace analysis and the perf-regression gate.
 //!
 //! ```text
-//! flightctl summarize <trace.jsonl>
+//! flightctl summarize <trace.jsonl> [--json]
 //! flightctl diff <baseline> <candidate> [--tolerance 0.05] [--metrics p1,p2]
-//! flightctl health <trace.jsonl>
+//! flightctl health <trace.jsonl> [--json]
+//! flightctl export <trace.jsonl> [--format chrome] [--out <path>]
+//! flightctl watch <trace.jsonl> [--once|--follow] [--interval <ms>] [--idle-exit <secs>]
 //! ```
 //!
 //! Exit codes: `0` success / within tolerance, `1` regression or health
 //! warnings, `2` usage or I/O errors. Argument parsing is hand-rolled —
-//! three subcommands do not justify a dependency.
+//! five subcommands do not justify a dependency.
+
+use std::io::IsTerminal;
 
 use flight_obs::diff::{diff, load_metrics, DiffOptions};
-use flight_obs::{health, read_trace, summarize};
+use flight_obs::watch::{watch, WatchOptions};
+use flight_obs::{export_chrome, health, read_trace, summarize, summarize_json};
 
 const USAGE: &str = "usage:
-  flightctl summarize <trace.jsonl>
+  flightctl summarize <trace.jsonl> [--json]
   flightctl diff <baseline> <candidate> [--tolerance <rel>] [--metrics <prefix,...>]
-  flightctl health <trace.jsonl>
+  flightctl health <trace.jsonl> [--json]
+  flightctl export <trace.jsonl> [--format chrome] [--out <path>]
+  flightctl watch <trace.jsonl> [--once|--follow] [--interval <ms>] [--idle-exit <secs>]
 
 inputs are JSONL telemetry traces or BENCH_*.manifest.json run manifests (diff).
+export writes Chrome trace-event JSON for Perfetto / chrome://tracing.
+watch tails a live trace; it follows on a TTY and prints one plain report otherwise.
 exit codes: 0 ok, 1 regression/warnings, 2 usage or I/O error.";
 
 fn main() {
@@ -31,6 +40,8 @@ fn run(args: &[String]) -> i32 {
         Some("summarize") => cmd_summarize(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("health") => cmd_health(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("-h" | "--help" | "help") => {
             println!("{USAGE}");
             0
@@ -44,13 +55,36 @@ fn usage_error(message: &str) -> i32 {
     2
 }
 
+/// Splits `args` into positional paths and `--json`, rejecting other
+/// flags (shared by `summarize` and `health`).
+fn split_json_flag(args: &[String]) -> Result<(Vec<&String>, bool), String> {
+    let mut paths = Vec::new();
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            _ => paths.push(arg),
+        }
+    }
+    Ok((paths, json))
+}
+
 fn cmd_summarize(args: &[String]) -> i32 {
-    let [path] = args else {
+    let (paths, json) = match split_json_flag(args) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
+    let [path] = paths[..] else {
         return usage_error("summarize takes exactly one trace path");
     };
     match read_trace(path) {
         Ok(trace) => {
-            print!("{}", summarize(&trace));
+            if json {
+                println!("{}", summarize_json(&trace));
+            } else {
+                print!("{}", summarize(&trace));
+            }
             0
         }
         Err(e) => {
@@ -61,13 +95,21 @@ fn cmd_summarize(args: &[String]) -> i32 {
 }
 
 fn cmd_health(args: &[String]) -> i32 {
-    let [path] = args else {
+    let (paths, json) = match split_json_flag(args) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
+    let [path] = paths[..] else {
         return usage_error("health takes exactly one trace path");
     };
     match read_trace(path) {
         Ok(trace) => {
             let report = health(&trace);
-            print!("{}", report.render());
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.warnings == 0 {
                 0
             } else {
@@ -76,6 +118,144 @@ fn cmd_health(args: &[String]) -> i32 {
         }
         Err(e) => {
             eprintln!("flightctl: cannot read {path}: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_export(args: &[String]) -> i32 {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut format = "chrome".to_string();
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg, None),
+        };
+        let value = |i: &mut usize| -> Option<String> {
+            match inline {
+                Some(ref v) => Some(v.clone()),
+                None => {
+                    *i += 1;
+                    args.get(*i).cloned()
+                }
+            }
+        };
+        match flag {
+            "--format" => {
+                let Some(raw) = value(&mut i) else {
+                    return usage_error("--format needs a value");
+                };
+                format = raw;
+            }
+            "--out" => {
+                let Some(raw) = value(&mut i) else {
+                    return usage_error("--out needs a value");
+                };
+                out_path = Some(raw);
+            }
+            _ if flag.starts_with('-') => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    if format != "chrome" {
+        return usage_error(&format!(
+            "unknown export format {format:?} (only \"chrome\" is supported)"
+        ));
+    }
+    let [path] = paths[..] else {
+        return usage_error("export takes exactly one trace path");
+    };
+    let trace = match read_trace(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("flightctl: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let (json, stats) = export_chrome(&trace);
+    let body = json.render();
+    match out_path {
+        Some(out) => {
+            if let Err(e) = std::fs::write(&out, format!("{body}\n")) {
+                eprintln!("flightctl: cannot write {out}: {e}");
+                return 2;
+            }
+            eprintln!("export: {stats} -> {out}");
+        }
+        None => {
+            println!("{body}");
+            eprintln!("export: {stats}");
+        }
+    }
+    0
+}
+
+fn cmd_watch(args: &[String]) -> i32 {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut opts = WatchOptions {
+        follow: std::io::stdout().is_terminal(),
+        ..WatchOptions::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg, None),
+        };
+        let value = |i: &mut usize| -> Option<String> {
+            match inline {
+                Some(ref v) => Some(v.clone()),
+                None => {
+                    *i += 1;
+                    args.get(*i).cloned()
+                }
+            }
+        };
+        match flag {
+            "--once" => opts.follow = false,
+            "--follow" => opts.follow = true,
+            "--interval" => {
+                let Some(raw) = value(&mut i) else {
+                    return usage_error("--interval needs a value in milliseconds");
+                };
+                match raw.parse::<u64>() {
+                    Ok(ms) if ms > 0 => opts.interval_ms = ms,
+                    _ => return usage_error("--interval must be a positive integer (ms)"),
+                }
+            }
+            "--idle-exit" => {
+                let Some(raw) = value(&mut i) else {
+                    return usage_error("--idle-exit needs a value in seconds");
+                };
+                match raw.parse::<f64>() {
+                    Ok(s) if s >= 0.0 && s.is_finite() => {
+                        opts.idle_exit_ms = Some((s * 1000.0) as u64);
+                    }
+                    _ => return usage_error("--idle-exit must be a non-negative number (s)"),
+                }
+            }
+            _ if flag.starts_with('-') => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [path] = paths[..] else {
+        return usage_error("watch takes exactly one trace path");
+    };
+    let mut stdout = std::io::stdout();
+    match watch(std::path::Path::new(path), &opts, &mut stdout) {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("flightctl: cannot watch {path}: {e}");
             2
         }
     }

@@ -1,0 +1,412 @@
+//! Chrome trace-event export: JSONL traces as timelines.
+//!
+//! `flightctl export <trace> --format chrome` converts a telemetry
+//! trace into the Chrome trace-event JSON format, loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. The mapping:
+//!
+//! * **Spans** become complete (`"ph": "X"`) events. The duration is
+//!   the `span_end` elapsed seconds converted to microseconds — the
+//!   same number `summarize` folds — so timeline widths agree with the
+//!   JSONL trace to well under a microsecond. The start time is the
+//!   paired `span_start`'s `ts`; an orphan end (aggregated or
+//!   concatenated trace) is placed at `end ts − duration`.
+//! * **Counters, gauges, and snapshot headlines** become counter
+//!   (`"ph": "C"`) events, which Perfetto renders as stepped value
+//!   tracks. Non-finite readings are dropped and counted.
+//! * **Worker attribution** reuses the `kernel.worker.<ww>.` name
+//!   convention ([`flight_telemetry::parse_worker`]): every worker gets
+//!   its own thread track (`tid = w + 1`, named `worker <ww>`) and its
+//!   events shed the prefix, so track `worker 03` shows plain `chunk`
+//!   spans. Everything else lands on the `main` track (`tid = 0`).
+//! * **Timestamps** come from the write side's monotonic `ts` field.
+//!   Traces recorded before that field existed still export: such
+//!   events fall back to their sequence number as a synthetic
+//!   microsecond clock (ordering survives, durations stay exact) and
+//!   the fallback is counted in [`ExportStats::synthetic_ts`].
+//!
+//! Histograms and manifests have no timeline representation and are
+//! skipped. `span_start`s with no matching end carry no duration and
+//! are skipped too ([`ExportStats::unmatched_starts`] — the same
+//! truncated-tail honesty as `summarize`).
+
+use std::collections::HashMap;
+
+use flight_telemetry::json::{JsonObject, JsonValue};
+use flight_telemetry::{parse_worker, EventKind};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// The single process id every exported event lands under.
+pub const EXPORT_PID: u64 = 1;
+
+/// What the exporter did with the trace — rendered by `flightctl
+/// export` on stderr so a surprising timeline can be explained.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ExportStats {
+    /// Span pairs exported as complete (`X`) events.
+    pub complete_spans: u64,
+    /// Counter/gauge/snapshot readings exported as counter (`C`) events.
+    pub counter_events: u64,
+    /// `span_start`s with no matching end — truncated tail; skipped.
+    pub unmatched_starts: u64,
+    /// `span_end`s with no recorded start — still exported, placed at
+    /// `end ts − duration`.
+    pub orphan_ends: u64,
+    /// Events without a usable `ts` field, placed by sequence number.
+    pub synthetic_ts: u64,
+    /// Non-finite durations/readings dropped from the timeline.
+    pub dropped_non_finite: u64,
+}
+
+impl std::fmt::Display for ExportStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} spans, {} counter points ({} unmatched starts, {} orphan ends, \
+             {} synthetic timestamps, {} non-finite dropped)",
+            self.complete_spans,
+            self.counter_events,
+            self.unmatched_starts,
+            self.orphan_ends,
+            self.synthetic_ts,
+            self.dropped_non_finite,
+        )
+    }
+}
+
+/// The thread track an event belongs to and its in-track name:
+/// `(tid, bare name)`. Worker `w` maps to `tid = w + 1`; everything
+/// else is the `main` track, `tid = 0`.
+fn track_of(name: &str) -> (u64, &str) {
+    match parse_worker(name) {
+        Some((w, bare)) => (w as u64 + 1, bare),
+        None => (0, name),
+    }
+}
+
+/// The display name of a track: `main`, or `worker <ww>`.
+fn track_name(tid: u64) -> String {
+    if tid == 0 {
+        "main".to_string()
+    } else {
+        format!("worker {:02}", tid - 1)
+    }
+}
+
+/// The event's microsecond timestamp, falling back to the sequence
+/// number (and counting the fallback) when the trace predates `ts`.
+fn ts_of(event: &TraceEvent, stats: &mut ExportStats) -> f64 {
+    match event.ts_us {
+        Some(ts) if ts.is_finite() => ts,
+        _ => {
+            stats.synthetic_ts += 1;
+            event.seq as f64
+        }
+    }
+}
+
+/// Converts a parsed trace into the Chrome trace-event JSON value:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+pub fn export_chrome(trace: &Trace) -> (JsonValue, ExportStats) {
+    let mut stats = ExportStats::default();
+    let mut events: Vec<JsonValue> = Vec::new();
+    // Span id → (start ts, start seq) of the pending span_start.
+    let mut pending: HashMap<u64, (Option<f64>, u64)> = HashMap::new();
+    // Track ids in first-use order, for the metadata pass.
+    let mut tracks: Vec<u64> = Vec::new();
+
+    fn use_track(tracks: &mut Vec<u64>, tid: u64) {
+        if !tracks.contains(&tid) {
+            tracks.push(tid);
+        }
+    }
+
+    for event in &trace.events {
+        let (tid, bare) = track_of(&event.name);
+        match event.kind {
+            EventKind::SpanStart => {
+                if let Some(id) = event.span {
+                    pending.insert(id, (event.ts_us.filter(|t| t.is_finite()), event.seq));
+                }
+            }
+            EventKind::SpanEnd => {
+                let opened = event.span.and_then(|id| pending.remove(&id));
+                if !event.value.is_finite() {
+                    stats.dropped_non_finite += 1;
+                    continue;
+                }
+                let dur_us = event.value * 1e6;
+                let ts = match opened {
+                    Some((Some(start_ts), _)) => start_ts,
+                    Some((None, start_seq)) => {
+                        stats.synthetic_ts += 1;
+                        start_seq as f64
+                    }
+                    None => {
+                        stats.orphan_ends += 1;
+                        ts_of(event, &mut stats) - dur_us
+                    }
+                };
+                use_track(&mut tracks, tid);
+                stats.complete_spans += 1;
+                let mut obj = JsonObject::new()
+                    .field("name", bare)
+                    .field("ph", "X")
+                    .field("ts", ts)
+                    .field("dur", dur_us)
+                    .field("pid", EXPORT_PID)
+                    .field("tid", tid);
+                if let Some(id) = event.span {
+                    obj = obj.field("args", JsonObject::new().field("span", id).build());
+                }
+                events.push(obj.build());
+            }
+            EventKind::Counter | EventKind::Gauge | EventKind::Snapshot => {
+                if !event.value.is_finite() {
+                    stats.dropped_non_finite += 1;
+                    continue;
+                }
+                let ts = ts_of(event, &mut stats);
+                use_track(&mut tracks, tid);
+                stats.counter_events += 1;
+                events.push(
+                    JsonObject::new()
+                        .field("name", bare)
+                        .field("ph", "C")
+                        .field("ts", ts)
+                        .field("pid", EXPORT_PID)
+                        .field("tid", tid)
+                        .field(
+                            "args",
+                            JsonObject::new().field("value", event.value).build(),
+                        )
+                        .build(),
+                );
+            }
+            // No timeline representation.
+            EventKind::Histogram | EventKind::Manifest => {}
+        }
+    }
+    stats.unmatched_starts = pending.len() as u64;
+
+    // Metadata events name the process and each used thread track.
+    let mut meta: Vec<JsonValue> = Vec::new();
+    meta.push(
+        JsonObject::new()
+            .field("name", "process_name")
+            .field("ph", "M")
+            .field("pid", EXPORT_PID)
+            .field("tid", 0u64)
+            .field("args", JsonObject::new().field("name", "flight").build())
+            .build(),
+    );
+    tracks.sort_unstable();
+    for tid in tracks {
+        meta.push(
+            JsonObject::new()
+                .field("name", "thread_name")
+                .field("ph", "M")
+                .field("pid", EXPORT_PID)
+                .field("tid", tid)
+                .field(
+                    "args",
+                    JsonObject::new().field("name", track_name(tid)).build(),
+                )
+                .build(),
+        );
+    }
+    meta.extend(events);
+
+    let root = JsonObject::new()
+        .field("traceEvents", meta)
+        .field("displayTimeUnit", "ms")
+        .build();
+    (root, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_trace;
+
+    fn chrome_events(root: &JsonValue) -> &[JsonValue] {
+        root.get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array")
+    }
+
+    fn by_ph<'a>(root: &'a JsonValue, ph: &str) -> Vec<&'a JsonValue> {
+        chrome_events(root)
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some(ph))
+            .collect()
+    }
+
+    #[test]
+    fn spans_become_complete_events_with_exact_durations() {
+        let body = concat!(
+            r#"{"seq":0,"ts":100.0,"name":"train.epoch","kind":"span_start","value":0,"unit":"s","span":1}"#,
+            "\n",
+            r#"{"seq":1,"ts":600.5,"name":"train.epoch","kind":"span_end","value":0.0005,"unit":"s","span":1}"#,
+            "\n",
+        );
+        let (root, stats) = export_chrome(&parse_trace(body));
+        assert_eq!(stats.complete_spans, 1);
+        assert_eq!(stats.synthetic_ts, 0);
+        let spans = by_ph(&root, "X");
+        assert_eq!(spans.len(), 1);
+        let e = spans[0];
+        assert_eq!(
+            e.get("name").and_then(JsonValue::as_str),
+            Some("train.epoch")
+        );
+        assert_eq!(e.get("ts").and_then(JsonValue::as_f64), Some(100.0));
+        // dur is the span_end's elapsed seconds in µs, exactly.
+        assert_eq!(e.get("dur").and_then(JsonValue::as_f64), Some(500.0));
+        assert_eq!(e.get("tid").and_then(JsonValue::as_f64), Some(0.0));
+        let args = e.get("args").expect("args");
+        assert_eq!(args.get("span").and_then(JsonValue::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn worker_events_land_on_their_own_named_tracks() {
+        let body = concat!(
+            r#"{"seq":0,"ts":10.0,"name":"kernel.worker.03.chunk","kind":"span_start","value":0,"unit":"s","span":7}"#,
+            "\n",
+            r#"{"seq":1,"ts":30.0,"name":"kernel.worker.03.chunk","kind":"span_end","value":2e-5,"unit":"s","span":7}"#,
+            "\n",
+            r#"{"seq":2,"ts":31.0,"name":"kernel.worker.03.chunk.shifts","kind":"counter","value":128,"unit":"op"}"#,
+            "\n",
+        );
+        let (root, stats) = export_chrome(&parse_trace(body));
+        assert_eq!(stats.complete_spans, 1);
+        assert_eq!(stats.counter_events, 1);
+        let spans = by_ph(&root, "X");
+        // Prefix stripped, tid = worker + 1.
+        assert_eq!(
+            spans[0].get("name").and_then(JsonValue::as_str),
+            Some("chunk")
+        );
+        assert_eq!(spans[0].get("tid").and_then(JsonValue::as_f64), Some(4.0));
+        let counters = by_ph(&root, "C");
+        assert_eq!(
+            counters[0].get("name").and_then(JsonValue::as_str),
+            Some("chunk.shifts")
+        );
+        let meta = by_ph(&root, "M");
+        let thread_names: Vec<&str> = meta
+            .iter()
+            .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(thread_names, vec!["worker 03"]);
+    }
+
+    #[test]
+    fn gauges_become_counter_tracks_and_non_finite_is_dropped() {
+        let body = concat!(
+            r#"{"seq":0,"ts":1.0,"name":"train.epoch.loss","kind":"gauge","value":0.7,"unit":"nats"}"#,
+            "\n",
+            r#"{"seq":1,"ts":2.0,"name":"train.epoch.loss","kind":"gauge","value":null,"unit":"nats"}"#,
+            "\n",
+        );
+        let (root, stats) = export_chrome(&parse_trace(body));
+        assert_eq!(stats.counter_events, 1);
+        assert_eq!(stats.dropped_non_finite, 1);
+        let counters = by_ph(&root, "C");
+        assert_eq!(counters.len(), 1);
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(JsonValue::as_f64),
+            Some(0.7)
+        );
+    }
+
+    #[test]
+    fn truncated_and_orphan_spans_are_counted_not_invented() {
+        let body = concat!(
+            // A start with no end (killed run)…
+            r#"{"seq":0,"ts":5.0,"name":"a","kind":"span_start","value":0,"unit":"s","span":1}"#,
+            "\n",
+            // …and an end with no start (aggregated trace).
+            r#"{"seq":1,"ts":100.0,"name":"b","kind":"span_end","value":1e-5,"unit":"s","span":2}"#,
+            "\n",
+        );
+        let (root, stats) = export_chrome(&parse_trace(body));
+        assert_eq!(stats.unmatched_starts, 1);
+        assert_eq!(stats.orphan_ends, 1);
+        let spans = by_ph(&root, "X");
+        assert_eq!(spans.len(), 1, "only the orphan end has a duration");
+        // Placed at end ts − duration: 100 − 10 = 90.
+        assert_eq!(spans[0].get("ts").and_then(JsonValue::as_f64), Some(90.0));
+    }
+
+    #[test]
+    fn ts_less_traces_export_on_a_synthetic_seq_clock() {
+        let body = concat!(
+            r#"{"seq":4,"name":"old.span","kind":"span_start","value":0,"unit":"s","span":1}"#,
+            "\n",
+            r#"{"seq":9,"name":"old.span","kind":"span_end","value":0.001,"unit":"s","span":1}"#,
+            "\n",
+            r#"{"seq":11,"name":"old.gauge","kind":"gauge","value":3.0,"unit":""}"#,
+            "\n",
+        );
+        let (root, stats) = export_chrome(&parse_trace(body));
+        assert_eq!(stats.synthetic_ts, 2, "span start + gauge fall back");
+        let spans = by_ph(&root, "X");
+        assert_eq!(spans[0].get("ts").and_then(JsonValue::as_f64), Some(4.0));
+        assert_eq!(
+            spans[0].get("dur").and_then(JsonValue::as_f64),
+            Some(1000.0)
+        );
+        let counters = by_ph(&root, "C");
+        assert_eq!(
+            counters[0].get("ts").and_then(JsonValue::as_f64),
+            Some(11.0)
+        );
+    }
+
+    #[test]
+    fn metadata_names_the_process_and_every_used_track() {
+        let body = concat!(
+            r#"{"seq":0,"ts":1.0,"name":"g","kind":"gauge","value":1.0,"unit":""}"#,
+            "\n",
+            r#"{"seq":1,"ts":2.0,"name":"kernel.worker.00.c","kind":"counter","value":1.0,"unit":""}"#,
+            "\n",
+        );
+        let (root, _) = export_chrome(&parse_trace(body));
+        let meta = by_ph(&root, "M");
+        let names: Vec<(&str, &str)> = meta
+            .iter()
+            .filter_map(|e| {
+                Some((
+                    e.get("name")?.as_str()?,
+                    e.get("args")?.get("name")?.as_str()?,
+                ))
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("process_name", "flight"),
+                ("thread_name", "main"),
+                ("thread_name", "worker 00"),
+            ]
+        );
+    }
+
+    #[test]
+    fn root_is_the_object_form_with_display_unit() {
+        let (root, _) = export_chrome(&parse_trace(""));
+        assert_eq!(
+            root.get("displayTimeUnit").and_then(JsonValue::as_str),
+            Some("ms")
+        );
+        assert!(root
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .is_some());
+    }
+}

@@ -1,6 +1,6 @@
 //! `flightctl health` — sanity checks over training-run traces.
 //!
-//! Three signals the FLightNN training loop can silently get wrong:
+//! Five signals the FLightNN training loop can silently get wrong:
 //!
 //! * **`k_i` drift** — Algorithm 1 exists to shrink the per-filter
 //!   shift count; if `train.mean_k` ends *higher* than it started, the
@@ -12,6 +12,17 @@
 //!   quantized activation codes at the representable rail; a high rate
 //!   relative to `.quantized` means the activation range estimate is
 //!   too tight and accuracy claims are suspect.
+//! * **Gradient norms** — the trainer's per-layer
+//!   `train.layer.*.grad_norm.{quant,shadow}` gauges. STE training
+//!   diverges exactly like float training: a norm that explodes
+//!   (≥ [`GRAD_EXPLOSION_FACTOR`]× its first reading) or vanishes
+//!   (≤ [`GRAD_VANISH_FACTOR`]×) means later epochs are wasted.
+//! * **L_reg stagnation** — the per-order residual-norm sums
+//!   `train.reg.r<j>` (`Σ_i ‖r_{i,j}‖₂`, §4.3). When `λ_j > 0` (read
+//!   from the `train.reg.lambda<j>` gauges) the group-lasso term should
+//!   push `r_j` down; a sum that ends ≥
+//!   [`REG_STAGNATION_FRACTION`]× its first reading means the
+//!   regularizer is configured but not biting.
 //!
 //! Each check degrades to "no signal in trace" when the run did not
 //! emit the relevant events, so the command works on kernel-only traces
@@ -19,6 +30,7 @@
 
 use std::fmt::Write as _;
 
+use flight_telemetry::json::JsonObject;
 use flight_telemetry::EventKind;
 
 use crate::summarize::last_snapshots;
@@ -29,6 +41,14 @@ pub const CLAMP_WARN_RATE: f64 = 0.05;
 /// Fraction of thresholds pinned at zero above which the quantizer is
 /// flagged as collapsed.
 pub const SATURATION_WARN_FRACTION: f64 = 0.5;
+/// A gradient norm this many times its first reading is an explosion.
+pub const GRAD_EXPLOSION_FACTOR: f64 = 100.0;
+/// A gradient norm at or below this fraction of its first reading has
+/// vanished.
+pub const GRAD_VANISH_FACTOR: f64 = 1e-4;
+/// With `λ_j > 0`, a residual-norm sum still at or above this fraction
+/// of its first reading counts as stagnant.
+pub const REG_STAGNATION_FRACTION: f64 = 0.95;
 
 /// One health run: the rendered report plus the warning count.
 #[derive(Debug)]
@@ -53,6 +73,23 @@ impl HealthReport {
         }
         out
     }
+
+    /// The machine-readable form: `{"ok": bool, "warnings": n,
+    /// "lines": [...]}`, for CI gates that parse instead of scraping.
+    pub fn render_json(&self) -> String {
+        JsonObject::new()
+            .field("ok", self.warnings == 0)
+            .field("warnings", self.warnings)
+            .field(
+                "lines",
+                self.lines
+                    .iter()
+                    .map(|l| flight_telemetry::json::JsonValue::from(l.as_str()))
+                    .collect::<Vec<_>>(),
+            )
+            .build()
+            .render()
+    }
 }
 
 /// Runs every check against a parsed trace.
@@ -70,6 +107,8 @@ pub fn health(trace: &Trace) -> HealthReport {
     check_mean_k(trace, &mut report);
     check_threshold_saturation(trace, &mut report);
     check_activation_clamping(trace, &mut report);
+    check_gradient_norms(trace, &mut report);
+    check_reg_stagnation(trace, &mut report);
     report
 }
 
@@ -211,6 +250,92 @@ fn check_activation_clamping(trace: &Trace, report: &mut HealthReport) {
     }
 }
 
+fn check_gradient_norms(trace: &Trace, report: &mut HealthReport) {
+    let traj = gauge_trajectories(trace, |n| n.contains(".grad_norm."));
+    if traj.is_empty() {
+        report
+            .lines
+            .push("gradient norms: no signal in trace".to_string());
+        return;
+    }
+    report.lines.push(format!(
+        "gradient norms: {} layer signal(s) tracked",
+        traj.len()
+    ));
+    for (name, first, last) in traj {
+        if first <= 0.0 {
+            // A layer that starts at exactly zero gradient has no
+            // baseline ratio; the vanishing check below would always
+            // fire on it.
+            continue;
+        }
+        if last >= GRAD_EXPLOSION_FACTOR * first {
+            report.warnings += 1;
+            report.lines.push(format!(
+                "  warning: {name} exploded {first:.3e} → {last:.3e} (≥{GRAD_EXPLOSION_FACTOR:.0}×) \
+                 — training is diverging"
+            ));
+        } else if last <= GRAD_VANISH_FACTOR * first {
+            report.warnings += 1;
+            report.lines.push(format!(
+                "  warning: {name} vanished {first:.3e} → {last:.3e} (≤{GRAD_VANISH_FACTOR:.0e}×) \
+                 — the layer has stopped learning"
+            ));
+        }
+    }
+}
+
+/// The order `j` of a `train.reg.<prefix><j>` gauge name, tolerating
+/// sink prefixes in front of the `train.` segment.
+fn reg_order(name: &str, prefix: &str) -> Option<usize> {
+    let tail = &name[name.find(prefix)? + prefix.len()..];
+    if tail.is_empty() || !tail.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    tail.parse().ok()
+}
+
+fn check_reg_stagnation(trace: &Trace, report: &mut HealthReport) {
+    // Effective λ_j per order, from the trainer's train.reg.lambda<j>
+    // gauges (last reading wins). Orders with λ = 0 are exempt: nothing
+    // is pushing their residual norms down.
+    let lambdas = gauge_trajectories(trace, |n| reg_order(n, "train.reg.lambda").is_some());
+    let lambda_of = |j: usize| {
+        lambdas
+            .iter()
+            .find(|(n, _, _)| reg_order(n, "train.reg.lambda") == Some(j))
+            .map(|(_, _, last)| *last)
+    };
+    let traj = gauge_trajectories(trace, |n| reg_order(n, "train.reg.r").is_some());
+    if traj.is_empty() {
+        report
+            .lines
+            .push("residual norms: no signal in trace".to_string());
+        return;
+    }
+    report
+        .lines
+        .push(format!("residual norms: {} order(s) tracked", traj.len()));
+    for (name, first, last) in traj {
+        let Some(j) = reg_order(name, "train.reg.r") else {
+            continue;
+        };
+        // r_0 = Σ‖w_i‖ is the pruning term; it only shrinks when λ_0 is
+        // active, same gate as every other order.
+        let lambda = lambda_of(j).unwrap_or(0.0);
+        if lambda <= 0.0 || first <= 0.0 {
+            continue;
+        }
+        if last >= REG_STAGNATION_FRACTION * first {
+            report.warnings += 1;
+            report.lines.push(format!(
+                "  warning: {name} stagnant {first:.3e} → {last:.3e} with λ_{j} = {lambda:.3e} \
+                 — L_reg is not reducing residual norms"
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,7 +424,92 @@ mod tests {
         assert!(text.contains("mean k: no signal"), "{text}");
         assert!(text.contains("thresholds: no signal"), "{text}");
         assert!(text.contains("activation clamping: no signal"), "{text}");
+        assert!(text.contains("gradient norms: no signal"), "{text}");
+        assert!(text.contains("residual norms: no signal"), "{text}");
         assert!(text.contains("health: OK"), "{text}");
+    }
+
+    #[test]
+    fn exploding_gradient_norm_warns() {
+        let body = [
+            gauge(0, "train.layer.c0.grad_norm.quant", 0.5),
+            gauge(1, "train.layer.c1.grad_norm.quant", 0.4),
+            gauge(2, "train.layer.c0.grad_norm.quant", 80.0),
+            gauge(3, "train.layer.c1.grad_norm.quant", 0.3),
+        ]
+        .join("\n");
+        let report = health(&parse_trace(&body));
+        assert_eq!(report.warnings, 1, "{}", report.render());
+        let text = report.render();
+        assert!(text.contains("2 layer signal(s) tracked"), "{text}");
+        assert!(
+            text.contains("train.layer.c0.grad_norm.quant exploded"),
+            "{text}"
+        );
+        assert!(text.contains("health: 1 warning(s)"), "{text}");
+    }
+
+    #[test]
+    fn vanishing_gradient_norm_warns_but_zero_baseline_does_not() {
+        let body = [
+            gauge(0, "train.layer.c0.grad_norm.shadow", 2.0),
+            gauge(1, "train.layer.f0.grad_norm.shadow", 0.0),
+            gauge(2, "train.layer.c0.grad_norm.shadow", 1e-7),
+            gauge(3, "train.layer.f0.grad_norm.shadow", 0.0),
+        ]
+        .join("\n");
+        let report = health(&parse_trace(&body));
+        assert_eq!(report.warnings, 1, "{}", report.render());
+        assert!(report.render().contains("vanished"), "{}", report.render());
+    }
+
+    #[test]
+    fn reg_stagnation_warns_only_when_lambda_is_active() {
+        // r1 stagnates under λ_1 > 0 → warning. r2 stagnates too, but
+        // λ_2 = 0, so nothing is pushing it — no warning.
+        let body = [
+            gauge(0, "train.reg.lambda1", 1e-3),
+            gauge(1, "train.reg.lambda2", 0.0),
+            gauge(2, "train.reg.r1", 10.0),
+            gauge(3, "train.reg.r2", 5.0),
+            gauge(4, "train.reg.r1", 9.9),
+            gauge(5, "train.reg.r2", 5.0),
+        ]
+        .join("\n");
+        let report = health(&parse_trace(&body));
+        assert_eq!(report.warnings, 1, "{}", report.render());
+        let text = report.render();
+        assert!(text.contains("train.reg.r1 stagnant"), "{text}");
+        assert!(!text.contains("train.reg.r2 stagnant"), "{text}");
+
+        // The same residuals actually shrinking → healthy.
+        let improving = [
+            gauge(0, "train.reg.lambda1", 1e-3),
+            gauge(1, "train.reg.r1", 10.0),
+            gauge(2, "train.reg.r1", 6.0),
+        ]
+        .join("\n");
+        assert_eq!(health(&parse_trace(&improving)).warnings, 0);
+    }
+
+    #[test]
+    fn json_report_carries_verdict_and_lines() {
+        let body = [gauge(0, "train.mean_k", 1.0), gauge(1, "train.mean_k", 2.5)].join("\n");
+        let report = health(&parse_trace(&body));
+        let v =
+            flight_telemetry::json::JsonValue::parse(&report.render_json()).expect("valid JSON");
+        assert!(matches!(
+            v.get("ok"),
+            Some(flight_telemetry::json::JsonValue::Bool(false))
+        ));
+        assert_eq!(v.get("warnings").and_then(|x| x.as_f64()), Some(1.0));
+        let lines = v.get("lines").and_then(|x| x.as_array()).expect("lines");
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.as_str().is_some_and(|s| s.contains("mean k grew"))),
+            "warning line present"
+        );
     }
 
     #[test]

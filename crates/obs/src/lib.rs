@@ -13,8 +13,17 @@
 //!   manifests into named metrics and compare under a relative
 //!   tolerance; nonzero exit on regression, which is the CI perf gate
 //!   ([`diff`]).
-//! * `flightctl health <trace>` — drift/saturation/clamp-rate checks
-//!   over the training signals ([`health`]).
+//! * `flightctl health <trace>` — drift/saturation/clamp-rate and
+//!   training-dynamics (gradient-norm, L_reg-stagnation) checks over
+//!   the training signals ([`health`]).
+//! * `flightctl export <trace> --format chrome` — the trace as Chrome
+//!   trace-event JSON for Perfetto / `chrome://tracing`, one track per
+//!   parallel worker ([`export`]).
+//! * `flightctl watch <trace>` — tail a live trace and render a
+//!   terminal dashboard with sparkline trends; degrades to a plain
+//!   one-shot report off a TTY ([`watch`]).
+//!
+//! `summarize` and `health` also speak `--json` for CI gates.
 //!
 //! Readers never trust the file: malformed lines (crash-truncated
 //! tails included) are skipped and counted ([`trace`]), and span-tree
@@ -22,13 +31,17 @@
 //! ([`tree`]).
 
 pub mod diff;
+pub mod export;
 pub mod health;
 pub mod summarize;
 pub mod trace;
 pub mod tree;
+pub mod watch;
 
 pub use diff::{diff, load_metrics, DiffOptions, DiffReport};
+pub use export::{export_chrome, ExportStats};
 pub use health::{health, HealthReport};
-pub use summarize::summarize;
+pub use summarize::{summarize, summarize_json};
 pub use trace::{parse_trace, read_trace, Trace, TraceEvent};
 pub use tree::{SpanStats, SpanSummary};
+pub use watch::{watch, TailReader, WatchOptions, WatchState};

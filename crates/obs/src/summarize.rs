@@ -14,7 +14,7 @@
 
 use std::fmt::Write as _;
 
-use flight_telemetry::json::JsonValue;
+use flight_telemetry::json::{JsonObject, JsonValue};
 use flight_telemetry::EventKind;
 
 use crate::trace::{Trace, TraceEvent};
@@ -74,6 +74,77 @@ pub fn last_snapshots(events: &[TraceEvent]) -> Vec<(&TraceEvent, SnapshotStats)
     out
 }
 
+/// The training signals worth eyeballing over time: per-threshold `t_j`
+/// values, the mean shift count, and the per-layer dynamics gauges the
+/// trainer emits (gradient norms, residual-norm sums `Σ‖r_j‖`, STE clip
+/// rates).
+fn is_training_signal(name: &str) -> bool {
+    name.contains("train.threshold.")
+        || name.ends_with("train.mean_k")
+        || name.contains(".grad_norm.")
+        || name.contains("train.reg.")
+        || name.ends_with(".ste.clip_rate")
+}
+
+/// Counter totals per name: raw counters sum; counter snapshots
+/// contribute their final running sum. Returns `(name, total, unit)` in
+/// descending-total order.
+pub fn counter_totals(
+    events: &[TraceEvent],
+    snapshots: &[(&TraceEvent, SnapshotStats)],
+) -> Vec<(String, f64, String)> {
+    let mut totals: Vec<(String, f64, String)> = Vec::new();
+    let mut add =
+        |name: &str, delta: f64, unit: &str| match totals.iter_mut().find(|(n, _, _)| n == name) {
+            Some((_, t, _)) => *t += delta,
+            None => totals.push((name.to_string(), delta, unit.to_string())),
+        };
+    for event in events {
+        if event.kind == EventKind::Counter && event.value.is_finite() {
+            add(&event.name, event.value, &event.unit);
+        }
+    }
+    for (event, stats) in snapshots {
+        if stats.agg == "counter" {
+            add(&event.name, stats.sum, &event.unit);
+        }
+    }
+    totals.sort_by(|a, b| b.1.total_cmp(&a.1));
+    totals
+}
+
+/// First→last gauge trajectory per training-signal name (see
+/// [`is_training_signal`]); snapshot-only traces fall back to the last
+/// reading for both ends.
+pub fn training_trajectories<'a>(
+    events: &'a [TraceEvent],
+    snapshots: &[(&'a TraceEvent, SnapshotStats)],
+) -> Vec<(&'a str, f64, f64)> {
+    let mut traj: Vec<(&str, f64, f64)> = Vec::new();
+    for event in events {
+        if event.kind != EventKind::Gauge
+            || !event.value.is_finite()
+            || !is_training_signal(&event.name)
+        {
+            continue;
+        }
+        match traj.iter_mut().find(|(n, _, _)| *n == event.name) {
+            Some((_, _, last)) => *last = event.value,
+            None => traj.push((&event.name, event.value, event.value)),
+        }
+    }
+    for (event, stats) in snapshots {
+        if stats.agg == "gauge"
+            && is_training_signal(&event.name)
+            && !traj.iter().any(|(n, _, _)| *n == event.name)
+        {
+            // Snapshots fold away the first reading; show last only.
+            traj.push((&event.name, stats.last, stats.last));
+        }
+    }
+    traj
+}
+
 fn fmt_secs(s: f64) -> String {
     if s >= 100.0 {
         format!("{s:.1}")
@@ -119,6 +190,63 @@ pub fn summarize(trace: &Trace) -> String {
     render_histograms(&mut out, &trace.events);
     render_trajectories(&mut out, &trace.events, &snapshots);
     out
+}
+
+/// The machine-readable form of [`summarize`]: one JSON object with the
+/// same folds (span table, counter totals, training trajectories) under
+/// stable keys, so CI gates parse instead of scraping the text report.
+/// No top-N elision — consumers filter for themselves.
+pub fn summarize_json(trace: &Trace) -> String {
+    let spans = SpanSummary::from_events(&trace.events);
+    let snapshots = last_snapshots(&trace.events);
+
+    let span_rows: Vec<JsonValue> = spans
+        .by_total_time()
+        .into_iter()
+        .filter(|(_, stats)| stats.count > 0)
+        .map(|(name, stats)| {
+            JsonObject::new()
+                .field("name", name)
+                .field("count", stats.count)
+                .field("total_s", stats.total_s)
+                .field("self_s", stats.self_s)
+                .field("p50_s", stats.quantile(0.5))
+                .field("p95_s", stats.quantile(0.95))
+                .field("max_s", stats.max())
+                .build()
+        })
+        .collect();
+    let counter_rows: Vec<JsonValue> = counter_totals(&trace.events, &snapshots)
+        .into_iter()
+        .map(|(name, total, unit)| {
+            JsonObject::new()
+                .field("name", name)
+                .field("total", total)
+                .field("unit", unit)
+                .build()
+        })
+        .collect();
+    let trajectory_rows: Vec<JsonValue> = training_trajectories(&trace.events, &snapshots)
+        .into_iter()
+        .map(|(name, first, last)| {
+            JsonObject::new()
+                .field("name", name)
+                .field("first", first)
+                .field("last", last)
+                .build()
+        })
+        .collect();
+
+    JsonObject::new()
+        .field("events", trace.events.len())
+        .field("malformed", trace.malformed)
+        .field("unclosed_spans", spans.unclosed)
+        .field("orphan_ends", spans.orphan_ends)
+        .field("spans", span_rows)
+        .field("counters", counter_rows)
+        .field("trajectories", trajectory_rows)
+        .build()
+        .render()
 }
 
 fn render_spans(out: &mut String, spans: &SpanSummary, snapshots: &[(&TraceEvent, SnapshotStats)]) {
@@ -174,28 +302,10 @@ fn render_counters(
     events: &[TraceEvent],
     snapshots: &[(&TraceEvent, SnapshotStats)],
 ) {
-    // name → (total, unit); raw counters sum, counter snapshots
-    // contribute their final running sum.
-    let mut totals: Vec<(String, f64, String)> = Vec::new();
-    let mut add =
-        |name: &str, delta: f64, unit: &str| match totals.iter_mut().find(|(n, _, _)| n == name) {
-            Some((_, t, _)) => *t += delta,
-            None => totals.push((name.to_string(), delta, unit.to_string())),
-        };
-    for event in events {
-        if event.kind == EventKind::Counter && event.value.is_finite() {
-            add(&event.name, event.value, &event.unit);
-        }
-    }
-    for (event, stats) in snapshots {
-        if stats.agg == "counter" {
-            add(&event.name, stats.sum, &event.unit);
-        }
-    }
+    let totals = counter_totals(events, snapshots);
     if totals.is_empty() {
         return;
     }
-    totals.sort_by(|a, b| b.1.total_cmp(&a.1));
     let _ = writeln!(
         out,
         "\ncounters (top {} by total):",
@@ -242,31 +352,7 @@ fn render_trajectories(
     events: &[TraceEvent],
     snapshots: &[(&TraceEvent, SnapshotStats)],
 ) {
-    // Gauge first→last per name, for the training signals worth
-    // eyeballing: per-threshold t_j values and the mean shift count.
-    let mut traj: Vec<(&str, f64, f64)> = Vec::new();
-    for event in events {
-        if event.kind != EventKind::Gauge || !event.value.is_finite() {
-            continue;
-        }
-        let interesting =
-            event.name.contains("train.threshold.") || event.name.ends_with("train.mean_k");
-        if !interesting {
-            continue;
-        }
-        match traj.iter_mut().find(|(n, _, _)| *n == event.name) {
-            Some((_, _, last)) => *last = event.value,
-            None => traj.push((&event.name, event.value, event.value)),
-        }
-    }
-    for (event, stats) in snapshots {
-        let interesting =
-            event.name.contains("train.threshold.") || event.name.ends_with("train.mean_k");
-        if stats.agg == "gauge" && interesting && !traj.iter().any(|(n, _, _)| *n == event.name) {
-            // Snapshots fold away the first reading; show last only.
-            traj.push((&event.name, stats.last, stats.last));
-        }
-    }
+    let traj = training_trajectories(events, snapshots);
     if traj.is_empty() {
         return;
     }
@@ -400,6 +486,76 @@ mod tests {
         );
         assert!(report.contains("kernel.forward"), "{report}");
         assert!(report.contains("(snapshot)"), "{report}");
+    }
+
+    #[test]
+    fn json_summary_parses_and_mirrors_the_text_folds() {
+        let trace = parse_trace(&synthetic_two_epoch_trace());
+        let v = JsonValue::parse(&summarize_json(&trace)).expect("valid JSON");
+        assert_eq!(v.get("events").and_then(JsonValue::as_f64), Some(14.0));
+        assert_eq!(v.get("malformed").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(
+            v.get("unclosed_spans").and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+        let spans = v.get("spans").and_then(JsonValue::as_array).expect("spans");
+        assert_eq!(
+            spans[0].get("name").and_then(JsonValue::as_str),
+            Some("train.epoch")
+        );
+        assert_eq!(spans[0].get("count").and_then(JsonValue::as_f64), Some(2.0));
+        assert_eq!(
+            spans[0].get("total_s").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        let counters = v
+            .get("counters")
+            .and_then(JsonValue::as_array)
+            .expect("counters");
+        assert_eq!(
+            counters[0].get("name").and_then(JsonValue::as_str),
+            Some("kernel.shifts")
+        );
+        assert_eq!(
+            counters[0].get("total").and_then(JsonValue::as_f64),
+            Some(2000.0)
+        );
+        let traj = v
+            .get("trajectories")
+            .and_then(JsonValue::as_array)
+            .expect("trajectories");
+        let threshold = traj
+            .iter()
+            .find(|t| t.get("name").and_then(JsonValue::as_str) == Some("train.threshold.c0.t0"))
+            .expect("threshold trajectory");
+        assert_eq!(
+            threshold.get("first").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(threshold.get("last").and_then(JsonValue::as_f64), Some(0.6));
+    }
+
+    #[test]
+    fn trajectories_include_the_dynamics_signals() {
+        let body = [
+            r#"{"seq":0,"name":"train.layer.c0.grad_norm.quant","kind":"gauge","value":0.5,"unit":""}"#,
+            r#"{"seq":1,"name":"train.reg.r1","kind":"gauge","value":12.0,"unit":""}"#,
+            r#"{"seq":2,"name":"train.layer.c0.ste.clip_rate","kind":"gauge","value":0.1,"unit":""}"#,
+        ]
+        .join("\n");
+        let trace = parse_trace(&body);
+        let traj = training_trajectories(&trace.events, &[]);
+        let names: Vec<&str> = traj.iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "train.layer.c0.grad_norm.quant",
+                "train.reg.r1",
+                "train.layer.c0.ste.clip_rate",
+            ]
+        );
+        let report = summarize(&trace);
+        assert!(report.contains("train.reg.r1"), "{report}");
     }
 
     #[test]

@@ -20,6 +20,12 @@ use flight_telemetry::EventKind;
 pub struct TraceEvent {
     /// Emission order within the producing run (runs restart at 0).
     pub seq: u64,
+    /// Monotonic microseconds since the producing process's trace epoch
+    /// (the write side's `ts` field). `None` for traces recorded before
+    /// the field existed, or when the writer rendered a non-finite
+    /// clock as JSON `null` — readers that need a timeline (`flightctl
+    /// export`) fall back to synthetic ordering and say so.
+    pub ts_us: Option<f64>,
     /// Dotted event name.
     pub name: String,
     /// Measurement kind.
@@ -61,6 +67,7 @@ impl Trace {
 pub fn parse_event(line: &str) -> Option<TraceEvent> {
     let v = JsonValue::parse(line).ok()?;
     let seq = v.get("seq").and_then(JsonValue::as_f64)? as u64;
+    let ts_us = v.get("ts").and_then(JsonValue::as_f64);
     let name = v.get("name").and_then(JsonValue::as_str)?.to_string();
     let kind = EventKind::parse(v.get("kind").and_then(JsonValue::as_str)?)?;
     // Non-finite values render as JSON null; keep the event, mark the
@@ -89,6 +96,7 @@ pub fn parse_event(line: &str) -> Option<TraceEvent> {
         .map(str::to_string);
     Some(TraceEvent {
         seq,
+        ts_us,
         name,
         kind,
         value,
@@ -137,11 +145,12 @@ mod tests {
     #[test]
     fn round_trips_the_writer_schema() {
         let wire = concat!(
-            r#"{"seq":3,"name":"train.k_hist","kind":"histogram","value":4,"unit":"count","#,
-            r#""buckets":{"1":3,">2":1},"text":"note"}"#,
+            r#"{"seq":3,"ts":1250.5,"name":"train.k_hist","kind":"histogram","value":4,"#,
+            r#""unit":"count","buckets":{"1":3,">2":1},"text":"note"}"#,
         );
         let e = parse_event(wire).expect("parses");
         assert_eq!(e.seq, 3);
+        assert_eq!(e.ts_us, Some(1250.5));
         assert_eq!(e.name, "train.k_hist");
         assert_eq!(e.kind, EventKind::Histogram);
         assert_eq!(e.value, 4.0);
@@ -149,6 +158,17 @@ mod tests {
         assert_eq!(e.span, None);
         assert_eq!(e.buckets, vec![("1".to_string(), 3), (">2".to_string(), 1)]);
         assert_eq!(e.text.as_deref(), Some("note"));
+    }
+
+    #[test]
+    fn timestamps_are_optional_for_old_traces() {
+        // Pre-timestamp traces (and hand-written fixtures) have no
+        // `ts` field; a null `ts` (non-finite clock) reads the same.
+        let e = parse_event(&line(0, "g", "gauge", 1.0)).expect("parses");
+        assert_eq!(e.ts_us, None);
+        let e = parse_event(r#"{"seq":0,"ts":null,"name":"g","kind":"gauge","value":1,"unit":""}"#)
+            .expect("kept");
+        assert_eq!(e.ts_us, None);
     }
 
     #[test]

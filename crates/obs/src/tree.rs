@@ -40,14 +40,30 @@ pub struct SpanStats {
 }
 
 impl SpanStats {
-    /// Linear-interpolation-free quantile on the sorted durations:
-    /// `q ∈ [0, 1]` picks the nearest rank. Returns 0 when empty.
+    /// Linearly interpolated quantile on the sorted durations
+    /// (Hyndman–Fan type 7, the R/NumPy default): rank
+    /// `h = (n−1)·q` splits into `⌊h⌋` and a fraction, and the result
+    /// interpolates between the two bracketing order statistics.
+    /// Returns 0 when empty.
+    ///
+    /// Interpolation matters most for the tiny samples a short run
+    /// produces: with `n = 2` durations `[a, b]`, `p95` is
+    /// `a + 0.95·(b−a)` — close to, but honestly below, the max —
+    /// where nearest-rank would report `b` and make a single slow span
+    /// look like a plateau. With `n = 1` every quantile is the one
+    /// observation; `q ≥ 1` is exactly the max.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.durations.is_empty() {
             return 0.0;
         }
-        let idx = ((self.durations.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        self.durations[idx]
+        let h = (self.durations.len() - 1) as f64 * q.clamp(0.0, 1.0);
+        let lo = h.floor() as usize;
+        let frac = h - lo as f64;
+        let low = self.durations[lo];
+        if frac == 0.0 {
+            return low;
+        }
+        low + frac * (self.durations[lo + 1] - low)
     }
 
     /// The longest single span.
@@ -160,6 +176,7 @@ mod tests {
     fn start(seq: u64, name: &str, id: u64) -> TraceEvent {
         TraceEvent {
             seq,
+            ts_us: Some(seq as f64),
             name: name.to_string(),
             kind: EventKind::SpanStart,
             value: 0.0,
@@ -260,12 +277,41 @@ mod tests {
         let s = SpanSummary::from_events(&events);
         let stats = &s.stats[0];
         assert_eq!(stats.count, 10);
+        // Type-7 median of 0.1..=1.0: h = 4.5 → (0.5 + 0.6) / 2.
         assert!(
-            (stats.quantile(0.5) - 0.6).abs() < 1e-12,
-            "nearest-rank median"
+            (stats.quantile(0.5) - 0.55).abs() < 1e-12,
+            "interpolated median"
         );
         assert!((stats.quantile(1.0) - 1.0).abs() < 1e-12);
         assert!((stats.max() - 1.0).abs() < 1e-12);
         assert_eq!(SpanStats::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn tiny_sample_quantiles_interpolate_instead_of_reporting_max() {
+        // n = 1: every quantile is the single observation.
+        let one = SpanStats {
+            count: 1,
+            total_s: 0.4,
+            self_s: 0.4,
+            durations: vec![0.4],
+        };
+        assert_eq!(one.quantile(0.5), 0.4);
+        assert_eq!(one.quantile(0.95), 0.4);
+        // n = 2: p95 lands between the two observations, not on the
+        // max — a single slow span no longer masquerades as a plateau.
+        let two = SpanStats {
+            count: 2,
+            total_s: 1.2,
+            self_s: 1.2,
+            durations: vec![0.2, 1.0],
+        };
+        assert!((two.quantile(0.5) - 0.6).abs() < 1e-12);
+        assert!((two.quantile(0.95) - (0.2 + 0.95 * 0.8)).abs() < 1e-12);
+        assert!(two.quantile(0.95) < two.max());
+        assert_eq!(two.quantile(1.0), two.max());
+        // Out-of-range q clamps.
+        assert_eq!(two.quantile(-1.0), 0.2);
+        assert_eq!(two.quantile(2.0), 1.0);
     }
 }

@@ -1,0 +1,181 @@
+//! Property test: the Chrome export is a lossless timeline of the
+//! JSONL trace. Every span and every counter/gauge reading in a
+//! generated trace appears exactly once in the exported JSON, with the
+//! duration matching the trace (well under the 1 µs budget) and the
+//! track id matching the worker-prefix convention.
+
+use flight_obs::{export_chrome, parse_trace};
+use flight_telemetry::json::JsonValue;
+use proptest::prelude::*;
+
+/// One generated trace entry: a span with a known duration, or a
+/// counter/gauge reading with a known value — optionally attributed to
+/// a parallel worker.
+#[derive(Debug, Clone)]
+enum Item {
+    Span {
+        worker: Option<u8>,
+        dur_s: f64,
+    },
+    Reading {
+        worker: Option<u8>,
+        value: f64,
+        counter: bool,
+    },
+}
+
+fn item() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        (proptest::option::of(0u8..4), 1e-6..1.0f64)
+            .prop_map(|(worker, dur_s)| Item::Span { worker, dur_s }),
+        (proptest::option::of(0u8..4), -1e3..1e3f64, any::<bool>()).prop_map(
+            |(worker, value, counter)| Item::Reading {
+                worker,
+                value,
+                counter,
+            }
+        ),
+    ]
+}
+
+fn wire_name(worker: Option<u8>, bare: &str) -> String {
+    match worker {
+        Some(w) => format!("kernel.worker.{w:02}.{bare}"),
+        None => bare.to_string(),
+    }
+}
+
+fn expected_tid(worker: Option<u8>) -> f64 {
+    match worker {
+        Some(w) => w as f64 + 1.0,
+        None => 0.0,
+    }
+}
+
+fn chrome_events(root: &JsonValue) -> &[JsonValue] {
+    root.get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_span_and_reading_exports_exactly_once(
+        items in proptest::collection::vec(item(), 1..24)
+    ) {
+        // Lay the trace out adversarially: all starts and readings in
+        // order, then the span ends in reverse (fully nested overlap).
+        let mut lines: Vec<String> = Vec::new();
+        let mut seq = 0u64;
+        let mut open_spans: Vec<(String, u64, f64)> = Vec::new();
+        for (i, entry) in items.iter().enumerate() {
+            let ts = seq as f64 * 10.0;
+            match entry {
+                Item::Span { worker, dur_s } => {
+                    let id = i as u64 + 1;
+                    let name = wire_name(*worker, &format!("span{i}"));
+                    lines.push(format!(
+                        r#"{{"seq":{seq},"ts":{ts},"name":"{name}","kind":"span_start","value":0,"unit":"s","span":{id}}}"#
+                    ));
+                    seq += 1;
+                    open_spans.push((name, id, *dur_s));
+                }
+                Item::Reading { worker, value, counter } => {
+                    let kind = if *counter { "counter" } else { "gauge" };
+                    let name = wire_name(*worker, &format!("sig{i}"));
+                    lines.push(format!(
+                        r#"{{"seq":{seq},"ts":{ts},"name":"{name}","kind":"{kind}","value":{value},"unit":""}}"#
+                    ));
+                    seq += 1;
+                }
+            }
+        }
+        for (name, id, dur_s) in open_spans.iter().rev() {
+            let ts = seq as f64 * 10.0;
+            lines.push(format!(
+                r#"{{"seq":{seq},"ts":{ts},"name":"{name}","kind":"span_end","value":{dur_s},"unit":"s","span":{id}}}"#
+            ));
+            seq += 1;
+        }
+        let body = lines.join("\n") + "\n";
+
+        let trace = parse_trace(&body);
+        prop_assert_eq!(trace.malformed, 0, "generator wrote valid lines");
+        let (root, stats) = export_chrome(&trace);
+        let events = chrome_events(&root);
+
+        // Nothing is invented and nothing falls back.
+        prop_assert_eq!(stats.unmatched_starts, 0);
+        prop_assert_eq!(stats.orphan_ends, 0);
+        prop_assert_eq!(stats.synthetic_ts, 0);
+        prop_assert_eq!(stats.dropped_non_finite, 0);
+
+        let mut spans = 0u64;
+        let mut readings = 0u64;
+        for (i, entry) in items.iter().enumerate() {
+            match entry {
+                Item::Span { worker, dur_s } => {
+                    spans += 1;
+                    let id = i as f64 + 1.0;
+                    let matches: Vec<&JsonValue> = events
+                        .iter()
+                        .filter(|e| {
+                            e.get("ph").and_then(JsonValue::as_str) == Some("X")
+                                && e.get("args")
+                                    .and_then(|a| a.get("span"))
+                                    .and_then(JsonValue::as_f64)
+                                    == Some(id)
+                        })
+                        .collect();
+                    prop_assert_eq!(matches.len(), 1, "span {} exported once", i);
+                    let e = matches[0];
+                    prop_assert_eq!(
+                        e.get("name").and_then(JsonValue::as_str),
+                        Some(format!("span{i}")).as_deref()
+                    );
+                    prop_assert_eq!(
+                        e.get("tid").and_then(JsonValue::as_f64),
+                        Some(expected_tid(*worker))
+                    );
+                    let dur = e.get("dur").and_then(JsonValue::as_f64).expect("dur");
+                    let want = dur_s * 1e6;
+                    prop_assert!(
+                        (dur - want).abs() < 1.0,
+                        "span {} dur {} vs trace {} drifts ≥ 1 µs", i, dur, want
+                    );
+                }
+                Item::Reading { worker, value, .. } => {
+                    readings += 1;
+                    let bare = format!("sig{i}");
+                    let matches: Vec<&JsonValue> = events
+                        .iter()
+                        .filter(|e| {
+                            e.get("ph").and_then(JsonValue::as_str) == Some("C")
+                                && e.get("name").and_then(JsonValue::as_str)
+                                    == Some(bare.as_str())
+                        })
+                        .collect();
+                    prop_assert_eq!(matches.len(), 1, "reading {} exported once", i);
+                    let e = matches[0];
+                    prop_assert_eq!(
+                        e.get("tid").and_then(JsonValue::as_f64),
+                        Some(expected_tid(*worker))
+                    );
+                    let got = e
+                        .get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(JsonValue::as_f64)
+                        .expect("args.value");
+                    prop_assert!(
+                        (got - value).abs() <= 1e-9 * value.abs().max(1.0),
+                        "reading {} value {} vs trace {}", i, got, value
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(stats.complete_spans, spans);
+        prop_assert_eq!(stats.counter_events, readings);
+    }
+}

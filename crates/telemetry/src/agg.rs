@@ -30,7 +30,7 @@
 use std::sync::{Arc, Mutex};
 
 use crate::event::{Event, EventKind};
-use crate::handle::next_seq;
+use crate::handle::{next_seq, trace_now_us};
 use crate::json::JsonObject;
 use crate::sink::TelemetrySink;
 
@@ -229,6 +229,7 @@ impl AggregatingSink {
                 .render();
             self.inner.emit(Event {
                 seq: next_seq(),
+                ts_us: trace_now_us(),
                 name: name.clone(),
                 kind: EventKind::Snapshot,
                 value: agg.headline(),
@@ -241,6 +242,7 @@ impl AggregatingSink {
         for (_, event) in &state.histograms {
             let mut event = event.clone();
             event.seq = next_seq();
+            event.ts_us = trace_now_us();
             self.inner.emit(event);
         }
     }

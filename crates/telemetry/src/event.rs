@@ -66,14 +66,21 @@ impl std::fmt::Display for EventKind {
 
 /// One telemetry record.
 ///
-/// The schema is fixed: `seq` (global emission order), `name` (dotted
-/// event name, e.g. `train.epoch.loss`), `kind`, `value`, `unit`
-/// (free-form short string, `""` for dimensionless), optional `span` id,
-/// optional histogram `buckets`, optional `text` payload (manifests).
+/// The schema is fixed: `seq` (global emission order), `ts` (monotonic
+/// microseconds since the process trace epoch), `name` (dotted event
+/// name, e.g. `train.epoch.loss`), `kind`, `value`, `unit` (free-form
+/// short string, `""` for dimensionless), optional `span` id, optional
+/// histogram `buckets`, optional `text` payload (manifests).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Global monotonic sequence number (emission order across sinks).
     pub seq: u64,
+    /// Microseconds since the process trace epoch (the first telemetry
+    /// use in this process; see
+    /// [`trace_now_us`](crate::trace_now_us)). Monotonic within a
+    /// process, so timeline exporters can place events on a shared
+    /// clock; meaningless across processes.
+    pub ts_us: f64,
     /// Dotted event name.
     pub name: String,
     /// Measurement kind.
@@ -97,6 +104,7 @@ impl Event {
     pub fn to_json(&self) -> JsonValue {
         let mut obj = JsonObject::new()
             .field("seq", self.seq)
+            .field("ts", self.ts_us)
             .field("name", self.name.as_str())
             .field("kind", self.kind.as_str())
             .field("value", self.value)
@@ -151,6 +159,7 @@ mod tests {
     fn sample() -> Event {
         Event {
             seq: 7,
+            ts_us: 1250.5,
             name: "train.k_hist".to_string(),
             kind: EventKind::Histogram,
             value: 4.0,
@@ -165,6 +174,7 @@ mod tests {
     fn json_includes_schema_fields() {
         let v = sample().to_json();
         assert_eq!(v.get("seq").and_then(JsonValue::as_f64), Some(7.0));
+        assert_eq!(v.get("ts").and_then(JsonValue::as_f64), Some(1250.5));
         assert_eq!(
             v.get("name").and_then(JsonValue::as_str),
             Some("train.k_hist")

@@ -22,6 +22,22 @@ pub(crate) fn next_seq() -> u64 {
     NEXT_SEQ.fetch_add(1, Ordering::Relaxed)
 }
 
+/// The process trace epoch: the instant of the first timestamp request.
+static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic microseconds since the process trace epoch.
+///
+/// The epoch is pinned lazily by the first call (every later reading is
+/// relative to it), so traces start near `ts = 0` regardless of process
+/// start-up time. Every emitted [`Event`] carries this clock in its
+/// `ts_us` field, which is what lets `flightctl export` place spans and
+/// counters from many workers on one shared timeline. The clock is
+/// monotonic within a process and meaningless across processes.
+pub fn trace_now_us() -> f64 {
+    let epoch = *TRACE_EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_secs_f64() * 1e6
+}
+
 /// A cheap, clonable handle to a [`TelemetrySink`].
 ///
 /// Configuration structs store one of these (defaulting to the null
@@ -170,6 +186,7 @@ impl Telemetry {
     ) {
         self.sink.emit(Event {
             seq: next_seq(),
+            ts_us: trace_now_us(),
             name: name.to_string(),
             kind,
             value,
@@ -346,6 +363,26 @@ mod tests {
             events.windows(2).all(|w| w[0].seq < w[1].seq),
             "seq must increase monotonically"
         );
+    }
+
+    #[test]
+    fn events_carry_monotonic_timestamps() {
+        let sink = Arc::new(CollectingSink::new());
+        let t = Telemetry::new(sink.clone());
+        {
+            let _span = t.span("outer");
+            t.gauge("inner", 1.0, "");
+        }
+        let events = sink.events();
+        assert!(events.iter().all(|e| e.ts_us >= 0.0 && e.ts_us.is_finite()));
+        assert!(
+            events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+            "timestamps never run backwards within a thread"
+        );
+        // The span_end timestamp is consistent with the recorded
+        // duration: end ts >= start ts + elapsed µs (allowing rounding).
+        let elapsed_us = events[2].value * 1e6;
+        assert!(events[2].ts_us - events[0].ts_us >= elapsed_us - 1.0);
     }
 
     #[test]

@@ -66,9 +66,7 @@ impl JsonValue {
     /// keys.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(fields) => {
-                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -267,10 +265,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            ))
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
         }
     }
 
@@ -478,7 +473,10 @@ mod tests {
         let v = JsonObject::new()
             .field("a", 1.5f64)
             .field("b", "x\ty")
-            .field("c", JsonValue::Array(vec![JsonValue::Bool(false), JsonValue::Null]))
+            .field(
+                "c",
+                JsonValue::Array(vec![JsonValue::Bool(false), JsonValue::Null]),
+            )
             .field("d", JsonObject::new().field("nested", 7u64).build())
             .build();
         let text = v.render();
@@ -488,8 +486,7 @@ mod tests {
 
     #[test]
     fn parse_accepts_whitespace_and_escapes() {
-        let v = JsonValue::parse(" { \"k\" : [ 1 , -2.5e1 , \"\\u0041\" ] } ")
-            .expect("valid JSON");
+        let v = JsonValue::parse(" { \"k\" : [ 1 , -2.5e1 , \"\\u0041\" ] } ").expect("valid JSON");
         let items = v.get("k").and_then(JsonValue::as_array).expect("array");
         assert_eq!(items[0].as_f64(), Some(1.0));
         assert_eq!(items[1].as_f64(), Some(-25.0));

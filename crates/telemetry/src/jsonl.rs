@@ -79,6 +79,7 @@ mod tests {
     fn event(seq: u64, name: &str) -> Event {
         Event {
             seq,
+            ts_us: seq as f64 * 100.0,
             name: name.to_string(),
             kind: EventKind::Gauge,
             value: seq as f64 * 0.5,

@@ -6,8 +6,9 @@
 //! when the training loop and the integer kernels can report what they
 //! are doing. This crate is the reporting layer:
 //!
-//! * [`Event`] — one telemetry record: name, kind, value, unit, optional
-//!   span id, optional histogram buckets.
+//! * [`Event`] — one telemetry record: name, kind, value, unit, a
+//!   monotonic timestamp (µs since the process trace epoch, see
+//!   [`trace_now_us`]), optional span id, optional histogram buckets.
 //! * [`TelemetrySink`] — where events go. Three built-in sinks:
 //!   [`NullSink`] (default; disabled, zero overhead), [`StderrSink`]
 //!   (human-readable lines), and [`JsonlSink`] (append-only JSON Lines
@@ -29,6 +30,9 @@
 //! * [`json`] — a minimal JSON value with render *and* parse, shared by
 //!   the JSONL sink, the bench run manifests, and the tests that validate
 //!   both.
+//! * [`track`] — the `kernel.worker.<ww>.` naming convention that pins
+//!   parallel producers to timeline tracks ([`worker_prefix`] on the
+//!   write side, [`parse_worker`] in `flightctl export`).
 //!
 //! # Environment contract
 //!
@@ -68,12 +72,14 @@ pub mod hist;
 pub mod json;
 pub mod jsonl;
 pub mod sink;
+pub mod track;
 
 mod handle;
 
 pub use agg::AggregatingSink;
 pub use event::{Event, EventKind};
-pub use handle::{Span, Telemetry};
+pub use handle::{trace_now_us, Span, Telemetry};
 pub use hist::FixedHistogram;
 pub use jsonl::JsonlSink;
 pub use sink::{CollectingSink, NullSink, PrefixSink, StderrSink, TelemetrySink};
+pub use track::{parse_worker, worker_prefix, WORKER_TRACK_PREFIX};

@@ -142,6 +142,7 @@ mod tests {
     fn event(seq: u64, name: &str) -> Event {
         Event {
             seq,
+            ts_us: seq as f64,
             name: name.to_string(),
             kind: EventKind::Counter,
             value: 1.0,
