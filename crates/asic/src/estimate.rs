@@ -37,11 +37,9 @@ pub fn flight_layer_energy_uj(spec: &ConvSpec, filter_ks: &[usize], table: &OpEn
         // Per output position: taps × (k shifts + (k−1) adds + accumulate),
         // plus (k−1) feature-map adds to merge the subfilter outputs.
         let per_position = taps_per_filter
-            * (k * table.shift_pj + (k - 1.0).max(0.0) * table.int_add_pj + if ki > 0 {
-                table.acc_add_pj
-            } else {
-                0.0
-            })
+            * (k * table.shift_pj
+                + (k - 1.0).max(0.0) * table.int_add_pj
+                + if ki > 0 { table.acc_add_pj } else { 0.0 })
             + (k - 1.0).max(0.0) * table.int_add_pj;
         pj += per_position * positions;
     }

@@ -70,7 +70,9 @@ fn main() {
     // Engagement gate: a probe forward through a collecting sink must
     // report >= 2 workers on the whole-pass gauge.
     let probe_sink = Arc::new(CollectingSink::new());
-    let probe = par.clone().with_telemetry(Telemetry::new(probe_sink.clone()));
+    let probe = par
+        .clone()
+        .with_telemetry(Telemetry::new(probe_sink.clone()));
     let _ = probe.forward(&input);
     let workers = probe_sink
         .events()
@@ -78,10 +80,17 @@ fn main() {
         .find(|e| e.kind == EventKind::Gauge && e.name == "kernel.forward.workers")
         .map(|e| e.value)
         .expect("parallel forward reports its worker count");
-    assert!(workers >= 2.0, "parallel path not engaged: {workers} workers");
+    assert!(
+        workers >= 2.0,
+        "parallel path not engaged: {workers} workers"
+    );
     println!("parity OK, {workers} workers on {cores} cores");
 
-    let reps = if profile.fidelity == Fidelity::Smoke { 3 } else { 10 };
+    let reps = if profile.fidelity == Fidelity::Smoke {
+        3
+    } else {
+        10
+    };
     let time = |engine: &IntNetwork| {
         let start = Instant::now();
         for _ in 0..reps {

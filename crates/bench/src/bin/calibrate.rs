@@ -27,7 +27,10 @@ fn main() {
         .expect("FLIGHT_NET must be 1..=8");
 
     let cfg = NetworkConfig::by_id(net_id);
-    println!("calibration on network {net_id}, profile {:?}", profile.fidelity);
+    println!(
+        "calibration on network {net_id}, profile {:?}",
+        profile.fidelity
+    );
     println!("noise,model,accuracy_pct");
     for &noise in &noises {
         let mut spec = profile.dataset_spec(cfg.dataset);

@@ -11,7 +11,10 @@ use flightnn::QuantScheme;
 fn main() {
     let run = BenchRun::start("fig5");
     let profile = BenchProfile::from_env();
-    println!("Fig. 5: accuracy vs ASIC energy, profile {:?}", profile.fidelity);
+    println!(
+        "Fig. 5: accuracy vs ASIC energy, profile {:?}",
+        profile.fidelity
+    );
     let mut tables = Vec::new();
     for id in 1..=8u8 {
         let cfg = NetworkConfig::by_id(id);
@@ -26,10 +29,19 @@ fn main() {
         schemes.push(("FL_b".to_string(), flight_b()));
 
         let rows = run_network_suite(id, &profile, &schemes, "L-2", run.telemetry());
-        println!("\n# Network {id} ({} {})", cfg.dataset.paper_name(), cfg.structure);
+        println!(
+            "\n# Network {id} ({} {})",
+            cfg.dataset.paper_name(),
+            cfg.structure
+        );
         println!("model,energy_uj,accuracy_pct");
         for row in &rows {
-            println!("{},{:.4},{:.2}", row.label, row.energy_uj, row.accuracy * 100.0);
+            println!(
+                "{},{:.4},{:.2}",
+                row.label,
+                row.energy_uj,
+                row.accuracy * 100.0
+            );
         }
         tables.push((format!("network{id}"), rows));
     }

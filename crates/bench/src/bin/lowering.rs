@@ -94,9 +94,7 @@ fn main() {
     let par_ips = time(&|| {
         let _ = par.forward(&nx);
     });
-    println!(
-        "engine: sequential {seq_ips:.1} img/s | parallel({threads}) {par_ips:.1} img/s"
-    );
+    println!("engine: sequential {seq_ips:.1} img/s | parallel({threads}) {par_ips:.1} img/s");
 
     let parity = kernel_parity && engine_parity;
     println!("parity: {parity} (kernel {kernel_parity}, engine {engine_parity})");

@@ -1,0 +1,354 @@
+//! Scaling exhibit: measured serving-capacity curves for the compiled
+//! integer engine on network 1 (L-1).
+//!
+//! Sweeps worker count × batch size, measures QPS (images/s) and the
+//! merged per-image latency distribution of every configuration, fits a
+//! Universal Scalability Law curve (serial fraction σ + coherency
+//! penalty κ) to throughput vs workers at the reference batch, and
+//! writes everything into `BENCH_scaling.manifest.json` — the input of
+//! `flightctl capacity`. Set FLIGHT_FIDELITY=smoke|bench|full and
+//! (optionally) FLIGHT_TELEMETRY=stderr|jsonl:<path>.
+//!
+//! The latency histograms come from the engine itself: each parallel
+//! worker records per-image `chunk.latency.e2e` into a
+//! [`Log2Histogram`] shard and this exhibit merges the shards across
+//! workers and repetitions (merge == whole, by construction). The
+//! single-worker baseline runs the sequential path, where every image
+//! of a batch completes when the batch does, so its e2e histogram
+//! records the batch wall clock once per image.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use flight_bench::suite::ModelRow;
+use flight_bench::usl::fit_usl;
+use flight_bench::{BenchProfile, BenchRun};
+use flight_data::{DatasetKind, Fidelity, SyntheticDataset};
+use flight_kernels::{CompileOptions, ExecutionPolicy, IntNetwork};
+use flight_telemetry::json::{JsonObject, JsonValue};
+use flight_telemetry::{CollectingSink, EventKind, Log2Histogram, Telemetry};
+use flight_tensor::{Tensor, TensorRng};
+use flightnn::configs::NetworkConfig;
+use flightnn::QuantScheme;
+
+/// Worker count every sweep includes, and the batch size the USL curve
+/// is fitted at.
+const REFERENCE_BATCH: usize = 32;
+
+/// One measured sweep point.
+struct ConfigPoint {
+    workers: usize,
+    batch: usize,
+    qps: f64,
+    e2e: Log2Histogram,
+}
+
+fn main() {
+    let mut run = BenchRun::start("scaling");
+    let profile = BenchProfile::from_env();
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    let (worker_counts, batches, reps) = sweep_plan(profile.fidelity, cores);
+    run.set_workers(*worker_counts.last().expect("nonempty sweep"));
+    println!(
+        "Scaling sweep: network 1, L-1, workers {worker_counts:?} x batches {batches:?}, \
+         {reps} reps, {cores} cores, profile {:?}",
+        profile.fidelity
+    );
+
+    let cfg = NetworkConfig::by_id(1);
+    let data = SyntheticDataset::preset(DatasetKind::Cifar10Like, Fidelity::Smoke, 5);
+    let scheme = QuantScheme::l1();
+    let mut rng = TensorRng::seed(profile.seed);
+    let mut net = cfg.build(
+        &scheme,
+        &mut rng,
+        data.classes(),
+        data.image_dims(),
+        profile.width_scale(cfg.width),
+    );
+    let engine = IntNetwork::compile_with(
+        &mut net,
+        CompileOptions::new()
+            .fold_batch_norm(true)
+            .telemetry(run.telemetry().clone()),
+    )
+    .expect("network 1 compiles");
+
+    // Parity gate at the widest configuration: the split the sweep is
+    // about to time must be bit-identical to the sequential path.
+    let max_workers = *worker_counts.last().expect("nonempty sweep");
+    let probe = data.train_batches(REFERENCE_BATCH)[0].input.clone();
+    let (seq_logits, seq_counts) = engine
+        .clone()
+        .with_policy(ExecutionPolicy::Sequential)
+        .forward(&probe);
+    let (par_logits, par_counts) = engine
+        .clone()
+        .with_policy(ExecutionPolicy::Parallel {
+            threads: max_workers,
+        })
+        .forward(&probe);
+    assert_eq!(
+        seq_logits.as_slice(),
+        par_logits.as_slice(),
+        "parallel logits diverge from sequential"
+    );
+    assert_eq!(seq_counts, par_counts, "parallel op counts diverge");
+    println!("parity OK at {max_workers} workers");
+
+    let mut points: Vec<ConfigPoint> = Vec::new();
+    for &batch in &batches {
+        let input = data.train_batches(batch)[0].input.clone();
+        for &workers in &worker_counts {
+            let point = measure(&engine, workers, batch, &input, reps);
+            println!(
+                "w{workers} b{batch}: {:.1} img/s | p50 {:.3} ms | p99 {:.3} ms",
+                point.qps,
+                point.e2e.percentile(0.50) * 1e3,
+                point.e2e.percentile(0.99) * 1e3,
+            );
+            points.push(point);
+        }
+    }
+
+    // USL fit: throughput vs workers at the reference batch.
+    let observations: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.batch == REFERENCE_BATCH)
+        .map(|p| (p.workers as f64, p.qps))
+        .collect();
+    let fit = fit_usl(&observations).expect("sweep spans >= 2 worker counts");
+    println!(
+        "USL fit: lambda {:.1} img/s, sigma {:.4}, kappa {:.5}, R^2 {:.4}",
+        fit.lambda, fit.sigma, fit.kappa, fit.r_squared
+    );
+
+    // Manifest: table rows (speedup relative to the single-worker
+    // baseline at the same batch), flat dotted metrics for `flightctl
+    // diff`, and the structured `scaling` block `flightctl capacity`
+    // consumes.
+    let rows: Vec<ModelRow> = points
+        .iter()
+        .map(|p| {
+            let base = points
+                .iter()
+                .find(|q| q.batch == p.batch && q.workers == 1)
+                .map_or(p.qps, |q| q.qps);
+            ModelRow {
+                label: format!("w{} b{}", p.workers, p.batch),
+                accuracy: 0.0,
+                storage_mb: 0.0,
+                throughput: p.qps,
+                speedup: p.qps / base.max(1e-9),
+                energy_uj: 0.0,
+                mean_k: None,
+            }
+        })
+        .collect();
+
+    let mut extras: Vec<(String, JsonValue)> = Vec::new();
+    for p in &points {
+        let base = format!("scaling.w{}.b{}", p.workers, p.batch);
+        extras.push((format!("{base}.qps"), JsonValue::from(p.qps)));
+        for (tag, q) in [("p50", 0.50), ("p99", 0.99), ("p999", 0.999)] {
+            extras.push((
+                format!("{base}.{tag}_ms"),
+                JsonValue::from(p.e2e.percentile(q) * 1e3),
+            ));
+        }
+    }
+    extras.push((
+        "scaling.fit.lambda".to_string(),
+        JsonValue::from(fit.lambda),
+    ));
+    extras.push(("scaling.fit.sigma".to_string(), JsonValue::from(fit.sigma)));
+    extras.push(("scaling.fit.kappa".to_string(), JsonValue::from(fit.kappa)));
+    extras.push((
+        "scaling.fit.r_squared".to_string(),
+        JsonValue::from(fit.r_squared),
+    ));
+    extras.push((
+        "scaling".to_string(),
+        scaling_block(&points, &fit, &data, reps),
+    ));
+
+    let extra_refs: Vec<(&str, JsonValue)> = extras
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    run.finish_with(
+        Some(&profile),
+        &[("scaling".to_string(), rows)],
+        &extra_refs,
+    );
+}
+
+/// The sweep grid: smoke keeps CI fast (two worker counts, one batch);
+/// bench/full walk powers of two up to the core count and three batch
+/// sizes.
+fn sweep_plan(fidelity: Fidelity, cores: usize) -> (Vec<usize>, Vec<usize>, usize) {
+    if fidelity == Fidelity::Smoke {
+        return (vec![1, 2], vec![REFERENCE_BATCH], 3);
+    }
+    let mut workers = vec![1usize];
+    let mut w = 2;
+    while w <= cores.max(2) {
+        workers.push(w);
+        w *= 2;
+    }
+    (workers, vec![16, REFERENCE_BATCH, 64], 10)
+}
+
+/// Measures one `(workers, batch)` cell: QPS over `reps` untraced
+/// forwards, plus the merged per-image e2e latency histogram.
+fn measure(
+    engine: &IntNetwork,
+    workers: usize,
+    batch: usize,
+    input: &Tensor,
+    reps: usize,
+) -> ConfigPoint {
+    let policy = if workers == 1 {
+        ExecutionPolicy::Sequential
+    } else {
+        ExecutionPolicy::Parallel { threads: workers }
+    };
+    let timed = engine
+        .clone()
+        .with_policy(policy)
+        .with_telemetry(Telemetry::null());
+
+    let mut e2e = Log2Histogram::new();
+    let start = Instant::now();
+    if workers == 1 {
+        // Sequential path: the whole batch finishes together, so each
+        // image's end-to-end latency is the batch wall clock.
+        for _ in 0..reps {
+            let rep_start = Instant::now();
+            let _ = timed.forward(input);
+            let wall = rep_start.elapsed().as_secs_f64();
+            for _ in 0..batch {
+                e2e.record(wall);
+            }
+        }
+    } else {
+        for _ in 0..reps {
+            let _ = timed.forward(input);
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let qps = (reps * batch) as f64 / wall.max(1e-9);
+
+    if workers > 1 {
+        // Histogram pass through a collecting sink: the engine's
+        // per-worker shards merge into the configuration's distribution.
+        // Timed separately from the QPS loop so sink costs stay out of
+        // the throughput number.
+        let sink = Arc::new(CollectingSink::new());
+        let traced = engine
+            .clone()
+            .with_policy(policy)
+            .with_telemetry(Telemetry::new(sink.clone()));
+        for _ in 0..reps {
+            let _ = traced.forward(input);
+        }
+        let mut engaged = false;
+        for event in sink.events() {
+            if event.kind == EventKind::Gauge && event.name == "kernel.forward.workers" {
+                engaged = engaged || event.value >= 2.0;
+            }
+            if event.kind != EventKind::Log2Hist || !event.name.ends_with(".chunk.latency.e2e") {
+                continue;
+            }
+            let stats = event
+                .text
+                .as_deref()
+                .and_then(|t| JsonValue::parse(t).ok())
+                .expect("log2hist events carry stats JSON");
+            let get = |k: &str| stats.get(k).and_then(JsonValue::as_f64);
+            let shard = Log2Histogram::from_bucket_pairs(
+                &event.buckets,
+                get("min").expect("nonempty shard has a finite min"),
+                get("max").expect("nonempty shard has a finite max"),
+            )
+            .expect("engine emits well-formed bucket labels");
+            e2e.merge(&shard);
+        }
+        assert!(engaged, "parallel path not engaged at {workers} workers");
+        assert_eq!(
+            e2e.total(),
+            (reps * batch) as u64,
+            "merged shards cover every image of every rep"
+        );
+    }
+
+    ConfigPoint {
+        workers,
+        batch,
+        qps,
+        e2e,
+    }
+}
+
+/// The structured `scaling` manifest block: sweep geometry, the full
+/// percentile table per configuration, and the USL fit.
+fn scaling_block(
+    points: &[ConfigPoint],
+    fit: &flight_bench::UslFit,
+    data: &SyntheticDataset,
+    reps: usize,
+) -> JsonValue {
+    let [c, h, w] = data.image_dims();
+    let configs: Vec<JsonValue> = points
+        .iter()
+        .map(|p| {
+            let ms = |q: f64| p.e2e.percentile(q) * 1e3;
+            JsonObject::new()
+                .field("workers", p.workers)
+                .field("batch", p.batch)
+                .field("qps", p.qps)
+                .field("samples", p.e2e.total())
+                .field(
+                    "latency_ms",
+                    JsonObject::new()
+                        .field("min", p.e2e.min() * 1e3)
+                        .field("p50", ms(0.50))
+                        .field("p90", ms(0.90))
+                        .field("p95", ms(0.95))
+                        .field("p99", ms(0.99))
+                        .field("p999", ms(0.999))
+                        .field("max", p.e2e.max() * 1e3)
+                        .build(),
+                )
+                .build()
+        })
+        .collect();
+    JsonObject::new()
+        .field("network", 1u64)
+        .field("scheme", "l1")
+        .field(
+            "image_dims",
+            vec![JsonValue::from(c), JsonValue::from(h), JsonValue::from(w)],
+        )
+        .field("reference_batch", REFERENCE_BATCH)
+        .field("reps", reps)
+        .field("configs", configs)
+        .field(
+            "fit",
+            JsonObject::new()
+                .field("lambda", fit.lambda)
+                .field("sigma", fit.sigma)
+                .field("kappa", fit.kappa)
+                .field("r_squared", fit.r_squared)
+                .field(
+                    "peak_workers",
+                    match fit.peak_workers() {
+                        Some(p) => JsonValue::from(p),
+                        None => JsonValue::Null,
+                    },
+                )
+                .build(),
+        )
+        .build()
+}

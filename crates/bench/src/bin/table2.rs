@@ -9,7 +9,10 @@ use flightnn::configs::NetworkConfig;
 fn main() {
     let run = BenchRun::start("table2");
     let profile = BenchProfile::from_env();
-    println!("Table 2: CIFAR-10 (synthetic stand-in), profile {:?}", profile.fidelity);
+    println!(
+        "Table 2: CIFAR-10 (synthetic stand-in), profile {:?}",
+        profile.fidelity
+    );
     let mut tables = Vec::new();
     for id in [1u8, 2, 3] {
         let rows = run_network_suite(id, &profile, &standard_schemes(), "Full", run.telemetry());

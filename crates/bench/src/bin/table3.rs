@@ -9,7 +9,10 @@ use flightnn::configs::NetworkConfig;
 fn main() {
     let run = BenchRun::start("table3");
     let profile = BenchProfile::from_env();
-    println!("Table 3: SVHN (synthetic stand-in), profile {:?}", profile.fidelity);
+    println!(
+        "Table 3: SVHN (synthetic stand-in), profile {:?}",
+        profile.fidelity
+    );
     let mut tables = Vec::new();
     for id in [4u8, 5] {
         let rows = run_network_suite(id, &profile, &standard_schemes(), "Full", run.telemetry());

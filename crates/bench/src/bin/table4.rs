@@ -9,7 +9,10 @@ use flightnn::configs::NetworkConfig;
 fn main() {
     let run = BenchRun::start("table4");
     let profile = BenchProfile::from_env();
-    println!("Table 4: CIFAR-100 (synthetic stand-in), profile {:?}", profile.fidelity);
+    println!(
+        "Table 4: CIFAR-100 (synthetic stand-in), profile {:?}",
+        profile.fidelity
+    );
     let mut tables = Vec::new();
     for id in [6u8, 7] {
         let rows = run_network_suite(id, &profile, &standard_schemes(), "Full", run.telemetry());

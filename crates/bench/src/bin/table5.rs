@@ -12,7 +12,10 @@ use flightnn::QuantScheme;
 fn main() {
     let run = BenchRun::start("table5");
     let profile = BenchProfile::from_env();
-    println!("Table 5: ImageNet (synthetic stand-in, top-5), profile {:?}", profile.fidelity);
+    println!(
+        "Table 5: ImageNet (synthetic stand-in, top-5), profile {:?}",
+        profile.fidelity
+    );
     let schemes = vec![
         ("L-2 8W8A".to_string(), QuantScheme::l2()),
         ("L-1 4W8A".to_string(), QuantScheme::l1()),

@@ -41,15 +41,13 @@ fn main() {
             .map(|(i, s)| (i, *s))
             .expect("network has conv layers");
 
-        println!("\n=== Network {id} (largest conv layer: {}→{} {}x{}) ===",
-            largest.in_channels, largest.out_channels, largest.kernel, largest.kernel);
+        println!(
+            "\n=== Network {id} (largest conv layer: {}→{} {}x{}) ===",
+            largest.in_channels, largest.out_channels, largest.kernel, largest.kernel
+        );
 
         let mut models: Vec<(String, Datapath, usize)> = vec![
-            (
-                "Full".into(),
-                Datapath::Float32,
-                largest.weights() * 32,
-            ),
+            ("Full".into(), Datapath::Float32, largest.weights() * 32),
             (
                 "L-2 8W8A".into(),
                 Datapath::from_scheme(&QuantScheme::l2(), None),

@@ -31,6 +31,63 @@ pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
 /// (default: the working directory).
 pub const BENCH_DIR_ENV: &str = "FLIGHT_BENCH_DIR";
 
+/// The host a manifest's numbers were measured on. Throughput-style
+/// metrics are machine-dependent; recording the machine in the manifest
+/// makes cross-run comparisons (`flightctl diff`, the capacity planner)
+/// interpretable instead of mysterious.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostEnv {
+    /// Logical core count (`available_parallelism`).
+    pub logical_cores: usize,
+    /// CPU model string from `/proc/cpuinfo`, or `"unknown"`.
+    pub cpu_model: String,
+    /// Worker threads the run actually engaged (exhibits that size a
+    /// pool call [`BenchRun::set_workers`]; `None` = single-threaded or
+    /// not reported).
+    pub workers: Option<usize>,
+}
+
+impl HostEnv {
+    /// Probes the current host.
+    pub fn detect() -> Self {
+        HostEnv {
+            logical_cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
+            cpu_model: cpu_model(),
+            workers: None,
+        }
+    }
+
+    /// The manifest `env` block.
+    pub fn json(&self) -> JsonValue {
+        JsonObject::new()
+            .field("logical_cores", self.logical_cores)
+            .field("cpu_model", self.cpu_model.as_str())
+            .field(
+                "workers",
+                match self.workers {
+                    Some(w) => JsonValue::from(w),
+                    None => JsonValue::Null,
+                },
+            )
+            .build()
+    }
+}
+
+/// The `model name` line of `/proc/cpuinfo` (first occurrence), or
+/// `"unknown"` on platforms without it.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split_once(':'))
+                .map(|(_, model)| model.trim().to_string())
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// One exhibit regeneration: an env-configured telemetry handle, a
 /// run-level span, and the manifest writer.
 #[derive(Debug)]
@@ -38,6 +95,7 @@ pub struct BenchRun {
     exhibit: String,
     telemetry: Telemetry,
     span: Span,
+    env: HostEnv,
 }
 
 impl BenchRun {
@@ -50,7 +108,14 @@ impl BenchRun {
             exhibit: exhibit.to_string(),
             telemetry,
             span,
+            env: HostEnv::detect(),
         }
+    }
+
+    /// Records the worker count the exhibit actually engaged, for the
+    /// manifest `env` block.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.env.workers = Some(workers);
     }
 
     /// The run's telemetry handle, for threading into
@@ -92,6 +157,7 @@ impl BenchRun {
             tables,
             self.span.elapsed_secs(),
             &git_describe(),
+            Some(&self.env),
             &extras,
         );
         self.telemetry.manifest("bench.run_manifest", &manifest);
@@ -117,6 +183,7 @@ pub fn render_manifest(
     tables: &[(String, Vec<ModelRow>)],
     elapsed_secs: f64,
     git_describe: &str,
+    env: Option<&HostEnv>,
     extras: &[(&str, JsonValue)],
 ) -> String {
     let profile_json = match profile {
@@ -148,9 +215,10 @@ pub fn render_manifest(
         .field("profile", profile_json)
         .field("git_describe", git_describe)
         .field("elapsed_secs", elapsed_secs)
+        .field("env", env.map_or(JsonValue::Null, HostEnv::json))
         .field("tables", tables_json);
     for (key, value) in extras {
-        obj = obj.field(*key, value.clone());
+        obj = obj.field(key, value.clone());
     }
     obj = obj.field("metrics", metrics_json(tables, elapsed_secs, extras));
     obj.build().render()
@@ -265,7 +333,15 @@ mod tests {
     fn manifest_parses_and_carries_the_schema() {
         let profile = BenchProfile::for_fidelity(Fidelity::Smoke);
         let tables = vec![("network1".to_string(), vec![row("Full"), row("FL_b")])];
-        let text = render_manifest("table2", Some(&profile), &tables, 3.5, "abc123-dirty", &[]);
+        let text = render_manifest(
+            "table2",
+            Some(&profile),
+            &tables,
+            3.5,
+            "abc123-dirty",
+            None,
+            &[],
+        );
         let v = JsonValue::parse(&text).expect("manifest is valid JSON");
         assert_eq!(
             v.get("schema_version").and_then(JsonValue::as_f64),
@@ -301,7 +377,7 @@ mod tests {
 
     #[test]
     fn profileless_manifest_has_null_profile() {
-        let text = render_manifest("fig4", None, &[], 0.1, "unknown", &[]);
+        let text = render_manifest("fig4", None, &[], 0.1, "unknown", None, &[]);
         let v = JsonValue::parse(&text).expect("valid JSON");
         assert!(matches!(v.get("profile"), Some(JsonValue::Null)));
         assert_eq!(
@@ -318,7 +394,7 @@ mod tests {
             ("parity", JsonValue::Bool(true)),
             ("speedup", JsonValue::Number(2.9)),
         ];
-        let text = render_manifest("lowering", None, &[], 0.2, "unknown", &extras);
+        let text = render_manifest("lowering", None, &[], 0.2, "unknown", None, &extras);
         let v = JsonValue::parse(&text).expect("valid JSON");
         assert!(matches!(v.get("parity"), Some(JsonValue::Bool(true))));
         assert_eq!(v.get("speedup").and_then(JsonValue::as_f64), Some(2.9));
@@ -343,7 +419,7 @@ mod tests {
             ("speedup", JsonValue::Number(2.9)),
             ("note", JsonValue::String("not a metric".to_string())),
         ];
-        let text = render_manifest("lowering", None, &tables, 1.5, "abc", &extras);
+        let text = render_manifest("lowering", None, &tables, 1.5, "abc", None, &extras);
         let v = JsonValue::parse(&text).expect("valid JSON");
         let m = v.get("metrics").expect("metrics object");
         let get = |n: &str| m.get(n).and_then(JsonValue::as_f64);
@@ -360,6 +436,39 @@ mod tests {
         assert_eq!(get("parity"), Some(1.0));
         assert_eq!(get("speedup"), Some(2.9));
         assert!(m.get("note").is_none());
+    }
+
+    #[test]
+    fn env_block_records_the_measurement_host() {
+        let env = HostEnv {
+            logical_cores: 12,
+            cpu_model: "Imaginary CPU @ 3.0GHz".to_string(),
+            workers: Some(4),
+        };
+        let text = render_manifest("scaling", None, &[], 0.3, "abc", Some(&env), &[]);
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        let e = v.get("env").expect("env object");
+        assert_eq!(
+            e.get("logical_cores").and_then(JsonValue::as_f64),
+            Some(12.0)
+        );
+        assert_eq!(
+            e.get("cpu_model").and_then(JsonValue::as_str),
+            Some("Imaginary CPU @ 3.0GHz")
+        );
+        assert_eq!(e.get("workers").and_then(JsonValue::as_f64), Some(4.0));
+        // Without an env the field is explicit null, not absent.
+        let bare = render_manifest("scaling", None, &[], 0.3, "abc", None, &[]);
+        let v = JsonValue::parse(&bare).expect("valid JSON");
+        assert!(matches!(v.get("env"), Some(JsonValue::Null)));
+    }
+
+    #[test]
+    fn detect_probes_a_plausible_host() {
+        let env = HostEnv::detect();
+        assert!(env.logical_cores >= 1);
+        assert!(!env.cpu_model.is_empty());
+        assert_eq!(env.workers, None);
     }
 
     #[test]

@@ -179,13 +179,17 @@ fn native_storage_mb(
     }
     // FLightNN: scale each native layer by its trained mean k (4 bits per
     // shift term).
-    assert_eq!(native_plan.len(), layer_mean_k.len(), "plan/net layer mismatch");
+    assert_eq!(
+        native_plan.len(),
+        layer_mean_k.len(),
+        "plan/net layer mismatch"
+    );
     let mut bits = 0.0f64;
     for (spec, mean_k) in native_plan.iter().zip(layer_mean_k) {
         let k = mean_k.unwrap_or(2.0) as f64;
         bits += spec.weights() as f64 * 4.0 * k;
     }
-    bits as f64 / 8.0 / 1e6
+    bits / 8.0 / 1e6
 }
 
 /// Runs the full model suite of one network: train each scheme, then
@@ -272,7 +276,11 @@ pub fn run_network_suite(
         .map(|r| r.throughput)
         .unwrap_or_else(|| rows.first().map(|r| r.throughput).unwrap_or(1.0));
     for row in &mut rows {
-        row.speedup = if base > 0.0 { row.throughput / base } else { 0.0 };
+        row.speedup = if base > 0.0 {
+            row.throughput / base
+        } else {
+            0.0
+        };
     }
     rows
 }
@@ -298,7 +306,10 @@ mod tests {
     fn schemes_cover_the_table_rows() {
         let schemes = standard_schemes();
         let labels: Vec<&str> = schemes.iter().map(|(l, _)| l.as_str()).collect();
-        assert_eq!(labels, ["Full", "L-2 8W8A", "L-1 4W8A", "FP 4W8A", "FL_a", "FL_b"]);
+        assert_eq!(
+            labels,
+            ["Full", "L-2 8W8A", "L-1 4W8A", "FP 4W8A", "FL_a", "FL_b"]
+        );
     }
 
     #[test]

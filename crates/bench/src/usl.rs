@@ -1,0 +1,203 @@
+//! Universal Scalability Law fit for the `scaling` exhibit.
+//!
+//! Measured throughput rarely scales linearly with worker count: some
+//! work is serial (Amdahl) and some cost grows with cross-worker
+//! coherency traffic. Gunther's Universal Scalability Law captures both
+//! with two parameters on top of the per-worker rate λ:
+//!
+//! ```text
+//! X(N) = λ·N / (1 + σ·(N − 1) + κ·N·(N − 1))
+//! ```
+//!
+//! where `σ` is the serial (contention) fraction and `κ` the coherency
+//! (crosstalk) penalty. `κ = 0` reduces to Amdahl's law; `σ = κ = 0` is
+//! linear scaling. The fit here is a two-level grid search over
+//! `(σ, κ)` with the closed-form least-squares `λ` at each cell — for
+//! the handful of worker counts a scaling sweep measures, that is
+//! exact enough (and dependency-free).
+
+/// A fitted USL curve plus its goodness of fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UslFit {
+    /// Per-worker throughput at N=1 (same unit as the observations).
+    pub lambda: f64,
+    /// Serial / contention fraction `σ ∈ [0, 1]`.
+    pub sigma: f64,
+    /// Coherency / crosstalk penalty `κ ≥ 0`.
+    pub kappa: f64,
+    /// Coefficient of determination of the fit over the observations.
+    pub r_squared: f64,
+}
+
+impl UslFit {
+    /// The fitted throughput at `workers` threads.
+    pub fn throughput(&self, workers: f64) -> f64 {
+        usl(self.lambda, self.sigma, self.kappa, workers)
+    }
+
+    /// The worker count where the fitted curve peaks: `√((1−σ)/κ)`,
+    /// unbounded (`None`) when `κ = 0` and `σ < 1`.
+    pub fn peak_workers(&self) -> Option<f64> {
+        if self.kappa <= 0.0 {
+            return None;
+        }
+        Some(((1.0 - self.sigma).max(0.0) / self.kappa).sqrt())
+    }
+}
+
+fn usl(lambda: f64, sigma: f64, kappa: f64, n: f64) -> f64 {
+    lambda * n / (1.0 + sigma * (n - 1.0) + kappa * n * (n - 1.0))
+}
+
+/// One grid pass over `(σ, κ)` with closed-form `λ` per cell, folding
+/// the winner into `best = (sse, λ, σ, κ)`.
+fn search_grid(
+    observations: &[(f64, f64)],
+    (sigma_lo, sigma_hi): (f64, f64),
+    (kappa_lo, kappa_hi): (f64, f64),
+    steps: usize,
+    best: &mut (f64, f64, f64, f64),
+) {
+    for i in 0..=steps {
+        let sigma = sigma_lo + (sigma_hi - sigma_lo) * i as f64 / steps as f64;
+        for j in 0..=steps {
+            let kappa = kappa_lo + (kappa_hi - kappa_lo) * j as f64 / steps as f64;
+            let (mut num, mut den) = (0.0, 0.0);
+            for &(n, x) in observations {
+                let g = usl(1.0, sigma, kappa, n);
+                num += x * g;
+                den += g * g;
+            }
+            if den <= 0.0 {
+                continue;
+            }
+            let lambda = num / den;
+            let sse: f64 = observations
+                .iter()
+                .map(|&(n, x)| {
+                    let e = x - usl(lambda, sigma, kappa, n);
+                    e * e
+                })
+                .sum();
+            if sse < best.0 {
+                *best = (sse, lambda, sigma, kappa);
+            }
+        }
+    }
+}
+
+/// Fits the USL to `(workers, throughput)` observations. Returns `None`
+/// for fewer than two distinct worker counts or non-positive
+/// throughputs — there is no curve to speak of.
+///
+/// Grid-search over `σ ∈ [0, 1]`, `κ ∈ [0, 0.1]`; at each cell the
+/// optimal `λ` is closed-form (`X` is linear in `λ`):
+/// `λ* = Σ xᵢ·gᵢ / Σ gᵢ²` with `gᵢ = Nᵢ / (1 + σ(Nᵢ−1) + κNᵢ(Nᵢ−1))`.
+/// A second, finer pass refines around the best coarse cell.
+pub fn fit_usl(observations: &[(f64, f64)]) -> Option<UslFit> {
+    let distinct = {
+        let mut ns: Vec<f64> = observations.iter().map(|&(n, _)| n).collect();
+        ns.sort_by(f64::total_cmp);
+        ns.dedup();
+        ns.len()
+    };
+    if distinct < 2 || observations.iter().any(|&(n, x)| n < 1.0 || x <= 0.0) {
+        return None;
+    }
+
+    const STEPS: usize = 64;
+    // (sse, λ, σ, κ)
+    let mut best = (f64::INFINITY, 0.0, 0.0, 0.0);
+    search_grid(observations, (0.0, 1.0), (0.0, 0.1), STEPS, &mut best);
+    // Refine one coarse cell around the winner (clamped to the prior).
+    let (sigma_step, kappa_step) = (1.0 / STEPS as f64, 0.1 / STEPS as f64);
+    let (s, k) = (best.2, best.3);
+    search_grid(
+        observations,
+        ((s - sigma_step).max(0.0), (s + sigma_step).min(1.0)),
+        ((k - kappa_step).max(0.0), k + kappa_step),
+        STEPS,
+        &mut best,
+    );
+
+    let (sse, lambda, sigma, kappa) = best;
+    let mean = observations.iter().map(|&(_, x)| x).sum::<f64>() / observations.len() as f64;
+    let sst: f64 = observations
+        .iter()
+        .map(|&(_, x)| (x - mean) * (x - mean))
+        .sum();
+    // All-equal observations: any exact fit is perfect, call it 1.
+    let r_squared = if sst > 0.0 { 1.0 - sse / sst } else { 1.0 };
+    Some(UslFit {
+        lambda,
+        sigma,
+        kappa,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(lambda: f64, sigma: f64, kappa: f64) -> Vec<(f64, f64)> {
+        [1.0, 2.0, 4.0, 8.0, 16.0]
+            .iter()
+            .map(|&n| (n, usl(lambda, sigma, kappa, n)))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_known_parameters() {
+        let obs = synthetic(120.0, 0.08, 0.004);
+        let fit = fit_usl(&obs).expect("fit");
+        assert!((fit.lambda - 120.0).abs() < 2.0, "lambda {}", fit.lambda);
+        assert!((fit.sigma - 0.08).abs() < 0.02, "sigma {}", fit.sigma);
+        assert!((fit.kappa - 0.004).abs() < 0.002, "kappa {}", fit.kappa);
+        assert!(fit.r_squared > 0.999, "r2 {}", fit.r_squared);
+    }
+
+    #[test]
+    fn linear_scaling_fits_with_near_zero_penalties() {
+        let obs: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0]
+            .iter()
+            .map(|&n| (n, 50.0 * n))
+            .collect();
+        let fit = fit_usl(&obs).expect("fit");
+        assert!((fit.lambda - 50.0).abs() < 0.5);
+        assert!(fit.sigma < 0.01, "sigma {}", fit.sigma);
+        assert!(fit.kappa < 0.001, "kappa {}", fit.kappa);
+        assert_eq!(fit.peak_workers(), None);
+    }
+
+    #[test]
+    fn coherency_penalty_produces_a_finite_peak() {
+        let fit = fit_usl(&synthetic(100.0, 0.05, 0.01)).expect("fit");
+        let peak = fit.peak_workers().expect("finite peak");
+        // Analytic peak: sqrt(0.95 / 0.01) ≈ 9.75.
+        assert!((peak - 9.75).abs() < 1.0, "peak {peak}");
+        // The curve really does bend over past the peak.
+        assert!(fit.throughput(peak) > fit.throughput(2.0 * peak));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert_eq!(fit_usl(&[]), None);
+        assert_eq!(fit_usl(&[(1.0, 100.0)]), None);
+        assert_eq!(fit_usl(&[(1.0, 100.0), (1.0, 101.0)]), None);
+        assert_eq!(fit_usl(&[(1.0, 100.0), (2.0, 0.0)]), None);
+        assert_eq!(fit_usl(&[(0.5, 10.0), (2.0, 20.0)]), None);
+    }
+
+    #[test]
+    fn noisy_observations_still_fit_reasonably() {
+        let mut obs = synthetic(80.0, 0.1, 0.005);
+        for (i, (_, x)) in obs.iter_mut().enumerate() {
+            // Deterministic ±2% wobble.
+            *x *= 1.0 + if i % 2 == 0 { 0.02 } else { -0.02 };
+        }
+        let fit = fit_usl(&obs).expect("fit");
+        assert!(fit.r_squared > 0.99, "r2 {}", fit.r_squared);
+        assert!((fit.lambda - 80.0).abs() < 5.0);
+    }
+}

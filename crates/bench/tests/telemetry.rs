@@ -34,7 +34,10 @@ fn smoke_training_emits_ordered_epoch_spans_and_k_histogram() {
 
     // Span ids and sequence numbers are allocated monotonically, so the
     // stream must replay the epochs in order.
-    let ids: Vec<u64> = epoch_ends.iter().map(|e| e.span.expect("span id")).collect();
+    let ids: Vec<u64> = epoch_ends
+        .iter()
+        .map(|e| e.span.expect("span id"))
+        .collect();
     assert!(
         ids.windows(2).all(|w| w[0] < w[1]),
         "epoch span ids must be strictly increasing: {ids:?}"
@@ -48,11 +51,13 @@ fn smoke_training_emits_ordered_epoch_spans_and_k_histogram() {
     // Every epoch of an FLight run reports the per-filter k_i histogram.
     let hist = events
         .iter()
-        .filter(|e| e.kind == EventKind::Histogram && e.name == "train.k_hist")
-        .next_back()
+        .rfind(|e| e.kind == EventKind::Histogram && e.name == "train.k_hist")
         .expect("FLight training emits train.k_hist");
     assert!(!hist.buckets.is_empty(), "k_i histogram has buckets");
     let total: u64 = hist.buckets.iter().map(|(_, n)| n).sum();
     assert!(total > 0, "k_i histogram counted at least one filter");
-    assert_eq!(hist.value, total as f64, "histogram value is the total count");
+    assert_eq!(
+        hist.value, total as f64,
+        "histogram value is the total count"
+    );
 }

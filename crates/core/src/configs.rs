@@ -229,15 +229,11 @@ impl NetworkConfig {
             }
             Structure::ResNet => {
                 let stem = self.scaled(self.width / 8, width_scale);
-                let stages: Vec<usize> = [
-                    self.width / 8,
-                    self.width / 4,
-                    self.width / 2,
-                    self.width,
-                ]
-                .iter()
-                .map(|&c| self.scaled(c, width_scale))
-                .collect();
+                let stages: Vec<usize> =
+                    [self.width / 8, self.width / 4, self.width / 2, self.width]
+                        .iter()
+                        .map(|&c| self.scaled(c, width_scale))
+                        .collect();
                 let blocks_per_stage = match self.depth {
                     18 => 2,
                     10 => 1,
@@ -400,8 +396,7 @@ impl NetworkConfig {
                     for _bi in 0..blocks_per_stage {
                         let c1 = iter.next().expect("plan has block conv 1");
                         let c2 = iter.next().expect("plan has block conv 2");
-                        let needs_projection =
-                            c1.stride != 1 || c1.in_channels != c1.out_channels;
+                        let needs_projection = c1.stride != 1 || c1.in_channels != c1.out_channels;
 
                         let mut main = QuantNet::new();
                         main.push_conv(QuantConv2d::new(
@@ -559,13 +554,7 @@ mod tests {
         // One VGG and one ResNet at reduced width for speed.
         for id in [1u8, 2] {
             let cfg = NetworkConfig::by_id(id);
-            let mut net = cfg.build(
-                &QuantScheme::flight(1e-5),
-                &mut rng,
-                10,
-                [3, 16, 16],
-                0.25,
-            );
+            let mut net = cfg.build(&QuantScheme::flight(1e-5), &mut rng, 10, [3, 16, 16], 0.25);
             let x = Tensor::zeros(&[2, 3, 16, 16]);
             let y = net.forward(&x, true);
             assert_eq!(y.dims(), &[2, 10]);

@@ -24,9 +24,9 @@ pub struct SubFilter {
 impl SubFilter {
     /// Validates that every nonzero coefficient is a pure power of two.
     pub fn is_single_shift(&self) -> bool {
-        self.coefficients
-            .iter()
-            .all(|&c| c == 0.0 || pow2_exponent(c).map(|e| (e as f32).exp2() == c.abs()) == Some(true))
+        self.coefficients.iter().all(|&c| {
+            c == 0.0 || pow2_exponent(c).map(|e| (e as f32).exp2() == c.abs()) == Some(true)
+        })
     }
 
     /// Number of nonzero taps (shift operations this subfilter costs per
@@ -80,10 +80,7 @@ impl ShiftPlan {
     /// Extra feature-map summations this layer needs relative to
     /// LightNN-1 (`Σ_i (k_i − 1)` over non-pruned filters).
     pub fn extra_feature_map_adds(&self) -> usize {
-        self.filters
-            .iter()
-            .map(|f| f.ki().saturating_sub(1))
-            .sum()
+        self.filters.iter().map(|f| f.ki().saturating_sub(1)).sum()
     }
 
     /// Weight storage bits of the expanded layer (4 bits per stored
@@ -133,9 +130,8 @@ pub fn shift_plan_for(q: &Tensor, ki_per_filter: &[usize]) -> ShiftPlan {
     let filter_len = q.len() / filters.max(1);
 
     let mut plans = Vec::with_capacity(filters);
-    for i in 0..filters {
+    for (i, &ki) in ki_per_filter.iter().enumerate() {
         let coeffs = q.outer(i);
-        let ki = ki_per_filter[i];
         // Re-derive level contributions greedily from the quantized values:
         // level j takes the power-of-two rounding of the remaining value.
         // This reproduces the trace's R(r_j) because quantization itself
@@ -186,8 +182,7 @@ pub fn verify_equivalence(conv: &mut QuantConv2d, input: &Tensor) -> f32 {
         for sub in &fplan.subfilters {
             let mut w = Tensor::zeros(&[1, dims[1], dims[2], dims[3]]);
             w.as_mut_slice().copy_from_slice(&sub.coefficients);
-            let (out, _) =
-                conv2d_forward(input, &w, &Tensor::zeros(&[1]), stride, padding, false);
+            let (out, _) = conv2d_forward(input, &w, &Tensor::zeros(&[1]), stride, padding, false);
             // Accumulate into filter fi's plane for every batch element.
             let n = input.dims()[0];
             let plane = out.len() / n;
@@ -244,7 +239,11 @@ mod tests {
     #[test]
     fn fig3_equivalence_holds_numerically() {
         let mut rng = TensorRng::seed(23);
-        for scheme in [QuantScheme::l1(), QuantScheme::l2(), QuantScheme::flight(1e-5)] {
+        for scheme in [
+            QuantScheme::l1(),
+            QuantScheme::l2(),
+            QuantScheme::flight(1e-5),
+        ] {
             let mut conv = QuantConv2d::new(&mut rng, &scheme, 3, 4, 3, 1, 1);
             let x = uniform(&mut rng, &[2, 3, 6, 6], -1.0, 1.0);
             let err = verify_equivalence(&mut conv, &x);
@@ -266,8 +265,7 @@ mod tests {
         let mut rng = TensorRng::seed(25);
         let mut fl = QuantConv2d::new(&mut rng, &QuantScheme::flight(1e-5), 2, 8, 3, 1, 1);
         // Push level-1 threshold up so some filters drop to one shift.
-        fl.thresholds_mut().unwrap().value =
-            flight_tensor::Tensor::from_slice(&[0.0, 0.35]);
+        fl.thresholds_mut().unwrap().value = flight_tensor::Tensor::from_slice(&[0.0, 0.35]);
         let plan = shift_plan(&mut fl);
         assert!(
             plan.total_subfilters() < 16,

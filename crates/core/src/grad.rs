@@ -68,29 +68,26 @@ pub fn threshold_gradients(
     let k = thresholds.len();
     assert_eq!(trace.norms.len(), k, "trace level count mismatch");
     assert!(
-        trace
-            .residuals
-            .iter()
-            .all(|r| r.len() == upstream.len()),
+        trace.residuals.iter().all(|r| r.len() == upstream.len()),
         "upstream gradient length mismatch"
     );
 
     let n = upstream.len();
     let mut grads = vec![0.0f32; k];
 
-    for j in 0..k {
+    for (j, grad) in grads.iter_mut().enumerate() {
         // d r_l / d t_j, built up level by level. Zero for l <= j because
         // r_l only depends on t_0..t_{l-1}.
         let mut d_resid = vec![0.0f32; n];
         // Accumulated dQ/dt_j.
         let mut d_q = vec![0.0f32; n];
 
-        for l in 0..k {
+        for (l, &threshold) in thresholds.iter().enumerate() {
             let norm = trace.norms[l];
-            let s = sigmoid((norm - thresholds[l]) / tau);
+            let s = sigmoid((norm - threshold) / tau);
             // Chain rule through the temperature: d/dt σ((x−t)/τ) uses
             // σ'(·)/τ; the (dnorm − δ) factor below is in x/t units.
-            let sp = sigmoid_prime((norm - thresholds[l]) / tau) / tau;
+            let sp = sigmoid_prime((norm - threshold) / tau) / tau;
 
             // ∂‖r_l‖/∂t_j = (r_l / ‖r_l‖) · ∂r_l/∂t_j  (0 if the residual
             // vanished).
@@ -114,7 +111,7 @@ pub fn threshold_gradients(
                 d_resid[i] -= a[i];
             }
         }
-        grads[j] = dot(upstream, &d_q);
+        *grad = dot(upstream, &d_q);
     }
     grads
 }

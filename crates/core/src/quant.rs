@@ -107,10 +107,10 @@ impl ThresholdQuantizer {
         };
         let mut stopped = false;
 
-        for j in 0..self.k_max {
+        for &tj in t {
             let norm = l2(&residual);
             let rounded: Vec<f32> = residual.iter().map(|&x| window.round(x)).collect();
-            let fires = norm > t[j]
+            let fires = norm > tj
                 && match self.mode {
                     QuantMode::Cascade => !stopped,
                     QuantMode::IndependentSum => true,
@@ -209,7 +209,10 @@ pub fn quantize_fixed_point(weights: &Tensor, bits: u32) -> (Tensor, f32) {
 }
 
 fn l2(v: &[f32]) -> f32 {
-    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+    v.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt() as f32
 }
 
 #[cfg(test)]
@@ -268,8 +271,8 @@ mod tests {
         let mut rng = TensorRng::seed(5);
         let w = uniform(&mut rng, &[4, 8], -1.0, 1.0);
         let (q, traces, win) = quantizer(2).quantize_tensor(&w, &[0.0, 0.0]);
-        for i in 0..4 {
-            assert_eq!(traces[i].ki, 2);
+        for (i, trace) in traces.iter().enumerate() {
+            assert_eq!(trace.ki, 2);
             for &v in q.outer(i) {
                 // Every quantized coefficient must be expressible as the sum
                 // of at most 2 windowed powers of two.

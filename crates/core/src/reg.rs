@@ -171,11 +171,7 @@ mod tests {
         accumulate_filter_reg_grad(&trace, &reg, &mut grad);
 
         let num = numerical_gradient(&w, 1e-3, |t| {
-            t.as_slice()
-                .iter()
-                .map(|&x| x * x)
-                .sum::<f32>()
-                .sqrt()
+            t.as_slice().iter().map(|&x| x * x).sum::<f32>().sqrt()
         });
         for (a, b) in grad.iter().zip(num.as_slice()) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");

@@ -41,10 +41,10 @@ impl Prototype {
             let comps: Vec<(f32, f32, f32, f32)> = (0..3)
                 .map(|_| {
                     (
-                        rng.uniform(0.5, 1.0),                       // amplitude
-                        rng.uniform(0.5, 3.0) / h as f32,            // fx (cycles/pixel)
-                        rng.uniform(0.5, 3.0) / w as f32,            // fy
-                        rng.uniform(0.0, std::f32::consts::TAU),     // phase
+                        rng.uniform(0.5, 1.0),                   // amplitude
+                        rng.uniform(0.5, 3.0) / h as f32,        // fx (cycles/pixel)
+                        rng.uniform(0.5, 3.0) / w as f32,        // fy
+                        rng.uniform(0.0, std::f32::consts::TAU), // phase
                     )
                 })
                 .collect();
@@ -52,8 +52,8 @@ impl Prototype {
                 for j in 0..w {
                     let mut v = 0.0;
                     for &(a, fx, fy, p) in &comps {
-                        v += a * (std::f32::consts::TAU * (fx * i as f32 + fy * j as f32) + p)
-                            .sin();
+                        v +=
+                            a * (std::f32::consts::TAU * (fx * i as f32 + fy * j as f32) + p).sin();
                     }
                     image.set(&[ch, i, j], v);
                 }

@@ -83,7 +83,10 @@ impl std::fmt::Display for DesignError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DesignError::DoesNotFit(what) => {
-                write!(f, "design does not fit the device: {what} exhausted at batch 1")
+                write!(
+                    f,
+                    "design does not fit the device: {what} exhausted at batch 1"
+                )
             }
         }
     }
@@ -162,8 +165,7 @@ pub fn implement_layer(
 
     let lanes = batch * LANES_PER_IMAGE;
     let macs = spec.macs() as f64;
-    let throughput =
-        budget.freq_hz * lanes as f64 / (macs * cost.cycles_per_mac * stream_penalty);
+    let throughput = budget.freq_hz * lanes as f64 / (macs * cost.cycles_per_mac * stream_penalty);
 
     let usage = ResourceUsage {
         bram: weight_blocks + batch * act_blocks_per_image,
@@ -244,11 +246,7 @@ mod tests {
     fn flightnn_interpolates_between_l1_and_l2() {
         let l1 = implement_layer(&design(&QuantScheme::l1(), None), &ZC706).unwrap();
         let l2 = implement_layer(&design(&QuantScheme::l2(), None), &ZC706).unwrap();
-        let fl = implement_layer(
-            &design(&QuantScheme::flight(1e-5), Some(1.5)),
-            &ZC706,
-        )
-        .unwrap();
+        let fl = implement_layer(&design(&QuantScheme::flight(1e-5), Some(1.5)), &ZC706).unwrap();
         assert!(fl.throughput > l2.throughput);
         assert!(fl.throughput < l1.throughput);
     }

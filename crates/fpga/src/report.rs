@@ -55,7 +55,13 @@ impl std::fmt::Display for UtilizationRow {
         write!(
             f,
             "{:<10} BRAM {:>5} DSP {:>4} FF {:>7} LUT {:>7}  {:>10.1} img/s (batch {}, {}-bound)",
-            self.model, self.bram, self.dsp, self.ff, self.lut, self.throughput, self.batch,
+            self.model,
+            self.bram,
+            self.dsp,
+            self.ff,
+            self.lut,
+            self.throughput,
+            self.batch,
             self.binding
         )
     }

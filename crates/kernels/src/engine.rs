@@ -589,7 +589,7 @@ fn compile_linear(lin: &mut QuantLinear) -> IntLayer {
 /// that affine: `a·(conv + bias) + b = a·conv + (a·bias + b)`. The conv
 /// epilogue then adds nothing (its bias is zeroed), which is the standard
 /// batch-norm-folding deployment transform; results are bit-identical.
-fn fold_affines(layers: &mut Vec<IntLayer>) {
+fn fold_affines(layers: &mut [IntLayer]) {
     let mut i = 0;
     while i + 1 < layers.len() {
         let fold = matches!(
@@ -846,7 +846,7 @@ pub(crate) fn run_layer(
             );
             emit_saturation(telemetry, "requant", &scratch.codes, 8);
             let n = x.dims()[0];
-            let stride = if n == 0 { 0 } else { x.len() / n };
+            let stride = x.len().checked_div(n).unwrap_or(0);
             let mut data = Vec::with_capacity(x.len());
             for (b, &s) in scratch.scales.iter().enumerate() {
                 data.extend(

@@ -16,7 +16,9 @@
 //!
 //! [`IntNetwork`]: crate::IntNetwork
 
-use flight_telemetry::{worker_prefix, Telemetry};
+use std::time::Instant;
+
+use flight_telemetry::{worker_prefix, Log2Histogram, Telemetry};
 use flight_tensor::Tensor;
 
 use crate::counts::OpCounts;
@@ -42,8 +44,15 @@ pub(crate) struct Scratch {
 ///
 /// With a live sink each worker `w` emits its events through a
 /// `kernel.worker.<w>.` prefixed handle: a `chunk` span, a
-/// `chunk.images` gauge, and one `chunk.<field>` counter per nonzero
-/// op-count field.
+/// `chunk.images` gauge, one `chunk.<field>` counter per nonzero
+/// op-count field, and three [`Log2Histogram`]s of per-image latency —
+/// `chunk.latency.e2e` (dispatch → image done), `chunk.latency.compute`
+/// (the image's own pipeline time), and `chunk.latency.queue_wait`
+/// (dispatch → worker thread start, the scheduling cost every image of
+/// the chunk paid). The traced path walks its chunk image by image to
+/// time each one; per-image activation scales make that split
+/// bit-identical to the whole-chunk run, so logits and op counts do not
+/// change. The untraced path keeps the single whole-chunk call.
 pub(crate) fn forward_parallel(
     layers: &[IntLayer],
     telemetry: &Telemetry,
@@ -57,6 +66,7 @@ pub(crate) fn forward_parallel(
     let per = n.div_ceil(workers);
     let chunks = n.div_ceil(per);
     let data = input.as_slice();
+    let dispatch = Instant::now();
 
     let mut results: Vec<Option<(Tensor, OpCounts)>> = Vec::new();
     results.resize_with(chunks, || None);
@@ -69,20 +79,35 @@ pub(crate) fn forward_parallel(
             let mut chunk_dims = dims.to_vec();
             chunk_dims[0] = end - start;
             scope.spawn(move |_| {
+                let queue_wait = dispatch.elapsed().as_secs_f64();
                 let span = worker_telemetry.span("chunk");
-                let chunk =
-                    Tensor::from_vec(data[start * img_len..end * img_len].to_vec(), &chunk_dims);
                 let mut counts = OpCounts::default();
                 let mut scratch = Scratch::default();
-                let out = run_layers(layers, &worker_telemetry, &chunk, &mut counts, &mut scratch);
-                if worker_telemetry.enabled() {
+                let out = if worker_telemetry.enabled() {
+                    let out = run_chunk_per_image(
+                        layers,
+                        &worker_telemetry,
+                        &data[start * img_len..end * img_len],
+                        &chunk_dims,
+                        dispatch,
+                        queue_wait,
+                        &mut counts,
+                        &mut scratch,
+                    );
                     worker_telemetry.gauge("chunk.images", (end - start) as f64, "img");
                     for (field, ops) in counts.fields() {
                         if ops > 0 {
                             worker_telemetry.counter(&format!("chunk.{field}"), ops, "op");
                         }
                     }
-                }
+                    out
+                } else {
+                    let chunk = Tensor::from_vec(
+                        data[start * img_len..end * img_len].to_vec(),
+                        &chunk_dims,
+                    );
+                    run_layers(layers, &worker_telemetry, &chunk, &mut counts, &mut scratch)
+                };
                 drop(span);
                 *slot = Some((out, counts));
             });
@@ -93,6 +118,65 @@ pub(crate) fn forward_parallel(
     // Stitch chunk outputs back together in batch order and reduce the
     // counts. Merge order does not matter — OpCounts is associative —
     // but we keep chunk order for determinism anyway.
+    stitch(results, n)
+}
+
+/// The traced chunk walk: one image at a time, recording per-image
+/// latency into the worker's histograms and emitting them once at the
+/// end. Stage outputs are stitched in image order, so the result equals
+/// the whole-chunk run bit for bit (per-image activation scales).
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_per_image(
+    layers: &[IntLayer],
+    worker_telemetry: &Telemetry,
+    chunk_data: &[f32],
+    chunk_dims: &[usize],
+    dispatch: Instant,
+    queue_wait: f64,
+    counts: &mut OpCounts,
+    scratch: &mut Scratch,
+) -> Tensor {
+    let images = chunk_dims[0];
+    let img_len = chunk_data.len().checked_div(images).unwrap_or(0);
+    let mut img_dims = chunk_dims.to_vec();
+    img_dims[0] = 1;
+
+    let mut e2e = Log2Histogram::new();
+    let mut compute = Log2Histogram::new();
+    let mut queue = Log2Histogram::new();
+
+    let mut out_dims: Vec<usize> = Vec::new();
+    let mut out_data: Vec<f32> = Vec::new();
+    for i in 0..images {
+        let started = Instant::now();
+        let image = Tensor::from_vec(
+            chunk_data[i * img_len..(i + 1) * img_len].to_vec(),
+            &img_dims,
+        );
+        let out = run_layers(layers, worker_telemetry, &image, counts, scratch);
+        compute.record(started.elapsed().as_secs_f64());
+        e2e.record(dispatch.elapsed().as_secs_f64());
+        queue.record(queue_wait);
+        if out_dims.is_empty() {
+            out_dims = out.dims().to_vec();
+            out_data.reserve(out.len() * images);
+        }
+        out_data.extend_from_slice(out.as_slice());
+    }
+    worker_telemetry.log2_histogram("chunk.latency.e2e", &e2e);
+    worker_telemetry.log2_histogram("chunk.latency.compute", &compute);
+    worker_telemetry.log2_histogram("chunk.latency.queue_wait", &queue);
+
+    if out_dims.is_empty() {
+        return Tensor::from_vec(Vec::new(), chunk_dims);
+    }
+    out_dims[0] = images;
+    Tensor::from_vec(out_data, &out_dims)
+}
+
+/// Concatenates per-chunk outputs in batch order and reduces the op
+/// counts.
+fn stitch(results: Vec<Option<(Tensor, OpCounts)>>, n: usize) -> (Tensor, OpCounts) {
     let mut merged = OpCounts::default();
     let mut out_dims: Vec<usize> = Vec::new();
     let mut out_data: Vec<f32> = Vec::new();

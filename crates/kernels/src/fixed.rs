@@ -287,7 +287,13 @@ pub fn fixed_point_conv_reference(
     stride: usize,
     padding: usize,
 ) -> (Tensor, OpCounts) {
-    fixed_point_conv_with(act, weights, stride, padding, fixed_point_conv_reference_core)
+    fixed_point_conv_with(
+        act,
+        weights,
+        stride,
+        padding,
+        fixed_point_conv_reference_core,
+    )
 }
 
 type FixedCore = fn(&[i32], &[f32], &Conv2dGeometry, &FixedWeights, &mut [f32], &mut OpCounts);
@@ -469,7 +475,11 @@ mod tests {
             assert!(out.allclose(&reference, 1e-4), "s={s} p={p}");
 
             let (oracle, oracle_counts) = fixed_point_conv_reference(&qa, &qw, s, p);
-            assert_eq!(out.as_slice(), oracle.as_slice(), "s={s} p={p}: lowered != oracle");
+            assert_eq!(
+                out.as_slice(),
+                oracle.as_slice(),
+                "s={s} p={p}: lowered != oracle"
+            );
             assert_eq!(counts, oracle_counts, "s={s} p={p}: counts diverge");
         }
     }

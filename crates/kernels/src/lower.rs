@@ -36,6 +36,7 @@ impl InteriorRect {
     }
 
     /// Whether `(oi, oj)` lies in the interior.
+    #[cfg(test)]
     pub fn contains(&self, oi: usize, oj: usize) -> bool {
         (self.oi_lo..self.oi_hi).contains(&oi) && (self.oj_lo..self.oj_hi).contains(&oj)
     }
@@ -43,7 +44,13 @@ impl InteriorRect {
 
 /// One axis of the interior: the output coordinates `o` with
 /// `0 <= o·stride − padding` and `o·stride + k − 1 − padding < dim`.
-fn interior_axis(dim: usize, k: usize, stride: usize, padding: usize, out: usize) -> (usize, usize) {
+fn interior_axis(
+    dim: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    out: usize,
+) -> (usize, usize) {
     let lo = padding.div_ceil(stride).min(out);
     let hi = if dim + padding >= k {
         ((dim + padding - k) / stride + 1).min(out)
@@ -55,8 +62,20 @@ fn interior_axis(dim: usize, k: usize, stride: usize, padding: usize, out: usize
 
 /// Computes the interior rectangle of `geom`.
 pub(crate) fn interior_rect(geom: &Conv2dGeometry) -> InteriorRect {
-    let (oi_lo, oi_hi) = interior_axis(geom.in_h, geom.kernel, geom.stride, geom.padding, geom.out_h);
-    let (oj_lo, oj_hi) = interior_axis(geom.in_w, geom.kernel, geom.stride, geom.padding, geom.out_w);
+    let (oi_lo, oi_hi) = interior_axis(
+        geom.in_h,
+        geom.kernel,
+        geom.stride,
+        geom.padding,
+        geom.out_h,
+    );
+    let (oj_lo, oj_hi) = interior_axis(
+        geom.in_w,
+        geom.kernel,
+        geom.stride,
+        geom.padding,
+        geom.out_w,
+    );
     InteriorRect {
         oi_lo,
         oi_hi,

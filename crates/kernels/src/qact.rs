@@ -97,7 +97,7 @@ impl QuantActivations {
         assert!(!x.dims().is_empty(), "batch tensor needs a leading dim");
         let n = x.dims()[0];
         let qmax = ((1u32 << (bits - 1)) - 1) as f32;
-        let stride = if n == 0 { 0 } else { x.len() / n };
+        let stride = x.len().checked_div(n).unwrap_or(0);
         let data = x.as_slice();
         codes.clear();
         codes.reserve(data.len());

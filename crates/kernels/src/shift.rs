@@ -531,8 +531,7 @@ impl LoweredShift {
                         let ii = ii0 + bt.di;
                         let jj = jj0 + bt.dj;
                         if (0..h as i32).contains(&ii) && (0..w as i32).contains(&jj) {
-                            let a =
-                                img[bt.plane as usize + ii as usize * w + jj as usize] as i64;
+                            let a = img[bt.plane as usize + ii as usize * w + jj as usize] as i64;
                             let term = a << (cd & SHIFT_MASK);
                             let mask = ((cd as i32) >> 31) as i64;
                             acc += (term ^ mask) - mask;
@@ -640,7 +639,11 @@ pub(crate) fn shift_add_conv_reference_core(
                         }
                         let a = codes[((b * c + ch) * h + ii as usize) * w + jj as usize] as i64;
                         let term = a << (tap.code & SHIFT_MASK);
-                        acc += if tap.code & SIGN_BIT != 0 { -term } else { term };
+                        acc += if tap.code & SIGN_BIT != 0 {
+                            -term
+                        } else {
+                            term
+                        };
                         executed += 1;
                     }
                     counts.shifts += executed;
@@ -683,8 +686,7 @@ pub fn shift_add_conv_reference(
     shift_add_conv_with(act, kernel, stride, padding, shift_add_conv_reference_core)
 }
 
-type ShiftCore =
-    fn(&[i32], &[f32], &Conv2dGeometry, &ShiftKernel, &mut [f32], &mut OpCounts);
+type ShiftCore = fn(&[i32], &[f32], &Conv2dGeometry, &ShiftKernel, &mut [f32], &mut OpCounts);
 
 fn shift_add_conv_with(
     act: &QuantActivations,

@@ -16,8 +16,8 @@ use flight_kernels::shift::{
     shift_add_conv, shift_add_conv_reference, ShiftCompileError, ShiftKernel,
 };
 use flight_kernels::{CompileOptions, IntNetwork, OpCounts, QuantActivations};
-use flight_tensor::{uniform, Conv2dGeometry, Tensor, TensorRng};
 use flight_telemetry::{CollectingSink, EventKind, Telemetry};
+use flight_tensor::{uniform, Conv2dGeometry, Tensor, TensorRng};
 use flightnn::convert::{shift_plan, FilterPlan, ShiftPlan, SubFilter};
 use flightnn::layers::QuantConv2d;
 use flightnn::{QuantNet, QuantScheme};
@@ -154,7 +154,14 @@ fn try_compile_surfaces_errors_through_the_public_api() {
     };
     let err = ShiftKernel::try_compile(&plan, &[1, 1, 2, 2]).unwrap_err();
     assert!(
-        matches!(err, ShiftCompileError::NotPowerOfTwo { filter: 0, index: 0, .. }),
+        matches!(
+            err,
+            ShiftCompileError::NotPowerOfTwo {
+                filter: 0,
+                index: 0,
+                ..
+            }
+        ),
         "0.75 is not ±2^e: {err}"
     );
     // The panicking wrapper and the Result path agree on valid input.
@@ -176,8 +183,24 @@ fn try_compile_surfaces_errors_through_the_public_api() {
 fn tiny_net(seed: u64) -> QuantNet {
     let mut rng = TensorRng::seed(seed);
     let mut net = QuantNet::new();
-    net.push_conv(QuantConv2d::new(&mut rng, &QuantScheme::l1(), 3, 4, 3, 1, 1));
-    net.push_conv(QuantConv2d::new(&mut rng, &QuantScheme::l1(), 4, 4, 3, 1, 1));
+    net.push_conv(QuantConv2d::new(
+        &mut rng,
+        &QuantScheme::l1(),
+        3,
+        4,
+        3,
+        1,
+        1,
+    ));
+    net.push_conv(QuantConv2d::new(
+        &mut rng,
+        &QuantScheme::l1(),
+        4,
+        4,
+        3,
+        1,
+        1,
+    ));
     net
 }
 
@@ -237,8 +260,10 @@ fn parallel_workers_attribute_lowering_events_through_prefix_sink() {
     let events = sink.events();
     for worker in ["kernel.worker.00.", "kernel.worker.01."] {
         assert!(
-            events.iter().any(|e| e.kind == EventKind::SpanEnd
-                && e.name == format!("{worker}kernel.lowering")),
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::SpanEnd
+                    && e.name == format!("{worker}kernel.lowering")),
             "{worker} emits prefixed lowering spans"
         );
         assert!(

@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use flight_kernels::{CompileOptions, ExecutionPolicy, IntNetwork, OpCounts};
 use flight_nn::layers::{BatchNorm2d, Flatten, GlobalAvgPool, LeakyRelu, MaxPool2d};
-use flight_tensor::{uniform, Tensor, TensorRng};
 use flight_telemetry::{CollectingSink, EventKind, Telemetry};
+use flight_tensor::{uniform, Tensor, TensorRng};
 use flightnn::layers::{ActQuant, QuantConv2d, QuantLinear};
 use flightnn::net::QuantResidualBlock;
 use flightnn::{QuantNet, QuantScheme};
@@ -108,8 +108,16 @@ fn full_precision_net_parallel_matches_sequential() {
 
 #[test]
 fn residual_net_parallel_matches_sequential() {
-    assert_parity(&mut residual_net(&QuantScheme::flight(1e-5), 5), false, "residual");
-    assert_parity(&mut residual_net(&QuantScheme::l1(), 6), true, "residual-folded");
+    assert_parity(
+        &mut residual_net(&QuantScheme::flight(1e-5), 5),
+        false,
+        "residual",
+    );
+    assert_parity(
+        &mut residual_net(&QuantScheme::l1(), 6),
+        true,
+        "residual-folded",
+    );
 }
 
 #[test]
@@ -242,11 +250,16 @@ fn deprecated_shims_match_compile_with() {
     let x = input_batch(3, 55);
 
     let old = IntNetwork::compile(&mut conv_net(&QuantScheme::l1(), 11)).expect("compiles");
-    let new = IntNetwork::compile_with(&mut conv_net(&QuantScheme::l1(), 11), CompileOptions::new())
-        .expect("compiles");
+    let new =
+        IntNetwork::compile_with(&mut conv_net(&QuantScheme::l1(), 11), CompileOptions::new())
+            .expect("compiles");
     let (ol, oc) = old.forward(&x);
     let (nl, nc) = new.forward(&x);
-    assert_eq!(ol.as_slice(), nl.as_slice(), "compile shim equals compile_with");
+    assert_eq!(
+        ol.as_slice(),
+        nl.as_slice(),
+        "compile shim equals compile_with"
+    );
     assert_eq!(oc, nc);
 
     let folded_old =

@@ -4,7 +4,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use flight_tensor::Tensor;
 
-
 static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A trainable parameter: a value tensor plus its gradient accumulator.

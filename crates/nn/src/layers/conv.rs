@@ -46,7 +46,10 @@ impl Conv2d {
         stride: usize,
         padding: usize,
     ) -> Self {
-        assert!(in_channels > 0 && filters > 0 && kernel > 0, "zero-sized conv");
+        assert!(
+            in_channels > 0 && filters > 0 && kernel > 0,
+            "zero-sized conv"
+        );
         assert!(stride > 0, "stride must be positive");
         let fan_in = in_channels * kernel * kernel;
         let weight = kaiming_uniform(rng, &[filters, in_channels, kernel, kernel], fan_in);

@@ -46,7 +46,11 @@ pub fn conv2d_forward(
     keep_cache: bool,
 ) -> (Tensor, Option<Conv2dCache>) {
     assert_eq!(input.shape().rank(), 4, "conv2d input must be [n, c, h, w]");
-    assert_eq!(weight.shape().rank(), 4, "conv2d weight must be [f, c, k, k]");
+    assert_eq!(
+        weight.shape().rank(),
+        4,
+        "conv2d weight must be [f, c, k, k]"
+    );
     let (n, c, h, w) = (
         input.dims()[0],
         input.dims()[1],

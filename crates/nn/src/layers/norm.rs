@@ -92,7 +92,11 @@ impl BatchNorm2d {
     }
 
     fn check_input(&self, input: &Tensor) {
-        assert_eq!(input.shape().rank(), 4, "batchnorm input must be [n, c, h, w]");
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "batchnorm input must be [n, c, h, w]"
+        );
         assert_eq!(
             input.dims()[1],
             self.channels(),
@@ -120,7 +124,7 @@ impl Layer for BatchNorm2d {
         let mut xhat = train.then(|| Tensor::zeros(input.dims()));
         let mut inv_stds = vec![0.0f32; c];
 
-        for ch in 0..c {
+        for (ch, inv_std_slot) in inv_stds.iter_mut().enumerate() {
             let (mean, var) = if train {
                 let mut sum = 0.0f64;
                 let mut sq = 0.0f64;
@@ -132,7 +136,8 @@ impl Layer for BatchNorm2d {
                     }
                 }
                 let mean = (sum / per_channel as f64) as f32;
-                let var = ((sq / per_channel as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
+                let var =
+                    ((sq / per_channel as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
                 // Update running statistics (biased variance, like PyTorch's
                 // default track of batch stats scaled by momentum).
                 self.running_mean.as_mut_slice()[ch] =
@@ -148,7 +153,7 @@ impl Layer for BatchNorm2d {
             };
 
             let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[ch] = inv_std;
+            *inv_std_slot = inv_std;
             let g = self.gamma.value.as_slice()[ch];
             let b0 = self.beta.value.as_slice()[ch];
             for b in 0..n {
@@ -208,9 +213,8 @@ impl Layer for BatchNorm2d {
             for b in 0..n {
                 let base = (b * c + ch) * plane;
                 for i in 0..plane {
-                    dx.as_mut_slice()[base + i] = g
-                        * inv_std
-                        * (dy[base + i] - mean_dy - xh[base + i] * mean_dy_xhat);
+                    dx.as_mut_slice()[base + i] =
+                        g * inv_std * (dy[base + i] - mean_dy - xh[base + i] * mean_dy_xhat);
                 }
             }
         }

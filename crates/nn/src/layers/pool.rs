@@ -52,7 +52,11 @@ impl MaxPool2d {
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert_eq!(input.shape().rank(), 4, "maxpool input must be [n, c, h, w]");
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "maxpool input must be [n, c, h, w]"
+        );
         let (n, c, h, w) = (
             input.dims()[0],
             input.dims()[1],

@@ -44,13 +44,14 @@ impl ResidualBlock {
     ///
     /// Panics if any dimension is zero.
     pub fn basic(rng: &mut TensorRng, in_channels: usize, filters: usize, stride: usize) -> Self {
-        let mut factory = |rng: &mut TensorRng,
-                           cin: usize,
-                           f: usize,
-                           k: usize,
-                           s: usize,
-                           p: usize|
-         -> Box<dyn Layer> { Box::new(Conv2d::new(rng, cin, f, k, s, p)) };
+        let mut factory =
+            |rng: &mut TensorRng,
+             cin: usize,
+             f: usize,
+             k: usize,
+             s: usize,
+             p: usize|
+             -> Box<dyn Layer> { Box::new(Conv2d::new(rng, cin, f, k, s, p)) };
         Self::basic_with(rng, in_channels, filters, stride, &mut factory)
     }
 
@@ -67,7 +68,10 @@ impl ResidualBlock {
         stride: usize,
         factory: ConvFactory<'_>,
     ) -> Self {
-        assert!(in_channels > 0 && filters > 0 && stride > 0, "zero-sized block");
+        assert!(
+            in_channels > 0 && filters > 0 && stride > 0,
+            "zero-sized block"
+        );
         let mut main = Sequential::new();
         main.push_boxed(factory(rng, in_channels, filters, 3, stride, 1));
         main.push(BatchNorm2d::new(filters));
@@ -99,11 +103,7 @@ impl ResidualBlock {
 
 impl std::fmt::Debug for ResidualBlock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "ResidualBlock(projection: {})",
-            self.shortcut.is_some()
-        )
+        write!(f, "ResidualBlock(projection: {})", self.shortcut.is_some())
     }
 }
 
@@ -143,10 +143,7 @@ impl Layer for ResidualBlock {
     }
 
     fn name(&self) -> String {
-        format!(
-            "residual_block(projection: {})",
-            self.shortcut.is_some()
-        )
+        format!("residual_block(projection: {})", self.shortcut.is_some())
     }
 }
 

@@ -25,14 +25,21 @@ use flight_tensor::Tensor;
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
     let (n, classes) = (logits.dims()[0], logits.dims()[1]);
-    assert_eq!(labels.len(), n, "labels length {} != batch {n}", labels.len());
+    assert_eq!(
+        labels.len(),
+        n,
+        "labels length {} != batch {n}",
+        labels.len()
+    );
 
     let mut grad = Tensor::zeros(&[n, classes]);
     let mut total = 0.0f64;
-    for i in 0..n {
+    for (i, &label) in labels.iter().enumerate() {
         let row = logits.outer(i);
-        let label = labels[i];
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f64> = row.iter().map(|&x| ((x - max) as f64).exp()).collect();
         let z: f64 = exps.iter().sum();
@@ -127,9 +134,7 @@ mod tests {
         let labels = [2usize, 0, 3];
         let (_, grad) = softmax_cross_entropy(&logits, &labels);
         let ngrad = numerical_gradient(&logits, 1e-3, |t| softmax_cross_entropy(t, &labels).0);
-        assert!(
-            flight_tensor::grad_check::gradient_relative_error(&grad, &ngrad) < 1e-2
-        );
+        assert!(flight_tensor::grad_check::gradient_relative_error(&grad, &ngrad) < 1e-2);
     }
 
     #[test]

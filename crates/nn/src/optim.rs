@@ -58,7 +58,10 @@ impl Sgd {
     ///
     /// Panics if `momentum` is outside `[0, 1)`.
     pub fn with_momentum(mut self, momentum: f32) -> Self {
-        assert!((0.0..1.0).contains(&momentum), "invalid momentum {momentum}");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "invalid momentum {momentum}"
+        );
         self.momentum = momentum;
         self
     }

@@ -112,11 +112,7 @@ impl std::fmt::Display for EpochStats {
 /// # Panics
 ///
 /// Panics if any batch is malformed (see [`Batch::new`]).
-pub fn train_epoch(
-    net: &mut dyn Layer,
-    batches: &[Batch],
-    opt: &mut dyn Optimizer,
-) -> EpochStats {
+pub fn train_epoch(net: &mut dyn Layer, batches: &[Batch], opt: &mut dyn Optimizer) -> EpochStats {
     let start = std::time::Instant::now();
     let mut total_loss = 0.0f64;
     let mut correct = 0.0f64;
@@ -245,8 +241,14 @@ mod tests {
         assert!((s.accuracy - 0.75).abs() < 1e-6);
         assert!((s.samples_per_sec - 40.0).abs() < 1e-3);
         // Untimed passes report zero throughput instead of infinity.
-        assert_eq!(EpochStats::from_totals(1.0, 1.0, 4, 0.0).samples_per_sec, 0.0);
-        assert_eq!(EpochStats::from_totals(0.0, 0.0, 0, 1.0), EpochStats::default());
+        assert_eq!(
+            EpochStats::from_totals(1.0, 1.0, 4, 0.0).samples_per_sec,
+            0.0
+        );
+        assert_eq!(
+            EpochStats::from_totals(0.0, 0.0, 0, 1.0),
+            EpochStats::default()
+        );
     }
 
     #[test]

@@ -14,13 +14,17 @@
 
 use std::io::IsTerminal;
 
+use flight_obs::capacity::{plan_capacity, CapacityError, CapacityRequest, DEFAULT_HEADROOM};
 use flight_obs::diff::{diff, load_metrics, DiffOptions};
 use flight_obs::watch::{watch, WatchOptions};
 use flight_obs::{export_chrome, health, read_trace, summarize, summarize_json};
 
 const USAGE: &str = "usage:
   flightctl summarize <trace.jsonl> [--json]
-  flightctl diff <baseline> <candidate> [--tolerance <rel>] [--metrics <prefix,...>]
+  flightctl diff <baseline> <candidate> [--tolerance <rel> | --tolerance <metric>=<rel>]...
+                 [--metrics <prefix,...>]
+  flightctl capacity <BENCH_scaling.manifest.json> --qps <target> [--p99-ms <bound>]
+                 [--headroom <frac>] [--json]
   flightctl health <trace.jsonl> [--json]
   flightctl export <trace.jsonl> [--format chrome] [--out <path>]
   flightctl watch <trace.jsonl> [--once|--follow] [--interval <ms>] [--idle-exit <secs>]
@@ -39,6 +43,7 @@ fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("summarize") => cmd_summarize(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("capacity") => cmd_capacity(&args[1..]),
         Some("health") => cmd_health(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
@@ -261,6 +266,102 @@ fn cmd_watch(args: &[String]) -> i32 {
     }
 }
 
+fn cmd_capacity(args: &[String]) -> i32 {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut target_qps: Option<f64> = None;
+    let mut p99_bound_ms: Option<f64> = None;
+    let mut headroom = DEFAULT_HEADROOM;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg, None),
+        };
+        let value = |i: &mut usize| -> Option<String> {
+            match inline {
+                Some(ref v) => Some(v.clone()),
+                None => {
+                    *i += 1;
+                    args.get(*i).cloned()
+                }
+            }
+        };
+        match flag {
+            "--qps" => {
+                let Some(raw) = value(&mut i) else {
+                    return usage_error("--qps needs a value");
+                };
+                match raw.parse::<f64>() {
+                    Ok(q) if q > 0.0 && q.is_finite() => target_qps = Some(q),
+                    _ => return usage_error("--qps must be a positive number"),
+                }
+            }
+            "--p99-ms" => {
+                let Some(raw) = value(&mut i) else {
+                    return usage_error("--p99-ms needs a value in milliseconds");
+                };
+                match raw.parse::<f64>() {
+                    Ok(b) if b > 0.0 && b.is_finite() => p99_bound_ms = Some(b),
+                    _ => return usage_error("--p99-ms must be a positive number (ms)"),
+                }
+            }
+            "--headroom" => {
+                let Some(raw) = value(&mut i) else {
+                    return usage_error("--headroom needs a fraction in (0, 1]");
+                };
+                match raw.parse::<f64>() {
+                    Ok(h) if h > 0.0 && h <= 1.0 => headroom = h,
+                    _ => return usage_error("--headroom must be a fraction in (0, 1]"),
+                }
+            }
+            "--json" => json = true,
+            _ if flag.starts_with('-') => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [path] = paths[..] else {
+        return usage_error("capacity takes exactly one scaling-manifest path");
+    };
+    let Some(target_qps) = target_qps else {
+        return usage_error("capacity needs --qps <target>");
+    };
+    let manifest = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("flightctl: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let request = CapacityRequest {
+        target_qps,
+        p99_bound_ms,
+        headroom,
+    };
+    match plan_capacity(&manifest, &request) {
+        Ok(plan) => {
+            if json {
+                println!("{}", plan.render_json());
+            } else {
+                print!("{}", plan.render());
+            }
+            0
+        }
+        Err(e @ CapacityError::Infeasible(_)) => {
+            eprintln!("flightctl: {e}");
+            1
+        }
+        Err(e) => {
+            eprintln!("flightctl: {e}");
+            2
+        }
+    }
+}
+
 fn cmd_diff(args: &[String]) -> i32 {
     let mut paths: Vec<&String> = Vec::new();
     let mut options = DiffOptions::default();
@@ -286,9 +387,24 @@ fn cmd_diff(args: &[String]) -> i32 {
                 let Some(raw) = value(&mut i) else {
                     return usage_error("--tolerance needs a value");
                 };
-                match raw.parse::<f64>() {
-                    Ok(t) if t >= 0.0 && t.is_finite() => options.tolerance = t,
-                    _ => return usage_error("--tolerance must be a non-negative number"),
+                // `--tolerance 0.05` sets the global tolerance;
+                // `--tolerance metric=0.2` (repeatable) overrides one
+                // metric — e.g. loosen a machine-dependent throughput
+                // while the rest of the gate stays tight.
+                if let Some((metric, pct)) = raw.split_once('=') {
+                    match pct.parse::<f64>() {
+                        Ok(t) if t >= 0.0 && t.is_finite() && !metric.is_empty() => {
+                            options.overrides.push((metric.to_string(), t));
+                        }
+                        _ => return usage_error(
+                            "--tolerance metric=pct needs a metric name and a non-negative number",
+                        ),
+                    }
+                } else {
+                    match raw.parse::<f64>() {
+                        Ok(t) if t >= 0.0 && t.is_finite() => options.tolerance = t,
+                        _ => return usage_error("--tolerance must be a non-negative number"),
+                    }
                 }
             }
             "--metrics" => {

@@ -38,6 +38,10 @@ pub struct DiffOptions {
     /// Keep only metrics whose name starts with one of these prefixes
     /// (empty = keep everything).
     pub prefixes: Vec<String>,
+    /// Per-metric tolerance overrides (`--tolerance metric=pct`): an
+    /// exact metric name paired with the tolerance that replaces the
+    /// global one for it.
+    pub overrides: Vec<(String, f64)>,
 }
 
 impl Default for DiffOptions {
@@ -45,8 +49,48 @@ impl Default for DiffOptions {
         DiffOptions {
             tolerance: DEFAULT_TOLERANCE,
             prefixes: Vec::new(),
+            overrides: Vec::new(),
         }
     }
+}
+
+impl DiffOptions {
+    /// The tolerance in effect for one metric: its override, or the
+    /// global default.
+    pub fn tolerance_for(&self, name: &str) -> f64 {
+        self.overrides
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+            .unwrap_or(self.tolerance)
+    }
+}
+
+/// Metric-name namespaces the diff tool understands. A baseline metric
+/// in any *other* namespace that is wholly absent from the candidate is
+/// skipped rather than failed: a newer manifest schema (e.g. the
+/// `scaling.*` family) must not break diffs against artifacts produced
+/// by builds that predate it.
+const KNOWN_NAMESPACES: &[&str] = &["tables", "counter", "gauge", "span", "hist"];
+
+/// The namespace of a metric name: the text before the first `.`, or
+/// `None` for undotted names (which are always gate-bearing).
+fn namespace(name: &str) -> Option<&str> {
+    name.split_once('.').map(|(ns, _)| ns)
+}
+
+/// Whether a baseline-only metric should be skipped instead of failed:
+/// its namespace is unknown to this tool *and* the candidate carries no
+/// metric in that namespace at all. A candidate that knows the
+/// namespace but lost one of its metrics still fails.
+fn skippable(name: &str, candidate: &[(String, f64)]) -> bool {
+    let Some(ns) = namespace(name) else {
+        return false;
+    };
+    if KNOWN_NAMESPACES.contains(&ns) {
+        return false;
+    }
+    !candidate.iter().any(|(n, _)| namespace(n) == Some(ns))
 }
 
 /// One compared metric.
@@ -74,6 +118,9 @@ pub enum DeltaStatus {
     Missing,
     /// Candidate-only metric; informational.
     New,
+    /// Baseline metric in a namespace this tool does not know, wholly
+    /// absent from the candidate — forward-compat skip, informational.
+    Skipped,
 }
 
 /// The full comparison.
@@ -117,6 +164,7 @@ impl DiffReport {
                 DeltaStatus::Regression => "REGRESSION",
                 DeltaStatus::Missing => "MISSING",
                 DeltaStatus::New => "new",
+                DeltaStatus::Skipped => "skipped",
             };
             out.push_str(&format!(
                 "{:<52} {:>14} {:>14} {:>9}  {}\n",
@@ -164,12 +212,13 @@ pub fn diff(
     for (name, old) in baseline.iter().filter(|(n, _)| keep(n)) {
         match candidate.iter().find(|(n, _)| n == name) {
             Some((_, new)) => {
+                let tolerance = options.tolerance_for(name);
                 let within = if *old == 0.0 {
                     *new == 0.0
                 } else {
                     // NaN deltas compare false and so regress, which is
                     // the safe default for a corrupt metric.
-                    ((new - old) / old.abs()).abs() <= options.tolerance
+                    ((new - old) / old.abs()).abs() <= tolerance
                 };
                 rows.push(MetricDelta {
                     name: name.clone(),
@@ -186,7 +235,11 @@ pub fn diff(
                 name: name.clone(),
                 old: Some(*old),
                 new: None,
-                status: DeltaStatus::Missing,
+                status: if skippable(name, candidate) {
+                    DeltaStatus::Skipped
+                } else {
+                    DeltaStatus::Missing
+                },
             }),
         }
     }
@@ -322,6 +375,19 @@ pub fn trace_metrics(trace: &Trace) -> Vec<(String, f64)> {
             EventKind::Counter => add(&mut counter_totals, &event.name, event.value),
             EventKind::SpanEnd => add(&mut span_totals, &event.name, event.value),
             EventKind::Gauge => set(format!("gauge.{}", event.name), event.value),
+            EventKind::Log2Hist => {
+                // Latest histogram per name wins; the percentile stats
+                // ride in the text payload.
+                if let Some(stats) = event.text.as_deref().and_then(|t| JsonValue::parse(t).ok()) {
+                    for key in ["p50", "p99", "p999"] {
+                        if let Some(v) = stats.get(key).and_then(JsonValue::as_f64) {
+                            if v.is_finite() {
+                                set(format!("hist.{}.{key}", event.name), v);
+                            }
+                        }
+                    }
+                }
+            }
             _ => {}
         }
     }
@@ -369,6 +435,7 @@ mod tests {
         DiffOptions {
             tolerance,
             prefixes: prefixes.iter().map(|s| s.to_string()).collect(),
+            overrides: Vec::new(),
         }
     }
 
@@ -504,6 +571,73 @@ mod tests {
             Some(70.0),
             "snapshot sums count"
         );
+    }
+
+    #[test]
+    fn unknown_namespace_wholly_absent_is_skipped_not_failed() {
+        // A baseline written by a newer build carries scaling.* metrics;
+        // a candidate from an older build has none of them. The gate
+        // must not fail on schema growth.
+        let base = vec![
+            ("parity".to_string(), 1.0),
+            ("scaling.w2.b32.qps".to_string(), 900.0),
+            ("scaling.fit.sigma".to_string(), 0.05),
+        ];
+        let cand = vec![("parity".to_string(), 1.0)];
+        let report = diff(&base, &cand, &opts(0.0, &[]));
+        assert!(!report.has_regressions(), "{}", report.render());
+        let statuses: Vec<DeltaStatus> = report.rows.iter().map(|r| r.status).collect();
+        assert_eq!(
+            statuses,
+            vec![DeltaStatus::Ok, DeltaStatus::Skipped, DeltaStatus::Skipped]
+        );
+        assert!(report.render().contains("skipped"));
+    }
+
+    #[test]
+    fn partially_present_unknown_namespace_still_fails() {
+        // The candidate knows the scaling namespace but lost one of its
+        // metrics — that is a real regression, not schema drift.
+        let base = vec![
+            ("scaling.w2.b32.qps".to_string(), 900.0),
+            ("scaling.fit.sigma".to_string(), 0.05),
+        ];
+        let cand = vec![("scaling.w2.b32.qps".to_string(), 900.0)];
+        let report = diff(&base, &cand, &opts(0.0, &[]));
+        assert!(report.has_regressions());
+        assert_eq!(report.rows[1].status, DeltaStatus::Missing);
+    }
+
+    #[test]
+    fn known_namespaces_and_bare_names_never_skip() {
+        let base = vec![
+            ("tables.network1.Full.accuracy".to_string(), 0.9),
+            ("parity".to_string(), 1.0),
+        ];
+        let report = diff(&base, &[], &opts(0.0, &[]));
+        assert!(report.has_regressions());
+        assert!(report.rows.iter().all(|r| r.status == DeltaStatus::Missing));
+    }
+
+    #[test]
+    fn per_metric_tolerance_overrides_the_global() {
+        let base = vec![
+            ("parity".to_string(), 1.0),
+            ("throughput".to_string(), 100.0),
+        ];
+        let cand = vec![
+            ("parity".to_string(), 1.0),
+            ("throughput".to_string(), 80.0), // -20%
+        ];
+        // Globally tight: regression.
+        assert!(diff(&base, &cand, &opts(0.0, &[])).has_regressions());
+        // Loosening just the noisy metric absorbs it without widening
+        // the gate for everything else.
+        let mut options = opts(0.0, &[]);
+        options.overrides.push(("throughput".to_string(), 0.25));
+        assert!(!diff(&base, &cand, &options).has_regressions());
+        assert_eq!(options.tolerance_for("throughput"), 0.25);
+        assert_eq!(options.tolerance_for("parity"), 0.0);
     }
 
     #[test]

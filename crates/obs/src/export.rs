@@ -184,7 +184,7 @@ pub fn export_chrome(trace: &Trace) -> (JsonValue, ExportStats) {
                 );
             }
             // No timeline representation.
-            EventKind::Histogram | EventKind::Manifest => {}
+            EventKind::Histogram | EventKind::Log2Hist | EventKind::Manifest => {}
         }
     }
     stats.unmatched_starts = pending.len() as u64;

@@ -113,10 +113,7 @@ pub fn health(trace: &Trace) -> HealthReport {
 }
 
 /// First→last trajectory of every gauge matching `filter`.
-fn gauge_trajectories<'a>(
-    trace: &'a Trace,
-    filter: impl Fn(&str) -> bool,
-) -> Vec<(&'a str, f64, f64)> {
+fn gauge_trajectories(trace: &Trace, filter: impl Fn(&str) -> bool) -> Vec<(&str, f64, f64)> {
     let mut traj: Vec<(&str, f64, f64)> = Vec::new();
     for event in &trace.events {
         if event.kind != EventKind::Gauge || !event.value.is_finite() || !filter(&event.name) {

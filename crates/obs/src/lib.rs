@@ -13,6 +13,10 @@
 //!   manifests into named metrics and compare under a relative
 //!   tolerance; nonzero exit on regression, which is the CI perf gate
 //!   ([`diff`]).
+//! * `flightctl capacity <manifest> --qps N` — turn the scaling
+//!   exhibit's measured curves into a replica/core sizing under a p99
+//!   bound, reconciled against the analytic accelerator models
+//!   ([`capacity`]).
 //! * `flightctl health <trace>` — drift/saturation/clamp-rate and
 //!   training-dynamics (gradient-norm, L_reg-stagnation) checks over
 //!   the training signals ([`health`]).
@@ -30,6 +34,7 @@
 //! reconstruction tolerates unclosed spans and interleaved workers
 //! ([`tree`]).
 
+pub mod capacity;
 pub mod diff;
 pub mod export;
 pub mod health;
@@ -38,6 +43,7 @@ pub mod trace;
 pub mod tree;
 pub mod watch;
 
+pub use capacity::{plan_capacity, CapacityError, CapacityPlan, CapacityRequest};
 pub use diff::{diff, load_metrics, DiffOptions, DiffReport};
 pub use export::{export_chrome, ExportStats};
 pub use health::{health, HealthReport};

@@ -188,6 +188,7 @@ pub fn summarize(trace: &Trace) -> String {
     render_spans(&mut out, &spans, &snapshots);
     render_counters(&mut out, &trace.events, &snapshots);
     render_histograms(&mut out, &trace.events);
+    render_log2_histograms(&mut out, &trace.events);
     render_trajectories(&mut out, &trace.events, &snapshots);
     out
 }
@@ -253,7 +254,7 @@ fn render_spans(out: &mut String, spans: &SpanSummary, snapshots: &[(&TraceEvent
     let rows = spans.by_total_time();
     let span_snaps: Vec<_> = snapshots
         .iter()
-        .filter(|(e, s)| s.agg == "span" && !spans.names.iter().any(|n| *n == e.name))
+        .filter(|(e, s)| s.agg == "span" && !spans.names.contains(&e.name))
         .collect();
     if rows.iter().all(|(_, s)| s.count == 0) && span_snaps.is_empty() {
         return;
@@ -344,6 +345,53 @@ fn render_histograms(out: &mut String, events: &[TraceEvent]) {
             let bar = "#".repeat(((*count * 40) / total) as usize);
             let _ = writeln!(out, "  {label:>6}: {count:>8} {bar}");
         }
+    }
+}
+
+fn render_log2_histograms(out: &mut String, events: &[TraceEvent]) {
+    // Final log2 latency histogram per name; the percentile stats ride
+    // in the event's text payload, so rendering needs no bucket math.
+    let mut finals: Vec<&TraceEvent> = Vec::new();
+    for event in events {
+        if event.kind != EventKind::Log2Hist {
+            continue;
+        }
+        match finals.iter_mut().find(|e| e.name == event.name) {
+            Some(slot) => *slot = event,
+            None => finals.push(event),
+        }
+    }
+    if finals.is_empty() {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "\nlatency histograms (final):\n  {:<52} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "name", "samples", "min", "p50", "p99", "p999", "max"
+    );
+    for event in finals {
+        let stats = event.text.as_deref().and_then(|t| JsonValue::parse(t).ok());
+        let field = |key: &str| -> String {
+            match stats
+                .as_ref()
+                .and_then(|s| s.get(key))
+                .and_then(JsonValue::as_f64)
+            {
+                Some(v) => fmt_value(v),
+                None => "-".to_string(),
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  {:<52} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            event.name,
+            fmt_value(event.value),
+            field("min"),
+            field("p50"),
+            field("p99"),
+            field("p999"),
+            field("max")
+        );
     }
 }
 

@@ -235,7 +235,7 @@ impl WatchState {
                     }
                 }
             }
-            EventKind::Histogram | EventKind::Manifest => {}
+            EventKind::Histogram | EventKind::Log2Hist | EventKind::Manifest => {}
         }
     }
 

@@ -21,6 +21,10 @@
 //!   dropped (the end event carries the duration).
 //! * `histogram` — already an aggregate: the latest histogram per name
 //!   is kept and re-emitted verbatim with each snapshot flush.
+//! * `log2hist` — each event is one shard of a distribution (the
+//!   parallel engine emits a fresh per-chunk histogram per forward), so
+//!   shards *merge* per name — bucket counts sum, min/max fold — and the
+//!   flush emits the whole-run distribution, not the latest shard.
 //! * `manifest` and nested `snapshot` events pass through immediately.
 //!
 //! A snapshot flush fires after every [`AggregatingSink::new`]
@@ -31,7 +35,8 @@ use std::sync::{Arc, Mutex};
 
 use crate::event::{Event, EventKind};
 use crate::handle::{next_seq, trace_now_us};
-use crate::json::JsonObject;
+use crate::json::{JsonObject, JsonValue};
+use crate::log2hist::Log2Histogram;
 use crate::sink::TelemetrySink;
 
 /// Snapshot cadence used by the `FLIGHT_TELEMETRY=agg:<spec>` selector.
@@ -68,6 +73,16 @@ fn bucket_label(idx: usize) -> String {
     } else {
         format!("<=1e{}", idx as i32 - 1 + DECADE_LO)
     }
+}
+
+/// Rebuilds the distribution shard a `log2hist` event carries: bucket
+/// counts from `buckets`, min/max from the stats text. `None` when the
+/// labels or stats do not parse (a foreign event dressed as a log2hist).
+fn log2_shard(event: &Event) -> Option<Log2Histogram> {
+    let stats = JsonValue::parse(event.text.as_deref()?).ok()?;
+    let min = stats.get("min").and_then(JsonValue::as_f64)?;
+    let max = stats.get("max").and_then(JsonValue::as_f64)?;
+    Log2Histogram::from_bucket_pairs(&event.buckets, min, max)
 }
 
 /// One metric's streaming summary.
@@ -132,6 +147,9 @@ struct AggState {
     metrics: Vec<MetricAgg>,
     /// Latest full histogram per name, re-emitted on flush.
     histograms: Vec<(String, Event)>,
+    /// Merged log2 histogram per name: each incoming event is one shard
+    /// of the same distribution, so counts sum instead of replacing.
+    log2s: Vec<(String, &'static str, Log2Histogram)>,
     folded_since_flush: u64,
 }
 
@@ -245,6 +263,19 @@ impl AggregatingSink {
             event.ts_us = trace_now_us();
             self.inner.emit(event);
         }
+        for (name, unit, hist) in &state.log2s {
+            self.inner.emit(Event {
+                seq: next_seq(),
+                ts_us: trace_now_us(),
+                name: name.clone(),
+                kind: EventKind::Log2Hist,
+                value: hist.total() as f64,
+                unit,
+                span: None,
+                buckets: hist.bucket_pairs(),
+                text: Some(hist.stats_json()),
+            });
+        }
     }
 }
 
@@ -281,6 +312,19 @@ impl TelemetrySink for AggregatingSink {
                         let name = event.name.clone();
                         state.histograms.push((name, event));
                     }
+                }
+            }
+            EventKind::Log2Hist => {
+                let Some(shard) = log2_shard(&event) else {
+                    // A shard we cannot reconstruct (foreign labels)
+                    // passes through verbatim rather than vanishing.
+                    drop(state);
+                    self.inner.emit(event);
+                    return;
+                };
+                match state.log2s.iter_mut().find(|(n, _, _)| *n == event.name) {
+                    Some((_, _, merged)) => merged.merge(&shard),
+                    None => state.log2s.push((event.name, event.unit, shard)),
                 }
             }
             _ => unreachable!("handled above"),
@@ -415,6 +459,51 @@ mod tests {
             .find(|e| e.kind == EventKind::Histogram)
             .unwrap();
         assert_eq!(hist.value, 2.0, "only the latest histogram is kept");
+    }
+
+    #[test]
+    fn log2hist_shards_merge_instead_of_replacing() {
+        let (t, inner, agg) = harness(u64::MAX);
+        let mut shard = Log2Histogram::new();
+        shard.record(0.010);
+        shard.record(0.020);
+        t.log2_histogram("chunk.latency.e2e", &shard);
+        let mut shard2 = Log2Histogram::new();
+        shard2.record(0.040);
+        t.log2_histogram("chunk.latency.e2e", &shard2);
+        agg.flush();
+        let events = inner.events();
+        assert_eq!(events.len(), 1, "one merged distribution per name");
+        let e = &events[0];
+        assert_eq!(e.kind, EventKind::Log2Hist);
+        assert_eq!(e.value, 3.0, "counts sum across shards");
+        let merged = log2_shard(e).expect("flush output round-trips");
+        assert_eq!(merged.total(), 3);
+        assert_eq!(merged.min(), 0.010);
+        assert_eq!(merged.max(), 0.040);
+        // The merged result is bit-identical to one whole histogram.
+        let mut whole = shard.clone();
+        whole.merge(&shard2);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn unparseable_log2hist_passes_through_verbatim() {
+        let (_, inner, agg) = harness(u64::MAX);
+        agg.emit(Event {
+            seq: 1,
+            ts_us: 0.0,
+            name: "weird".into(),
+            kind: EventKind::Log2Hist,
+            value: 1.0,
+            unit: "count",
+            span: None,
+            buckets: vec![("not-a-bucket".into(), 1)],
+            text: None,
+        });
+        assert_eq!(inner.len(), 1, "foreign shard is forwarded, not dropped");
+        agg.flush();
+        assert_eq!(inner.len(), 1, "and not duplicated by the flush");
     }
 
     #[test]

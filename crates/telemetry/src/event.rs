@@ -17,6 +17,13 @@ pub enum EventKind {
     /// A fixed-bucket distribution; `buckets` holds `(label, count)`
     /// pairs, `value` is the total count.
     Histogram,
+    /// A mergeable log2-bucketed latency distribution
+    /// ([`Log2Histogram`](crate::Log2Histogram)): `buckets` holds
+    /// `(b<index>, count)` pairs (plus `lt`/`gt` sentinels), `value` is
+    /// the total count, and `text` carries a JSON object with
+    /// `min`/`max`/`p50`/`p99`/`p999` in the recorded unit (seconds for
+    /// the engine's latency shards).
+    Log2Hist,
     /// A run manifest annotation; `text` carries the manifest JSON.
     Manifest,
     /// A streaming aggregate of many prior events (one metric name per
@@ -37,6 +44,7 @@ impl EventKind {
             EventKind::Counter => "counter",
             EventKind::Gauge => "gauge",
             EventKind::Histogram => "histogram",
+            EventKind::Log2Hist => "log2hist",
             EventKind::Manifest => "manifest",
             EventKind::Snapshot => "snapshot",
         }
@@ -51,6 +59,7 @@ impl EventKind {
             "counter" => EventKind::Counter,
             "gauge" => EventKind::Gauge,
             "histogram" => EventKind::Histogram,
+            "log2hist" => EventKind::Log2Hist,
             "manifest" => EventKind::Manifest,
             "snapshot" => EventKind::Snapshot,
             _ => return None,
@@ -206,6 +215,7 @@ mod tests {
             EventKind::Counter,
             EventKind::Gauge,
             EventKind::Histogram,
+            EventKind::Log2Hist,
             EventKind::Manifest,
             EventKind::Snapshot,
         ] {

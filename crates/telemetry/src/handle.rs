@@ -8,6 +8,7 @@ use std::time::Instant;
 use crate::event::{Event, EventKind};
 use crate::hist::FixedHistogram;
 use crate::jsonl::JsonlSink;
+use crate::log2hist::Log2Histogram;
 use crate::sink::{NullSink, PrefixSink, StderrSink, TelemetrySink};
 
 /// Global emission order across every handle in the process.
@@ -174,6 +175,7 @@ impl Telemetry {
         Telemetry::new(Arc::new(PrefixSink::new(prefix, self.sink.clone())))
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the Event fields one-to-one
     fn emit(
         &self,
         name: &str,
@@ -238,6 +240,25 @@ impl Telemetry {
             None,
             buckets,
             None,
+        );
+    }
+
+    /// Emits a log2-bucketed latency histogram; `value` carries the
+    /// total count and `text` a JSON stats summary
+    /// (min/max/p50/p99/p999). Empty histograms emit nothing — a worker
+    /// that processed no images has no distribution to report.
+    pub fn log2_histogram(&self, name: &str, hist: &Log2Histogram) {
+        if !self.enabled() || hist.is_empty() {
+            return;
+        }
+        self.emit(
+            name,
+            EventKind::Log2Hist,
+            hist.total() as f64,
+            "count",
+            None,
+            hist.bucket_pairs(),
+            Some(hist.stats_json()),
         );
     }
 

@@ -84,7 +84,7 @@ mod tests {
             kind: EventKind::Gauge,
             value: seq as f64 * 0.5,
             unit: "s",
-            span: (seq % 2 == 0).then_some(seq + 10),
+            span: seq.is_multiple_of(2).then_some(seq + 10),
             buckets: if seq == 2 {
                 vec![("0".to_string(), 1), (">0".to_string(), 2)]
             } else {

@@ -27,6 +27,10 @@
 //!   creation and `span_end` with the elapsed seconds on drop.
 //! * [`FixedHistogram`] — a fixed-bucket histogram (e.g. the per-filter
 //!   shift-count distribution `k_i`).
+//! * [`Log2Histogram`] — a mergeable log2-bucketed latency histogram
+//!   (HDR-style): per-worker shards record independently and merge
+//!   bit-identically into the whole-run distribution, with percentile
+//!   reads within one bucket (~9%) of exact.
 //! * [`json`] — a minimal JSON value with render *and* parse, shared by
 //!   the JSONL sink, the bench run manifests, and the tests that validate
 //!   both.
@@ -71,6 +75,7 @@ pub mod event;
 pub mod hist;
 pub mod json;
 pub mod jsonl;
+pub mod log2hist;
 pub mod sink;
 pub mod track;
 
@@ -81,5 +86,6 @@ pub use event::{Event, EventKind};
 pub use handle::{trace_now_us, Span, Telemetry};
 pub use hist::FixedHistogram;
 pub use jsonl::JsonlSink;
+pub use log2hist::{bucket_upper, Log2Histogram, SUB_BUCKETS_PER_OCTAVE};
 pub use sink::{CollectingSink, NullSink, PrefixSink, StderrSink, TelemetrySink};
 pub use track::{parse_worker, worker_prefix, WORKER_TRACK_PREFIX};

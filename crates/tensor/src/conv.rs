@@ -254,7 +254,9 @@ mod tests {
                 &[c, h, w],
             );
             let weight = Tensor::from_vec(
-                (0..f * c * k * k).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                (0..f * c * k * k)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect(),
                 &[f, c, k, k],
             );
             let cols = im2col(&input, &geom);
@@ -297,6 +299,9 @@ mod tests {
             .zip(col2im(&y, &geom).as_slice())
             .map(|(&a, &b)| a * b)
             .sum();
-        assert!((lhs - rhs).abs() < 1e-3, "adjoint identity violated: {lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3,
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
     }
 }

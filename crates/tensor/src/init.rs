@@ -106,7 +106,10 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = TensorRng::seed(1);
         let mut b = TensorRng::seed(2);
-        assert_ne!(uniform(&mut a, &[8], 0.0, 1.0), uniform(&mut b, &[8], 0.0, 1.0));
+        assert_ne!(
+            uniform(&mut a, &[8], 0.0, 1.0),
+            uniform(&mut b, &[8], 0.0, 1.0)
+        );
     }
 
     #[test]
@@ -126,7 +129,11 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
         let mean = samples.iter().sum::<f32>() / n as f32;
-        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        let var = samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

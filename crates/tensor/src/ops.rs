@@ -98,10 +98,9 @@ impl Tensor {
     pub fn sum_cols(&self) -> Tensor {
         assert_eq!(self.shape().rank(), 2, "sum_cols needs a rank-2 tensor");
         let (m, n) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            out[i] = self.as_slice()[i * n..(i + 1) * n].iter().sum();
-        }
+        let out: Vec<f32> = (0..m)
+            .map(|i| self.as_slice()[i * n..(i + 1) * n].iter().sum())
+            .collect();
         Tensor::from_vec(out, &[m])
     }
 
@@ -125,7 +124,15 @@ impl Tensor {
     }
 }
 
-fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
     for i in 0..rows {
         let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
@@ -175,8 +182,14 @@ mod tests {
         let m = 96;
         let k = 64;
         let n = 80;
-        let a = Tensor::from_vec((0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[m, k]);
-        let b = Tensor::from_vec((0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[k, n]);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[k, n],
+        );
         assert!(a.matmul(&b).allclose(&naive_matmul(&a, &b), 1e-3));
     }
 

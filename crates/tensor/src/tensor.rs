@@ -280,7 +280,11 @@ impl Tensor {
 
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn norm_l2(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Index of the maximum element of a 1-D view of the data.

@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (il, counts) = engine.forward(&batch.input);
         float_correct += top_k_accuracy(&fl, &batch.labels, 1) * batch.len() as f32;
         int_correct += top_k_accuracy(&il, &batch.labels, 1) * batch.len() as f32;
-        total_counts = total_counts + counts;
+        total_counts += counts;
         samples += batch.len();
     }
     println!(

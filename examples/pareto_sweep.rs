@@ -48,9 +48,15 @@ fn main() {
     ] {
         let (mut net, acc) = train(&scheme, &data, epochs);
         let storage = storage_report(&mut net).megabytes();
-        let energy =
-            flight_asic::layer_energy_uj(&spec, &ComputeStyle::ShiftAdd { mean_k: k }, &energy_table);
-        println!("{label},-,{k:.2},{storage:.5},{energy:.4},{:.2}", acc * 100.0);
+        let energy = flight_asic::layer_energy_uj(
+            &spec,
+            &ComputeStyle::ShiftAdd { mean_k: k },
+            &energy_table,
+        );
+        println!(
+            "{label},-,{k:.2},{storage:.5},{energy:.4},{:.2}",
+            acc * 100.0
+        );
     }
 
     // The FLightNN front: λ sweeps the continuum.
@@ -60,11 +66,8 @@ fn main() {
         let counts = net.all_shift_counts();
         let mean_k = counts.iter().sum::<usize>() as f32 / counts.len().max(1) as f32;
         let storage = storage_report(&mut net).megabytes();
-        let energy = flight_asic::layer_energy_uj(
-            &spec,
-            &ComputeStyle::ShiftAdd { mean_k },
-            &energy_table,
-        );
+        let energy =
+            flight_asic::layer_energy_uj(&spec, &ComputeStyle::ShiftAdd { mean_k }, &energy_table);
         println!(
             "FL,{lambda},{mean_k:.2},{storage:.5},{energy:.4},{:.2}",
             acc * 100.0

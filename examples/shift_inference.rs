@@ -50,8 +50,7 @@ fn main() {
         // The shift path must agree with a float reference of the same
         // quantized weights; compare to the fixed path only loosely (they
         // quantize weights differently).
-        let drift = out_shift.sq_distance(&out_fixed).sqrt()
-            / out_fixed.norm_l2().max(1e-6);
+        let drift = out_shift.sq_distance(&out_fixed).sqrt() / out_fixed.norm_l2().max(1e-6);
         println!(
             "{:<18}: {counts}  (total subfilters {}, vs fixed-point drift {:.3})",
             scheme.label(),

@@ -58,11 +58,8 @@ fn flightnn_throughput_interpolates_on_every_network() {
         let spec = cfg.largest_conv(native_image(&cfg), 1.0);
         let l2 = implement_layer(&design(spec, &QuantScheme::l2(), None), &ZC706).unwrap();
         let l1 = implement_layer(&design(spec, &QuantScheme::l1(), None), &ZC706).unwrap();
-        let fl = implement_layer(
-            &design(spec, &QuantScheme::flight(1e-5), Some(1.5)),
-            &ZC706,
-        )
-        .unwrap();
+        let fl =
+            implement_layer(&design(spec, &QuantScheme::flight(1e-5), Some(1.5)), &ZC706).unwrap();
         assert!(
             fl.throughput >= l2.throughput && fl.throughput <= l1.throughput,
             "network {id}: FL throughput {} outside [{}, {}]",
@@ -89,7 +86,11 @@ fn shift_add_binds_on_bram_for_large_networks() {
             "network {id}: L-2 binds on {:?}",
             l2.binding
         );
-        assert!(l2.usage.dsp <= 16, "network {id}: L-2 uses {} DSPs", l2.usage.dsp);
+        assert!(
+            l2.usage.dsp <= 16,
+            "network {id}: L-2 uses {} DSPs",
+            l2.usage.dsp
+        );
     }
 }
 
@@ -108,7 +109,10 @@ fn asic_energy_ordering_holds_on_every_network() {
         let fl = e(ComputeStyle::ShiftAdd { mean_k: 1.4 });
 
         assert!(l1 < fl && fl < l2, "network {id}: FL energy not between");
-        assert!(l1 < fp && fp < l2, "network {id}: FP energy not between L-1 and L-2");
+        assert!(
+            l1 < fp && fp < l2,
+            "network {id}: FP energy not between L-1 and L-2"
+        );
         assert!(full > 10.0 * l2, "network {id}: Full not ≫ quantized");
     }
 }
@@ -122,8 +126,16 @@ fn energy_and_throughput_agree_on_winners() {
     let table = OpEnergy::nm65();
 
     let styles: Vec<(QuantScheme, ComputeStyle, Option<f32>)> = vec![
-        (QuantScheme::l1(), ComputeStyle::ShiftAdd { mean_k: 1.0 }, None),
-        (QuantScheme::l2(), ComputeStyle::ShiftAdd { mean_k: 2.0 }, None),
+        (
+            QuantScheme::l1(),
+            ComputeStyle::ShiftAdd { mean_k: 1.0 },
+            None,
+        ),
+        (
+            QuantScheme::l2(),
+            ComputeStyle::ShiftAdd { mean_k: 2.0 },
+            None,
+        ),
     ];
     let mut results = Vec::new();
     for (scheme, style, mean_k) in styles {

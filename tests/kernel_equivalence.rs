@@ -65,8 +65,7 @@ fn trained_flightnn_layer_runs_multiplier_free() {
             conv.stride(),
             conv.padding(),
         );
-        let interior_upper =
-            (kernel.total_taps() * geom.out_positions() * probe.dims()[0]) as u64;
+        let interior_upper = (kernel.total_taps() * geom.out_positions() * probe.dims()[0]) as u64;
         assert!(
             counts.shifts <= interior_upper && counts.shifts > interior_upper / 2,
             "shift count {} inconsistent with taps bound {interior_upper}",

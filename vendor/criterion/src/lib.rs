@@ -1,0 +1,229 @@
+//! Minimal criterion-compatible bench harness: wall-clock timing with
+//! the `criterion_group!`/`criterion_main!` entry points, CLI name
+//! filtering, and `--quick` support — no statistics engine, no HTML
+//! reports. Each benchmark prints one `name  time: <mean>/iter` line.
+
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Composite benchmark id (`group/function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds/iter of the most recent `iter` call, if any.
+    measured: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` and records the mean; like upstream, returns
+    /// nothing — the harness reports it after the closure finishes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call keeps cold-start effects out of the mean.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.measured = Some(start.elapsed().as_secs_f64() / self.samples as f64);
+    }
+}
+
+/// The harness: holds the CLI filter and sampling configuration.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter> --quick` delivers everything after
+        // `--` as plain arguments; unknown flags are ignored so real
+        // criterion CLI options do not break the shim.
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--quick" {
+                quick = true;
+            } else if arg == "--bench" || arg.starts_with('-') {
+                continue;
+            } else if filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            filter,
+            sample_size: 20,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upstream reads CLI args in `criterion_main!`; the shim already
+    /// did in `default()`, so this is identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if !self.matches(&id) {
+            return;
+        }
+        let samples = if self.quick {
+            (self.sample_size / 4).max(2)
+        } else {
+            self.sample_size
+        };
+        let mut bencher = Bencher {
+            samples,
+            measured: None,
+        };
+        let before = Instant::now();
+        f(&mut bencher);
+        // Prefer the mean `iter` recorded (the last one, if called more
+        // than once); fall back to closure wall clock when it never was.
+        let per_iter = bencher
+            .measured
+            .unwrap_or_else(|| before.elapsed().as_secs_f64() / (samples + 1) as f64);
+        println!("bench: {id:<48} time: {:>12.3} µs/iter", per_iter * 1e6);
+    }
+}
+
+/// Named group of related benchmarks (`c.benchmark_group("conv")`).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a bench entry point; both upstream forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_mean() {
+        let mut b = Bencher {
+            samples: 3,
+            measured: None,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        let mean = b.measured.expect("iter records a mean");
+        assert!(mean >= 0.0 && mean.is_finite());
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let c = Criterion {
+            filter: Some("lowering".into()),
+            sample_size: 5,
+            quick: false,
+        };
+        assert!(c.matches("kernel_lowering/naive_shift"));
+        assert!(!c.matches("conv_kernels/fixed_point"));
+        let all = Criterion {
+            filter: None,
+            sample_size: 5,
+            quick: false,
+        };
+        assert!(all.matches("anything"));
+    }
+}

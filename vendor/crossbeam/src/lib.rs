@@ -1,0 +1,81 @@
+//! `crossbeam::scope` shim layered over `std::thread::scope`.
+//!
+//! The workspace uses exactly one crossbeam API: fork-join scoped
+//! threads for the parallel matmul and the integer engine's chunked
+//! forward. `std::thread::scope` (stable since 1.63) provides the same
+//! borrow-checked fork-join; this shim adapts the crossbeam signature —
+//! the spawned closure receives `&Scope`, and `scope` returns a
+//! `Result` — onto it.
+//!
+//! Panic semantics differ in one observable way: crossbeam returns
+//! `Err(payload)` when a spawned thread panics, while `std` re-raises
+//! the panic at scope exit. Every in-tree call site `.expect()`s the
+//! result, so both implementations end the same way: a propagated panic
+//! on worker failure, `Ok` otherwise.
+
+use std::any::Any;
+
+/// Fork-join scope handed to [`scope`]'s closure and to each spawned
+/// thread (crossbeam passes it so workers can spawn siblings).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives this scope, like
+    /// crossbeam's `ScopedThreadBuilder` API.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a fork-join scope; every thread spawned inside is
+/// joined before `scope` returns.
+///
+/// # Errors
+///
+/// The crossbeam signature reports worker panics as `Err`; this shim
+/// inherits `std::thread::scope` semantics instead and re-raises the
+/// worker panic at scope exit, so the `Err` arm is never constructed.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_join_and_borrow_locals() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut sums = vec![0u64; 2];
+        scope(|s| {
+            let (lo, hi) = sums.split_at_mut(1);
+            let d = &data;
+            s.spawn(move |_| lo[0] = d[..2].iter().sum());
+            s.spawn(move |_| hi[0] = d[2..].iter().sum());
+        })
+        .expect("workers join cleanly");
+        assert_eq!(sums, [3, 7]);
+    }
+
+    #[test]
+    fn workers_can_spawn_siblings_through_the_scope() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("nested spawn joins");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,212 @@
+//! Deterministic `rand` shim: `StdRng` + the `Rng`/`SeedableRng`
+//! surface the workspace uses (`seed_from_u64`, `gen`, `gen_range` over
+//! integer and float ranges).
+//!
+//! The generator is SplitMix64 — a 64-bit state, full-period mixer that
+//! passes BigCrush for this kind of workload sizing. Streams differ
+//! from upstream `rand`'s ChaCha-based `StdRng`, which is fine for the
+//! in-tree uses (seeded synthetic data and weight init asserting
+//! behavioral properties, never exact upstream streams).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// Deterministic seeded generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    fn next_u64_impl(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix plus warm-up so nearby seeds diverge immediately.
+        let mut rng = StdRng {
+            state: seed.wrapping_mul(0xFF51_AFD7_ED55_8CCD) ^ 0xC4CE_B9FE_1A85_EC53,
+        };
+        rng.next_u64_impl();
+        rng
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64_impl()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64_impl() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64_impl() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64_impl() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample a `T` from. Parametrized by the
+/// output type (like upstream) so `let x: f32 = rng.gen_range(0.0..1.0)`
+/// drives the literal's type through inference.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range needs a non-empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64_impl() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range needs a non-empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64_impl() as u128 % span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range needs a non-empty range");
+                let unit = <$t as Standard>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )+};
+}
+
+float_sample_range!(f32, f64);
+
+/// The sampling surface, mirroring `rand::Rng`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample(self.as_std_rng())
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: AsStdRng,
+    {
+        range.sample(self.as_std_rng())
+    }
+}
+
+/// Access to the concrete generator for the provided `Rng` methods
+/// (keeps the trait object-safe while the shim has one rng type).
+pub trait AsStdRng {
+    fn as_std_rng(&mut self) -> &mut StdRng;
+}
+
+impl AsStdRng for StdRng {
+    fn as_std_rng(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_diverge_by_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let g = rng.gen_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&g));
+            let n = rng.gen_range(-4i32..4);
+            assert!((-4..4).contains(&n));
+        }
+        assert!(seen.iter().all(|&s| s), "small range fully covered");
+    }
+
+    #[test]
+    fn gen_produces_unit_floats_and_u64() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+        let x: u64 = rng.gen();
+        let y: u64 = rng.gen();
+        assert_ne!(x, y);
+    }
+}

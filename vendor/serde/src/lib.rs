@@ -1,0 +1,5 @@
+//! Derive-only serde facade: re-exports the no-op derive macros so
+//! `use serde::{Serialize, Deserialize}` + `#[derive(...)]` compile
+//! unchanged. See `vendor/README.md` for the shim contract.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace derives serde traits on model-spec types for
+//! downstream consumers, but nothing in-tree serializes at runtime (the
+//! bench manifests use `flight_telemetry::json`). The shim accepts the
+//! derive (including `#[serde(...)]` attributes) and expands to
+//! nothing, which is exactly the in-tree observable behavior.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
