@@ -15,6 +15,14 @@
 //! execution. A single [`IntNetwork::forward`] dispatches internally to
 //! the traced/untraced and sequential/parallel paths.
 //!
+//! The engine surface is split **request-first**: [`CompiledNet`] is the
+//! immutable, `Send + Sync` compile-time half (the lowered stage list)
+//! and [`ExecCtx`] is the per-call half (scratch arenas + telemetry).
+//! N concurrent callers share one `Arc<CompiledNet>` and bring their own
+//! `ExecCtx` — the shape a long-running inference service needs, and
+//! what makes hot model swap a plain atomic `Arc` publish.
+//! [`IntNetwork`] wraps the pair up for single-owner callers.
+//!
 //! Activations are quantized with one scale **per image**, so each
 //! image's integer pipeline is independent of its batchmates. That is
 //! what makes the parallel path bit-identical to the sequential one (and
@@ -151,9 +159,8 @@ impl ExecutionPolicy {
     }
 }
 
-/// Builder for [`IntNetwork::compile_with`]: everything that used to be
-/// spread across `compile`/`compile_folded` × `with_telemetry` plus the
-/// new execution policy, in one place.
+/// Builder for [`IntNetwork::compile_with`]: batch-norm folding, the
+/// telemetry handle, and the execution policy in one place.
 ///
 /// ```
 /// use flight_kernels::{CompileOptions, ExecutionPolicy};
@@ -219,7 +226,179 @@ impl CompileOptions {
     }
 }
 
-/// A `QuantNet` lowered to integer execution.
+/// The immutable, shareable half of a compiled network: the lowered
+/// stage list and nothing else.
+///
+/// A `CompiledNet` is `Send + Sync` — it holds no scratch buffers, no
+/// telemetry handle, and no execution policy, so any number of threads
+/// can run [`CompiledNet::forward`] on one instance concurrently, each
+/// with its own [`ExecCtx`]. This is the type a long-running service
+/// shares behind an `Arc`: the serve crate's hot-swap slot publishes an
+/// `Arc<CompiledNet>` and every server worker clones the `Arc` on its
+/// read path.
+///
+/// [`IntNetwork`] remains the convenient single-owner facade (policy +
+/// telemetry bundled in); it is now a thin wrapper over
+/// `Arc<CompiledNet>`.
+#[derive(Debug, Clone)]
+pub struct CompiledNet {
+    layers: Vec<IntLayer>,
+}
+
+// The whole point of the split: compiled state must be shareable across
+// server workers, per-call state must at least move into a worker.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<CompiledNet>();
+    assert_send::<ExecCtx>();
+};
+
+/// Per-call execution state: the reusable activation-quantization
+/// scratch arenas plus the telemetry handle events of this call are
+/// attributed to.
+///
+/// An `ExecCtx` is cheap to create but worth keeping: the scratch
+/// buffers grow to the largest activation plane once and are reused by
+/// every later forward, so a server worker holds one `ExecCtx` for its
+/// lifetime while the `CompiledNet` underneath it may be hot-swapped
+/// between calls.
+#[derive(Debug, Default)]
+pub struct ExecCtx {
+    scratch: Scratch,
+    telemetry: Telemetry,
+}
+
+impl ExecCtx {
+    /// A fresh context with empty scratch and the null telemetry sink.
+    pub fn new() -> Self {
+        ExecCtx::default()
+    }
+
+    /// A fresh context whose forwards emit through `telemetry`.
+    pub fn with_telemetry(telemetry: Telemetry) -> Self {
+        ExecCtx {
+            scratch: Scratch::default(),
+            telemetry,
+        }
+    }
+
+    /// Replaces the telemetry handle, keeping the warmed-up scratch.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle forwards through this context emit to.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+}
+
+impl CompiledNet {
+    /// Lowers a trained network to the integer stage list; with
+    /// `fold_batch_norm`, batch norms fold into the preceding conv's
+    /// affine epilogue (bit-identical results, fewer stages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::UnsupportedLayer`] for plain layers the
+    /// integer pipeline does not know (none are produced by
+    /// [`NetworkConfig::build`](flightnn::configs::NetworkConfig::build)).
+    pub fn compile(net: &mut QuantNet, fold_batch_norm: bool) -> Result<Self, CompileError> {
+        let mut layers = compile_layers(net)?;
+        if fold_batch_norm {
+            fold_affines(&mut layers);
+        }
+        Ok(CompiledNet { layers })
+    }
+
+    /// Number of pipeline stages (after folding, if any).
+    pub fn stages(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the pipeline sequentially on a float input batch `[n, …]`
+    /// through `ctx`'s scratch arenas. With a live telemetry handle on
+    /// the context every stage emits a `kernel.stage.<i>.<kind>` span
+    /// plus per-stage op counters; with the null sink this is the
+    /// uninstrumented hot loop.
+    pub fn forward(&self, input: &Tensor, ctx: &mut ExecCtx) -> (Tensor, OpCounts) {
+        if ctx.telemetry.enabled() {
+            self.forward_traced(input, ctx)
+        } else {
+            let mut counts = OpCounts::default();
+            let out = run_layers(
+                &self.layers,
+                &ctx.telemetry,
+                input,
+                &mut counts,
+                &mut ctx.scratch,
+            );
+            (out, counts)
+        }
+    }
+
+    /// Runs the pipeline under `policy`: batches that engage more than
+    /// one worker split across crossbeam scoped threads (each worker
+    /// with its own internal scratch); everything else runs through
+    /// `ctx` on the calling thread. All paths are bit-identical because
+    /// activations quantize with one scale per image.
+    pub fn forward_with(
+        &self,
+        input: &Tensor,
+        policy: ExecutionPolicy,
+        ctx: &mut ExecCtx,
+    ) -> (Tensor, OpCounts) {
+        let batch = input.dims().first().copied().unwrap_or(0);
+        let workers = policy.worker_count(batch);
+        if workers > 1 {
+            let span = ctx.telemetry.span("kernel.forward");
+            ctx.telemetry
+                .gauge("kernel.forward.workers", workers as f64, "worker");
+            let result = forward_parallel(&self.layers, &ctx.telemetry, input, workers);
+            drop(span);
+            result
+        } else {
+            self.forward(input, ctx)
+        }
+    }
+
+    /// Sequential execution with per-stage spans and counters.
+    fn forward_traced(&self, input: &Tensor, ctx: &mut ExecCtx) -> (Tensor, OpCounts) {
+        let forward_span = ctx.telemetry.span("kernel.forward");
+        ctx.telemetry.gauge("kernel.forward.workers", 1.0, "worker");
+        let mut counts = OpCounts::default();
+        // Borrow the input for the first stage instead of cloning it;
+        // every later stage consumes the previous stage's output.
+        let mut owned: Option<Tensor> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let before = counts;
+            let name = format!("kernel.stage.{i:02}.{}", stage_kind(layer));
+            let stage_span = ctx.telemetry.span(&name);
+            let x = owned.as_ref().unwrap_or(input);
+            owned = Some(run_layer(
+                layer,
+                &ctx.telemetry,
+                x,
+                &mut counts,
+                &mut ctx.scratch,
+            ));
+            drop(stage_span);
+            for (field, n) in counts.delta(before).fields() {
+                if n > 0 {
+                    ctx.telemetry.counter(&format!("{name}.{field}"), n, "op");
+                }
+            }
+        }
+        drop(forward_span);
+        (owned.unwrap_or_else(|| input.clone()), counts)
+    }
+}
+
+/// A `QuantNet` lowered to integer execution: an `Arc<CompiledNet>`
+/// bundled with a telemetry handle and an [`ExecutionPolicy`] — the
+/// convenient single-owner facade over the [`CompiledNet`]/[`ExecCtx`]
+/// split.
 ///
 /// # Example
 ///
@@ -242,7 +421,7 @@ impl CompileOptions {
 /// ```
 #[derive(Debug, Clone)]
 pub struct IntNetwork {
-    layers: Vec<IntLayer>,
+    net: std::sync::Arc<CompiledNet>,
     telemetry: Telemetry,
     policy: ExecutionPolicy,
 }
@@ -256,34 +435,18 @@ impl IntNetwork {
     /// integer pipeline does not know (none are produced by
     /// [`NetworkConfig::build`](flightnn::configs::NetworkConfig::build)).
     pub fn compile_with(net: &mut QuantNet, options: CompileOptions) -> Result<Self, CompileError> {
-        let mut layers = compile_layers(net)?;
-        if options.fold_batch_norm {
-            fold_affines(&mut layers);
-        }
+        let compiled = CompiledNet::compile(net, options.fold_batch_norm)?;
         Ok(IntNetwork {
-            layers,
+            net: std::sync::Arc::new(compiled),
             telemetry: options.telemetry,
             policy: options.policy,
         })
     }
 
-    /// Compiles with the default options.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `IntNetwork::compile_with(net, CompileOptions::new())`"
-    )]
-    pub fn compile(net: &mut QuantNet) -> Result<Self, CompileError> {
-        IntNetwork::compile_with(net, CompileOptions::new())
-    }
-
-    /// Compiles with batch norms folded into the preceding conv's
-    /// affine epilogue.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `IntNetwork::compile_with(net, CompileOptions::new().fold_batch_norm(true))`"
-    )]
-    pub fn compile_folded(net: &mut QuantNet) -> Result<Self, CompileError> {
-        IntNetwork::compile_with(net, CompileOptions::new().fold_batch_norm(true))
+    /// The shared compiled half. Clone the `Arc` to hand the stage list
+    /// to other threads (or a hot-swap slot) without duplicating it.
+    pub fn compiled(&self) -> std::sync::Arc<CompiledNet> {
+        self.net.clone()
     }
 
     /// Attaches a telemetry handle (default: the null sink). With a live
@@ -318,7 +481,7 @@ impl IntNetwork {
 
     /// Number of pipeline stages (after folding, if any).
     pub fn stages(&self) -> usize {
-        self.layers.len()
+        self.net.stages()
     }
 
     /// Runs the integer pipeline on a float input batch `[n, …]`,
@@ -347,29 +510,8 @@ impl IntNetwork {
     /// Activation scales are per image, so all three paths produce
     /// bit-identical logits and identical op counts.
     pub fn forward(&self, input: &Tensor) -> (Tensor, OpCounts) {
-        let batch = input.dims().first().copied().unwrap_or(0);
-        let workers = self.policy.worker_count(batch);
-        if workers > 1 {
-            let span = self.telemetry.span("kernel.forward");
-            self.telemetry
-                .gauge("kernel.forward.workers", workers as f64, "worker");
-            let result = forward_parallel(&self.layers, &self.telemetry, input, workers);
-            drop(span);
-            result
-        } else if self.telemetry.enabled() {
-            self.forward_traced(input)
-        } else {
-            let mut counts = OpCounts::default();
-            let mut scratch = Scratch::default();
-            let out = run_layers(
-                &self.layers,
-                &self.telemetry,
-                input,
-                &mut counts,
-                &mut scratch,
-            );
-            (out, counts)
-        }
+        let mut ctx = ExecCtx::with_telemetry(self.telemetry.clone());
+        self.net.forward_with(input, self.policy, &mut ctx)
     }
 
     /// Like [`IntNetwork::forward`], but writes the logits into a
@@ -385,53 +527,6 @@ impl IntNetwork {
             *out = logits;
         }
         counts
-    }
-
-    /// The sequential pipeline, ignoring telemetry and policy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `IntNetwork::forward`; the null sink already skips tracing, and \
-                `CompileOptions::sequential()` pins single-threaded execution"
-    )]
-    pub fn forward_untraced(&self, input: &Tensor) -> (Tensor, OpCounts) {
-        let mut counts = OpCounts::default();
-        let mut scratch = Scratch::default();
-        let null = Telemetry::default();
-        let out = run_layers(&self.layers, &null, input, &mut counts, &mut scratch);
-        (out, counts)
-    }
-
-    /// Sequential execution with per-stage spans and counters.
-    fn forward_traced(&self, input: &Tensor) -> (Tensor, OpCounts) {
-        let forward_span = self.telemetry.span("kernel.forward");
-        self.telemetry
-            .gauge("kernel.forward.workers", 1.0, "worker");
-        let mut counts = OpCounts::default();
-        let mut scratch = Scratch::default();
-        // Borrow the input for the first stage instead of cloning it;
-        // every later stage consumes the previous stage's output.
-        let mut owned: Option<Tensor> = None;
-        for (i, layer) in self.layers.iter().enumerate() {
-            let before = counts;
-            let name = format!("kernel.stage.{i:02}.{}", stage_kind(layer));
-            let stage_span = self.telemetry.span(&name);
-            let x = owned.as_ref().unwrap_or(input);
-            owned = Some(run_layer(
-                layer,
-                &self.telemetry,
-                x,
-                &mut counts,
-                &mut scratch,
-            ));
-            drop(stage_span);
-            for (field, n) in counts.delta(before).fields() {
-                if n > 0 {
-                    self.telemetry.counter(&format!("{name}.{field}"), n, "op");
-                }
-            }
-        }
-        drop(forward_span);
-        (owned.unwrap_or_else(|| input.clone()), counts)
     }
 }
 

@@ -44,7 +44,7 @@ pub mod qact;
 pub mod shift;
 
 pub use counts::OpCounts;
-pub use engine::{CompileOptions, ExecutionPolicy, IntNetwork};
+pub use engine::{CompileOptions, CompiledNet, ExecCtx, ExecutionPolicy, IntNetwork};
 pub use fixed::{fixed_point_conv, fixed_point_conv_reference};
 pub use qact::QuantActivations;
 pub use shift::{

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use flight_kernels::{CompileOptions, ExecutionPolicy, IntNetwork, OpCounts};
+use flight_kernels::{CompileOptions, CompiledNet, ExecCtx, ExecutionPolicy, IntNetwork, OpCounts};
 use flight_nn::layers::{BatchNorm2d, Flatten, GlobalAvgPool, LeakyRelu, MaxPool2d};
 use flight_telemetry::{CollectingSink, EventKind, Telemetry};
 use flight_tensor::{uniform, Tensor, TensorRng};
@@ -245,46 +245,65 @@ fn residual_slope_is_plumbed_through_compilation() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_compile_with() {
+fn compiled_net_matches_int_network_and_both_compile_paths_agree() {
     let x = input_batch(3, 55);
 
-    let old = IntNetwork::compile(&mut conv_net(&QuantScheme::l1(), 11)).expect("compiles");
-    let new =
-        IntNetwork::compile_with(&mut conv_net(&QuantScheme::l1(), 11), CompileOptions::new())
-            .expect("compiles");
-    let (ol, oc) = old.forward(&x);
-    let (nl, nc) = new.forward(&x);
-    assert_eq!(
-        ol.as_slice(),
-        nl.as_slice(),
-        "compile shim equals compile_with"
-    );
-    assert_eq!(oc, nc);
+    // CompiledNet::compile + ExecCtx forward equals the IntNetwork
+    // facade, folded and unfolded.
+    for (fold, seed) in [(false, 11u64), (true, 12u64)] {
+        let facade = IntNetwork::compile_with(
+            &mut conv_net(&QuantScheme::l2(), seed),
+            CompileOptions::new().fold_batch_norm(fold).sequential(),
+        )
+        .expect("compiles");
+        let bare =
+            CompiledNet::compile(&mut conv_net(&QuantScheme::l2(), seed), fold).expect("compiles");
+        assert_eq!(bare.stages(), facade.stages());
+        let mut ctx = ExecCtx::new();
+        let (bl, bc) = bare.forward(&x, &mut ctx);
+        let (fl, fc) = facade.forward(&x);
+        assert_eq!(bl.as_slice(), fl.as_slice(), "fold={fold}: logits diverge");
+        assert_eq!(bc, fc, "fold={fold}: counts diverge");
+    }
+}
 
-    let folded_old =
-        IntNetwork::compile_folded(&mut conv_net(&QuantScheme::l2(), 12)).expect("compiles");
-    let folded_new = IntNetwork::compile_with(
-        &mut conv_net(&QuantScheme::l2(), 12),
-        CompileOptions::new().fold_batch_norm(true),
-    )
-    .expect("compiles");
-    let (fo, foc) = folded_old.forward(&x);
-    let (fn_, fnc) = folded_new.forward(&x);
-    assert_eq!(
-        fo.as_slice(),
-        fn_.as_slice(),
-        "compile_folded shim equals fold_batch_norm(true)"
-    );
-    assert_eq!(foc, fnc);
+#[test]
+fn shared_compiled_net_serves_concurrent_contexts() {
+    // The request-first split: one Arc<CompiledNet>, N threads each with
+    // a private ExecCtx, all producing the reference logits bit-exactly.
+    // A reused warm context must behave like a fresh one.
+    let mut net = conv_net(&QuantScheme::l1(), 13);
+    let engine =
+        IntNetwork::compile_with(&mut net, CompileOptions::new().sequential()).expect("compiles");
+    let shared = engine.compiled();
+    let inputs: Vec<Tensor> = (0..6).map(|i| input_batch(2, 300 + i)).collect();
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|x| engine.forward(x).0.as_slice().to_vec())
+        .collect();
 
-    let (ul, uc) = folded_old.forward_untraced(&x);
-    assert_eq!(
-        ul.as_slice(),
-        fo.as_slice(),
-        "forward_untraced shim equals forward"
-    );
-    assert_eq!(uc, foc);
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let shared = shared.clone();
+            let inputs = &inputs;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut ctx = ExecCtx::new();
+                // Walk the inputs twice: the second pass runs on warmed
+                // scratch arenas and must not change a single bit.
+                for pass in 0..2 {
+                    for (x, want) in inputs.iter().zip(expected) {
+                        let (logits, _) = shared.forward(x, &mut ctx);
+                        assert_eq!(
+                            logits.as_slice(),
+                            &want[..],
+                            "worker {worker} pass {pass} diverges"
+                        );
+                    }
+                }
+            });
+        }
+    });
 }
 
 proptest! {

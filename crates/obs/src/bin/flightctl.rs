@@ -3,18 +3,21 @@
 //! ```text
 //! flightctl summarize <trace.jsonl> [--json]
 //! flightctl diff <baseline> <candidate> [--tolerance 0.05] [--metrics p1,p2]
+//! flightctl capacity <manifest.json> --qps <target> [--p99-ms <bound>]
 //! flightctl health <trace.jsonl> [--json]
 //! flightctl export <trace.jsonl> [--format chrome] [--out <path>]
 //! flightctl watch <trace.jsonl> [--once|--follow] [--interval <ms>] [--idle-exit <secs>]
 //! ```
 //!
 //! Exit codes: `0` success / within tolerance, `1` regression or health
-//! warnings, `2` usage or I/O errors. Argument parsing is hand-rolled —
-//! five subcommands do not justify a dependency.
+//! warnings, `2` usage or I/O errors. Flag parsing is the shared
+//! [`flight_obs::cli`] vocabulary parser — every subcommand accepts
+//! both `--flag value` and `--flag=value` and rejects unknown flags.
 
 use std::io::IsTerminal;
 
 use flight_obs::capacity::{plan_capacity, CapacityError, CapacityRequest, DEFAULT_HEADROOM};
+use flight_obs::cli::{parse_cli, ParsedArgs, EXIT_FAIL, EXIT_OK, EXIT_USAGE};
 use flight_obs::diff::{diff, load_metrics, DiffOptions};
 use flight_obs::watch::{watch, WatchOptions};
 use flight_obs::{export_chrome, health, read_trace, summarize, summarize_json};
@@ -23,13 +26,15 @@ const USAGE: &str = "usage:
   flightctl summarize <trace.jsonl> [--json]
   flightctl diff <baseline> <candidate> [--tolerance <rel> | --tolerance <metric>=<rel>]...
                  [--metrics <prefix,...>]
-  flightctl capacity <BENCH_scaling.manifest.json> --qps <target> [--p99-ms <bound>]
+  flightctl capacity <BENCH_*.manifest.json> --qps <target> [--p99-ms <bound>]
                  [--headroom <frac>] [--json]
   flightctl health <trace.jsonl> [--json]
   flightctl export <trace.jsonl> [--format chrome] [--out <path>]
   flightctl watch <trace.jsonl> [--once|--follow] [--interval <ms>] [--idle-exit <secs>]
 
-inputs are JSONL telemetry traces or BENCH_*.manifest.json run manifests (diff).
+inputs are JSONL telemetry traces or BENCH_*.manifest.json run manifests
+(diff, and capacity for any manifest carrying a `scaling` block — the
+scaling exhibit's and loadgen's BENCH_serve both qualify).
 export writes Chrome trace-event JSON for Perfetto / chrome://tracing.
 watch tails a live trace; it follows on a TTY and prints one plain report otherwise.
 exit codes: 0 ok, 1 regression/warnings, 2 usage or I/O error.";
@@ -49,7 +54,7 @@ fn run(args: &[String]) -> i32 {
         Some("watch") => cmd_watch(&args[1..]),
         Some("-h" | "--help" | "help") => {
             println!("{USAGE}");
-            0
+            EXIT_OK
         }
         _ => usage_error("missing or unknown subcommand"),
     }
@@ -57,57 +62,48 @@ fn run(args: &[String]) -> i32 {
 
 fn usage_error(message: &str) -> i32 {
     eprintln!("flightctl: {message}\n{USAGE}");
-    2
+    EXIT_USAGE
 }
 
-/// Splits `args` into positional paths and `--json`, rejecting other
-/// flags (shared by `summarize` and `health`).
-fn split_json_flag(args: &[String]) -> Result<(Vec<&String>, bool), String> {
-    let mut paths = Vec::new();
-    let mut json = false;
-    for arg in args {
-        match arg.as_str() {
-            "--json" => json = true,
-            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
-            _ => paths.push(arg),
-        }
-    }
-    Ok((paths, json))
+fn io_error(path: &str, e: impl std::fmt::Display) -> i32 {
+    eprintln!("flightctl: cannot read {path}: {e}");
+    EXIT_USAGE
+}
+
+/// Parses one-trace-path subcommands (`summarize`, `health`): the path
+/// plus an optional `--json`.
+fn trace_path_and_json(args: &[String], what: &str) -> Result<(String, bool), String> {
+    let parsed = parse_cli(args, &[], &["--json"])?;
+    let [path] = parsed.positionals() else {
+        return Err(format!("{what} takes exactly one trace path"));
+    };
+    Ok((path.clone(), parsed.switch("--json")))
 }
 
 fn cmd_summarize(args: &[String]) -> i32 {
-    let (paths, json) = match split_json_flag(args) {
+    let (path, json) = match trace_path_and_json(args, "summarize") {
         Ok(parsed) => parsed,
         Err(e) => return usage_error(&e),
     };
-    let [path] = paths[..] else {
-        return usage_error("summarize takes exactly one trace path");
-    };
-    match read_trace(path) {
+    match read_trace(&path) {
         Ok(trace) => {
             if json {
                 println!("{}", summarize_json(&trace));
             } else {
                 print!("{}", summarize(&trace));
             }
-            0
+            EXIT_OK
         }
-        Err(e) => {
-            eprintln!("flightctl: cannot read {path}: {e}");
-            2
-        }
+        Err(e) => io_error(&path, e),
     }
 }
 
 fn cmd_health(args: &[String]) -> i32 {
-    let (paths, json) = match split_json_flag(args) {
+    let (path, json) = match trace_path_and_json(args, "health") {
         Ok(parsed) => parsed,
         Err(e) => return usage_error(&e),
     };
-    let [path] = paths[..] else {
-        return usage_error("health takes exactly one trace path");
-    };
-    match read_trace(path) {
+    match read_trace(&path) {
         Ok(trace) => {
             let report = health(&trace);
             if json {
@@ -116,80 +112,40 @@ fn cmd_health(args: &[String]) -> i32 {
                 print!("{}", report.render());
             }
             if report.warnings == 0 {
-                0
+                EXIT_OK
             } else {
-                1
+                EXIT_FAIL
             }
         }
-        Err(e) => {
-            eprintln!("flightctl: cannot read {path}: {e}");
-            2
-        }
+        Err(e) => io_error(&path, e),
     }
 }
 
 fn cmd_export(args: &[String]) -> i32 {
-    let mut paths: Vec<&String> = Vec::new();
-    let mut format = "chrome".to_string();
-    let mut out_path: Option<String> = None;
-    let mut i = 0;
-    while i < args.len() {
-        let arg = args[i].as_str();
-        let (flag, inline) = match arg.split_once('=') {
-            Some((f, v)) => (f, Some(v.to_string())),
-            None => (arg, None),
-        };
-        let value = |i: &mut usize| -> Option<String> {
-            match inline {
-                Some(ref v) => Some(v.clone()),
-                None => {
-                    *i += 1;
-                    args.get(*i).cloned()
-                }
-            }
-        };
-        match flag {
-            "--format" => {
-                let Some(raw) = value(&mut i) else {
-                    return usage_error("--format needs a value");
-                };
-                format = raw;
-            }
-            "--out" => {
-                let Some(raw) = value(&mut i) else {
-                    return usage_error("--out needs a value");
-                };
-                out_path = Some(raw);
-            }
-            _ if flag.starts_with('-') => {
-                return usage_error(&format!("unknown flag {flag}"));
-            }
-            _ => paths.push(&args[i]),
-        }
-        i += 1;
-    }
+    let parsed = match parse_cli(args, &["--format", "--out"], &[]) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
+    let format = parsed.value("--format").unwrap_or("chrome");
     if format != "chrome" {
         return usage_error(&format!(
             "unknown export format {format:?} (only \"chrome\" is supported)"
         ));
     }
-    let [path] = paths[..] else {
+    let [path] = parsed.positionals() else {
         return usage_error("export takes exactly one trace path");
     };
     let trace = match read_trace(path) {
         Ok(t) => t,
-        Err(e) => {
-            eprintln!("flightctl: cannot read {path}: {e}");
-            return 2;
-        }
+        Err(e) => return io_error(path, e),
     };
     let (json, stats) = export_chrome(&trace);
     let body = json.render();
-    match out_path {
+    match parsed.value("--out") {
         Some(out) => {
-            if let Err(e) = std::fs::write(&out, format!("{body}\n")) {
+            if let Err(e) = std::fs::write(out, format!("{body}\n")) {
                 eprintln!("flightctl: cannot write {out}: {e}");
-                return 2;
+                return EXIT_USAGE;
             }
             eprintln!("export: {stats} -> {out}");
         }
@@ -198,255 +154,179 @@ fn cmd_export(args: &[String]) -> i32 {
             eprintln!("export: {stats}");
         }
     }
-    0
+    EXIT_OK
 }
 
 fn cmd_watch(args: &[String]) -> i32 {
-    let mut paths: Vec<&String> = Vec::new();
+    let parsed = match parse_cli(
+        args,
+        &["--interval", "--idle-exit"],
+        &["--once", "--follow"],
+    ) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
     let mut opts = WatchOptions {
         follow: std::io::stdout().is_terminal(),
         ..WatchOptions::default()
     };
-    let mut i = 0;
-    while i < args.len() {
-        let arg = args[i].as_str();
-        let (flag, inline) = match arg.split_once('=') {
-            Some((f, v)) => (f, Some(v.to_string())),
-            None => (arg, None),
-        };
-        let value = |i: &mut usize| -> Option<String> {
-            match inline {
-                Some(ref v) => Some(v.clone()),
-                None => {
-                    *i += 1;
-                    args.get(*i).cloned()
-                }
-            }
-        };
-        match flag {
-            "--once" => opts.follow = false,
-            "--follow" => opts.follow = true,
-            "--interval" => {
-                let Some(raw) = value(&mut i) else {
-                    return usage_error("--interval needs a value in milliseconds");
-                };
-                match raw.parse::<u64>() {
-                    Ok(ms) if ms > 0 => opts.interval_ms = ms,
-                    _ => return usage_error("--interval must be a positive integer (ms)"),
-                }
-            }
-            "--idle-exit" => {
-                let Some(raw) = value(&mut i) else {
-                    return usage_error("--idle-exit needs a value in seconds");
-                };
-                match raw.parse::<f64>() {
-                    Ok(s) if s >= 0.0 && s.is_finite() => {
-                        opts.idle_exit_ms = Some((s * 1000.0) as u64);
-                    }
-                    _ => return usage_error("--idle-exit must be a non-negative number (s)"),
-                }
-            }
-            _ if flag.starts_with('-') => {
-                return usage_error(&format!("unknown flag {flag}"));
-            }
-            _ => paths.push(&args[i]),
-        }
-        i += 1;
+    if parsed.switch("--once") {
+        opts.follow = false;
     }
-    let [path] = paths[..] else {
+    if parsed.switch("--follow") {
+        opts.follow = true;
+    }
+    let numbers = (|| -> Result<(Option<u64>, Option<f64>), String> {
+        Ok((
+            parsed.u64_value("--interval", |v| v > 0, "a positive integer (ms)")?,
+            parsed.f64_value("--idle-exit", |v| v >= 0.0, "a non-negative number (s)")?,
+        ))
+    })();
+    match numbers {
+        Ok((interval, idle_exit)) => {
+            if let Some(ms) = interval {
+                opts.interval_ms = ms;
+            }
+            if let Some(secs) = idle_exit {
+                opts.idle_exit_ms = Some((secs * 1000.0) as u64);
+            }
+        }
+        Err(e) => return usage_error(&e),
+    }
+    let [path] = parsed.positionals() else {
         return usage_error("watch takes exactly one trace path");
     };
     let mut stdout = std::io::stdout();
     match watch(std::path::Path::new(path), &opts, &mut stdout) {
-        Ok(_) => 0,
+        Ok(_) => EXIT_OK,
         Err(e) => {
             eprintln!("flightctl: cannot watch {path}: {e}");
-            2
+            EXIT_USAGE
         }
     }
 }
 
 fn cmd_capacity(args: &[String]) -> i32 {
-    let mut paths: Vec<&String> = Vec::new();
-    let mut target_qps: Option<f64> = None;
-    let mut p99_bound_ms: Option<f64> = None;
-    let mut headroom = DEFAULT_HEADROOM;
-    let mut json = false;
-    let mut i = 0;
-    while i < args.len() {
-        let arg = args[i].as_str();
-        let (flag, inline) = match arg.split_once('=') {
-            Some((f, v)) => (f, Some(v.to_string())),
-            None => (arg, None),
-        };
-        let value = |i: &mut usize| -> Option<String> {
-            match inline {
-                Some(ref v) => Some(v.clone()),
-                None => {
-                    *i += 1;
-                    args.get(*i).cloned()
-                }
-            }
-        };
-        match flag {
-            "--qps" => {
-                let Some(raw) = value(&mut i) else {
-                    return usage_error("--qps needs a value");
-                };
-                match raw.parse::<f64>() {
-                    Ok(q) if q > 0.0 && q.is_finite() => target_qps = Some(q),
-                    _ => return usage_error("--qps must be a positive number"),
-                }
-            }
-            "--p99-ms" => {
-                let Some(raw) = value(&mut i) else {
-                    return usage_error("--p99-ms needs a value in milliseconds");
-                };
-                match raw.parse::<f64>() {
-                    Ok(b) if b > 0.0 && b.is_finite() => p99_bound_ms = Some(b),
-                    _ => return usage_error("--p99-ms must be a positive number (ms)"),
-                }
-            }
-            "--headroom" => {
-                let Some(raw) = value(&mut i) else {
-                    return usage_error("--headroom needs a fraction in (0, 1]");
-                };
-                match raw.parse::<f64>() {
-                    Ok(h) if h > 0.0 && h <= 1.0 => headroom = h,
-                    _ => return usage_error("--headroom must be a fraction in (0, 1]"),
-                }
-            }
-            "--json" => json = true,
-            _ if flag.starts_with('-') => {
-                return usage_error(&format!("unknown flag {flag}"));
-            }
-            _ => paths.push(&args[i]),
-        }
-        i += 1;
-    }
-    let [path] = paths[..] else {
-        return usage_error("capacity takes exactly one scaling-manifest path");
+    let parsed = match parse_cli(args, &["--qps", "--p99-ms", "--headroom"], &["--json"]) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
     };
-    let Some(target_qps) = target_qps else {
-        return usage_error("capacity needs --qps <target>");
+    let request = (|| -> Result<CapacityRequest, String> {
+        Ok(CapacityRequest {
+            target_qps: parsed
+                .f64_value("--qps", |v| v > 0.0, "a positive number")?
+                .ok_or_else(|| "capacity needs --qps <target>".to_string())?,
+            p99_bound_ms: parsed.f64_value("--p99-ms", |v| v > 0.0, "a positive number (ms)")?,
+            headroom: parsed
+                .f64_value(
+                    "--headroom",
+                    |v| v > 0.0 && v <= 1.0,
+                    "a fraction in (0, 1]",
+                )?
+                .unwrap_or(DEFAULT_HEADROOM),
+        })
+    })();
+    let request = match request {
+        Ok(r) => r,
+        Err(e) => return usage_error(&e),
+    };
+    let [path] = parsed.positionals() else {
+        return usage_error("capacity takes exactly one scaling-manifest path");
     };
     let manifest = match std::fs::read_to_string(path) {
         Ok(text) => text,
-        Err(e) => {
-            eprintln!("flightctl: cannot read {path}: {e}");
-            return 2;
-        }
-    };
-    let request = CapacityRequest {
-        target_qps,
-        p99_bound_ms,
-        headroom,
+        Err(e) => return io_error(path, e),
     };
     match plan_capacity(&manifest, &request) {
         Ok(plan) => {
-            if json {
+            if parsed.switch("--json") {
                 println!("{}", plan.render_json());
             } else {
                 print!("{}", plan.render());
             }
-            0
+            EXIT_OK
         }
         Err(e @ CapacityError::Infeasible(_)) => {
             eprintln!("flightctl: {e}");
-            1
+            EXIT_FAIL
         }
         Err(e) => {
             eprintln!("flightctl: {e}");
-            2
+            EXIT_USAGE
         }
     }
 }
 
-fn cmd_diff(args: &[String]) -> i32 {
-    let mut paths: Vec<&String> = Vec::new();
+/// Folds the repeatable `--tolerance` values (global number or
+/// `metric=pct` override) and `--metrics` into [`DiffOptions`].
+fn diff_options(parsed: &ParsedArgs) -> Result<DiffOptions, String> {
     let mut options = DiffOptions::default();
-    let mut i = 0;
-    while i < args.len() {
-        let arg = args[i].as_str();
-        // Accept both `--flag value` and `--flag=value`.
-        let (flag, inline) = match arg.split_once('=') {
-            Some((f, v)) => (f, Some(v.to_string())),
-            None => (arg, None),
-        };
-        let value = |i: &mut usize| -> Option<String> {
-            match inline {
-                Some(ref v) => Some(v.clone()),
-                None => {
-                    *i += 1;
-                    args.get(*i).cloned()
+    for raw in parsed.values("--tolerance") {
+        // `--tolerance 0.05` sets the global tolerance;
+        // `--tolerance metric=0.2` (repeatable) overrides one metric —
+        // e.g. loosen a machine-dependent throughput while the rest of
+        // the gate stays tight.
+        if let Some((metric, pct)) = raw.split_once('=') {
+            match pct.parse::<f64>() {
+                Ok(t) if t >= 0.0 && t.is_finite() && !metric.is_empty() => {
+                    options.overrides.push((metric.to_string(), t));
+                }
+                _ => {
+                    return Err(
+                        "--tolerance metric=pct needs a metric name and a non-negative number"
+                            .to_string(),
+                    )
                 }
             }
-        };
-        match flag {
-            "--tolerance" => {
-                let Some(raw) = value(&mut i) else {
-                    return usage_error("--tolerance needs a value");
-                };
-                // `--tolerance 0.05` sets the global tolerance;
-                // `--tolerance metric=0.2` (repeatable) overrides one
-                // metric — e.g. loosen a machine-dependent throughput
-                // while the rest of the gate stays tight.
-                if let Some((metric, pct)) = raw.split_once('=') {
-                    match pct.parse::<f64>() {
-                        Ok(t) if t >= 0.0 && t.is_finite() && !metric.is_empty() => {
-                            options.overrides.push((metric.to_string(), t));
-                        }
-                        _ => return usage_error(
-                            "--tolerance metric=pct needs a metric name and a non-negative number",
-                        ),
-                    }
-                } else {
-                    match raw.parse::<f64>() {
-                        Ok(t) if t >= 0.0 && t.is_finite() => options.tolerance = t,
-                        _ => return usage_error("--tolerance must be a non-negative number"),
-                    }
-                }
+        } else {
+            match raw.parse::<f64>() {
+                Ok(t) if t >= 0.0 && t.is_finite() => options.tolerance = t,
+                _ => return Err("--tolerance must be a non-negative number".to_string()),
             }
-            "--metrics" => {
-                let Some(raw) = value(&mut i) else {
-                    return usage_error("--metrics needs a value");
-                };
-                options.prefixes = raw
-                    .split(',')
-                    .map(str::trim)
-                    .filter(|p| !p.is_empty())
-                    .map(str::to_string)
-                    .collect();
-            }
-            _ if flag.starts_with('-') => {
-                return usage_error(&format!("unknown flag {flag}"));
-            }
-            _ => paths.push(&args[i]),
         }
-        i += 1;
     }
-    let [baseline, candidate] = paths[..] else {
+    if let Some(raw) = parsed.value("--metrics") {
+        options.prefixes = raw
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(str::to_string)
+            .collect();
+    }
+    Ok(options)
+}
+
+fn cmd_diff(args: &[String]) -> i32 {
+    let parsed = match parse_cli(args, &["--tolerance", "--metrics"], &[]) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
+    let options = match diff_options(&parsed) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let [baseline, candidate] = parsed.positionals() else {
         return usage_error("diff takes exactly two input paths");
     };
     let old = match load_metrics(baseline) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("flightctl: {e}");
-            return 2;
+            return EXIT_USAGE;
         }
     };
     let new = match load_metrics(candidate) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("flightctl: {e}");
-            return 2;
+            return EXIT_USAGE;
         }
     };
     let report = diff(&old, &new, &options);
     print!("{}", report.render());
     if report.has_regressions() {
-        1
+        EXIT_FAIL
     } else {
-        0
+        EXIT_OK
     }
 }

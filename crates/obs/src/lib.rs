@@ -35,6 +35,7 @@
 //! ([`tree`]).
 
 pub mod capacity;
+pub mod cli;
 pub mod diff;
 pub mod export;
 pub mod health;
@@ -44,6 +45,7 @@ pub mod tree;
 pub mod watch;
 
 pub use capacity::{plan_capacity, CapacityError, CapacityPlan, CapacityRequest};
+pub use cli::{parse_cli, ParsedArgs, EXIT_FAIL, EXIT_OK, EXIT_USAGE};
 pub use diff::{diff, load_metrics, DiffOptions, DiffReport};
 pub use export::{export_chrome, ExportStats};
 pub use health::{health, HealthReport};

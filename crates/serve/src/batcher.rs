@@ -1,0 +1,166 @@
+//! Dynamic batching: coalesce single-image requests into one forward.
+//!
+//! Policy: a worker blocks for the *first* request, then keeps draining
+//! the queue until either `max_batch` requests are in hand or
+//! `max_wait` has elapsed since the first pop. The first request
+//! therefore pays at most `max_wait` of batch-forming latency, and an
+//! idle server degenerates to batch-of-one with zero added wait beyond
+//! the poll granularity. Because the engine quantizes activations with
+//! per-image scales, the batched forward is bit-identical to running
+//! each member solo — batching changes latency, never answers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// Batch-forming knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Largest batch one forward call may carry.
+    pub max_batch: usize,
+    /// Longest the first request in a batch waits for company.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_micros(500),
+        }
+    }
+}
+
+/// A request parked in the queue, carrying the timestamps the phase
+/// histograms need and the channel its reply goes back on.
+#[derive(Debug)]
+pub struct PendingRequest<R> {
+    /// Flattened image.
+    pub image: Vec<f32>,
+    /// When the connection thread enqueued it.
+    pub enqueued: Instant,
+    /// When a worker popped it (stamped by [`collect_batch`]).
+    pub popped: Instant,
+    /// Where the reply goes.
+    pub reply: std::sync::mpsc::Sender<R>,
+}
+
+/// Collects the next batch from `rx` under `policy`.
+///
+/// Blocks (in short polls, so `stop` is honoured promptly) until a first
+/// request arrives, then drains until the batch is full or the deadline
+/// passes. Returns `None` once `stop` is set and the queue is empty —
+/// the worker's signal to exit. Each popped request gets `popped`
+/// stamped, so queue-wait can be measured per request even though the
+/// batch computes together.
+pub fn collect_batch<R>(
+    rx: &Receiver<PendingRequest<R>>,
+    policy: BatchPolicy,
+    stop: &AtomicBool,
+) -> Option<Vec<PendingRequest<R>>> {
+    let poll = Duration::from_millis(20);
+    let mut first = loop {
+        match rx.recv_timeout(poll) {
+            Ok(req) => break req,
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Acquire) {
+                    // Drain-then-exit: a request racing the stop flag
+                    // still gets served rather than dropped.
+                    match rx.try_recv() {
+                        Ok(req) => break req,
+                        Err(_) => return None,
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    };
+    let sealed_by = Instant::now() + policy.max_wait;
+    first.popped = Instant::now();
+    let mut batch = vec![first];
+    while batch.len() < policy.max_batch.max(1) {
+        let now = Instant::now();
+        if now >= sealed_by {
+            break;
+        }
+        match rx.recv_timeout(sealed_by - now) {
+            Ok(mut req) => {
+                req.popped = Instant::now();
+                batch.push(req);
+            }
+            Err(RecvTimeoutError::Timeout) => break,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Some(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn pending(tag: f32, tx: &mpsc::Sender<u32>) -> PendingRequest<u32> {
+        PendingRequest {
+            image: vec![tag],
+            enqueued: Instant::now(),
+            popped: Instant::now(),
+            reply: tx.clone(),
+        }
+    }
+
+    #[test]
+    fn waits_for_company_up_to_max_batch() {
+        let (tx, rx) = mpsc::channel();
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        for i in 0..5 {
+            tx.send(pending(i as f32, &reply_tx)).unwrap();
+        }
+        let stop = AtomicBool::new(false);
+        let policy = BatchPolicy {
+            max_batch: 3,
+            max_wait: Duration::from_millis(50),
+        };
+        let batch = collect_batch(&rx, policy, &stop).unwrap();
+        assert_eq!(batch.len(), 3, "seals at max_batch, not the deadline");
+        assert_eq!(batch[0].image, vec![0.0]);
+        let rest = collect_batch(&rx, policy, &stop).unwrap();
+        assert_eq!(rest.len(), 2, "deadline seals a partial batch");
+    }
+
+    #[test]
+    fn lone_request_is_not_held_past_the_deadline() {
+        let (tx, rx) = mpsc::channel();
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        tx.send(pending(7.0, &reply_tx)).unwrap();
+        let stop = AtomicBool::new(false);
+        let start = Instant::now();
+        let batch = collect_batch(
+            &rx,
+            BatchPolicy {
+                max_batch: 64,
+                max_wait: Duration::from_millis(10),
+            },
+            &stop,
+        )
+        .unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "must not block on an empty queue once the deadline passes"
+        );
+    }
+
+    #[test]
+    fn stop_flag_drains_then_exits() {
+        let (tx, rx) = mpsc::channel::<PendingRequest<u32>>();
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        let stop = AtomicBool::new(true);
+        tx.send(pending(1.0, &reply_tx)).unwrap();
+        let policy = BatchPolicy::default();
+        // A parked request beats the stop flag…
+        assert!(collect_batch(&rx, policy, &stop).is_some());
+        // …but an empty queue plus stop means exit.
+        assert!(collect_batch(&rx, policy, &stop).is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! `flightq` — a pocket client for a running flight-serve server.
+//!
+//! ```text
+//! flightq ping     --addr <host:port>
+//! flightq infer    --addr <host:port> [--seed <n>] [--len <floats>]
+//! flightq swap     --addr <host:port> [--network <1..8>] [--scheme <label>] [--seed <n>]
+//! flightq stats    --addr <host:port>
+//! flightq shutdown --addr <host:port>
+//! ```
+//!
+//! `infer` sends one seeded-random image (so repeated invocations are
+//! reproducible) and prints the logits with the server's per-phase
+//! timing. Exit codes: 0 ok, 1 server/transport error, 2 usage error.
+
+use flight_obs::cli::{parse_cli, EXIT_FAIL, EXIT_USAGE};
+use flight_serve::{ModelSpec, ServeClient};
+use flight_tensor::{uniform, TensorRng};
+
+const USAGE: &str = "usage:
+  flightq ping     --addr <host:port>
+  flightq infer    --addr <host:port> [--seed <n>] [--len <floats>]
+  flightq swap     --addr <host:port> [--network <1..8>] [--scheme <l1|l2|fp4w8a|full>]
+                   [--seed <n>] [--width <scale>]
+  flightq stats    --addr <host:port>
+  flightq shutdown --addr <host:port>
+
+exit codes: 0 ok, 1 server or transport error, 2 usage error.";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(op) = args.first().map(String::as_str) else {
+        return usage_error("missing subcommand");
+    };
+    if matches!(op, "-h" | "--help" | "help") {
+        println!("{USAGE}");
+        return 0;
+    }
+    let parsed = match parse_cli(
+        &args[1..],
+        &[
+            "--addr",
+            "--seed",
+            "--len",
+            "--network",
+            "--scheme",
+            "--width",
+        ],
+        &[],
+    ) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
+    if !parsed.positionals().is_empty() {
+        return usage_error("flightq takes flags only after the subcommand");
+    }
+    let Some(addr) = parsed.value("--addr") else {
+        return usage_error("flightq needs --addr <host:port>");
+    };
+    let mut client = match ServeClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("flightq: {e}");
+            return EXIT_FAIL;
+        }
+    };
+
+    let outcome = match op {
+        "ping" => client
+            .ping()
+            .map(|v| format!("ok: serving model version {v}")),
+        "shutdown" => client
+            .shutdown()
+            .map(|()| "ok: server shutting down".to_string()),
+        "stats" => client.stats().map(|s| s.render()),
+        "swap" => {
+            let spec = (|| -> Result<ModelSpec, String> {
+                let mut spec = ModelSpec::default();
+                if let Some(n) = parsed.u64_value(
+                    "--network",
+                    |v| (1..=8).contains(&v),
+                    "a network id in 1..=8",
+                )? {
+                    spec.network = n as u8;
+                }
+                if let Some(s) = parsed.value("--scheme") {
+                    spec.scheme = s.to_string();
+                }
+                if let Some(s) = parsed.u64_value("--seed", |_| true, "a non-negative integer")? {
+                    spec.seed = s;
+                }
+                if let Some(w) = parsed.f64_value("--width", |v| v > 0.0, "a positive scale")? {
+                    spec.width = w as f32;
+                }
+                Ok(spec)
+            })();
+            match spec {
+                Ok(spec) => client
+                    .swap(&spec)
+                    .map(|v| format!("ok: published model version {v}")),
+                Err(e) => return usage_error(&e),
+            }
+        }
+        "infer" => {
+            let knobs = (|| -> Result<(u64, usize), String> {
+                Ok((
+                    parsed
+                        .u64_value("--seed", |_| true, "a non-negative integer")?
+                        .unwrap_or(0),
+                    parsed
+                        .usize_value("--len", |v| v > 0, "a positive float count")?
+                        .unwrap_or_else(|| ModelSpec::default().input_len()),
+                ))
+            })();
+            let (seed, len) = match knobs {
+                Ok(k) => k,
+                Err(e) => return usage_error(&e),
+            };
+            let image = uniform(&mut TensorRng::seed(seed), &[len], -1.0, 1.0);
+            client.infer(image.as_slice()).map(|reply| {
+                format!(
+                    "ok: version {} batch {} queue {}us batch_form {}us compute {}us\nlogits: {:?}",
+                    reply.version,
+                    reply.batch,
+                    reply.queue_us,
+                    reply.batch_form_us,
+                    reply.compute_us,
+                    reply.logits
+                )
+            })
+        }
+        other => return usage_error(&format!("unknown subcommand {other:?}")),
+    };
+
+    match outcome {
+        Ok(text) => {
+            println!("{text}");
+            0
+        }
+        Err(e) => {
+            eprintln!("flightq: {e}");
+            EXIT_FAIL
+        }
+    }
+}
+
+fn usage_error(message: &str) -> i32 {
+    eprintln!("flightq: {message}\n{USAGE}");
+    EXIT_USAGE
+}

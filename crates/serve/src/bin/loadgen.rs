@@ -1,0 +1,383 @@
+//! `loadgen` — sustained-load benchmark for flight-serve.
+//!
+//! ```text
+//! loadgen [--addr <host:port>] [--clients <n>] [--duration-secs <s>]
+//!         [--workers <n>] [--engine-threads <n>] [--max-batch <n>]
+//!         [--max-wait-us <µs>] [--queue-depth <n>]
+//!         [--network <1..8>] [--scheme <label>] [--seed <n>] [--width <scale>]
+//! ```
+//!
+//! Without `--addr` it starts an in-process server and hammers it over
+//! real TCP; with `--addr` it drives an external server. Closed-loop
+//! clients send seeded-random single-image requests for the duration;
+//! client-observed end-to-end latency goes into a [`Log2Histogram`] per
+//! client and the shards merge into the reported percentiles.
+//!
+//! Writes `BENCH_serve.manifest.json` (under `FLIGHT_BENCH_DIR`) with a
+//! `serve` block (QPS, p50/p99/p999, reject/error counts, server-side
+//! stats) and a `scaling` block in the exact shape `flightctl capacity`
+//! consumes — so the serving tier can be capacity-planned from measured
+//! numbers, and `flightctl diff` can gate QPS/latency regressions
+//! against a baseline manifest. Set FLIGHT_FIDELITY=smoke to shorten
+//! the run for CI.
+//!
+//! Exit codes: 0 ok, 1 when no request succeeded, 2 usage error.
+
+use std::time::{Duration, Instant};
+
+use flight_bench::suite::ModelRow;
+use flight_bench::BenchRun;
+use flight_obs::cli::{parse_cli, ParsedArgs, EXIT_FAIL, EXIT_USAGE};
+use flight_serve::{ModelSpec, ServeClient, Server, ServerConfig};
+use flight_telemetry::json::{JsonObject, JsonValue};
+use flight_telemetry::Log2Histogram;
+use flight_tensor::{uniform, TensorRng};
+
+const USAGE: &str = "usage:
+  loadgen [--addr <host:port>] [--clients <n>] [--duration-secs <s>]
+          [--workers <n>] [--engine-threads <n>] [--max-batch <n>]
+          [--max-wait-us <us>] [--queue-depth <n>]
+          [--network <1..8>] [--scheme <l1|l2|fp4w8a|full>] [--seed <n>] [--width <scale>]
+
+without --addr an in-process server is started and driven over TCP.
+writes BENCH_serve.manifest.json (FLIGHT_BENCH_DIR sets the directory).
+exit codes: 0 ok, 1 no request succeeded, 2 usage error.";
+
+/// One client's tallies.
+#[derive(Default)]
+struct ClientTally {
+    e2e_ms: Log2Histogram,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    batch_sum: u64,
+    max_batch: usize,
+}
+
+struct Knobs {
+    addr: Option<String>,
+    clients: usize,
+    duration: Duration,
+    workers: usize,
+    engine_threads: usize,
+    max_batch: usize,
+    max_wait_us: u64,
+    queue_depth: usize,
+    spec: ModelSpec,
+}
+
+fn knobs_from(parsed: &ParsedArgs) -> Result<Knobs, String> {
+    let positive = |v: usize| v > 0;
+    let smoke = std::env::var("FLIGHT_FIDELITY").as_deref() == Ok("smoke");
+    let mut spec = ModelSpec::default();
+    if let Some(n) = parsed.u64_value(
+        "--network",
+        |v| (1..=8).contains(&v),
+        "a network id in 1..=8",
+    )? {
+        spec.network = n as u8;
+    }
+    if let Some(s) = parsed.value("--scheme") {
+        spec.scheme = s.to_string();
+    }
+    if let Some(s) = parsed.u64_value("--seed", |_| true, "a non-negative integer")? {
+        spec.seed = s;
+    }
+    if let Some(w) = parsed.f64_value("--width", |v| v > 0.0, "a positive scale")? {
+        spec.width = w as f32;
+    }
+    Ok(Knobs {
+        addr: parsed.value("--addr").map(str::to_string),
+        clients: parsed
+            .usize_value("--clients", positive, "a positive integer")?
+            .unwrap_or(4),
+        duration: Duration::from_secs_f64(
+            parsed
+                .f64_value(
+                    "--duration-secs",
+                    |v| v > 0.0,
+                    "a positive number of seconds",
+                )?
+                .unwrap_or(if smoke { 1.0 } else { 2.0 }),
+        ),
+        workers: parsed
+            .usize_value("--workers", positive, "a positive integer")?
+            .unwrap_or(2),
+        engine_threads: parsed
+            .usize_value("--engine-threads", |_| true, "an integer")?
+            .unwrap_or(1),
+        max_batch: parsed
+            .usize_value("--max-batch", positive, "a positive integer")?
+            .unwrap_or(8),
+        max_wait_us: parsed
+            .u64_value("--max-wait-us", |_| true, "an integer")?
+            .unwrap_or(500),
+        queue_depth: parsed
+            .usize_value("--queue-depth", positive, "a positive integer")?
+            .unwrap_or(256),
+        spec,
+    })
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(
+        args.first().map(String::as_str),
+        Some("-h" | "--help" | "help")
+    ) {
+        println!("{USAGE}");
+        return 0;
+    }
+    let knobs = match parse_cli(
+        &args,
+        &[
+            "--addr",
+            "--clients",
+            "--duration-secs",
+            "--workers",
+            "--engine-threads",
+            "--max-batch",
+            "--max-wait-us",
+            "--queue-depth",
+            "--network",
+            "--scheme",
+            "--seed",
+            "--width",
+        ],
+        &[],
+    )
+    .and_then(|parsed| {
+        if parsed.positionals().is_empty() {
+            knobs_from(&parsed)
+        } else {
+            Err("loadgen takes no positional arguments".to_string())
+        }
+    }) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("loadgen: {e}\n{USAGE}");
+            return EXIT_USAGE;
+        }
+    };
+
+    let mut run = BenchRun::start("serve");
+    run.set_workers(knobs.workers * knobs.engine_threads.max(1));
+
+    // An in-process server unless the caller pointed us at one.
+    let mut local = None;
+    let addr = match &knobs.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let config = ServerConfig {
+                workers: knobs.workers,
+                engine: match knobs.engine_threads {
+                    0 | 1 => flight_kernels::ExecutionPolicy::Sequential,
+                    threads => flight_kernels::ExecutionPolicy::Parallel { threads },
+                },
+                max_batch: knobs.max_batch,
+                max_wait_us: knobs.max_wait_us,
+                queue_depth: knobs.queue_depth,
+                telemetry: run.telemetry().clone(),
+                ..ServerConfig::default()
+            };
+            match Server::start(config, knobs.spec.clone()) {
+                Ok(server) => {
+                    let addr = server.local_addr().to_string();
+                    local = Some(server);
+                    addr
+                }
+                Err(e) => {
+                    eprintln!("loadgen: cannot start server: {e}");
+                    return EXIT_FAIL;
+                }
+            }
+        }
+    };
+    println!(
+        "loadgen: {} clients x {:.1}s against {addr} (network {}, scheme {}, max_batch {}, max_wait {}us)",
+        knobs.clients,
+        knobs.duration.as_secs_f64(),
+        knobs.spec.network,
+        knobs.spec.scheme,
+        knobs.max_batch,
+        knobs.max_wait_us
+    );
+
+    let input_len = knobs.spec.input_len();
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..knobs.clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let duration = knobs.duration;
+                scope.spawn(move || drive_client(&addr, c as u64, input_len, duration))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut e2e_ms = Log2Histogram::new();
+    let (mut ok, mut rejected, mut errors, mut batch_sum, mut max_batch) = (0, 0, 0, 0u64, 0usize);
+    for t in &tallies {
+        e2e_ms.merge(&t.e2e_ms);
+        ok += t.ok;
+        rejected += t.rejected;
+        errors += t.errors;
+        batch_sum += t.batch_sum;
+        max_batch = max_batch.max(t.max_batch);
+    }
+    let qps = ok as f64 / wall;
+    let mean_batch = if ok == 0 {
+        0.0
+    } else {
+        batch_sum as f64 / ok as f64
+    };
+
+    // Server-side per-phase stats over the protocol (works for both
+    // in-process and external servers).
+    let server_stats = ServeClient::connect(&addr)
+        .and_then(|mut c| c.stats())
+        .unwrap_or(JsonValue::Null);
+    if let Some(mut server) = local.take() {
+        server.stop();
+    }
+
+    let pct = |q: f64| e2e_ms.percentile(q);
+    println!(
+        "loadgen: {ok} ok ({rejected} rejected, {errors} errors) in {wall:.2}s -> {qps:.1} qps"
+    );
+    println!(
+        "loadgen: e2e latency ms p50 {:.3} p99 {:.3} p999 {:.3}; mean observed batch {mean_batch:.2} (max {max_batch})",
+        pct(0.50),
+        pct(0.99),
+        pct(0.999)
+    );
+
+    let serve_block = JsonObject::new()
+        .field("qps", qps)
+        .field("clients", knobs.clients)
+        .field("duration_secs", wall)
+        .field("requests", ok)
+        .field("rejected", rejected)
+        .field("errors", errors)
+        .field("mean_observed_batch", mean_batch)
+        .field("max_observed_batch", max_batch)
+        .field(
+            "latency_ms",
+            JsonObject::new()
+                .field("p50", pct(0.50))
+                .field("p99", pct(0.99))
+                .field("p999", pct(0.999))
+                .field("max", if e2e_ms.is_empty() { 0.0 } else { e2e_ms.max() })
+                .build(),
+        )
+        .field("server_stats", server_stats)
+        .build();
+    let scaling_block = scaling_block(&knobs, qps, &e2e_ms);
+
+    let rows = vec![ModelRow {
+        label: format!("serve w{} b{}", knobs.workers, knobs.max_batch),
+        accuracy: 0.0,
+        storage_mb: 0.0,
+        throughput: qps,
+        speedup: 1.0,
+        energy_uj: 0.0,
+        mean_k: None,
+    }];
+    run.finish_with(
+        None,
+        &[("serve".to_string(), rows)],
+        &[("serve", serve_block), ("scaling", scaling_block)],
+    );
+
+    if ok == 0 {
+        eprintln!("loadgen: no request succeeded");
+        return EXIT_FAIL;
+    }
+    0
+}
+
+/// One closed-loop client: seeded-random images until the deadline.
+fn drive_client(addr: &str, id: u64, input_len: usize, duration: Duration) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let Ok(mut client) = ServeClient::connect(addr) else {
+        tally.errors += 1;
+        return tally;
+    };
+    let mut rng = TensorRng::seed(0x10ad_6e00 + id);
+
+    // Warm up untimed: first-touch scratch allocation and code paths.
+    for _ in 0..3 {
+        let image = uniform(&mut rng, &[input_len], -1.0, 1.0);
+        let _ = client.infer(image.as_slice());
+    }
+
+    let deadline = Instant::now() + duration;
+    while Instant::now() < deadline {
+        let image = uniform(&mut rng, &[input_len], -1.0, 1.0);
+        let sent = Instant::now();
+        match client.infer(image.as_slice()) {
+            Ok(reply) => {
+                tally.e2e_ms.record(sent.elapsed().as_secs_f64() * 1e3);
+                tally.ok += 1;
+                tally.batch_sum += reply.batch as u64;
+                tally.max_batch = tally.max_batch.max(reply.batch);
+            }
+            Err(e) if e.retry => {
+                tally.rejected += 1;
+                // Backpressure: yield briefly instead of hammering.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(_) => {
+                tally.errors += 1;
+                if tally.errors > 100 {
+                    break;
+                }
+            }
+        }
+    }
+    tally
+}
+
+/// The `scaling` block in the shape `flightctl capacity` parses: this
+/// run is one measured worker×batch configuration.
+fn scaling_block(knobs: &Knobs, qps: f64, e2e_ms: &Log2Histogram) -> JsonValue {
+    let [c, h, w] = knobs.spec.image_dims;
+    let ms = |q: f64| e2e_ms.percentile(q);
+    let config = JsonObject::new()
+        .field("workers", knobs.workers * knobs.engine_threads.max(1))
+        .field("batch", knobs.max_batch)
+        .field("qps", qps)
+        .field("samples", e2e_ms.total())
+        .field(
+            "latency_ms",
+            JsonObject::new()
+                .field("min", if e2e_ms.is_empty() { 0.0 } else { e2e_ms.min() })
+                .field("p50", ms(0.50))
+                .field("p90", ms(0.90))
+                .field("p95", ms(0.95))
+                .field("p99", ms(0.99))
+                .field("p999", ms(0.999))
+                .field("max", if e2e_ms.is_empty() { 0.0 } else { e2e_ms.max() })
+                .build(),
+        )
+        .build();
+    JsonObject::new()
+        .field("network", knobs.spec.network as u64)
+        .field("scheme", knobs.spec.scheme.as_str())
+        .field(
+            "image_dims",
+            vec![JsonValue::from(c), JsonValue::from(h), JsonValue::from(w)],
+        )
+        .field("source", "loadgen")
+        .field("configs", vec![config])
+        .build()
+}

@@ -1,0 +1,212 @@
+//! A small blocking client for the serve protocol. Used by the CLI
+//! (`flightq`), the load generator, and the integration tests; the wire
+//! format is public, so third-party clients are one frame-writer away.
+
+use std::net::TcpStream;
+
+use flight_telemetry::json::{JsonObject, JsonValue};
+
+use crate::model::ModelSpec;
+use crate::protocol::{read_frame, write_frame};
+
+/// A failed request: transport trouble or a server-side error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    /// Human-readable cause.
+    pub message: String,
+    /// True when the server said "try again" (backpressure rejection).
+    pub retry: bool,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            self.message,
+            if self.retry { " (retryable)" } else { "" }
+        )
+    }
+}
+
+fn fatal(message: impl Into<String>) -> ServeError {
+    ServeError {
+        message: message.into(),
+        retry: false,
+    }
+}
+
+/// A successful inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferOk {
+    /// Class logits.
+    pub logits: Vec<f32>,
+    /// Version of the model that answered.
+    pub version: u64,
+    /// Size of the batch this request was coalesced into.
+    pub batch: usize,
+    /// Server-side queue wait, µs.
+    pub queue_us: u64,
+    /// Server-side batch-forming wait, µs.
+    pub batch_form_us: u64,
+    /// Forward-call wall, µs.
+    pub compute_us: u64,
+}
+
+/// One protocol connection.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> Result<ServeClient, ServeError> {
+        TcpStream::connect(addr)
+            .map(|stream| ServeClient { stream })
+            .map_err(|e| fatal(format!("connect {addr}: {e}")))
+    }
+
+    /// Sends one request object and returns the parsed reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a closed connection, or unparseable replies.
+    pub fn round_trip(&mut self, request: &JsonValue) -> Result<JsonValue, ServeError> {
+        write_frame(&mut self.stream, request.render().as_bytes())
+            .map_err(|e| fatal(format!("send: {e}")))?;
+        let payload = read_frame(&mut self.stream)
+            .map_err(|e| fatal(format!("recv: {e}")))?
+            .ok_or_else(|| fatal("server closed the connection"))?;
+        let text = std::str::from_utf8(&payload).map_err(|_| fatal("reply is not UTF-8"))?;
+        JsonValue::parse(text).map_err(|e| fatal(format!("reply is not JSON: {e}")))
+    }
+
+    /// Checks a reply's `ok` flag, converting failures into
+    /// [`ServeError`] (with `retry` taken from the reply).
+    fn expect_ok(reply: JsonValue) -> Result<JsonValue, ServeError> {
+        match reply.get("ok") {
+            Some(JsonValue::Bool(true)) => Ok(reply),
+            _ => Err(ServeError {
+                message: reply
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("malformed reply")
+                    .to_string(),
+                retry: matches!(reply.get("retry"), Some(JsonValue::Bool(true))),
+            }),
+        }
+    }
+
+    /// Runs one image.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server rejections (`retry: true` when the
+    /// server is shedding load).
+    pub fn infer(&mut self, image: &[f32]) -> Result<InferOk, ServeError> {
+        let request = JsonObject::new()
+            .field("op", "infer")
+            .field(
+                "image",
+                image
+                    .iter()
+                    .map(|&v| JsonValue::from(v))
+                    .collect::<Vec<_>>(),
+            )
+            .build();
+        let reply = Self::expect_ok(self.round_trip(&request)?)?;
+        let uint = |key: &str| {
+            reply
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .map(|v| v as u64)
+                .ok_or_else(|| fatal(format!("reply lacks `{key}`")))
+        };
+        let timing = |key: &str| {
+            reply
+                .get("timing_us")
+                .and_then(|t| t.get(key))
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0) as u64
+        };
+        let logits = reply
+            .get("logits")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| fatal("reply lacks `logits`"))?
+            .iter()
+            .map(|v| v.as_f64().map(|x| x as f32))
+            .collect::<Option<Vec<f32>>>()
+            .ok_or_else(|| fatal("non-numeric logits"))?;
+        Ok(InferOk {
+            logits,
+            version: uint("version")?,
+            batch: uint("batch")? as usize,
+            queue_us: timing("queue"),
+            batch_form_us: timing("batch_form"),
+            compute_us: timing("compute"),
+        })
+    }
+
+    /// Liveness check; returns the live model version.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn ping(&mut self) -> Result<u64, ServeError> {
+        let reply =
+            Self::expect_ok(self.round_trip(&JsonObject::new().field("op", "ping").build())?)?;
+        reply
+            .get("version")
+            .and_then(JsonValue::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| fatal("ping reply lacks `version`"))
+    }
+
+    /// Publishes a new model; returns its version.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and build failures on the server.
+    pub fn swap(&mut self, spec: &ModelSpec) -> Result<u64, ServeError> {
+        let JsonValue::Object(fields) = spec.json() else {
+            unreachable!("spec json is an object")
+        };
+        let mut request = vec![("op".to_string(), JsonValue::String("swap".into()))];
+        request.extend(fields);
+        let reply = Self::expect_ok(self.round_trip(&JsonValue::Object(request))?)?;
+        reply
+            .get("version")
+            .and_then(JsonValue::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| fatal("swap reply lacks `version`"))
+    }
+
+    /// Fetches the server's stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn stats(&mut self) -> Result<JsonValue, ServeError> {
+        let reply =
+            Self::expect_ok(self.round_trip(&JsonObject::new().field("op", "stats").build())?)?;
+        reply
+            .get("stats")
+            .cloned()
+            .ok_or_else(|| fatal("stats reply lacks `stats`"))
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        Self::expect_ok(self.round_trip(&JsonObject::new().field("op", "shutdown").build())?)
+            .map(|_| ())
+    }
+}

@@ -1,0 +1,56 @@
+//! flight-serve: an inference service for compiled FLightNN engines.
+//!
+//! The FLightNN papers optimize single-image latency; this crate turns
+//! the compiled engine into something a deployment can actually sit
+//! behind: a TCP server speaking a length-framed JSON protocol
+//! ([`protocol`]), with
+//!
+//! - **dynamic batching** ([`batcher`]) — single-image requests arriving
+//!   within a short window coalesce into one forward call. Because the
+//!   engine quantizes activations with per-image scales, batched answers
+//!   are bit-identical to solo answers; batching trades a bounded wait
+//!   for throughput, never accuracy.
+//! - **hot model swap** ([`swap`]) — a `swap` op builds a new model off
+//!   the serving path and publishes it atomically; in-flight batches
+//!   finish on the version they started with.
+//! - **backpressure** — the request queue is bounded; beyond it the
+//!   server answers `overloaded` + `retry` instead of queueing without
+//!   limit.
+//! - **per-phase latency accounting** ([`stats`]) — queue wait, batch
+//!   forming, and compute are measured per request into
+//!   [`Log2Histogram`](flight_telemetry::Log2Histogram)s, exposed over
+//!   the `stats` op and through telemetry.
+//!
+//! The server is built directly on the request-first engine API: one
+//! shared [`CompiledNet`](flight_kernels::CompiledNet) snapshot per
+//! published model, one private [`ExecCtx`](flight_kernels::ExecCtx)
+//! per compute worker.
+//!
+//! Quick tour:
+//!
+//! ```
+//! use flight_serve::{ModelSpec, ServeClient, Server, ServerConfig};
+//!
+//! let mut server = Server::start(ServerConfig::default(), ModelSpec::default()).unwrap();
+//! let mut client = ServeClient::connect(&server.local_addr().to_string()).unwrap();
+//! let image = vec![0.5; ModelSpec::default().input_len()];
+//! let reply = client.infer(&image).unwrap();
+//! assert_eq!(reply.version, 1);
+//! assert_eq!(reply.logits.len(), 10);
+//! server.stop();
+//! ```
+
+pub mod batcher;
+pub mod client;
+pub mod model;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+pub mod swap;
+
+pub use batcher::BatchPolicy;
+pub use client::{InferOk, ServeClient, ServeError};
+pub use model::{ModelSpec, ServingModel};
+pub use server::{Server, ServerConfig};
+pub use stats::ServeStats;
+pub use swap::EngineSlot;

@@ -1,0 +1,414 @@
+//! The serving loop: accept thread, per-connection reader threads, a
+//! bounded request queue, and compute workers that form dynamic batches.
+//!
+//! Threading model:
+//!
+//! ```text
+//! accept thread ──► conn thread (1 per client) ──try_send──► bounded queue
+//!                                                                │
+//!                        reply channel ◄── compute worker ◄──────┘
+//!                                          (collect_batch → forward)
+//! ```
+//!
+//! Connection threads never touch the engine; they parse frames, enqueue
+//! [`PendingRequest`]s, and render replies. Compute workers each own a
+//! private [`ExecCtx`] (scratch reuse across batches) and share the
+//! immutable [`CompiledNet`] snapshot they `load()` from the
+//! [`EngineSlot`] at batch start — so a swap mid-batch is invisible to
+//! that batch. The queue is bounded: a full queue rejects with
+//! `overloaded` instead of growing latency without bound.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use flight_kernels::{ExecCtx, ExecutionPolicy};
+use flight_telemetry::json::{JsonObject, JsonValue};
+use flight_telemetry::Telemetry;
+use flight_tensor::Tensor;
+
+use crate::batcher::{collect_batch, BatchPolicy, PendingRequest};
+use crate::model::ModelSpec;
+use crate::protocol::{error_response, overloaded_response, parse_request, Request};
+use crate::protocol::{read_frame, write_frame};
+use crate::stats::{PhaseSample, ServeStats};
+use crate::swap::EngineSlot;
+
+/// How long a connection thread waits for its reply before giving up.
+/// Generous: a full queue is rejected synchronously, so a parked request
+/// only waits this long if a worker wedged.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Compute workers (each forms and executes whole batches).
+    pub workers: usize,
+    /// Intra-batch execution policy for the forward call itself.
+    pub engine: ExecutionPolicy,
+    /// Largest coalesced batch.
+    pub max_batch: usize,
+    /// Longest the first request in a batch waits for company, µs.
+    pub max_wait_us: u64,
+    /// Bounded queue depth; beyond it requests are rejected.
+    pub queue_depth: usize,
+    /// Where serve counters/histograms go on shutdown.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            engine: ExecutionPolicy::Sequential,
+            max_batch: 8,
+            max_wait_us: 500,
+            queue_depth: 256,
+            telemetry: Telemetry::null(),
+        }
+    }
+}
+
+/// Reply a compute worker sends back to the connection thread.
+#[derive(Debug)]
+enum InferReply {
+    Done {
+        version: u64,
+        batch: usize,
+        logits: Vec<f32>,
+        phases: PhaseSample,
+    },
+    Failed(String),
+}
+
+/// State shared by every thread in the server.
+struct Shared {
+    slot: EngineSlot,
+    stats: ServeStats,
+    queue_tx: SyncSender<PendingRequest<InferReply>>,
+    stop: AtomicBool,
+    telemetry: Telemetry,
+}
+
+/// A running server. Dropping it without [`Server::stop`] detaches the
+/// threads; call `stop` (or send a `shutdown` op) for a clean join.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, builds the boot model from `spec`, and starts the accept
+    /// loop plus `config.workers` compute workers.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and model build failures.
+    pub fn start(config: ServerConfig, spec: ModelSpec) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        let slot = EngineSlot::new(spec)?;
+
+        let (queue_tx, queue_rx) = mpsc::sync_channel(config.queue_depth.max(1));
+        let shared = Arc::new(Shared {
+            slot,
+            stats: ServeStats::new(),
+            queue_tx,
+            stop: AtomicBool::new(false),
+            telemetry: config.telemetry.clone(),
+        });
+
+        let policy = BatchPolicy {
+            max_batch: config.max_batch.max(1),
+            max_wait: Duration::from_micros(config.max_wait_us),
+        };
+        let queue_rx = Arc::new(Mutex::new(queue_rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let queue_rx = Arc::clone(&queue_rx);
+                let engine = config.engine;
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &queue_rx, policy, engine))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (the real port when the config asked for 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live model version.
+    pub fn version(&self) -> u64 {
+        self.shared.slot.version()
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.stats.requests()
+    }
+
+    /// The stats snapshot (same shape as the `stats` op's `stats`
+    /// field).
+    pub fn stats_json(&self) -> JsonValue {
+        self.shared.stats.snapshot_json()
+    }
+
+    /// Signals every thread to stop, wakes the accept loop, joins the
+    /// accept thread and workers, and emits final stats through the
+    /// configured telemetry. Idempotent.
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // The accept loop is parked in accept(); poke it awake.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.stats.emit(&self.shared.telemetry);
+    }
+
+    /// True once a shutdown has been requested (by `stop` or the
+    /// `shutdown` op).
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Blocks until a `shutdown` op arrives, then joins everything.
+    pub fn run_to_shutdown(mut self) {
+        while !self.stopping() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Connection threads are detached: they exit when the client
+        // closes or the frame stream errors.
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || {
+                let _ = handle_conn(stream, &shared);
+            });
+    }
+}
+
+/// One connection: read frames, dispatch ops, write reply frames.
+fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    while let Some(payload) = read_frame(&mut reader)? {
+        let received = Instant::now();
+        let reply = match parse_request(&payload) {
+            Err(e) => error_response(&e),
+            Ok(Request::Ping) => JsonObject::new()
+                .field("ok", true)
+                .field("version", shared.slot.version())
+                .build()
+                .render(),
+            Ok(Request::Stats) => JsonObject::new()
+                .field("ok", true)
+                .field("version", shared.slot.version())
+                .field("stats", shared.stats.snapshot_json())
+                .build()
+                .render(),
+            Ok(Request::Swap { spec }) => match shared.slot.swap_to(spec) {
+                Ok(version) => JsonObject::new()
+                    .field("ok", true)
+                    .field("version", version)
+                    .build()
+                    .render(),
+                Err(e) => error_response(&format!("swap failed: {e}")),
+            },
+            Ok(Request::Infer { image }) => infer(shared, image, received),
+            Ok(Request::Shutdown) => {
+                write_frame(
+                    &mut stream,
+                    JsonObject::new()
+                        .field("ok", true)
+                        .build()
+                        .render()
+                        .as_bytes(),
+                )?;
+                shared.stop.store(true, Ordering::Release);
+                return Ok(());
+            }
+        };
+        write_frame(&mut stream, reply.as_bytes())?;
+    }
+    stream.flush()
+}
+
+/// Enqueues one infer request and waits for its reply.
+fn infer(shared: &Arc<Shared>, image: Vec<f32>, received: Instant) -> String {
+    if shared.stop.load(Ordering::Acquire) {
+        return error_response("shutting down");
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let now = Instant::now();
+    let pending = PendingRequest {
+        image,
+        enqueued: now,
+        popped: now,
+        reply: reply_tx,
+    };
+    match shared.queue_tx.try_send(pending) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.stats.record_rejected();
+            return overloaded_response();
+        }
+        Err(TrySendError::Disconnected(_)) => return error_response("queue closed"),
+    }
+    match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+        Ok(InferReply::Done {
+            version,
+            batch,
+            logits,
+            phases,
+        }) => {
+            let us = |d: Duration| d.as_micros() as u64;
+            JsonObject::new()
+                .field("ok", true)
+                .field("version", version)
+                .field("batch", batch)
+                .field(
+                    "logits",
+                    logits
+                        .iter()
+                        .map(|&l| JsonValue::from(l))
+                        .collect::<Vec<_>>(),
+                )
+                .field(
+                    "timing_us",
+                    JsonObject::new()
+                        .field("queue", us(phases.queue))
+                        .field("batch_form", us(phases.batch_form))
+                        .field("compute", us(phases.compute))
+                        .field("total", us(received.elapsed()))
+                        .build(),
+                )
+                .build()
+                .render()
+        }
+        Ok(InferReply::Failed(e)) => error_response(&e),
+        Err(_) => error_response("timed out waiting for a compute worker"),
+    }
+}
+
+/// One compute worker: form a batch, run it, reply to every member.
+fn worker_loop(
+    shared: &Arc<Shared>,
+    queue_rx: &Arc<Mutex<mpsc::Receiver<PendingRequest<InferReply>>>>,
+    policy: BatchPolicy,
+    engine: ExecutionPolicy,
+) {
+    let mut ctx = ExecCtx::new();
+    loop {
+        // Hold the receiver lock only while forming the batch; compute
+        // proceeds unlocked so other workers can form the next batch.
+        let batch = {
+            let rx = queue_rx.lock().expect("queue lock poisoned");
+            collect_batch(&rx, policy, &shared.stop)
+        };
+        let Some(batch) = batch else { break };
+        run_batch(shared, batch, engine, &mut ctx);
+    }
+}
+
+fn run_batch(
+    shared: &Arc<Shared>,
+    batch: Vec<PendingRequest<InferReply>>,
+    engine: ExecutionPolicy,
+    ctx: &mut ExecCtx,
+) {
+    let sealed = Instant::now();
+    let model = shared.slot.load();
+    let expect = model.input_len();
+
+    let mut members = Vec::with_capacity(batch.len());
+    for req in batch {
+        if req.image.len() == expect {
+            members.push(req);
+        } else {
+            shared.stats.record_error();
+            let _ = req.reply.send(InferReply::Failed(format!(
+                "image has {} floats, model expects {expect}",
+                req.image.len()
+            )));
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+
+    let n = members.len();
+    let [c, h, w] = model.spec.image_dims;
+    let mut data = Vec::with_capacity(n * expect);
+    for m in &members {
+        data.extend_from_slice(&m.image);
+    }
+    let input = Tensor::from_vec(data, &[n, c, h, w]);
+
+    let compute_start = Instant::now();
+    let (out, _ops) = model.net.forward_with(&input, engine, ctx);
+    let compute = compute_start.elapsed();
+
+    let logits = out.as_slice();
+    let classes = logits.len() / n;
+    let mut samples = Vec::with_capacity(n);
+    for (i, m) in members.iter().enumerate() {
+        let phases = PhaseSample {
+            queue: m.popped.saturating_duration_since(m.enqueued),
+            batch_form: sealed.saturating_duration_since(m.popped),
+            compute,
+        };
+        samples.push(phases);
+        let _ = m.reply.send(InferReply::Done {
+            version: model.version,
+            batch: n,
+            logits: logits[i * classes..(i + 1) * classes].to_vec(),
+            phases,
+        });
+    }
+    shared.stats.record_batch(&samples);
+}

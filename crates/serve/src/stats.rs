@@ -1,0 +1,174 @@
+//! Server-side telemetry: per-phase latency histograms and counters.
+//!
+//! Each request's life is split into three measured phases — `queue`
+//! (enqueue → a worker popped it), `batch_form` (popped → batch sealed)
+//! and `compute` (the shared forward call) — plus the end-to-end `e2e`
+//! wall. Phases go into [`Log2Histogram`]s so percentiles survive
+//! long-tailed distributions without pre-chosen bucket bounds, and merge
+//! cheaply across workers.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use flight_telemetry::json::{JsonObject, JsonValue};
+use flight_telemetry::{Log2Histogram, Telemetry};
+
+/// One phase's histogram, keyed for JSON output.
+const PHASES: [&str; 4] = ["queue", "batch_form", "compute", "e2e"];
+
+#[derive(Debug, Default)]
+struct Inner {
+    phases: [Log2Histogram; 4],
+    batch_sizes: Log2Histogram,
+    requests: u64,
+    batches: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+/// Shared, thread-safe serve statistics.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    inner: Mutex<Inner>,
+}
+
+/// One request's measured phase durations.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSample {
+    /// Enqueue → popped by a worker.
+    pub queue: Duration,
+    /// Popped → batch sealed.
+    pub batch_form: Duration,
+    /// The batch's forward-call wall (shared by every member).
+    pub compute: Duration,
+}
+
+impl ServeStats {
+    /// Fresh, empty stats.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    /// Records one executed batch: its size and every member's phases.
+    pub fn record_batch(&self, samples: &[PhaseSample]) {
+        let mut inner = self.inner.lock().expect("stats lock poisoned");
+        inner.batches += 1;
+        inner.requests += samples.len() as u64;
+        inner.batch_sizes.record(samples.len() as f64);
+        for s in samples {
+            let e2e = s.queue + s.batch_form + s.compute;
+            for (hist, d) in inner
+                .phases
+                .iter_mut()
+                .zip([s.queue, s.batch_form, s.compute, e2e])
+            {
+                hist.record(d.as_secs_f64() * 1e3);
+            }
+        }
+    }
+
+    /// Records one request bounced by the full queue.
+    pub fn record_rejected(&self) {
+        self.inner.lock().expect("stats lock poisoned").rejected += 1;
+    }
+
+    /// Records one request that failed (bad image, etc.).
+    pub fn record_error(&self) {
+        self.inner.lock().expect("stats lock poisoned").errors += 1;
+    }
+
+    /// Completed (batched) request count.
+    pub fn requests(&self) -> u64 {
+        self.inner.lock().expect("stats lock poisoned").requests
+    }
+
+    /// The stats as a JSON object: counters, mean batch size, and a
+    /// `latency_ms` block of per-phase percentiles.
+    pub fn snapshot_json(&self) -> JsonValue {
+        let inner = self.inner.lock().expect("stats lock poisoned");
+        let mut latency = JsonObject::new();
+        for (name, hist) in PHASES.iter().zip(&inner.phases) {
+            latency = latency.field(
+                name,
+                JsonObject::new()
+                    .field("p50", hist.percentile(0.50))
+                    .field("p99", hist.percentile(0.99))
+                    .field("p999", hist.percentile(0.999))
+                    .field("max", if hist.is_empty() { 0.0 } else { hist.max() })
+                    .build(),
+            );
+        }
+        let mean_batch = if inner.batches == 0 {
+            0.0
+        } else {
+            inner.requests as f64 / inner.batches as f64
+        };
+        JsonObject::new()
+            .field("requests", inner.requests)
+            .field("batches", inner.batches)
+            .field("rejected", inner.rejected)
+            .field("errors", inner.errors)
+            .field("mean_batch", mean_batch)
+            .field("latency_ms", latency.build())
+            .build()
+    }
+
+    /// A copy of the end-to-end latency histogram (milliseconds).
+    pub fn e2e_histogram(&self) -> Log2Histogram {
+        self.inner.lock().expect("stats lock poisoned").phases[3].clone()
+    }
+
+    /// Emits the histograms and counters through a telemetry handle as
+    /// `serve.latency.<phase>` / `serve.<counter>` events.
+    pub fn emit(&self, telemetry: &Telemetry) {
+        if !telemetry.enabled() {
+            return;
+        }
+        let inner = self.inner.lock().expect("stats lock poisoned");
+        for (name, hist) in PHASES.iter().zip(&inner.phases) {
+            telemetry.log2_histogram(&format!("serve.latency.{name}"), hist);
+        }
+        telemetry.log2_histogram("serve.batch_size", &inner.batch_sizes);
+        telemetry.counter("serve.requests", inner.requests, "requests");
+        telemetry.counter("serve.batches", inner.batches, "batches");
+        telemetry.counter("serve.rejected", inner.rejected, "requests");
+        telemetry.counter("serve.errors", inner.errors, "requests");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_accumulate_counters_and_percentiles() {
+        let stats = ServeStats::new();
+        let sample = |ms: u64| PhaseSample {
+            queue: Duration::from_millis(ms),
+            batch_form: Duration::from_micros(100),
+            compute: Duration::from_millis(2),
+        };
+        stats.record_batch(&[sample(1), sample(4)]);
+        stats.record_batch(&[sample(2)]);
+        stats.record_rejected();
+        stats.record_error();
+
+        let snap = stats.snapshot_json();
+        assert_eq!(snap.get("requests").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(snap.get("batches").and_then(JsonValue::as_f64), Some(2.0));
+        assert_eq!(snap.get("rejected").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(snap.get("errors").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(
+            snap.get("mean_batch").and_then(JsonValue::as_f64),
+            Some(1.5)
+        );
+        let queue_p99 = snap
+            .get("latency_ms")
+            .and_then(|l| l.get("queue"))
+            .and_then(|q| q.get("p99"))
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!(queue_p99 >= 4.0, "p99 {queue_p99} must cover the 4ms tail");
+        assert_eq!(stats.e2e_histogram().total(), 3);
+    }
+}

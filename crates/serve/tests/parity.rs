@@ -1,0 +1,185 @@
+//! Server-vs-direct parity: a dynamically batched response must be
+//! bit-identical to running the same image through the compiled engine
+//! directly. The engine quantizes activations with per-image scales, so
+//! batch composition cannot leak between images — this test drives that
+//! guarantee end-to-end through JSON serialization, the queue, and the
+//! batcher (f32 → JSON → f32 round-trips exactly; see the telemetry
+//! JSON renderer).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use flight_kernels::ExecCtx;
+use flight_serve::{ModelSpec, ServeClient, Server, ServerConfig};
+use flight_tensor::{uniform, Tensor, TensorRng};
+
+/// A spec small enough that debug-build forwards stay ~1 ms.
+fn small_spec() -> ModelSpec {
+    ModelSpec {
+        width: 0.1,
+        image_dims: [3, 8, 8],
+        ..ModelSpec::default()
+    }
+}
+
+fn bits(logits: &[f32]) -> Vec<u32> {
+    logits.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn batched_responses_are_bit_identical_to_direct_forward() {
+    let spec = small_spec();
+    let net = spec.build().expect("spec compiles");
+    let [c, h, w] = spec.image_dims;
+
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 15;
+    let images: Vec<Vec<f32>> = (0..CLIENTS)
+        .map(|i| {
+            uniform(
+                &mut TensorRng::seed(100 + i as u64),
+                &[spec.input_len()],
+                -1.0,
+                1.0,
+            )
+            .as_slice()
+            .to_vec()
+        })
+        .collect();
+    let mut ctx = ExecCtx::new();
+    let expected: Vec<Vec<u32>> = images
+        .iter()
+        .map(|img| {
+            let t = Tensor::from_vec(img.clone(), &[1, c, h, w]);
+            bits(net.forward(&t, &mut ctx).0.as_slice())
+        })
+        .collect();
+
+    // One worker and a generous window so concurrent requests coalesce.
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 1,
+            max_batch: CLIENTS,
+            max_wait_us: 20_000,
+            ..ServerConfig::default()
+        },
+        spec,
+    )
+    .expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let max_batch_seen = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for (i, image) in images.iter().enumerate() {
+            let addr = &addr;
+            let expected = &expected;
+            let max_batch_seen = &max_batch_seen;
+            s.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for round in 0..ROUNDS {
+                    let reply = client.infer(image).expect("infer");
+                    assert_eq!(
+                        bits(&reply.logits),
+                        expected[i],
+                        "client {i} round {round} (batch {}): logits differ from direct forward",
+                        reply.batch
+                    );
+                    max_batch_seen.fetch_max(reply.batch, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert!(
+        max_batch_seen.load(Ordering::Relaxed) >= 2,
+        "6 concurrent clients x {ROUNDS} rounds in a 20ms window never coalesced — batching is not engaging"
+    );
+    assert_eq!(server.requests_served(), (CLIENTS * ROUNDS) as u64);
+    server.stop();
+}
+
+#[test]
+fn bad_requests_fail_politely_and_the_connection_survives() {
+    let mut server = Server::start(ServerConfig::default(), small_spec()).expect("server starts");
+    let addr = server.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    // Wrong image length: a per-request error, not a dropped connection.
+    let err = client
+        .infer(&[1.0, 2.0])
+        .expect_err("wrong length must fail");
+    assert!(err.message.contains("expects"), "{err}");
+    assert!(!err.retry, "a malformed request is not retryable");
+
+    // Unknown op over the same connection: still answered, still alive.
+    let reply = client
+        .round_trip(
+            &flight_telemetry::json::JsonObject::new()
+                .field("op", "warp")
+                .build(),
+        )
+        .expect("round trip");
+    assert!(reply.get("error").is_some());
+    assert_eq!(client.ping().expect("connection survives"), 1);
+
+    // The failures are visible in the stats.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("errors").and_then(|v| v.as_f64()),
+        Some(1.0),
+        "{stats:?}"
+    );
+    server.stop();
+}
+
+#[test]
+fn overload_backpressure_rejects_or_serves_but_never_hangs() {
+    // A tiny queue and batch-of-one serialize the server; concurrent
+    // clients must then either get served or get a retryable rejection.
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait_us: 0,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+        small_spec(),
+    )
+    .expect("server starts");
+    let addr = server.local_addr().to_string();
+    let input_len = small_spec().input_len();
+
+    let served = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for i in 0..8 {
+            let addr = &addr;
+            let served = &served;
+            let rejected = &rejected;
+            s.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let image: Vec<f32> = uniform(&mut TensorRng::seed(i), &[input_len], -1.0, 1.0)
+                    .as_slice()
+                    .to_vec();
+                for _ in 0..10 {
+                    match client.infer(&image) {
+                        Ok(_) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            assert!(e.retry, "only backpressure may reject: {e}");
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let served = served.load(Ordering::Relaxed);
+    let rejected = rejected.load(Ordering::Relaxed);
+    assert_eq!(served + rejected, 80, "every request got an answer");
+    assert!(served > 0, "a drained queue must serve");
+    assert_eq!(server.requests_served(), served as u64);
+    server.stop();
+}

@@ -1,0 +1,165 @@
+//! Hot swap under load: while one thread alternates the published
+//! model between two specs, hammer threads verify that every single
+//! response is bit-identical to one of the two models — never a torn
+//! mixture — and that a version the server claims answered with the
+//! model that version was published as.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use flight_kernels::ExecCtx;
+use flight_serve::{ModelSpec, ServeClient, Server, ServerConfig};
+use flight_tensor::{uniform, Tensor, TensorRng};
+
+fn spec_with_seed(seed: u64) -> ModelSpec {
+    ModelSpec {
+        seed,
+        width: 0.1,
+        image_dims: [3, 8, 8],
+        ..ModelSpec::default()
+    }
+}
+
+fn bits(logits: &[f32]) -> Vec<u32> {
+    logits.iter().map(|v| v.to_bits()).collect()
+}
+
+fn expected_logits(spec: &ModelSpec, images: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    let net = spec.build().expect("spec compiles");
+    let [c, h, w] = spec.image_dims;
+    let mut ctx = ExecCtx::new();
+    images
+        .iter()
+        .map(|img| {
+            let t = Tensor::from_vec(img.clone(), &[1, c, h, w]);
+            bits(net.forward(&t, &mut ctx).0.as_slice())
+        })
+        .collect()
+}
+
+#[test]
+fn swap_under_load_never_serves_a_torn_model() {
+    let spec_a = spec_with_seed(1);
+    let spec_b = spec_with_seed(2);
+
+    const IMAGES: usize = 4;
+    const SWAPS: usize = 14;
+    let images: Vec<Vec<f32>> = (0..IMAGES)
+        .map(|i| {
+            uniform(
+                &mut TensorRng::seed(500 + i as u64),
+                &[spec_a.input_len()],
+                -1.0,
+                1.0,
+            )
+            .as_slice()
+            .to_vec()
+        })
+        .collect();
+    let expected_a = expected_logits(&spec_a, &images);
+    let expected_b = expected_logits(&spec_b, &images);
+    assert_ne!(
+        expected_a, expected_b,
+        "the two models must be distinguishable"
+    );
+
+    let mut server = Server::start(
+        ServerConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait_us: 2_000,
+            ..ServerConfig::default()
+        },
+        spec_a.clone(),
+    )
+    .expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    // Which spec each published version was built from. The boot model
+    // (version 1) is A; the swapper records every publish it makes.
+    let version_spec = Mutex::new(HashMap::from([(1u64, 'A')]));
+    let stop = AtomicBool::new(false);
+    let seen_a = AtomicU64::new(0);
+    let seen_b = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let swapper = {
+            let addr = &addr;
+            let version_spec = &version_spec;
+            let stop = &stop;
+            let (spec_a, spec_b) = (&spec_a, &spec_b);
+            s.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("swapper connects");
+                for round in 0..SWAPS {
+                    let (spec, tag) = if round % 2 == 0 {
+                        (spec_b, 'B')
+                    } else {
+                        (spec_a, 'A')
+                    };
+                    let version = client.swap(spec).expect("swap");
+                    version_spec.lock().unwrap().insert(version, tag);
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                stop.store(true, Ordering::Release);
+            })
+        };
+
+        for t in 0..3usize {
+            let addr = &addr;
+            let images = &images;
+            let (expected_a, expected_b) = (&expected_a, &expected_b);
+            let version_spec = &version_spec;
+            let stop = &stop;
+            let (seen_a, seen_b) = (&seen_a, &seen_b);
+            s.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("hammer connects");
+                let mut i = t;
+                while !stop.load(Ordering::Acquire) {
+                    let idx = i % IMAGES;
+                    i += 1;
+                    let reply = client.infer(&images[idx]).expect("infer");
+                    let got = bits(&reply.logits);
+                    let tag = if got == expected_a[idx] {
+                        seen_a.fetch_add(1, Ordering::Relaxed);
+                        'A'
+                    } else if got == expected_b[idx] {
+                        seen_b.fetch_add(1, Ordering::Relaxed);
+                        'B'
+                    } else {
+                        panic!(
+                            "torn response: image {idx} version {} matches neither model bit-exactly",
+                            reply.version
+                        );
+                    };
+                    // The map is written just after the swap reply, so a
+                    // response can briefly carry a not-yet-recorded
+                    // version; when it IS recorded, it must agree.
+                    if let Some(&published) = version_spec.lock().unwrap().get(&reply.version) {
+                        assert_eq!(
+                            published, tag,
+                            "version {} was published as {published} but answered as {tag}",
+                            reply.version
+                        );
+                    }
+                }
+            });
+        }
+
+        swapper.join().expect("swapper");
+    });
+
+    assert_eq!(
+        server.version(),
+        1 + SWAPS as u64,
+        "every swap must have published a new version"
+    );
+    assert!(
+        seen_a.load(Ordering::Relaxed) > 0 && seen_b.load(Ordering::Relaxed) > 0,
+        "load ran across both models (A {} / B {})",
+        seen_a.load(Ordering::Relaxed),
+        seen_b.load(Ordering::Relaxed)
+    );
+    server.stop();
+}
