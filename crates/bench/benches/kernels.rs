@@ -7,7 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flight_kernels::fixed::FixedWeights;
 use flight_kernels::{
-    fixed_point_conv, shift_add_conv, shift_add_conv_reference, QuantActivations, ShiftKernel,
+    active_path, fixed_point_conv, shift_add_conv, shift_add_conv_reference,
+    shift_add_conv_with_path, KernelPath, QuantActivations, ShiftKernel, LANES,
 };
 use flight_tensor::{uniform, TensorRng};
 use flightnn::convert::shift_plan;
@@ -53,10 +54,11 @@ fn bench_conv_kernels(c: &mut Criterion) {
 
 fn bench_kernel_lowering(c: &mut Criterion) {
     // CIFAR-scale shift layer, interpreted tap loop vs lowered tap
-    // program — the timing counterpart of the `lowering` exhibit bin's
-    // single-thread speedup field.
+    // program vs the batch-major SIMD lanes — the timing counterpart of
+    // the `lowering` exhibit bin's single-thread speedup fields. One
+    // full lane block (8 images) so the vectorized interior engages.
     let mut rng = TensorRng::seed(9);
-    let x = uniform(&mut rng, &[1, 32, 32, 32], -1.0, 1.0);
+    let x = uniform(&mut rng, &[LANES, 32, 32, 32], -1.0, 1.0);
     let qa = QuantActivations::quantize(&x, 8);
     let mut conv = QuantConv2d::new(&mut rng, &QuantScheme::l2(), 32, 32, 3, 1, 1);
     let plan = shift_plan(&mut conv);
@@ -66,7 +68,10 @@ fn bench_kernel_lowering(c: &mut Criterion) {
     group.bench_function("naive_shift", |b| {
         b.iter(|| shift_add_conv_reference(&qa, &kernel, 1, 1))
     });
-    group.bench_function("lowered_shift", |b| {
+    group.bench_function("lowered_shift_scalar", |b| {
+        b.iter(|| shift_add_conv_with_path(&qa, &kernel, 1, 1, KernelPath::Scalar))
+    });
+    group.bench_function(format!("lowered_shift_{}", active_path().name()), |b| {
         b.iter(|| shift_add_conv(&qa, &kernel, 1, 1))
     });
     group.finish();

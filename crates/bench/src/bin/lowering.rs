@@ -1,11 +1,15 @@
 //! Kernel-lowering exhibit: interpreted tap loops vs the lowered tap
-//! programs (precomputed offsets, interior/border split) on a
-//! CIFAR-scale shift-add layer, plus the lowered cores under both
-//! engine execution policies. Set FLIGHT_FIDELITY=smoke|bench|full and
-//! (optionally) FLIGHT_TELEMETRY=stderr|jsonl:<path>. The manifest
-//! carries top-level `parity` and `speedup` fields so CI can gate on
-//! them: `parity` is the bitwise logits-and-counts agreement of every
-//! pair measured here, `speedup` is lowered over naive, single thread.
+//! programs (precomputed offsets, interior/border split) vs the
+//! batch-major SIMD lanes on a CIFAR-scale shift-add layer, plus the
+//! lowered cores under both engine execution policies. Set
+//! FLIGHT_FIDELITY=smoke|bench|full and (optionally)
+//! FLIGHT_TELEMETRY=stderr|jsonl:<path>. The manifest carries top-level
+//! `parity`, `simd_parity`, `speedup`, and `scalar_vs_simd_speedup`
+//! fields so CI can gate on them: the parity fields are the bitwise
+//! logits-and-counts agreement of every pair measured here, `speedup`
+//! is the dispatched kernel over naive (single thread), and
+//! `scalar_vs_simd_speedup` is the SIMD lane path over the pinned
+//! per-image scalar path on the same lowered program.
 
 use std::time::Instant;
 
@@ -13,8 +17,8 @@ use flight_bench::suite::ModelRow;
 use flight_bench::{BenchProfile, BenchRun};
 use flight_data::Fidelity;
 use flight_kernels::{
-    shift_add_conv, shift_add_conv_reference, CompileOptions, ExecutionPolicy, IntNetwork,
-    QuantActivations, ShiftKernel,
+    active_path, shift_add_conv, shift_add_conv_reference, shift_add_conv_with_path,
+    CompileOptions, ExecutionPolicy, IntNetwork, KernelPath, QuantActivations, ShiftKernel, LANES,
 };
 use flight_telemetry::json::JsonValue;
 use flight_tensor::{uniform, TensorRng};
@@ -31,7 +35,9 @@ fn main() {
     let run = BenchRun::start("lowering");
     let profile = BenchProfile::from_env();
     let smoke = profile.fidelity == Fidelity::Smoke;
-    let batch = if smoke { 4 } else { 16 };
+    // Smoke still fills one SIMD lane block, so the vectorized interior
+    // is exercised (and gated) at every fidelity.
+    let batch = if smoke { LANES } else { 16 };
     let reps = if smoke { 3 } else { 10 };
     println!(
         "Kernel lowering: {CHANNELS}ch {SIDE}x{SIDE} k3 L-2, batch {batch}, profile {:?}",
@@ -47,11 +53,22 @@ fn main() {
     let x = uniform(&mut rng, &[batch, CHANNELS, SIDE, SIDE], -1.0, 1.0);
     let qa = QuantActivations::quantize(&x, 8);
 
-    // Parity gate 1: lowered kernel vs interpreted reference, bitwise,
-    // logits and op counts both.
+    // Parity gate 1: the dispatched kernel (SIMD where the host has it)
+    // vs the interpreted reference, bitwise, logits and op counts both.
     let (lo_out, lo_counts) = shift_add_conv(&qa, &kernel, 1, 1);
     let (re_out, re_counts) = shift_add_conv_reference(&qa, &kernel, 1, 1);
     let kernel_parity = lo_out.as_slice() == re_out.as_slice() && lo_counts == re_counts;
+
+    // Parity gate 1b: every pinned dispatch path against the same
+    // oracle — AVX2/portable lanes and the per-image scalar path must
+    // all produce the reference bits.
+    let simd = active_path();
+    let simd_parity = [KernelPath::Portable, KernelPath::Scalar, simd]
+        .into_iter()
+        .all(|path| {
+            let (out, counts) = shift_add_conv_with_path(&qa, &kernel, 1, 1, path);
+            out.as_slice() == re_out.as_slice() && counts == re_counts
+        });
 
     let time = |f: &dyn Fn()| {
         let start = Instant::now();
@@ -63,12 +80,18 @@ fn main() {
     let naive_ips = time(&|| {
         let _ = shift_add_conv_reference(&qa, &kernel, 1, 1);
     });
-    let lowered_ips = time(&|| {
-        let _ = shift_add_conv(&qa, &kernel, 1, 1);
+    let scalar_ips = time(&|| {
+        let _ = shift_add_conv_with_path(&qa, &kernel, 1, 1, KernelPath::Scalar);
     });
-    let speedup = lowered_ips / naive_ips.max(1e-9);
+    let simd_ips = time(&|| {
+        let _ = shift_add_conv_with_path(&qa, &kernel, 1, 1, simd);
+    });
+    let speedup = simd_ips / naive_ips.max(1e-9);
+    let scalar_vs_simd = simd_ips / scalar_ips.max(1e-9);
     println!(
-        "single thread: naive {naive_ips:.1} img/s | lowered {lowered_ips:.1} img/s | {speedup:.2}x"
+        "single thread: naive {naive_ips:.1} img/s | lowered scalar {scalar_ips:.1} img/s | \
+         simd[{simd}] {simd_ips:.1} img/s | {speedup:.2}x over naive, \
+         {scalar_vs_simd:.2}x over scalar"
     );
 
     // Engine pass: the same lowered cores behind both execution
@@ -97,7 +120,10 @@ fn main() {
     println!("engine: sequential {seq_ips:.1} img/s | parallel({threads}) {par_ips:.1} img/s");
 
     let parity = kernel_parity && engine_parity;
-    println!("parity: {parity} (kernel {kernel_parity}, engine {engine_parity})");
+    println!(
+        "parity: {parity} (kernel {kernel_parity}, engine {engine_parity}, \
+         paths {simd_parity})"
+    );
 
     let row = |label: &str, ips: f64, rel: f64| ModelRow {
         label: label.to_string(),
@@ -113,7 +139,12 @@ fn main() {
             "shift_conv".to_string(),
             vec![
                 row("naive", naive_ips, 1.0),
-                row("lowered", lowered_ips, speedup),
+                row(
+                    "lowered scalar",
+                    scalar_ips,
+                    scalar_ips / naive_ips.max(1e-9),
+                ),
+                row(&format!("lowered simd [{simd}]"), simd_ips, speedup),
             ],
         ),
         (
@@ -133,8 +164,11 @@ fn main() {
         &tables,
         &[
             ("parity", JsonValue::Bool(parity)),
+            ("simd_parity", JsonValue::Bool(simd_parity)),
             ("speedup", JsonValue::Number(speedup)),
+            ("scalar_vs_simd_speedup", JsonValue::Number(scalar_vs_simd)),
         ],
     );
     assert!(parity, "lowered kernels diverged from the references");
+    assert!(simd_parity, "a dispatch path diverged from the reference");
 }

@@ -41,6 +41,13 @@ pub struct HostEnv {
     pub logical_cores: usize,
     /// CPU model string from `/proc/cpuinfo`, or `"unknown"`.
     pub cpu_model: String,
+    /// SIMD-relevant CPU features (`"avx2,fma,sse4.2"` style label from
+    /// [`flight_kernels::cpu_features`]), so cross-machine perf diffs
+    /// can tell a capability gap from a regression.
+    pub cpu_features: String,
+    /// The kernel dispatch path forwards on this host engage
+    /// (`avx2`/`portable`/`scalar`; honors `FLIGHT_FORCE_SCALAR`).
+    pub kernel_dispatch: String,
     /// Worker threads the run actually engaged (exhibits that size a
     /// pool call [`BenchRun::set_workers`]; `None` = single-threaded or
     /// not reported).
@@ -53,6 +60,8 @@ impl HostEnv {
         HostEnv {
             logical_cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
             cpu_model: cpu_model(),
+            cpu_features: flight_kernels::cpu_features().label(),
+            kernel_dispatch: flight_kernels::active_path().name().to_string(),
             workers: None,
         }
     }
@@ -62,6 +71,8 @@ impl HostEnv {
         JsonObject::new()
             .field("logical_cores", self.logical_cores)
             .field("cpu_model", self.cpu_model.as_str())
+            .field("cpu_features", self.cpu_features.as_str())
+            .field("kernel_dispatch", self.kernel_dispatch.as_str())
             .field(
                 "workers",
                 match self.workers {
@@ -443,6 +454,8 @@ mod tests {
         let env = HostEnv {
             logical_cores: 12,
             cpu_model: "Imaginary CPU @ 3.0GHz".to_string(),
+            cpu_features: "avx2,fma,sse4.2".to_string(),
+            kernel_dispatch: "avx2".to_string(),
             workers: Some(4),
         };
         let text = render_manifest("scaling", None, &[], 0.3, "abc", Some(&env), &[]);
@@ -456,6 +469,14 @@ mod tests {
             e.get("cpu_model").and_then(JsonValue::as_str),
             Some("Imaginary CPU @ 3.0GHz")
         );
+        assert_eq!(
+            e.get("cpu_features").and_then(JsonValue::as_str),
+            Some("avx2,fma,sse4.2")
+        );
+        assert_eq!(
+            e.get("kernel_dispatch").and_then(JsonValue::as_str),
+            Some("avx2")
+        );
         assert_eq!(e.get("workers").and_then(JsonValue::as_f64), Some(4.0));
         // Without an env the field is explicit null, not absent.
         let bare = render_manifest("scaling", None, &[], 0.3, "abc", None, &[]);
@@ -468,6 +489,8 @@ mod tests {
         let env = HostEnv::detect();
         assert!(env.logical_cores >= 1);
         assert!(!env.cpu_model.is_empty());
+        assert!(!env.cpu_features.is_empty());
+        assert!(["avx2", "portable", "scalar"].contains(&env.kernel_dispatch.as_str()));
         assert_eq!(env.workers, None);
     }
 

@@ -45,6 +45,7 @@ use crate::exec::{forward_parallel, Scratch};
 use crate::fixed::{fixed_point_conv_core, FixedWeights};
 use crate::qact::QuantActivations;
 use crate::shift::{shift_add_conv_core, ShiftKernel};
+use crate::simd::{active_path, KernelPath};
 
 /// How a compiled conv/linear layer multiplies.
 #[derive(Debug, Clone)]
@@ -177,6 +178,7 @@ pub struct CompileOptions {
     fold_batch_norm: bool,
     telemetry: Telemetry,
     policy: ExecutionPolicy,
+    force_scalar: bool,
 }
 
 impl CompileOptions {
@@ -213,6 +215,20 @@ impl CompileOptions {
     /// Shorthand for `policy(ExecutionPolicy::Sequential)`.
     pub fn sequential(self) -> Self {
         self.policy(ExecutionPolicy::Sequential)
+    }
+
+    /// Pins the per-image scalar kernel path, ignoring SIMD detection —
+    /// the programmatic form of the
+    /// [`FLIGHT_FORCE_SCALAR`](crate::FORCE_SCALAR_ENV) escape hatch
+    /// (which also works: the env var wins at detection time).
+    pub fn force_scalar(mut self, force: bool) -> Self {
+        self.force_scalar = force;
+        self
+    }
+
+    /// Whether the scalar kernel path is pinned.
+    pub fn forces_scalar(&self) -> bool {
+        self.force_scalar
     }
 
     /// Whether batch-norm folding is enabled.
@@ -292,6 +308,29 @@ impl ExecCtx {
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
     }
+
+    /// The kernel dispatch path forwards through this context request
+    /// (defaults to the process-wide detected path; individual conv
+    /// calls may still fall back to scalar for small batches or
+    /// overflow-risky programs).
+    pub fn kernel_path(&self) -> KernelPath {
+        self.scratch.lanes.path()
+    }
+
+    /// Re-pins the kernel dispatch path, keeping the warmed-up scratch
+    /// (the engine sets this from [`CompileOptions::force_scalar`]).
+    pub fn set_kernel_path(&mut self, path: KernelPath) {
+        self.scratch.lanes.set_path(path);
+    }
+}
+
+/// Emits the engaged kernel dispatch path as a
+/// `kernel.dispatch.<path>` gauge, so traces record which interior
+/// implementation produced them (skipped on the null sink).
+fn emit_dispatch(telemetry: &Telemetry, path: KernelPath) {
+    if telemetry.enabled() {
+        telemetry.gauge(&format!("kernel.dispatch.{}", path.name()), 1.0, "path");
+    }
 }
 
 impl CompiledNet {
@@ -355,7 +394,14 @@ impl CompiledNet {
             let span = ctx.telemetry.span("kernel.forward");
             ctx.telemetry
                 .gauge("kernel.forward.workers", workers as f64, "worker");
-            let result = forward_parallel(&self.layers, &ctx.telemetry, input, workers);
+            emit_dispatch(&ctx.telemetry, ctx.kernel_path());
+            let result = forward_parallel(
+                &self.layers,
+                &ctx.telemetry,
+                input,
+                workers,
+                ctx.kernel_path(),
+            );
             drop(span);
             result
         } else {
@@ -367,6 +413,7 @@ impl CompiledNet {
     fn forward_traced(&self, input: &Tensor, ctx: &mut ExecCtx) -> (Tensor, OpCounts) {
         let forward_span = ctx.telemetry.span("kernel.forward");
         ctx.telemetry.gauge("kernel.forward.workers", 1.0, "worker");
+        emit_dispatch(&ctx.telemetry, ctx.kernel_path());
         let mut counts = OpCounts::default();
         // Borrow the input for the first stage instead of cloning it;
         // every later stage consumes the previous stage's output.
@@ -424,6 +471,7 @@ pub struct IntNetwork {
     net: std::sync::Arc<CompiledNet>,
     telemetry: Telemetry,
     policy: ExecutionPolicy,
+    kernel_path: KernelPath,
 }
 
 impl IntNetwork {
@@ -440,7 +488,19 @@ impl IntNetwork {
             net: std::sync::Arc::new(compiled),
             telemetry: options.telemetry,
             policy: options.policy,
+            kernel_path: if options.force_scalar {
+                KernelPath::Scalar
+            } else {
+                active_path()
+            },
         })
+    }
+
+    /// The kernel dispatch path this network's forwards request
+    /// (resolved once at compile time from [`CompileOptions::force_scalar`],
+    /// the `FLIGHT_FORCE_SCALAR` environment, and CPU detection).
+    pub fn kernel_path(&self) -> KernelPath {
+        self.kernel_path
     }
 
     /// The shared compiled half. Clone the `Arc` to hand the stage list
@@ -511,6 +571,7 @@ impl IntNetwork {
     /// bit-identical logits and identical op counts.
     pub fn forward(&self, input: &Tensor) -> (Tensor, OpCounts) {
         let mut ctx = ExecCtx::with_telemetry(self.telemetry.clone());
+        ctx.set_kernel_path(self.kernel_path);
         self.net.forward_with(input, self.policy, &mut ctx)
     }
 
@@ -828,6 +889,7 @@ fn conv_stage(
                 kernel,
                 out.as_mut_slice(),
                 counts,
+                &mut scratch.lanes,
             );
             drop(span);
             out
@@ -850,6 +912,7 @@ fn conv_stage(
                 fw,
                 out.as_mut_slice(),
                 counts,
+                &mut scratch.lanes,
             );
             drop(span);
             out

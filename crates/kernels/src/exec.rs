@@ -23,17 +23,34 @@ use flight_tensor::Tensor;
 
 use crate::counts::OpCounts;
 use crate::engine::{run_layers, IntLayer};
+use crate::simd::{KernelPath, LaneCtx};
 
-/// Per-worker reusable buffers for activation quantization: integer
-/// codes plus one scale per image. Cleared and refilled by every conv
-/// stage, so the backing allocations grow to the largest activation
-/// plane once and are reused from then on.
+/// Per-worker reusable buffers for activation quantization — integer
+/// codes plus one scale per image — and the lane context (dispatch
+/// path plus the batch-blocked SIMD arena). Cleared and refilled by
+/// every conv stage, so the backing allocations grow to the largest
+/// activation plane once and are reused from then on.
 #[derive(Debug, Default)]
 pub(crate) struct Scratch {
     /// Integer activation codes, row-major over the whole chunk.
     pub codes: Vec<i32>,
     /// One quantization scale per image.
     pub scales: Vec<f32>,
+    /// Kernel dispatch path plus the lane-major blocked arena the SIMD
+    /// interior reads.
+    pub lanes: LaneCtx,
+}
+
+impl Scratch {
+    /// A scratch arena whose lane context is pinned to `path` (the
+    /// engine resolves the path once per compile; workers inherit it).
+    pub fn with_path(path: KernelPath) -> Self {
+        Scratch {
+            codes: Vec::new(),
+            scales: Vec::new(),
+            lanes: LaneCtx::with_path(path),
+        }
+    }
 }
 
 /// Runs `layers` over `input` (`[n, …]`, `n ≥ 2`) split into
@@ -58,6 +75,7 @@ pub(crate) fn forward_parallel(
     telemetry: &Telemetry,
     input: &Tensor,
     workers: usize,
+    path: KernelPath,
 ) -> (Tensor, OpCounts) {
     let dims = input.dims();
     let n = dims[0];
@@ -82,7 +100,7 @@ pub(crate) fn forward_parallel(
                 let queue_wait = dispatch.elapsed().as_secs_f64();
                 let span = worker_telemetry.span("chunk");
                 let mut counts = OpCounts::default();
-                let mut scratch = Scratch::default();
+                let mut scratch = Scratch::with_path(path);
                 let out = if worker_telemetry.enabled() {
                     let out = run_chunk_per_image(
                         layers,

@@ -18,6 +18,9 @@ use crate::counts::OpCounts;
 use crate::lower::{for_each_border_position, interior_rect, InteriorRect};
 use crate::qact::QuantActivations;
 use crate::shift::LoweringStats;
+use crate::simd::{
+    active_path, pack_lane_block, run_fixed_rect, BlockGeom, KernelPath, LaneCtx, LANES,
+};
 
 type LoweredCache = Arc<Mutex<Vec<(Conv2dGeometry, Arc<LoweredFixed>)>>>;
 
@@ -131,6 +134,11 @@ struct LoweredFixed {
     macs_per_image: u64,
     interior_positions: usize,
     border_positions: usize,
+    /// Worst-case per-filter magnitude multiplier `max_f Σ_taps |w|`: an
+    /// interior accumulator is bounded by `max |code| · lane_weight`,
+    /// which must fit i32 for the lane path to match the scalar i64
+    /// accumulation bit-for-bit.
+    lane_weight: u64,
 }
 
 impl LoweredFixed {
@@ -188,6 +196,20 @@ impl LoweredFixed {
             macs += executed * f as u64;
         });
 
+        // Lane-eligibility bound: the largest per-filter Σ|w| (see the
+        // field docs). The i32 lane multiply itself cannot wrap either
+        // under the same bound, since every partial product is ≤ the
+        // accumulator bound.
+        let ckk = c * kh * kw;
+        let mut lane_weight = 0u64;
+        for fi in 0..f {
+            let filter_weight: u64 = weights.codes[fi * ckk..(fi + 1) * ckk]
+                .iter()
+                .map(|wv| wv.unsigned_abs() as u64)
+                .sum();
+            lane_weight = lane_weight.max(filter_weight);
+        }
+
         LoweredFixed {
             rect,
             offsets,
@@ -195,11 +217,33 @@ impl LoweredFixed {
             macs_per_image: macs,
             interior_positions,
             border_positions,
+            lane_weight,
         }
     }
 
-    /// Executes the lowered program: branchless interior MACs, checked
-    /// border. Writes outputs only — accounting is precomputed.
+    /// The path this call actually runs (see `LoweredShift::lane_path`):
+    /// the requested lane path only when the batch fills a lane block,
+    /// the interior is nonempty, and i32 lane accumulation provably
+    /// cannot wrap; [`KernelPath::Scalar`] otherwise.
+    fn lane_path(&self, requested: KernelPath, codes: &[i32], n: usize) -> KernelPath {
+        if requested == KernelPath::Scalar || n < LANES || self.interior_positions == 0 {
+            return KernelPath::Scalar;
+        }
+        let max_abs = codes
+            .iter()
+            .map(|c| c.unsigned_abs() as u64)
+            .max()
+            .unwrap_or(0);
+        if max_abs.saturating_mul(self.lane_weight) > i32::MAX as u64 {
+            return KernelPath::Scalar;
+        }
+        requested
+    }
+
+    /// Executes the lowered program: lane-blocked SIMD interior where
+    /// eligible (full blocks of [`LANES`] images), scalar interior MACs
+    /// otherwise, checked scalar border always. Writes outputs only —
+    /// accounting is precomputed and dispatch-invariant.
     fn run(
         &self,
         weights: &FixedWeights,
@@ -207,8 +251,73 @@ impl LoweredFixed {
         scales: &[f32],
         geom: &Conv2dGeometry,
         out: &mut [f32],
+        lanes: &mut LaneCtx,
     ) {
         let n = scales.len();
+        let path = self.lane_path(lanes.path(), codes_in, n);
+        let lane_images = if path == KernelPath::Scalar {
+            0
+        } else {
+            n - n % LANES
+        };
+
+        if lane_images > 0 {
+            let chw = geom.in_channels * geom.in_h * geom.in_w;
+            let (f, ckk) = (weights.dims[0], self.offsets.len());
+            let img_stride = f * geom.out_h * geom.out_w;
+            let g = BlockGeom {
+                rect: self.rect,
+                stride: geom.stride,
+                padding: geom.padding,
+                in_w: geom.in_w,
+                out_w: geom.out_w,
+            };
+            for b0 in (0..lane_images).step_by(LANES) {
+                pack_lane_block(
+                    &codes_in[b0 * chw..(b0 + LANES) * chw],
+                    chw,
+                    &mut lanes.block,
+                );
+                let mut out_scales = [0f32; LANES];
+                for (l, slot) in out_scales.iter_mut().enumerate() {
+                    *slot = scales[b0 + l] * weights.scale;
+                }
+                for fi in 0..f {
+                    run_fixed_rect(
+                        path,
+                        &lanes.block,
+                        &self.offsets,
+                        &weights.codes[fi * ckk..(fi + 1) * ckk],
+                        &g,
+                        out,
+                        (b0 * f + fi) * geom.out_h * geom.out_w,
+                        img_stride,
+                        &out_scales,
+                    );
+                }
+            }
+            // The border ring of the lane-covered images stays scalar.
+            self.run_scalar(weights, codes_in, scales, geom, out, 0..lane_images, false);
+        }
+
+        // Remnant images (or the whole batch when the lane path is off)
+        // run the per-image scalar path.
+        self.run_scalar(weights, codes_in, scales, geom, out, lane_images..n, true);
+    }
+
+    /// The per-image scalar path over a range of images: i64-accumulated
+    /// interior (when `include_interior`) plus the checked border.
+    #[allow(clippy::too_many_arguments)]
+    fn run_scalar(
+        &self,
+        weights: &FixedWeights,
+        codes_in: &[i32],
+        scales: &[f32],
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+        images: std::ops::Range<usize>,
+        include_interior: bool,
+    ) {
         let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
         let chw = c * h * w;
         let (stride, padding) = (geom.stride, geom.padding);
@@ -217,7 +326,7 @@ impl LoweredFixed {
         let rect = self.rect;
         let wcodes = &weights.codes;
 
-        for b in 0..n {
+        for b in images {
             let out_scale = scales[b] * weights.scale;
             let img = &codes_in[b * chw..(b + 1) * chw];
             for fi in 0..f {
@@ -225,16 +334,19 @@ impl LoweredFixed {
 
                 // Interior: no padding branch, no index decode, no
                 // per-tap accounting — load, multiply, accumulate.
-                for oi in rect.oi_lo..rect.oi_hi {
-                    let out_row = ((b * f + fi) * out_h + oi) * out_w;
-                    let in_row = (oi * stride - padding) * w;
-                    for oj in rect.oj_lo..rect.oj_hi {
-                        let base = in_row + oj * stride - padding;
-                        let mut acc: i64 = 0;
-                        for (&o, &wv) in self.offsets.iter().zip(filter) {
-                            acc += img[base + o as usize] as i64 * wv as i64;
+                // Skipped when a lane block already wrote these bits.
+                if include_interior {
+                    for oi in rect.oi_lo..rect.oi_hi {
+                        let out_row = ((b * f + fi) * out_h + oi) * out_w;
+                        let in_row = (oi * stride - padding) * w;
+                        for oj in rect.oj_lo..rect.oj_hi {
+                            let base = in_row + oj * stride - padding;
+                            let mut acc: i64 = 0;
+                            for (&o, &wv) in self.offsets.iter().zip(filter) {
+                                acc += img[base + o as usize] as i64 * wv as i64;
+                            }
+                            out[out_row + oj] = acc as f32 * out_scale;
                         }
-                        out[out_row + oj] = acc as f32 * out_scale;
                     }
                 }
 
@@ -274,7 +386,27 @@ pub fn fixed_point_conv(
     stride: usize,
     padding: usize,
 ) -> (Tensor, OpCounts) {
-    fixed_point_conv_with(act, weights, stride, padding, fixed_point_conv_core)
+    fixed_point_conv_with_path(act, weights, stride, padding, active_path())
+}
+
+/// [`fixed_point_conv`] pinned to a specific [`KernelPath`] instead of
+/// the process-wide dispatch decision — the entry point of the
+/// path-matrix parity tests and the `lowering` bench exhibit.
+pub fn fixed_point_conv_with_path(
+    act: &QuantActivations,
+    weights: &FixedWeights,
+    stride: usize,
+    padding: usize,
+    path: KernelPath,
+) -> (Tensor, OpCounts) {
+    fixed_point_conv_with(
+        act,
+        weights,
+        stride,
+        padding,
+        fixed_point_conv_core,
+        LaneCtx::with_path(path),
+    )
 }
 
 /// [`fixed_point_conv`] on the retained interpreted core — the oracle the
@@ -293,10 +425,12 @@ pub fn fixed_point_conv_reference(
         stride,
         padding,
         fixed_point_conv_reference_core,
+        LaneCtx::with_path(KernelPath::Scalar),
     )
 }
 
-type FixedCore = fn(&[i32], &[f32], &Conv2dGeometry, &FixedWeights, &mut [f32], &mut OpCounts);
+type FixedCore =
+    fn(&[i32], &[f32], &Conv2dGeometry, &FixedWeights, &mut [f32], &mut OpCounts, &mut LaneCtx);
 
 fn fixed_point_conv_with(
     act: &QuantActivations,
@@ -304,6 +438,7 @@ fn fixed_point_conv_with(
     stride: usize,
     padding: usize,
     core: FixedCore,
+    mut lanes: LaneCtx,
 ) -> (Tensor, OpCounts) {
     let ad = act.dims();
     assert_eq!(ad.len(), 4, "activations must be [n, c, h, w]");
@@ -319,6 +454,7 @@ fn fixed_point_conv_with(
         weights,
         out.as_mut_slice(),
         &mut counts,
+        &mut lanes,
     );
     (out, counts)
 }
@@ -357,10 +493,11 @@ pub(crate) fn fixed_point_conv_core(
     weights: &FixedWeights,
     out: &mut [f32],
     counts: &mut OpCounts,
+    lanes: &mut LaneCtx,
 ) {
     check_core_shapes(codes, scales, geom, weights, out);
     let lowered = weights.lowered(geom);
-    lowered.run(weights, codes, scales, geom, out);
+    lowered.run(weights, codes, scales, geom, out, lanes);
     let n = scales.len() as u64;
     counts.int_mults += n * lowered.macs_per_image;
     counts.int_adds += n * lowered.macs_per_image;
@@ -375,6 +512,7 @@ pub(crate) fn fixed_point_conv_reference_core(
     weights: &FixedWeights,
     out: &mut [f32],
     counts: &mut OpCounts,
+    _lanes: &mut LaneCtx,
 ) {
     check_core_shapes(codes, scales, geom, weights, out);
     let n = scales.len();

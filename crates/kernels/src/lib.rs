@@ -42,11 +42,14 @@ pub mod fixed;
 mod lower;
 pub mod qact;
 pub mod shift;
+pub mod simd;
 
 pub use counts::OpCounts;
 pub use engine::{CompileOptions, CompiledNet, ExecCtx, ExecutionPolicy, IntNetwork};
-pub use fixed::{fixed_point_conv, fixed_point_conv_reference};
+pub use fixed::{fixed_point_conv, fixed_point_conv_reference, fixed_point_conv_with_path};
 pub use qact::QuantActivations;
 pub use shift::{
-    shift_add_conv, shift_add_conv_reference, LoweringStats, ShiftCompileError, ShiftKernel,
+    shift_add_conv, shift_add_conv_reference, shift_add_conv_with_path, LoweringStats,
+    ShiftCompileError, ShiftKernel,
 };
+pub use simd::{active_path, cpu_features, CpuFeatures, KernelPath, FORCE_SCALAR_ENV, LANES};

@@ -37,11 +37,15 @@ use flightnn::pow2::pow2_exponent;
 use crate::counts::OpCounts;
 use crate::lower::{for_each_border_position, interior_rect, InteriorRect};
 use crate::qact::QuantActivations;
+use crate::simd::{
+    active_path, pack_lane_block, run_shift_rect, BlockGeom, KernelPath, LaneCtx, LANES,
+    MAX_LANE_SHIFT,
+};
 
 /// Packed tap code layout: shift amount in the low 6 bits, sign in the
-/// top bit (`1` = subtract).
-const SHIFT_MASK: u32 = 0x3f;
-const SIGN_BIT: u32 = 1 << 31;
+/// top bit (`1` = subtract). Shared with the lane kernels in `simd.rs`.
+pub(crate) const SHIFT_MASK: u32 = 0x3f;
+pub(crate) const SIGN_BIT: u32 = 1 << 31;
 
 /// One compiled tap: flat kernel-space offset plus the packed shift/sign
 /// code.
@@ -400,6 +404,15 @@ struct LoweredShift {
     adds_per_image: u64,
     interior_positions: usize,
     border_positions: usize,
+    /// Largest packed shift amount across all taps — the lane path
+    /// requires it ≤ [`MAX_LANE_SHIFT`] so `a << s` stays defined (and
+    /// bounded) in i32.
+    max_shift: u32,
+    /// Worst-case per-filter magnitude multiplier `max_f Σ_taps 2^s`:
+    /// an interior accumulator is bounded by `max |code| · lane_weight`,
+    /// which must fit i32 for the lane path to match the scalar i64
+    /// accumulation bit-for-bit.
+    lane_weight: u64,
 }
 
 impl LoweredShift {
@@ -463,6 +476,21 @@ impl LoweredShift {
             }
         });
 
+        // Lane-eligibility bounds (see the field docs): worst-case shift
+        // and per-filter magnitude multiplier, both over the packed codes.
+        let mut max_shift = 0u32;
+        let mut lane_weight = 0u64;
+        for fi in 0..kernel.filters() {
+            let mut filter_weight = 0u64;
+            for cd in &codes[kernel.bounds[fi] as usize..kernel.bounds[fi + 1] as usize] {
+                let s = cd & SHIFT_MASK;
+                max_shift = max_shift.max(s);
+                filter_weight =
+                    filter_weight.saturating_add(1u64.checked_shl(s).unwrap_or(u64::MAX));
+            }
+            lane_weight = lane_weight.max(filter_weight);
+        }
+
         LoweredShift {
             rect,
             offsets,
@@ -472,12 +500,39 @@ impl LoweredShift {
             adds_per_image: adds,
             interior_positions,
             border_positions,
+            max_shift,
+            lane_weight,
         }
     }
 
-    /// Executes the lowered program: branchless interior, checked border.
-    /// Writes outputs only — op accounting lives in the precomputed
-    /// per-image totals.
+    /// The path this call actually runs: the requested lane path only
+    /// when the batch fills at least one lane block, the interior is
+    /// nonempty, and i32 lane accumulation provably cannot wrap (see
+    /// the `lane_weight` field docs); [`KernelPath::Scalar`] otherwise.
+    fn lane_path(&self, requested: KernelPath, codes: &[i32], n: usize) -> KernelPath {
+        if requested == KernelPath::Scalar
+            || n < LANES
+            || self.interior_positions == 0
+            || self.max_shift > MAX_LANE_SHIFT
+        {
+            return KernelPath::Scalar;
+        }
+        let max_abs = codes
+            .iter()
+            .map(|c| c.unsigned_abs() as u64)
+            .max()
+            .unwrap_or(0);
+        if max_abs.saturating_mul(self.lane_weight) > i32::MAX as u64 {
+            return KernelPath::Scalar;
+        }
+        requested
+    }
+
+    /// Executes the lowered program: lane-blocked SIMD interior where
+    /// eligible (full blocks of [`LANES`] images), scalar interior
+    /// otherwise, checked scalar border always. Writes outputs only —
+    /// op accounting lives in the precomputed per-image totals, which
+    /// are dispatch-invariant.
     fn run(
         &self,
         kernel: &ShiftKernel,
@@ -485,8 +540,76 @@ impl LoweredShift {
         scales: &[f32],
         geom: &Conv2dGeometry,
         out: &mut [f32],
+        lanes: &mut LaneCtx,
     ) {
         let n = scales.len();
+        let path = self.lane_path(lanes.path(), codes_in, n);
+        let lane_images = if path == KernelPath::Scalar {
+            0
+        } else {
+            n - n % LANES
+        };
+
+        if lane_images > 0 {
+            let chw = geom.in_channels * geom.in_h * geom.in_w;
+            let f = kernel.filters();
+            let img_stride = f * geom.out_h * geom.out_w;
+            let g = BlockGeom {
+                rect: self.rect,
+                stride: geom.stride,
+                padding: geom.padding,
+                in_w: geom.in_w,
+                out_w: geom.out_w,
+            };
+            for b0 in (0..lane_images).step_by(LANES) {
+                pack_lane_block(
+                    &codes_in[b0 * chw..(b0 + LANES) * chw],
+                    chw,
+                    &mut lanes.block,
+                );
+                let mut out_scales = [0f32; LANES];
+                for (l, slot) in out_scales.iter_mut().enumerate() {
+                    *slot = scales[b0 + l] * kernel.base_scale;
+                }
+                for fi in 0..f {
+                    let lo = kernel.bounds[fi] as usize;
+                    let hi = kernel.bounds[fi + 1] as usize;
+                    run_shift_rect(
+                        path,
+                        &lanes.block,
+                        &self.offsets[lo..hi],
+                        &self.codes[lo..hi],
+                        &g,
+                        out,
+                        (b0 * f + fi) * geom.out_h * geom.out_w,
+                        img_stride,
+                        &out_scales,
+                    );
+                }
+            }
+            // The border ring of the lane-covered images stays scalar.
+            self.run_scalar(kernel, codes_in, scales, geom, out, 0..lane_images, false);
+        }
+
+        // Remnant images (or the whole batch when the lane path is off)
+        // run the per-image scalar path, so any batch size produces the
+        // same bits as solo inference.
+        self.run_scalar(kernel, codes_in, scales, geom, out, lane_images..n, true);
+    }
+
+    /// The per-image scalar path over a range of images: i64-accumulated
+    /// interior (when `include_interior`) plus the checked border.
+    #[allow(clippy::too_many_arguments)]
+    fn run_scalar(
+        &self,
+        kernel: &ShiftKernel,
+        codes_in: &[i32],
+        scales: &[f32],
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+        images: std::ops::Range<usize>,
+        include_interior: bool,
+    ) {
         let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
         let chw = c * h * w;
         let (stride, padding) = (geom.stride, geom.padding);
@@ -494,7 +617,7 @@ impl LoweredShift {
         let (out_h, out_w) = (geom.out_h, geom.out_w);
         let rect = self.rect;
 
-        for b in 0..n {
+        for b in images {
             let out_scale = scales[b] * kernel.base_scale;
             let img = &codes_in[b * chw..(b + 1) * chw];
             for fi in 0..f {
@@ -505,19 +628,22 @@ impl LoweredShift {
 
                 // Interior: no padding branch, no index decode, no
                 // per-tap accounting — load, shift, sign-fold, add.
-                for oi in rect.oi_lo..rect.oi_hi {
-                    let out_row = ((b * f + fi) * out_h + oi) * out_w;
-                    let in_row = (oi * stride - padding) * w;
-                    for oj in rect.oj_lo..rect.oj_hi {
-                        let base = in_row + oj * stride - padding;
-                        let mut acc: i64 = 0;
-                        for (&o, &cd) in offs.iter().zip(tap_codes) {
-                            let a = img[base + o as usize] as i64;
-                            let term = a << (cd & SHIFT_MASK);
-                            let mask = ((cd as i32) >> 31) as i64;
-                            acc += (term ^ mask) - mask;
+                // Skipped when a lane block already wrote these bits.
+                if include_interior {
+                    for oi in rect.oi_lo..rect.oi_hi {
+                        let out_row = ((b * f + fi) * out_h + oi) * out_w;
+                        let in_row = (oi * stride - padding) * w;
+                        for oj in rect.oj_lo..rect.oj_hi {
+                            let base = in_row + oj * stride - padding;
+                            let mut acc: i64 = 0;
+                            for (&o, &cd) in offs.iter().zip(tap_codes) {
+                                let a = img[base + o as usize] as i64;
+                                let term = a << (cd & SHIFT_MASK);
+                                let mask = ((cd as i32) >> 31) as i64;
+                                acc += (term ^ mask) - mask;
+                            }
+                            out[out_row + oj] = acc as f32 * out_scale;
                         }
-                        out[out_row + oj] = acc as f32 * out_scale;
                     }
                 }
 
@@ -588,10 +714,11 @@ pub(crate) fn shift_add_conv_core(
     kernel: &ShiftKernel,
     out: &mut [f32],
     counts: &mut OpCounts,
+    lanes: &mut LaneCtx,
 ) {
     check_core_shapes(codes, scales, geom, kernel, out);
     let lowered = kernel.lowered(geom);
-    lowered.run(kernel, codes, scales, geom, out);
+    lowered.run(kernel, codes, scales, geom, out, lanes);
     let n = scales.len() as u64;
     counts.shifts += n * lowered.shifts_per_image;
     counts.int_adds += n * lowered.adds_per_image;
@@ -609,6 +736,7 @@ pub(crate) fn shift_add_conv_reference_core(
     kernel: &ShiftKernel,
     out: &mut [f32],
     counts: &mut OpCounts,
+    _lanes: &mut LaneCtx,
 ) {
     check_core_shapes(codes, scales, geom, kernel, out);
     let n = scales.len();
@@ -670,7 +798,27 @@ pub fn shift_add_conv(
     stride: usize,
     padding: usize,
 ) -> (Tensor, OpCounts) {
-    shift_add_conv_with(act, kernel, stride, padding, shift_add_conv_core)
+    shift_add_conv_with_path(act, kernel, stride, padding, active_path())
+}
+
+/// [`shift_add_conv`] pinned to a specific [`KernelPath`] instead of
+/// the process-wide dispatch decision — the entry point of the
+/// path-matrix parity tests and the `lowering` bench exhibit.
+pub fn shift_add_conv_with_path(
+    act: &QuantActivations,
+    kernel: &ShiftKernel,
+    stride: usize,
+    padding: usize,
+    path: KernelPath,
+) -> (Tensor, OpCounts) {
+    shift_add_conv_with(
+        act,
+        kernel,
+        stride,
+        padding,
+        shift_add_conv_core,
+        LaneCtx::with_path(path),
+    )
 }
 
 /// [`shift_add_conv`] on the retained interpreted core — the oracle the
@@ -683,10 +831,18 @@ pub fn shift_add_conv_reference(
     stride: usize,
     padding: usize,
 ) -> (Tensor, OpCounts) {
-    shift_add_conv_with(act, kernel, stride, padding, shift_add_conv_reference_core)
+    shift_add_conv_with(
+        act,
+        kernel,
+        stride,
+        padding,
+        shift_add_conv_reference_core,
+        LaneCtx::with_path(KernelPath::Scalar),
+    )
 }
 
-type ShiftCore = fn(&[i32], &[f32], &Conv2dGeometry, &ShiftKernel, &mut [f32], &mut OpCounts);
+type ShiftCore =
+    fn(&[i32], &[f32], &Conv2dGeometry, &ShiftKernel, &mut [f32], &mut OpCounts, &mut LaneCtx);
 
 fn shift_add_conv_with(
     act: &QuantActivations,
@@ -694,6 +850,7 @@ fn shift_add_conv_with(
     stride: usize,
     padding: usize,
     core: ShiftCore,
+    mut lanes: LaneCtx,
 ) -> (Tensor, OpCounts) {
     let ad = act.dims();
     assert_eq!(ad.len(), 4, "activations must be [n, c, h, w]");
@@ -709,6 +866,7 @@ fn shift_add_conv_with(
         kernel,
         out.as_mut_slice(),
         &mut counts,
+        &mut lanes,
     );
     (out, counts)
 }
@@ -801,7 +959,15 @@ mod tests {
         let geom = Conv2dGeometry::new(2, 6, 6, 3, 1, 1);
         let mut out = vec![0.0f32; 3 * kernel.filters() * geom.out_positions()];
         let mut counts = OpCounts::default();
-        shift_add_conv_core(&codes, &scales, &geom, &kernel, &mut out, &mut counts);
+        shift_add_conv_core(
+            &codes,
+            &scales,
+            &geom,
+            &kernel,
+            &mut out,
+            &mut counts,
+            &mut LaneCtx::new(),
+        );
 
         // Each image must be bit-identical to submitting it alone.
         let img_out = kernel.filters() * geom.out_positions();
@@ -954,6 +1120,30 @@ mod tests {
         assert_eq!(stats.total_taps, 4);
         assert_eq!(stats.filters, 1);
         assert_eq!(stats.mean_taps_per_filter(), 4.0);
+    }
+
+    #[test]
+    fn oversized_shifts_fall_back_to_scalar_lanes() {
+        // Shift amounts up to 31 exceed MAX_LANE_SHIFT, so a full lane
+        // batch must silently take the scalar path — and still match the
+        // interpreted oracle bit-for-bit.
+        let plan = tiny_plan(vec![1.0, 2147483648.0, 0.0, 0.0]);
+        let kernel = ShiftKernel::compile(&plan, &[1, 1, 2, 2]);
+        let geom = Conv2dGeometry::new(1, 6, 6, 2, 1, 0);
+        let lowered = kernel.lowered(&geom);
+        assert!(lowered.max_shift > MAX_LANE_SHIFT);
+        assert_eq!(
+            lowered.lane_path(KernelPath::Portable, &[127; 8 * 36], 8),
+            KernelPath::Scalar
+        );
+
+        let mut rng = TensorRng::seed(21);
+        let x = uniform(&mut rng, &[LANES, 1, 6, 6], -1.0, 1.0);
+        let qa = QuantActivations::quantize(&x, 8);
+        let (fast, counts) = shift_add_conv(&qa, &kernel, 1, 0);
+        let (oracle, oracle_counts) = shift_add_conv_reference(&qa, &kernel, 1, 0);
+        assert_eq!(fast.as_slice(), oracle.as_slice());
+        assert_eq!(counts, oracle_counts);
     }
 
     #[test]

@@ -11,11 +11,16 @@
 
 use std::sync::Arc;
 
-use flight_kernels::fixed::{fixed_point_conv, fixed_point_conv_reference, FixedWeights};
-use flight_kernels::shift::{
-    shift_add_conv, shift_add_conv_reference, ShiftCompileError, ShiftKernel,
+use flight_kernels::fixed::{
+    fixed_point_conv, fixed_point_conv_reference, fixed_point_conv_with_path, FixedWeights,
 };
-use flight_kernels::{CompileOptions, IntNetwork, OpCounts, QuantActivations};
+use flight_kernels::shift::{
+    shift_add_conv, shift_add_conv_reference, shift_add_conv_with_path, ShiftCompileError,
+    ShiftKernel,
+};
+use flight_kernels::{
+    active_path, CompileOptions, IntNetwork, KernelPath, OpCounts, QuantActivations,
+};
 use flight_telemetry::{CollectingSink, EventKind, Telemetry};
 use flight_tensor::{uniform, Conv2dGeometry, Tensor, TensorRng};
 use flightnn::convert::{shift_plan, FilterPlan, ShiftPlan, SubFilter};
@@ -95,6 +100,84 @@ proptest! {
             "outputs diverge at k={} s={} p={} {}x{}", k, stride, padding, h, w);
         prop_assert_eq!(lc, rc,
             "op counts diverge at k={} s={} p={} {}x{}", k, stride, padding, h, w);
+    }
+}
+
+/// The dispatch paths every conv call can take: the detected one (AVX2
+/// where the host has it), the portable lane fallback, and the pinned
+/// per-image scalar path.
+fn all_paths() -> [KernelPath; 3] {
+    [active_path(), KernelPath::Portable, KernelPath::Scalar]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every dispatch path of the shift datapath — detected (AVX2 on this
+    /// host if present), portable lanes, and scalar — produces logits and
+    /// op counts bit-identical to the interpreted reference, across
+    /// geometry × batch sizes 1..=33: below one lane, exact lane
+    /// multiples, and non-lane-multiple remnants.
+    #[test]
+    fn every_shift_path_is_bit_identical_across_batches(
+        k_idx in 0usize..2,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        h in 3usize..10,
+        w in 3usize..10,
+        c in 1usize..3,
+        f in 1usize..4,
+        n in 1usize..=33,
+        seed in 0u64..1000,
+    ) {
+        let k = [1, 3][k_idx];
+        prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+
+        let kernel = shift_kernel(seed, &QuantScheme::l2(), c, f, k);
+        let qa = activations(seed.wrapping_add(1), n, c, h, w);
+        let (reference, rc) = shift_add_conv_reference(&qa, &kernel, stride, padding);
+
+        for path in all_paths() {
+            let (out, counts) = shift_add_conv_with_path(&qa, &kernel, stride, padding, path);
+            prop_assert_eq!(out.as_slice(), reference.as_slice(),
+                "{} logits diverge at k={} s={} p={} {}x{} n={}",
+                path, k, stride, padding, h, w, n);
+            prop_assert_eq!(counts, rc,
+                "{} op counts diverge at k={} s={} p={} {}x{} n={}",
+                path, k, stride, padding, h, w, n);
+        }
+    }
+
+    /// Same path matrix for the fixed-point datapath.
+    #[test]
+    fn every_fixed_path_is_bit_identical_across_batches(
+        k_idx in 0usize..2,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        h in 3usize..10,
+        w in 3usize..10,
+        c in 1usize..3,
+        f in 1usize..4,
+        n in 1usize..=33,
+        seed in 0u64..1000,
+    ) {
+        let k = [1, 3][k_idx];
+        prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+
+        let mut rng = TensorRng::seed(seed);
+        let weights = FixedWeights::quantize(&uniform(&mut rng, &[f, c, k, k], -0.5, 0.5), 4);
+        let qa = activations(seed.wrapping_add(1), n, c, h, w);
+        let (reference, rc) = fixed_point_conv_reference(&qa, &weights, stride, padding);
+
+        for path in all_paths() {
+            let (out, counts) = fixed_point_conv_with_path(&qa, &weights, stride, padding, path);
+            prop_assert_eq!(out.as_slice(), reference.as_slice(),
+                "{} outputs diverge at k={} s={} p={} {}x{} n={}",
+                path, k, stride, padding, h, w, n);
+            prop_assert_eq!(counts, rc,
+                "{} op counts diverge at k={} s={} p={} {}x{} n={}",
+                path, k, stride, padding, h, w, n);
+        }
     }
 }
 
@@ -272,6 +355,50 @@ fn parallel_workers_attribute_lowering_events_through_prefix_sink() {
             "{worker} emits prefixed lowering gauges"
         );
     }
+}
+
+#[test]
+fn force_scalar_compile_option_matches_the_detected_path_bitwise() {
+    let fast = IntNetwork::compile_with(&mut tiny_net(21), CompileOptions::new().sequential())
+        .expect("compiles");
+    let pinned = IntNetwork::compile_with(
+        &mut tiny_net(21),
+        CompileOptions::new().sequential().force_scalar(true),
+    )
+    .expect("compiles");
+    assert_eq!(pinned.kernel_path(), KernelPath::Scalar);
+
+    // 9 images: one full lane block plus a remnant image.
+    let mut rng = TensorRng::seed(22);
+    let x = uniform(&mut rng, &[9, 3, 6, 6], -1.0, 1.0);
+    let (a, ca) = fast.forward(&x);
+    let (b, cb) = pinned.forward(&x);
+    assert_eq!(a.as_slice(), b.as_slice(), "forced scalar diverges");
+    assert_eq!(ca, cb, "op counts are dispatch-invariant");
+}
+
+#[test]
+fn traces_record_the_kernel_dispatch_path() {
+    let sink = Arc::new(CollectingSink::new());
+    let engine = IntNetwork::compile_with(
+        &mut tiny_net(23),
+        CompileOptions::new()
+            .telemetry(Telemetry::new(sink.clone()))
+            .sequential(),
+    )
+    .expect("compiles");
+    let mut rng = TensorRng::seed(24);
+    let x = uniform(&mut rng, &[2, 3, 6, 6], -1.0, 1.0);
+    let _ = engine.forward(&x);
+
+    let expected = format!("kernel.dispatch.{}", engine.kernel_path().name());
+    let events = sink.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::Gauge && e.name == expected && e.value == 1.0),
+        "forward must gauge its dispatch path as {expected}"
+    );
 }
 
 #[test]

@@ -86,6 +86,23 @@ fn is_training_signal(name: &str) -> bool {
         || name.ends_with(".ste.clip_rate")
 }
 
+/// The kernel dispatch path a trace ran with, recovered from the
+/// `kernel.dispatch.<path>` gauge the engine emits once per traced
+/// forward (`None` for traces that predate the gauge). Aggregated
+/// traces carry the same name as a gauge snapshot; worker-prefixed
+/// re-emissions match too, so the lookup keys on the substring. The
+/// last emission wins, matching the rest of the summary's
+/// final-state-per-name convention.
+pub fn kernel_dispatch(events: &[TraceEvent]) -> Option<&str> {
+    events.iter().rev().find_map(|event| {
+        if !matches!(event.kind, EventKind::Gauge | EventKind::Snapshot) {
+            return None;
+        }
+        let at = event.name.find("kernel.dispatch.")?;
+        Some(&event.name[at + "kernel.dispatch.".len()..])
+    })
+}
+
 /// Counter totals per name: raw counters sum; counter snapshots
 /// contribute their final running sum. Returns `(name, total, unit)` in
 /// descending-total order.
@@ -177,6 +194,9 @@ pub fn summarize(trace: &Trace) -> String {
         trace.events.len(),
         trace.malformed
     );
+    if let Some(path) = kernel_dispatch(&trace.events) {
+        let _ = writeln!(out, "kernel dispatch: {path}");
+    }
     if spans.unclosed > 0 {
         let _ = writeln!(
             out,
@@ -238,12 +258,15 @@ pub fn summarize_json(trace: &Trace) -> String {
         })
         .collect();
 
-    JsonObject::new()
+    let mut obj = JsonObject::new()
         .field("events", trace.events.len())
         .field("malformed", trace.malformed)
         .field("unclosed_spans", spans.unclosed)
-        .field("orphan_ends", spans.orphan_ends)
-        .field("spans", span_rows)
+        .field("orphan_ends", spans.orphan_ends);
+    if let Some(path) = kernel_dispatch(&trace.events) {
+        obj = obj.field("kernel_dispatch", path);
+    }
+    obj.field("spans", span_rows)
         .field("counters", counter_rows)
         .field("trajectories", trajectory_rows)
         .build()
@@ -604,6 +627,33 @@ mod tests {
         );
         let report = summarize(&trace);
         assert!(report.contains("train.reg.r1"), "{report}");
+    }
+
+    #[test]
+    fn summaries_surface_the_kernel_dispatch_path() {
+        // No dispatch gauge → no line, no JSON field.
+        let plain = parse_trace(&synthetic_two_epoch_trace());
+        assert!(kernel_dispatch(&plain.events).is_none());
+        assert!(!summarize(&plain).contains("kernel dispatch"));
+        let v = JsonValue::parse(&summarize_json(&plain)).expect("valid JSON");
+        assert!(v.get("kernel_dispatch").is_none());
+
+        // Engine-traced runs carry kernel.dispatch.<path>; the last
+        // emission wins (here a re-dispatch after FLIGHT_FORCE_SCALAR).
+        let body = [
+            r#"{"seq":0,"name":"kernel.dispatch.avx2","kind":"gauge","value":1,"unit":"path"}"#,
+            r#"{"seq":1,"name":"kernel.dispatch.scalar","kind":"gauge","value":1,"unit":"path"}"#,
+        ]
+        .join("\n");
+        let trace = parse_trace(&body);
+        assert_eq!(kernel_dispatch(&trace.events), Some("scalar"));
+        let report = summarize(&trace);
+        assert!(report.contains("kernel dispatch: scalar"), "{report}");
+        let v = JsonValue::parse(&summarize_json(&trace)).expect("valid JSON");
+        assert_eq!(
+            v.get("kernel_dispatch").and_then(JsonValue::as_str),
+            Some("scalar")
+        );
     }
 
     #[test]
