@@ -7,6 +7,8 @@
 //! flightctl health <trace.jsonl> [--json]
 //! flightctl export <trace.jsonl> [--format chrome] [--out <path>]
 //! flightctl watch <trace.jsonl> [--once|--follow] [--interval <ms>] [--idle-exit <secs>]
+//! flightctl top <addr> [--once|--follow] [--interval <ms>] [--window <1s|10s|60s>]
+//!               [--slo-p99-ms <ms>] [--error-budget <frac>]
 //! ```
 //!
 //! Exit codes: `0` success / within tolerance, `1` regression or health
@@ -19,6 +21,8 @@ use std::io::IsTerminal;
 use flight_obs::capacity::{plan_capacity, CapacityError, CapacityRequest, DEFAULT_HEADROOM};
 use flight_obs::cli::{parse_cli, ParsedArgs, EXIT_FAIL, EXIT_OK, EXIT_USAGE};
 use flight_obs::diff::{diff, load_metrics, DiffOptions};
+use flight_obs::tick::TickOptions;
+use flight_obs::top::{top, TopOptions, WINDOW_LABELS};
 use flight_obs::watch::{watch, WatchOptions};
 use flight_obs::{export_chrome, health, read_trace, summarize, summarize_json};
 
@@ -31,13 +35,18 @@ const USAGE: &str = "usage:
   flightctl health <trace.jsonl> [--json]
   flightctl export <trace.jsonl> [--format chrome] [--out <path>]
   flightctl watch <trace.jsonl> [--once|--follow] [--interval <ms>] [--idle-exit <secs>]
+  flightctl top <addr> [--once|--follow] [--interval <ms>] [--window <1s|10s|60s>]
+                [--slo-p99-ms <ms>] [--error-budget <frac>] [--idle-exit <secs>]
 
 inputs are JSONL telemetry traces or BENCH_*.manifest.json run manifests
 (diff, and capacity for any manifest carrying a `scaling` block — the
 scaling exhibit's and loadgen's BENCH_serve both qualify).
 export writes Chrome trace-event JSON for Perfetto / chrome://tracing.
 watch tails a live trace; it follows on a TTY and prints one plain report otherwise.
-exit codes: 0 ok, 1 regression/warnings, 2 usage or I/O error.";
+top polls a running flight-serve server's stats/exemplars verbs; with
+--slo-p99-ms / --error-budget it exits 1 when the SLO is breached over
+the chosen window, so `top --once` doubles as a deploy health gate.
+exit codes: 0 ok, 1 regression/warnings/SLO breach, 2 usage or I/O error.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +61,7 @@ fn run(args: &[String]) -> i32 {
         Some("health") => cmd_health(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("-h" | "--help" | "help") => {
             println!("{USAGE}");
             EXIT_OK
@@ -201,6 +211,86 @@ fn cmd_watch(args: &[String]) -> i32 {
         Ok(_) => EXIT_OK,
         Err(e) => {
             eprintln!("flightctl: cannot watch {path}: {e}");
+            EXIT_USAGE
+        }
+    }
+}
+
+fn cmd_top(args: &[String]) -> i32 {
+    let parsed = match parse_cli(
+        args,
+        &[
+            "--interval",
+            "--idle-exit",
+            "--window",
+            "--slo-p99-ms",
+            "--error-budget",
+        ],
+        &["--once", "--follow"],
+    ) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
+    let mut opts = TopOptions {
+        tick: TickOptions {
+            follow: std::io::stdout().is_terminal(),
+            interval_ms: 1000,
+            idle_exit_ms: None,
+        },
+        ..TopOptions::default()
+    };
+    if parsed.switch("--once") {
+        opts.tick.follow = false;
+    }
+    if parsed.switch("--follow") {
+        opts.tick.follow = true;
+    }
+    if let Some(window) = parsed.value("--window") {
+        if !WINDOW_LABELS.contains(&window) {
+            return usage_error(&format!(
+                "--window must be one of {WINDOW_LABELS:?}, got {window:?}"
+            ));
+        }
+        opts.window = window.to_string();
+    }
+    let numbers = (|| -> Result<(), String> {
+        if let Some(ms) = parsed.u64_value("--interval", |v| v > 0, "a positive integer (ms)")? {
+            opts.tick.interval_ms = ms;
+        }
+        if let Some(secs) =
+            parsed.f64_value("--idle-exit", |v| v >= 0.0, "a non-negative number (s)")?
+        {
+            opts.tick.idle_exit_ms = Some((secs * 1000.0) as u64);
+        }
+        opts.slo_p99_ms =
+            parsed.f64_value("--slo-p99-ms", |v| v > 0.0, "a positive number (ms)")?;
+        opts.error_budget = parsed.f64_value(
+            "--error-budget",
+            |v| (0.0..=1.0).contains(&v),
+            "a fraction in [0, 1]",
+        )?;
+        Ok(())
+    })();
+    if let Err(e) = numbers {
+        return usage_error(&e);
+    }
+    let [addr] = parsed.positionals() else {
+        return usage_error("top takes exactly one server address (host:port)");
+    };
+    let mut stdout = std::io::stdout();
+    match top(addr, &opts, &mut stdout) {
+        Ok(state) => {
+            if state.never_connected() {
+                eprintln!("flightctl: could not reach {addr}");
+                EXIT_FAIL
+            } else if state.breaches.is_empty() {
+                EXIT_OK
+            } else {
+                EXIT_FAIL
+            }
+        }
+        Err(e) => {
+            eprintln!("flightctl: top {addr}: {e}");
             EXIT_USAGE
         }
     }

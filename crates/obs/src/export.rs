@@ -18,6 +18,14 @@
 //!   its own thread track (`tid = w + 1`, named `worker <ww>`) and its
 //!   events shed the prefix, so track `worker 03` shows plain `chunk`
 //!   spans. Everything else lands on the `main` track (`tid = 0`).
+//! * **Request attribution** does the same for the serving plane's
+//!   `serve.request.<id>.` convention
+//!   ([`flight_telemetry::parse_request_track`]): each request id seen
+//!   in the trace (`flightq exemplars` output) gets its own track named
+//!   `request <id>`, with tids assigned from [`REQUEST_TID_BASE`] in
+//!   ascending request-id order — so Perfetto lists requests
+//!   numerically and each track reads as a per-request timeline of
+//!   `queue` → `batch_form` → `compute` → `reply_write` phase spans.
 //! * **Timestamps** come from the write side's monotonic `ts` field.
 //!   Traces recorded before that field existed still export: such
 //!   events fall back to their sequence number as a synthetic
@@ -32,12 +40,17 @@
 use std::collections::HashMap;
 
 use flight_telemetry::json::{JsonObject, JsonValue};
-use flight_telemetry::{parse_worker, EventKind};
+use flight_telemetry::{parse_request_track, parse_worker, EventKind};
 
 use crate::trace::{Trace, TraceEvent};
 
 /// The single process id every exported event lands under.
 pub const EXPORT_PID: u64 = 1;
+
+/// First tid used for `serve.request.<id>.` tracks. Worker tids start
+/// at 1, so this leaves room for ~1000 workers before a clash — far
+/// beyond anything the kernel pool spawns.
+pub const REQUEST_TID_BASE: u64 = 1000;
 
 /// What the exporter did with the trace — rendered by `flightctl
 /// export` on stderr so a surprising timeline can be explained.
@@ -74,20 +87,43 @@ impl std::fmt::Display for ExportStats {
     }
 }
 
+/// The request ids present in the trace, ascending and deduplicated —
+/// the rank of an id in this list fixes its tid, so request tracks list
+/// in numeric id order regardless of event interleaving.
+fn request_ids(trace: &Trace) -> Vec<u64> {
+    let mut ids: Vec<u64> = trace
+        .events
+        .iter()
+        .filter_map(|e| parse_request_track(&e.name).map(|(id, _)| id))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
 /// The thread track an event belongs to and its in-track name:
-/// `(tid, bare name)`. Worker `w` maps to `tid = w + 1`; everything
-/// else is the `main` track, `tid = 0`.
-fn track_of(name: &str) -> (u64, &str) {
+/// `(tid, bare name)`. Request `id` maps to `REQUEST_TID_BASE + rank`
+/// in the trace's ascending id list, worker `w` to `tid = w + 1`;
+/// everything else is the `main` track, `tid = 0`.
+fn track_of<'a>(name: &'a str, request_ids: &[u64]) -> (u64, &'a str) {
+    if let Some((id, bare)) = parse_request_track(name) {
+        if let Ok(rank) = request_ids.binary_search(&id) {
+            return (REQUEST_TID_BASE + rank as u64, bare);
+        }
+    }
     match parse_worker(name) {
         Some((w, bare)) => (w as u64 + 1, bare),
         None => (0, name),
     }
 }
 
-/// The display name of a track: `main`, or `worker <ww>`.
-fn track_name(tid: u64) -> String {
+/// The display name of a track: `main`, `worker <ww>`, or
+/// `request <id>`.
+fn track_name(tid: u64, request_ids: &[u64]) -> String {
     if tid == 0 {
         "main".to_string()
+    } else if tid >= REQUEST_TID_BASE {
+        format!("request {}", request_ids[(tid - REQUEST_TID_BASE) as usize])
     } else {
         format!("worker {:02}", tid - 1)
     }
@@ -109,6 +145,7 @@ fn ts_of(event: &TraceEvent, stats: &mut ExportStats) -> f64 {
 /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
 pub fn export_chrome(trace: &Trace) -> (JsonValue, ExportStats) {
     let mut stats = ExportStats::default();
+    let requests = request_ids(trace);
     let mut events: Vec<JsonValue> = Vec::new();
     // Span id → (start ts, start seq) of the pending span_start.
     let mut pending: HashMap<u64, (Option<f64>, u64)> = HashMap::new();
@@ -122,7 +159,7 @@ pub fn export_chrome(trace: &Trace) -> (JsonValue, ExportStats) {
     }
 
     for event in &trace.events {
-        let (tid, bare) = track_of(&event.name);
+        let (tid, bare) = track_of(&event.name, &requests);
         match event.kind {
             EventKind::SpanStart => {
                 if let Some(id) = event.span {
@@ -210,7 +247,9 @@ pub fn export_chrome(trace: &Trace) -> (JsonValue, ExportStats) {
                 .field("tid", tid)
                 .field(
                     "args",
-                    JsonObject::new().field("name", track_name(tid)).build(),
+                    JsonObject::new()
+                        .field("name", track_name(tid, &requests))
+                        .build(),
                 )
                 .build(),
         );
@@ -395,6 +434,77 @@ mod tests {
                 ("thread_name", "worker 00"),
             ]
         );
+    }
+
+    #[test]
+    fn request_spans_land_on_their_own_numerically_ordered_tracks() {
+        // Two requests' phase spans, deliberately interleaved with the
+        // higher id first — the exemplar ring emits slowest-first, not
+        // id order.
+        let body = concat!(
+            r#"{"seq":0,"ts":10.0,"name":"serve.request.42.queue","kind":"span_start","value":0,"unit":"s","span":168}"#,
+            "\n",
+            r#"{"seq":1,"ts":110.0,"name":"serve.request.42.queue","kind":"span_end","value":1e-4,"unit":"s","span":168}"#,
+            "\n",
+            r#"{"seq":2,"ts":110.0,"name":"serve.request.42.compute","kind":"span_start","value":0,"unit":"s","span":170}"#,
+            "\n",
+            r#"{"seq":3,"ts":310.0,"name":"serve.request.42.compute","kind":"span_end","value":2e-4,"unit":"s","span":170}"#,
+            "\n",
+            r#"{"seq":4,"ts":20.0,"name":"serve.request.7.queue","kind":"span_start","value":0,"unit":"s","span":28}"#,
+            "\n",
+            r#"{"seq":5,"ts":70.0,"name":"serve.request.7.queue","kind":"span_end","value":5e-5,"unit":"s","span":28}"#,
+            "\n",
+        );
+        let (root, stats) = export_chrome(&parse_trace(body));
+        assert_eq!(stats.complete_spans, 3);
+        let spans = by_ph(&root, "X");
+        // Prefix stripped: bare phase names on the track.
+        let mut named: Vec<(f64, &str)> = spans
+            .iter()
+            .filter_map(|e| Some((e.get("tid")?.as_f64()?, e.get("name")?.as_str()?)))
+            .collect();
+        named.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Ascending id order: request 7 → BASE, request 42 → BASE + 1.
+        let base = REQUEST_TID_BASE as f64;
+        assert_eq!(
+            named,
+            vec![
+                (base, "queue"),
+                (base + 1.0, "compute"),
+                (base + 1.0, "queue"),
+            ]
+        );
+        let meta = by_ph(&root, "M");
+        let thread_names: Vec<&str> = meta
+            .iter()
+            .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(thread_names, vec!["request 7", "request 42"]);
+    }
+
+    #[test]
+    fn request_tracks_coexist_with_worker_and_main_tracks() {
+        let body = concat!(
+            r#"{"seq":0,"ts":1.0,"name":"kernel.worker.00.chunk","kind":"span_start","value":0,"unit":"s","span":1}"#,
+            "\n",
+            r#"{"seq":1,"ts":2.0,"name":"kernel.worker.00.chunk","kind":"span_end","value":1e-6,"unit":"s","span":1}"#,
+            "\n",
+            r#"{"seq":2,"ts":3.0,"name":"serve.request.5.compute","kind":"span_start","value":0,"unit":"s","span":22}"#,
+            "\n",
+            r#"{"seq":3,"ts":4.0,"name":"serve.request.5.compute","kind":"span_end","value":1e-6,"unit":"s","span":22}"#,
+            "\n",
+            r#"{"seq":4,"ts":5.0,"name":"train.loss","kind":"gauge","value":0.5,"unit":""}"#,
+            "\n",
+        );
+        let (root, _) = export_chrome(&parse_trace(body));
+        let meta = by_ph(&root, "M");
+        let thread_names: Vec<&str> = meta
+            .iter()
+            .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(thread_names, vec!["main", "worker 00", "request 5"]);
     }
 
     #[test]

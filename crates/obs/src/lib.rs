@@ -26,6 +26,11 @@
 //! * `flightctl watch <trace>` — tail a live trace and render a
 //!   terminal dashboard with sparkline trends; degrades to a plain
 //!   one-shot report off a TTY ([`watch`]).
+//! * `flightctl top <addr>` — live serving dashboard over a running
+//!   flight-serve server's `stats`/`exemplars` verbs, with SLO
+//!   burn-rate health rules that gate the exit code ([`top`]).
+//!
+//! `watch` and `top` share the follow/once TTY loop in [`tick`].
 //!
 //! `summarize` and `health` also speak `--json` for CI gates.
 //!
@@ -40,6 +45,8 @@ pub mod diff;
 pub mod export;
 pub mod health;
 pub mod summarize;
+pub mod tick;
+pub mod top;
 pub mod trace;
 pub mod tree;
 pub mod watch;
@@ -50,6 +57,8 @@ pub use diff::{diff, load_metrics, DiffOptions, DiffReport};
 pub use export::{export_chrome, ExportStats};
 pub use health::{health, HealthReport};
 pub use summarize::{summarize, summarize_json};
+pub use tick::{run_ticks, sparkline, Series, TickOptions, TickStep};
+pub use top::{top, TopOptions, TopState};
 pub use trace::{parse_trace, read_trace, Trace, TraceEvent};
 pub use tree::{SpanStats, SpanSummary};
 pub use watch::{watch, TailReader, WatchOptions, WatchState};

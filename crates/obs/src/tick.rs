@@ -1,0 +1,264 @@
+//! The TTY tick machinery shared by `flightctl watch` and `flightctl
+//! top`: a bounded trend [`Series`], the unicode [`sparkline`], and the
+//! follow/once rendering loop ([`run_ticks`]).
+//!
+//! Both dashboards have the same shape — poll a source, fold what
+//! arrived into state, render a report — and differ only in the source
+//! (a growing JSONL file vs. a server's `stats` verb) and the report
+//! body. This module owns the shared loop so the two cannot drift: one
+//! place decides how follow mode redraws (clear-screen-and-home before
+//! each frame), how idle-exit is counted, and how once mode degrades to
+//! a single plain report with no escape codes.
+
+use std::io::Write;
+use std::time::Duration;
+
+/// How many readings each trend series keeps (and the sparkline width).
+pub const SERIES_CAP: usize = 48;
+
+/// Clear-screen-and-home, written before each follow-mode redraw.
+pub const ANSI_REDRAW: &str = "\x1b[2J\x1b[H";
+
+/// A bounded trend series: the last [`SERIES_CAP`] finite readings.
+#[derive(Debug, Default, Clone)]
+pub struct Series {
+    values: Vec<f64>,
+}
+
+impl Series {
+    /// Appends a reading; non-finite values are ignored, and the oldest
+    /// reading is evicted once the series is full.
+    pub fn push(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.values.len() == SERIES_CAP {
+            self.values.remove(0);
+        }
+        self.values.push(v);
+    }
+
+    /// The most recent reading.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// The first buffered reading.
+    pub fn first(&self) -> Option<f64> {
+        self.values.first().copied()
+    }
+
+    /// Number of buffered readings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no reading arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The buffered readings, oldest first.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Min–max normalized unicode sparkline (`▁▂▃▄▅▆▇█`); a flat series
+/// renders mid-height. Empty input renders empty.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (Some(lo), Some(hi)) = (
+        finite.iter().copied().min_by(f64::total_cmp),
+        finite.iter().copied().max_by(f64::total_cmp),
+    ) else {
+        return String::new();
+    };
+    let span = hi - lo;
+    finite
+        .iter()
+        .map(|&v| {
+            if span <= 0.0 {
+                BARS[3]
+            } else {
+                let t = ((v - lo) / span * 7.0).round() as usize;
+                BARS[t.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// How the tick loop behaves; `flightctl` builds this from flags and
+/// TTY detection.
+#[derive(Debug, Clone)]
+pub struct TickOptions {
+    /// Keep polling and redrawing (TTY mode) vs. tick once and exit.
+    pub follow: bool,
+    /// Poll interval in follow mode.
+    pub interval_ms: u64,
+    /// In follow mode, exit after this many milliseconds without new
+    /// data; `None` polls until interrupted.
+    pub idle_exit_ms: Option<u64>,
+}
+
+impl Default for TickOptions {
+    fn default() -> Self {
+        TickOptions {
+            follow: false,
+            interval_ms: 500,
+            idle_exit_ms: None,
+        }
+    }
+}
+
+/// What one tick produced: the rendered report body, whether new data
+/// arrived (resets the idle-exit clock), and whether the loop should
+/// stop after this frame (the source is gone for good).
+#[derive(Debug)]
+pub struct TickStep {
+    /// The full report body for this frame (no cursor control — the
+    /// loop adds that in follow mode).
+    pub body: String,
+    /// True when this tick observed new data.
+    pub progressed: bool,
+    /// True to render this frame and then exit the loop.
+    pub stop: bool,
+}
+
+/// Drives `step` per `opts`, writing each frame to `out`.
+///
+/// Once mode (`follow: false`) runs a single tick and prints its body
+/// plainly. Follow mode redraws in place every `interval_ms`, exits
+/// when a tick sets `stop`, and — if `idle_exit_ms` is set — when that
+/// long passes without a progressing tick.
+///
+/// # Errors
+///
+/// Propagates errors from `step` and from writing frames.
+pub fn run_ticks(
+    opts: &TickOptions,
+    out: &mut impl Write,
+    mut step: impl FnMut() -> std::io::Result<TickStep>,
+) -> std::io::Result<()> {
+    if !opts.follow {
+        let tick = step()?;
+        write!(out, "{}", tick.body)?;
+        return out.flush();
+    }
+    let mut idle_ms: u64 = 0;
+    loop {
+        let tick = step()?;
+        if tick.progressed {
+            idle_ms = 0;
+        } else {
+            idle_ms = idle_ms.saturating_add(opts.interval_ms);
+        }
+        write!(out, "{ANSI_REDRAW}{}", tick.body)?;
+        out.flush()?;
+        if tick.stop {
+            return Ok(());
+        }
+        if let Some(limit) = opts.idle_exit_ms {
+            if idle_ms >= limit {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(opts.interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_bounds_and_skips_non_finite() {
+        let mut s = Series::default();
+        s.push(f64::NAN);
+        assert!(s.is_empty());
+        for i in 0..SERIES_CAP + 5 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.len(), SERIES_CAP);
+        assert_eq!(s.first(), Some(5.0), "oldest evicted");
+        assert_eq!(s.last(), Some((SERIES_CAP + 4) as f64));
+    }
+
+    #[test]
+    fn sparkline_normalizes_and_handles_degenerate_input() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▄▄▄", "flat is mid-height");
+        let line = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁') && line.ends_with('█'));
+        assert_eq!(sparkline(&[f64::NAN, 2.0]), "▄", "non-finite skipped");
+    }
+
+    #[test]
+    fn once_mode_runs_a_single_plain_tick() {
+        let mut out = Vec::new();
+        let mut calls = 0;
+        run_ticks(&TickOptions::default(), &mut out, || {
+            calls += 1;
+            Ok(TickStep {
+                body: "report\n".to_string(),
+                progressed: true,
+                stop: false,
+            })
+        })
+        .unwrap();
+        assert_eq!(calls, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "report\n");
+        assert!(!text.contains('\x1b'), "once mode has no ANSI escapes");
+    }
+
+    #[test]
+    fn follow_mode_redraws_until_idle_exit() {
+        let opts = TickOptions {
+            follow: true,
+            interval_ms: 5,
+            idle_exit_ms: Some(10),
+        };
+        let mut out = Vec::new();
+        let mut calls = 0;
+        run_ticks(&opts, &mut out, || {
+            calls += 1;
+            Ok(TickStep {
+                body: format!("frame {calls}\n"),
+                progressed: calls == 1, // progress once, then go idle
+                stop: false,
+            })
+        })
+        .unwrap();
+        assert!(
+            calls >= 3,
+            "one progressing tick plus two idle ones: {calls}"
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(ANSI_REDRAW));
+        assert!(text.contains("frame 1"));
+    }
+
+    #[test]
+    fn follow_mode_stops_when_a_tick_says_so() {
+        let opts = TickOptions {
+            follow: true,
+            interval_ms: 5,
+            idle_exit_ms: None,
+        };
+        let mut out = Vec::new();
+        let mut calls = 0;
+        run_ticks(&opts, &mut out, || {
+            calls += 1;
+            Ok(TickStep {
+                body: String::new(),
+                progressed: true,
+                stop: calls == 3,
+            })
+        })
+        .unwrap();
+        assert_eq!(calls, 3);
+    }
+}

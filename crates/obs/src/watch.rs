@@ -28,10 +28,13 @@ use std::path::{Path, PathBuf};
 
 use flight_telemetry::EventKind;
 
+use crate::tick::{run_ticks, TickStep};
 use crate::trace::{parse_event, TraceEvent};
 
-/// How many readings each trend series keeps (and the sparkline width).
-const SERIES_CAP: usize = 48;
+// The tick machinery (trend series, sparklines, the follow/once loop)
+// is shared with `flightctl top`; re-exported here because it grew up
+// in this module and callers still import it from `watch`.
+pub use crate::tick::{sparkline, Series, TickOptions as WatchOptions, ANSI_REDRAW};
 
 /// How many per-layer training signals the dashboard lists before
 /// eliding the rest.
@@ -100,74 +103,6 @@ impl TailReader {
     pub fn torn_tail_bytes(&self) -> usize {
         self.carry.len()
     }
-}
-
-/// A bounded trend series: the last [`SERIES_CAP`] finite readings.
-#[derive(Debug, Default, Clone)]
-pub struct Series {
-    values: Vec<f64>,
-}
-
-impl Series {
-    fn push(&mut self, v: f64) {
-        if !v.is_finite() {
-            return;
-        }
-        if self.values.len() == SERIES_CAP {
-            self.values.remove(0);
-        }
-        self.values.push(v);
-    }
-
-    /// The most recent reading.
-    pub fn last(&self) -> Option<f64> {
-        self.values.last().copied()
-    }
-
-    /// The first buffered reading.
-    pub fn first(&self) -> Option<f64> {
-        self.values.first().copied()
-    }
-
-    /// Number of buffered readings.
-    pub fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    /// `true` when no reading arrived yet.
-    pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
-    }
-
-    /// The buffered readings, oldest first.
-    pub fn values(&self) -> &[f64] {
-        &self.values
-    }
-}
-
-/// Min–max normalized unicode sparkline (`▁▂▃▄▅▆▇█`); a flat series
-/// renders mid-height. Empty input renders empty.
-pub fn sparkline(values: &[f64]) -> String {
-    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-    let (Some(lo), Some(hi)) = (
-        finite.iter().copied().min_by(f64::total_cmp),
-        finite.iter().copied().max_by(f64::total_cmp),
-    ) else {
-        return String::new();
-    };
-    let span = hi - lo;
-    finite
-        .iter()
-        .map(|&v| {
-            if span <= 0.0 {
-                BARS[3]
-            } else {
-                let t = ((v - lo) / span * 7.0).round() as usize;
-                BARS[t.min(7)]
-            }
-        })
-        .collect()
 }
 
 /// Everything the dashboard knows about the run so far, folded
@@ -350,34 +285,10 @@ pub fn render(path: &Path, state: &WatchState) -> String {
     out
 }
 
-/// How [`watch`] behaves; `flightctl` builds this from flags and TTY
-/// detection.
-#[derive(Debug, Clone)]
-pub struct WatchOptions {
-    /// Keep polling and redrawing (TTY mode) vs. fold once and exit.
-    pub follow: bool,
-    /// Poll interval in follow mode.
-    pub interval_ms: u64,
-    /// In follow mode, exit after this many milliseconds without new
-    /// data; `None` polls until interrupted.
-    pub idle_exit_ms: Option<u64>,
-}
-
-impl Default for WatchOptions {
-    fn default() -> Self {
-        WatchOptions {
-            follow: false,
-            interval_ms: 500,
-            idle_exit_ms: None,
-        }
-    }
-}
-
-/// Clear-screen-and-home, written before each follow-mode redraw.
-const ANSI_REDRAW: &str = "\x1b[2J\x1b[H";
-
 /// Tails `path` per `opts`, writing reports to `out`. Returns the final
 /// state (tests assert on it; `flightctl` uses it for the exit code).
+/// The follow/once loop itself is [`run_ticks`], shared with
+/// `flightctl top`.
 ///
 /// # Errors
 ///
@@ -389,47 +300,33 @@ pub fn watch(
     opts: &WatchOptions,
     out: &mut impl Write,
 ) -> std::io::Result<WatchState> {
+    if !opts.follow && !path.exists() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no trace at {}", path.display()),
+        ));
+    }
     let mut reader = TailReader::new(path);
     let mut state = WatchState::default();
-    if !opts.follow {
-        if !path.exists() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::NotFound,
-                format!("no trace at {}", path.display()),
-            ));
+    let once = !opts.follow;
+    run_ticks(opts, out, || {
+        let lines = reader.poll()?;
+        for line in &lines {
+            state.observe_line(line);
         }
-        for line in reader.poll()? {
-            state.observe_line(&line);
-        }
-        // A torn tail with no newline yet is one malformed line, same
-        // as summarize's count on the same file.
-        if reader.torn_tail_bytes() > 0 {
+        // In once mode a torn tail with no newline yet is one malformed
+        // line, same as summarize's count on the same file; in follow
+        // mode it stays buffered for the next poll.
+        if once && reader.torn_tail_bytes() > 0 {
             state.malformed += 1;
         }
-        write!(out, "{}", render(path, &state))?;
-        return Ok(state);
-    }
-
-    let mut idle_ms: u64 = 0;
-    loop {
-        let lines = reader.poll()?;
-        if lines.is_empty() {
-            idle_ms = idle_ms.saturating_add(opts.interval_ms);
-        } else {
-            idle_ms = 0;
-            for line in &lines {
-                state.observe_line(line);
-            }
-        }
-        write!(out, "{ANSI_REDRAW}{}", render(path, &state))?;
-        out.flush()?;
-        if let Some(limit) = opts.idle_exit_ms {
-            if idle_ms >= limit {
-                return Ok(state);
-            }
-        }
-        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
-    }
+        Ok(TickStep {
+            body: render(path, &state),
+            progressed: !lines.is_empty(),
+            stop: false,
+        })
+    })?;
+    Ok(state)
 }
 
 #[cfg(test)]
@@ -580,15 +477,5 @@ mod tests {
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains(ANSI_REDRAW), "follow mode redraws in place");
         std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn sparkline_normalizes_and_handles_degenerate_input() {
-        assert_eq!(sparkline(&[]), "");
-        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▄▄▄", "flat is mid-height");
-        let line = sparkline(&[0.0, 0.5, 1.0]);
-        assert_eq!(line.chars().count(), 3);
-        assert!(line.starts_with('▁') && line.ends_with('█'));
-        assert_eq!(sparkline(&[f64::NAN, 2.0]), "▄", "non-finite skipped");
     }
 }

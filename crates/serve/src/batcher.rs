@@ -35,6 +35,10 @@ impl Default for BatchPolicy {
 /// histograms need and the channel its reply goes back on.
 #[derive(Debug)]
 pub struct PendingRequest<R> {
+    /// The request's id, assigned at accept time and carried through the
+    /// whole pipeline (stats shard routing, exemplar timelines, the
+    /// `request_id` echoed to the client).
+    pub id: u64,
     /// Flattened image.
     pub image: Vec<f32>,
     /// When the connection thread enqueued it.
@@ -102,6 +106,7 @@ mod tests {
 
     fn pending(tag: f32, tx: &mpsc::Sender<u32>) -> PendingRequest<u32> {
         PendingRequest {
+            id: tag as u64,
             image: vec![tag],
             enqueued: Instant::now(),
             popped: Instant::now(),

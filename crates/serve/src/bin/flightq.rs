@@ -1,29 +1,37 @@
 //! `flightq` — a pocket client for a running flight-serve server.
 //!
 //! ```text
-//! flightq ping     --addr <host:port>
-//! flightq infer    --addr <host:port> [--seed <n>] [--len <floats>]
-//! flightq swap     --addr <host:port> [--network <1..8>] [--scheme <label>] [--seed <n>]
-//! flightq stats    --addr <host:port>
-//! flightq shutdown --addr <host:port>
+//! flightq ping      --addr <host:port>
+//! flightq infer     --addr <host:port> [--seed <n>] [--len <floats>]
+//! flightq swap      --addr <host:port> [--network <1..8>] [--scheme <label>] [--seed <n>]
+//! flightq stats     --addr <host:port>
+//! flightq exemplars --addr <host:port> [--json]
+//! flightq shutdown  --addr <host:port>
 //! ```
 //!
 //! `infer` sends one seeded-random image (so repeated invocations are
 //! reproducible) and prints the logits with the server's per-phase
-//! timing. Exit codes: 0 ok, 1 server/transport error, 2 usage error.
+//! timing. `exemplars` fetches the slowest-request timelines and prints
+//! them as JSONL trace lines (`serve.request.<id>.<phase>` spans) ready
+//! for `flightctl export --format chrome`; `--json` prints the raw
+//! exemplar array instead. Exit codes: 0 ok, 1 server/transport error,
+//! 2 usage error.
 
 use flight_obs::cli::{parse_cli, EXIT_FAIL, EXIT_USAGE};
 use flight_serve::{ModelSpec, ServeClient};
 use flight_tensor::{uniform, TensorRng};
 
 const USAGE: &str = "usage:
-  flightq ping     --addr <host:port>
-  flightq infer    --addr <host:port> [--seed <n>] [--len <floats>]
-  flightq swap     --addr <host:port> [--network <1..8>] [--scheme <l1|l2|fp4w8a|full>]
-                   [--seed <n>] [--width <scale>]
-  flightq stats    --addr <host:port>
-  flightq shutdown --addr <host:port>
+  flightq ping      --addr <host:port>
+  flightq infer     --addr <host:port> [--seed <n>] [--len <floats>]
+  flightq swap      --addr <host:port> [--network <1..8>] [--scheme <l1|l2|fp4w8a|full>]
+                    [--seed <n>] [--width <scale>]
+  flightq stats     --addr <host:port>
+  flightq exemplars --addr <host:port> [--json]
+  flightq shutdown  --addr <host:port>
 
+exemplars prints the server's slowest-request timelines as JSONL trace
+lines for `flightctl export` (--json for the raw exemplar array).
 exit codes: 0 ok, 1 server or transport error, 2 usage error.";
 
 fn main() {
@@ -49,7 +57,7 @@ fn run() -> i32 {
             "--scheme",
             "--width",
         ],
-        &[],
+        &["--json"],
     ) {
         Ok(parsed) => parsed,
         Err(e) => return usage_error(&e),
@@ -76,6 +84,18 @@ fn run() -> i32 {
             .shutdown()
             .map(|()| "ok: server shutting down".to_string()),
         "stats" => client.stats().map(|s| s.render()),
+        "exemplars" => client.exemplars().and_then(|exemplars| {
+            if parsed.switch("--json") {
+                Ok(exemplars.render())
+            } else {
+                flight_serve::exemplars_to_jsonl(&exemplars)
+                    .map(|jsonl| jsonl.trim_end().to_string())
+                    .map_err(|message| flight_serve::ServeError {
+                        message,
+                        retry: false,
+                    })
+            }
+        }),
         "swap" => {
             let spec = (|| -> Result<ModelSpec, String> {
                 let mut spec = ModelSpec::default();

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! loadgen [--addr <host:port>] [--clients <n>] [--duration-secs <s>]
-//!         [--workers <n>] [--engine-threads <n>] [--max-batch <n>]
-//!         [--max-wait-us <µs>] [--queue-depth <n>]
+//!         [--warmup <n>] [--workers <n>] [--engine-threads <n>]
+//!         [--max-batch <n>] [--max-wait-us <µs>] [--queue-depth <n>]
 //!         [--network <1..8>] [--scheme <label>] [--seed <n>] [--width <scale>]
 //! ```
 //!
@@ -11,15 +11,21 @@
 //! real TCP; with `--addr` it drives an external server. Closed-loop
 //! clients send seeded-random single-image requests for the duration;
 //! client-observed end-to-end latency goes into a [`Log2Histogram`] per
-//! client and the shards merge into the reported percentiles.
+//! client and the shards merge into the reported percentiles. Each
+//! client's first `--warmup` responses (default 3) are discarded from
+//! the histograms — they measure first-touch scratch allocation and
+//! cold code paths, not steady state.
 //!
 //! Writes `BENCH_serve.manifest.json` (under `FLIGHT_BENCH_DIR`) with a
 //! `serve` block (QPS, p50/p99/p999, reject/error counts, server-side
 //! stats) and a `scaling` block in the exact shape `flightctl capacity`
 //! consumes — so the serving tier can be capacity-planned from measured
 //! numbers, and `flightctl diff` can gate QPS/latency regressions
-//! against a baseline manifest. Set FLIGHT_FIDELITY=smoke to shorten
-//! the run for CI.
+//! against a baseline manifest. The `serve` block distinguishes
+//! `offered_qps` (every attempt the closed-loop clients made, including
+//! rejections and failures) from `achieved_qps` (successful replies
+//! only); a widening gap between the two is the backpressure signal.
+//! Set FLIGHT_FIDELITY=smoke to shorten the run for CI.
 //!
 //! Exit codes: 0 ok, 1 when no request succeeded, 2 usage error.
 
@@ -35,12 +41,14 @@ use flight_tensor::{uniform, TensorRng};
 
 const USAGE: &str = "usage:
   loadgen [--addr <host:port>] [--clients <n>] [--duration-secs <s>]
-          [--workers <n>] [--engine-threads <n>] [--max-batch <n>]
-          [--max-wait-us <us>] [--queue-depth <n>]
+          [--warmup <n>] [--workers <n>] [--engine-threads <n>]
+          [--max-batch <n>] [--max-wait-us <us>] [--queue-depth <n>]
           [--network <1..8>] [--scheme <l1|l2|fp4w8a|full>] [--seed <n>] [--width <scale>]
 
 without --addr an in-process server is started and driven over TCP.
-writes BENCH_serve.manifest.json (FLIGHT_BENCH_DIR sets the directory).
+each client's first --warmup responses (default 3) are discarded from
+the latency histograms. writes BENCH_serve.manifest.json
+(FLIGHT_BENCH_DIR sets the directory).
 exit codes: 0 ok, 1 no request succeeded, 2 usage error.";
 
 /// One client's tallies.
@@ -58,6 +66,7 @@ struct Knobs {
     addr: Option<String>,
     clients: usize,
     duration: Duration,
+    warmup: usize,
     workers: usize,
     engine_threads: usize,
     max_batch: usize,
@@ -100,6 +109,9 @@ fn knobs_from(parsed: &ParsedArgs) -> Result<Knobs, String> {
                 )?
                 .unwrap_or(if smoke { 1.0 } else { 2.0 }),
         ),
+        warmup: parsed
+            .usize_value("--warmup", |_| true, "a non-negative integer")?
+            .unwrap_or(3),
         workers: parsed
             .usize_value("--workers", positive, "a positive integer")?
             .unwrap_or(2),
@@ -138,6 +150,7 @@ fn run() -> i32 {
             "--addr",
             "--clients",
             "--duration-secs",
+            "--warmup",
             "--workers",
             "--engine-threads",
             "--max-batch",
@@ -214,7 +227,8 @@ fn run() -> i32 {
             .map(|c| {
                 let addr = addr.clone();
                 let duration = knobs.duration;
-                scope.spawn(move || drive_client(&addr, c as u64, input_len, duration))
+                let warmup = knobs.warmup;
+                scope.spawn(move || drive_client(&addr, c as u64, input_len, duration, warmup))
             })
             .collect();
         handles
@@ -234,7 +248,13 @@ fn run() -> i32 {
         batch_sum += t.batch_sum;
         max_batch = max_batch.max(t.max_batch);
     }
+    // Closed-loop clients: offered = every attempt they made (including
+    // rejections and failures), achieved = successful replies. Under
+    // backpressure the two diverge; reporting both keeps the manifest
+    // honest about coordinated omission.
+    let attempts = ok + rejected + errors;
     let qps = ok as f64 / wall;
+    let offered_qps = attempts as f64 / wall;
     let mean_batch = if ok == 0 {
         0.0
     } else {
@@ -252,7 +272,7 @@ fn run() -> i32 {
 
     let pct = |q: f64| e2e_ms.percentile(q);
     println!(
-        "loadgen: {ok} ok ({rejected} rejected, {errors} errors) in {wall:.2}s -> {qps:.1} qps"
+        "loadgen: {ok} ok ({rejected} rejected, {errors} errors) in {wall:.2}s -> {qps:.1} qps achieved ({offered_qps:.1} offered)"
     );
     println!(
         "loadgen: e2e latency ms p50 {:.3} p99 {:.3} p999 {:.3}; mean observed batch {mean_batch:.2} (max {max_batch})",
@@ -263,9 +283,13 @@ fn run() -> i32 {
 
     let serve_block = JsonObject::new()
         .field("qps", qps)
+        .field("offered_qps", offered_qps)
+        .field("achieved_qps", qps)
         .field("clients", knobs.clients)
+        .field("warmup_per_client", knobs.warmup)
         .field("duration_secs", wall)
         .field("requests", ok)
+        .field("attempts", attempts)
         .field("rejected", rejected)
         .field("errors", errors)
         .field("mean_observed_batch", mean_batch)
@@ -306,7 +330,14 @@ fn run() -> i32 {
 }
 
 /// One closed-loop client: seeded-random images until the deadline.
-fn drive_client(addr: &str, id: u64, input_len: usize, duration: Duration) -> ClientTally {
+/// The first `warmup` responses are discarded from the histograms.
+fn drive_client(
+    addr: &str,
+    id: u64,
+    input_len: usize,
+    duration: Duration,
+    warmup: usize,
+) -> ClientTally {
     let mut tally = ClientTally::default();
     let Ok(mut client) = ServeClient::connect(addr) else {
         tally.errors += 1;
@@ -315,7 +346,7 @@ fn drive_client(addr: &str, id: u64, input_len: usize, duration: Duration) -> Cl
     let mut rng = TensorRng::seed(0x10ad_6e00 + id);
 
     // Warm up untimed: first-touch scratch allocation and code paths.
-    for _ in 0..3 {
+    for _ in 0..warmup {
         let image = uniform(&mut rng, &[input_len], -1.0, 1.0);
         let _ = client.infer(image.as_slice());
     }

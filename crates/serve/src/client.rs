@@ -39,6 +39,9 @@ fn fatal(message: impl Into<String>) -> ServeError {
 /// A successful inference.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferOk {
+    /// Server-assigned request id (echoed for cross-referencing with
+    /// server-side exemplar timelines; 0 from pre-tracing servers).
+    pub request_id: u64,
     /// Class logits.
     pub logits: Vec<f32>,
     /// Version of the model that answered.
@@ -143,6 +146,10 @@ impl ServeClient {
             .collect::<Option<Vec<f32>>>()
             .ok_or_else(|| fatal("non-numeric logits"))?;
         Ok(InferOk {
+            request_id: reply
+                .get("request_id")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0) as u64,
             logits,
             version: uint("version")?,
             batch: uint("batch")? as usize,
@@ -198,6 +205,21 @@ impl ServeClient {
             .get("stats")
             .cloned()
             .ok_or_else(|| fatal("stats reply lacks `stats`"))
+    }
+
+    /// Fetches the server's slowest-request exemplar timelines (the
+    /// `exemplars` array; see `flight_serve::exemplar`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn exemplars(&mut self) -> Result<JsonValue, ServeError> {
+        let reply =
+            Self::expect_ok(self.round_trip(&JsonObject::new().field("op", "exemplars").build())?)?;
+        reply
+            .get("exemplars")
+            .cloned()
+            .ok_or_else(|| fatal("exemplars reply lacks `exemplars`"))
     }
 
     /// Asks the server to shut down.

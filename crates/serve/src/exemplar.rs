@@ -1,0 +1,295 @@
+//! Tail-sampled request exemplars: the slowest-N request timelines.
+//!
+//! Aggregate percentiles say *that* the tail is slow; an exemplar says
+//! *why* — which phase ate the time, how big the batch was, which model
+//! version served it. [`ExemplarRing`] keeps the `N` slowest completed
+//! requests by end-to-end wall, each as a full per-phase timeline
+//! stamped on the process trace clock
+//! ([`trace_now_us`](flight_telemetry::trace_now_us)), so the `stats
+//! exemplars` protocol verb can hand a debugger the worst requests of
+//! the current run.
+//!
+//! Sampling is tail-biased by construction: every completed request is
+//! *offered*, but once the ring is full an offer first compares against
+//! an atomic admission threshold (the current slowest-N floor) and only
+//! takes the lock when it would actually displace an entry — under
+//! steady load almost every offer is one relaxed atomic load.
+//!
+//! Exemplars serialize two ways:
+//!
+//! * [`Exemplar::json`] — the wire shape of the `stats exemplars` reply.
+//! * [`exemplars_to_jsonl`] — phase spans in the JSONL telemetry trace
+//!   format, named `serve.request.<id>.<phase>`
+//!   ([`request_prefix`](flight_telemetry::request_prefix)), which
+//!   `flightctl export --format chrome` renders as one Perfetto track
+//!   per request. `flightq exemplars` is the shell glue between the two.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use flight_telemetry::json::{JsonObject, JsonValue};
+use flight_telemetry::request_prefix;
+
+/// How many slowest requests the server keeps by default.
+pub const DEFAULT_EXEMPLARS: usize = 16;
+
+/// The four measured phases, pipeline order — the exemplar mirror of
+/// [`crate::stats::PHASES`] minus the derived `e2e`.
+const PHASE_NAMES: [&str; 4] = ["queue", "batch_form", "compute", "reply_write"];
+
+/// One sampled request timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The request's id, as echoed to the client.
+    pub request_id: u64,
+    /// Model version that served it.
+    pub version: u64,
+    /// Batch it was coalesced into.
+    pub batch: usize,
+    /// Enqueue time, µs on the process trace clock.
+    pub start_us: u64,
+    /// Phase durations, µs, [`PHASE_NAMES`] order
+    /// (queue / batch_form / compute / reply_write).
+    pub phases_us: [u64; 4],
+}
+
+impl Exemplar {
+    /// End-to-end wall, µs: the sum of the phases.
+    pub fn e2e_us(&self) -> u64 {
+        self.phases_us.iter().sum()
+    }
+
+    /// The wire shape: id, version, batch, start, e2e, and a `phases`
+    /// object of `<phase>_us` durations.
+    pub fn json(&self) -> JsonValue {
+        let mut phases = JsonObject::new();
+        for (name, &us) in PHASE_NAMES.iter().zip(&self.phases_us) {
+            phases = phases.field(&format!("{name}_us"), us);
+        }
+        JsonObject::new()
+            .field("request_id", self.request_id)
+            .field("version", self.version)
+            .field("batch", self.batch as u64)
+            .field("start_us", self.start_us)
+            .field("e2e_us", self.e2e_us())
+            .field("phases", phases.build())
+            .build()
+    }
+
+    /// Parses the wire shape back. `None` on missing/malformed fields —
+    /// the inverse of [`json`](Self::json).
+    pub fn from_json(v: &JsonValue) -> Option<Exemplar> {
+        let uint = |root: &JsonValue, key: &str| {
+            root.get(key).and_then(JsonValue::as_f64).map(|x| x as u64)
+        };
+        let phases = v.get("phases")?;
+        let mut phases_us = [0u64; 4];
+        for (slot, name) in phases_us.iter_mut().zip(PHASE_NAMES) {
+            *slot = uint(phases, &format!("{name}_us"))?;
+        }
+        Some(Exemplar {
+            request_id: uint(v, "request_id")?,
+            version: uint(v, "version")?,
+            batch: uint(v, "batch")? as usize,
+            start_us: uint(v, "start_us")?,
+            phases_us,
+        })
+    }
+
+    /// The timeline as JSONL trace lines: one `span_start`/`span_end`
+    /// pair per phase, named `serve.request.<id>.<phase>`, placed
+    /// back-to-back from `start_us`. Span ids are `request_id * 4 +
+    /// phase`, unique across a dump because request ids are unique.
+    /// `seq` is the dump-wide line counter, advanced per line.
+    pub fn trace_lines(&self, seq: &mut u64) -> Vec<String> {
+        let prefix = request_prefix(self.request_id);
+        let mut lines = Vec::with_capacity(PHASE_NAMES.len() * 2);
+        let mut cursor = self.start_us;
+        for (phase, (name, &dur_us)) in PHASE_NAMES.iter().zip(&self.phases_us).enumerate() {
+            let span = self.request_id * 4 + phase as u64;
+            let start = JsonObject::new()
+                .field("seq", *seq)
+                .field("ts", cursor as f64)
+                .field("name", format!("{prefix}{name}").as_str())
+                .field("kind", "span_start")
+                .field("value", 0.0)
+                .field("unit", "s")
+                .field("span", span)
+                .build();
+            let end = JsonObject::new()
+                .field("seq", *seq + 1)
+                .field("ts", (cursor + dur_us) as f64)
+                .field("name", format!("{prefix}{name}").as_str())
+                .field("kind", "span_end")
+                .field("value", dur_us as f64 * 1e-6)
+                .field("unit", "s")
+                .field("span", span)
+                .build();
+            *seq += 2;
+            cursor += dur_us;
+            lines.push(start.render());
+            lines.push(end.render());
+        }
+        lines
+    }
+}
+
+/// Renders a `stats exemplars` reply's `exemplars` array as a JSONL
+/// telemetry trace ready for `flightctl export --format chrome`.
+///
+/// # Errors
+///
+/// A human-readable message when `exemplars` is not an array of
+/// well-formed exemplar objects.
+pub fn exemplars_to_jsonl(exemplars: &JsonValue) -> Result<String, String> {
+    let arr = exemplars
+        .as_array()
+        .ok_or_else(|| "exemplars reply is not an array".to_string())?;
+    let mut seq = 0u64;
+    let mut out = String::new();
+    for (i, entry) in arr.iter().enumerate() {
+        let ex = Exemplar::from_json(entry)
+            .ok_or_else(|| format!("exemplar {i} is malformed: {}", entry.render()))?;
+        for line in ex.trace_lines(&mut seq) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// The slowest-N ring. See the module docs for the sampling policy.
+#[derive(Debug)]
+pub struct ExemplarRing {
+    cap: usize,
+    /// Admission floor, µs: the smallest e2e in a *full* ring, 0 while
+    /// filling. A relaxed read gates the lock on the hot path; stale
+    /// reads only cause a harmless extra lock or a marginally-slow
+    /// admission race, never a lost slowest request.
+    floor_us: AtomicU64,
+    /// Kept sorted slowest-first; at most `cap` entries.
+    ring: Mutex<Vec<Exemplar>>,
+}
+
+impl ExemplarRing {
+    /// An empty ring keeping the `cap` slowest (clamped to at least 1).
+    pub fn new(cap: usize) -> ExemplarRing {
+        ExemplarRing {
+            cap: cap.max(1),
+            floor_us: AtomicU64::new(0),
+            ring: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offers one completed request. Cheap when it is not among the
+    /// slowest seen: one relaxed load, no lock.
+    pub fn offer(&self, exemplar: Exemplar) {
+        let e2e = exemplar.e2e_us();
+        if e2e <= self.floor_us.load(Ordering::Relaxed) {
+            return; // ring is full of slower requests
+        }
+        let mut ring = self.ring.lock().expect("exemplar ring poisoned");
+        let at = ring.partition_point(|e| e.e2e_us() >= e2e);
+        ring.insert(at, exemplar);
+        if ring.len() > self.cap {
+            ring.pop();
+        }
+        if ring.len() == self.cap {
+            self.floor_us
+                .store(ring.last().map_or(0, Exemplar::e2e_us), Ordering::Relaxed);
+        }
+    }
+
+    /// The current exemplars, slowest first.
+    pub fn snapshot(&self) -> Vec<Exemplar> {
+        self.ring.lock().expect("exemplar ring poisoned").clone()
+    }
+
+    /// The `exemplars` reply array, slowest first.
+    pub fn json(&self) -> JsonValue {
+        JsonValue::Array(self.snapshot().iter().map(Exemplar::json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(id: u64, e2e_ms: u64) -> Exemplar {
+        Exemplar {
+            request_id: id,
+            version: 1,
+            batch: 4,
+            start_us: 1000 * id,
+            phases_us: [e2e_ms * 250, e2e_ms * 250, e2e_ms * 250, e2e_ms * 250],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_slowest_n_sorted() {
+        let ring = ExemplarRing::new(3);
+        for (id, e2e) in [(1, 10), (2, 50), (3, 5), (4, 40), (5, 60), (6, 1)] {
+            ring.offer(ex(id, e2e));
+        }
+        let ids: Vec<u64> = ring.snapshot().iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, vec![5, 2, 4], "slowest three, slowest first");
+        // A fast request after the ring is full takes the no-lock path
+        // and cannot displace anything.
+        ring.offer(ex(7, 2));
+        assert_eq!(ring.snapshot().len(), 3);
+        assert!(ring.snapshot().iter().all(|e| e.request_id != 7));
+    }
+
+    #[test]
+    fn wire_json_round_trips() {
+        let original = Exemplar {
+            request_id: 42,
+            version: 3,
+            batch: 8,
+            start_us: 123_456,
+            phases_us: [100, 20, 900, 30],
+        };
+        let parsed = Exemplar::from_json(&original.json()).expect("parses");
+        assert_eq!(parsed, original);
+        assert_eq!(parsed.e2e_us(), 1050);
+        assert!(
+            Exemplar::from_json(&JsonObject::new().field("request_id", 1u64).build()).is_none()
+        );
+    }
+
+    #[test]
+    fn trace_lines_parse_as_span_pairs_on_request_tracks() {
+        let exemplar = Exemplar {
+            request_id: 7,
+            version: 2,
+            batch: 3,
+            start_us: 50_000,
+            phases_us: [1000, 200, 5000, 300],
+        };
+        let jsonl = exemplars_to_jsonl(&JsonValue::Array(vec![exemplar.json()])).expect("renders");
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 8, "4 phases x start+end");
+        // Every line is a parseable trace event on the request track.
+        let mut last_ts = 0.0;
+        for line in &lines {
+            let event = flight_obs::trace::parse_event(line).expect("valid trace line");
+            let (id, _bare) =
+                flight_telemetry::parse_request_track(&event.name).expect("request track");
+            assert_eq!(id, 7);
+            let ts = event.ts_us.expect("stamped");
+            assert!(ts >= last_ts, "phases are laid out in order");
+            last_ts = ts;
+        }
+        // The compute span carries its duration in seconds.
+        let compute_end = flight_obs::trace::parse_event(lines[5]).unwrap();
+        assert_eq!(compute_end.name, "serve.request.7.compute");
+        assert!((compute_end.value - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_exemplar_arrays_are_an_error_not_a_panic() {
+        assert!(exemplars_to_jsonl(&JsonValue::Bool(true)).is_err());
+        let bad = JsonValue::Array(vec![JsonObject::new().field("nope", 1u64).build()]);
+        assert!(exemplars_to_jsonl(&bad).is_err());
+    }
+}

@@ -17,9 +17,16 @@
 //!   server answers `overloaded` + `retry` instead of queueing without
 //!   limit.
 //! - **per-phase latency accounting** ([`stats`]) — queue wait, batch
-//!   forming, and compute are measured per request into
-//!   [`Log2Histogram`](flight_telemetry::Log2Histogram)s, exposed over
-//!   the `stats` op and through telemetry.
+//!   forming, compute, and reply write are measured per request into
+//!   [`Log2Histogram`](flight_telemetry::Log2Histogram)s, sharded per
+//!   worker (lock-free hot path, bit-identical snapshot merge) with
+//!   lifetime totals *and* rolling 1 s / 10 s / 60 s windows, exposed
+//!   over the `stats` op and through telemetry.
+//! - **request tracing** ([`exemplar`]) — every request carries a
+//!   monotonically increasing `request_id` (echoed to the client); the
+//!   slowest-N request timelines are kept as exemplars, fetched via the
+//!   `exemplars` op, and exportable as per-request Perfetto tracks
+//!   through `flightq exemplars` + `flightctl export`.
 //!
 //! The server is built directly on the request-first engine API: one
 //! shared [`CompiledNet`](flight_kernels::CompiledNet) snapshot per
@@ -42,6 +49,7 @@
 
 pub mod batcher;
 pub mod client;
+pub mod exemplar;
 pub mod model;
 pub mod protocol;
 pub mod server;
@@ -50,6 +58,7 @@ pub mod swap;
 
 pub use batcher::BatchPolicy;
 pub use client::{InferOk, ServeClient, ServeError};
+pub use exemplar::{exemplars_to_jsonl, Exemplar, ExemplarRing};
 pub use model::{ModelSpec, ServingModel};
 pub use server::{Server, ServerConfig};
 pub use stats::ServeStats;

@@ -13,15 +13,20 @@
 //! {"op":"infer","image":[0.1,0.2, …]}
 //! {"op":"swap","network":1,"scheme":"l1","seed":7}
 //! {"op":"stats"}
+//! {"op":"exemplars"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Responses always carry `"ok"`; failures add `"error"` with a
-//! human-readable message. `infer` responses carry the logits, the
-//! serving model's version, the batch the request was coalesced into,
-//! and the per-phase timing breakdown (`queue` / `batch_form` /
-//! `compute` / `total`, microseconds).
+//! human-readable message. `infer` responses carry the server-assigned
+//! `request_id`, the logits, the serving model's version, the batch the
+//! request was coalesced into, and the per-phase timing breakdown
+//! (`queue` / `batch_form` / `compute` / `total`, microseconds — the
+//! fourth phase, `reply_write`, is only observable server-side and
+//! appears in `stats` and `exemplars`). `exemplars` responses carry the
+//! slowest-request timelines currently held by the server's exemplar
+//! ring (see [`crate::exemplar`]).
 
 use std::io::{Read, Write};
 
@@ -91,6 +96,8 @@ pub enum Request {
     },
     /// Per-phase latency histograms and counters.
     Stats,
+    /// The slowest-request exemplar timelines.
+    Exemplars,
     /// Liveness + current model version.
     Ping,
     /// Stop the server.
@@ -130,6 +137,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
             spec: ModelSpec::from_json(&root)?,
         }),
         "stats" => Ok(Request::Stats),
+        "exemplars" => Ok(Request::Exemplars),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
@@ -197,6 +205,10 @@ mod tests {
         assert_eq!(
             parse_request(b"{\"op\":\"stats\"}").unwrap(),
             Request::Stats
+        );
+        assert_eq!(
+            parse_request(b"{\"op\":\"exemplars\"}").unwrap(),
+            Request::Exemplars
         );
         assert_eq!(
             parse_request(b"{\"op\":\"infer\",\"image\":[1,0.5]}").unwrap(),

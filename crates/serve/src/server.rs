@@ -17,10 +17,23 @@
 //! [`EngineSlot`] at batch start — so a swap mid-batch is invisible to
 //! that batch. The queue is bounded: a full queue rejects with
 //! `overloaded` instead of growing latency without bound.
+//!
+//! # Request tracing
+//!
+//! Every accepted `infer` is assigned a monotonically increasing
+//! `request_id` at the connection thread, carried through the queue and
+//! the worker on its [`PendingRequest`], and echoed back to the client.
+//! The id routes stats recording to a shard (`request_id % shards`, so
+//! concurrent connection threads rarely collide on a lock) and keys the
+//! request's [`Exemplar`] timeline if it turns out to be among the
+//! slowest. The fourth phase, `reply_write`, is measured here on the
+//! connection thread — around the reply frame's render+write — which is
+//! why per-request stats are recorded *after* the frame is on the wire,
+//! not by the compute worker.
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -28,10 +41,11 @@ use std::time::{Duration, Instant};
 
 use flight_kernels::{ExecCtx, ExecutionPolicy};
 use flight_telemetry::json::{JsonObject, JsonValue};
-use flight_telemetry::Telemetry;
+use flight_telemetry::{trace_now_us, Telemetry};
 use flight_tensor::Tensor;
 
 use crate::batcher::{collect_batch, BatchPolicy, PendingRequest};
+use crate::exemplar::{Exemplar, ExemplarRing, DEFAULT_EXEMPLARS};
 use crate::model::ModelSpec;
 use crate::protocol::{error_response, overloaded_response, parse_request, Request};
 use crate::protocol::{read_frame, write_frame};
@@ -59,6 +73,8 @@ pub struct ServerConfig {
     pub max_wait_us: u64,
     /// Bounded queue depth; beyond it requests are rejected.
     pub queue_depth: usize,
+    /// How many slowest-request exemplar timelines to keep.
+    pub exemplars: usize,
     /// Where serve counters/histograms go on shutdown.
     pub telemetry: Telemetry,
 }
@@ -72,6 +88,7 @@ impl Default for ServerConfig {
             max_batch: 8,
             max_wait_us: 500,
             queue_depth: 256,
+            exemplars: DEFAULT_EXEMPLARS,
             telemetry: Telemetry::null(),
         }
     }
@@ -84,6 +101,8 @@ enum InferReply {
         version: u64,
         batch: usize,
         logits: Vec<f32>,
+        /// Worker-measured phases; `reply_write` is still zero — the
+        /// connection thread fills it in after the frame write.
         phases: PhaseSample,
     },
     Failed(String),
@@ -93,9 +112,33 @@ enum InferReply {
 struct Shared {
     slot: EngineSlot,
     stats: ServeStats,
+    exemplars: ExemplarRing,
     queue_tx: SyncSender<PendingRequest<InferReply>>,
+    /// Next `request_id` to assign; starts at 1 so 0 can mean "none".
+    next_request_id: AtomicU64,
+    /// Requests currently parked in the bounded queue. Signed because
+    /// the enqueue increment (connection thread) and the dequeue
+    /// decrement (worker) race benignly; reads clamp at zero.
+    queue_depth: AtomicI64,
     stop: AtomicBool,
     telemetry: Telemetry,
+}
+
+impl Shared {
+    fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// The `stats` payload: the sharded snapshot plus the live queue
+    /// depth (which lives on the server, not in the recorders).
+    fn stats_payload(&self) -> JsonValue {
+        let snapshot = self.stats.snapshot_json();
+        let JsonValue::Object(mut fields) = snapshot else {
+            unreachable!("stats snapshot is an object")
+        };
+        fields.push(("queue_depth".into(), JsonValue::from(self.queue_depth())));
+        JsonValue::Object(fields)
+    }
 }
 
 /// A running server. Dropping it without [`Server::stop`] detaches the
@@ -125,8 +168,11 @@ impl Server {
         let (queue_tx, queue_rx) = mpsc::sync_channel(config.queue_depth.max(1));
         let shared = Arc::new(Shared {
             slot,
-            stats: ServeStats::new(),
+            stats: ServeStats::new(config.workers.max(1)),
+            exemplars: ExemplarRing::new(config.exemplars),
             queue_tx,
+            next_request_id: AtomicU64::new(1),
+            queue_depth: AtomicI64::new(0),
             stop: AtomicBool::new(false),
             telemetry: config.telemetry.clone(),
         });
@@ -143,7 +189,7 @@ impl Server {
                 let engine = config.engine;
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &queue_rx, policy, engine))
+                    .spawn(move || worker_loop(&shared, &queue_rx, policy, engine, i))
                     .expect("spawn worker")
             })
             .collect();
@@ -180,9 +226,15 @@ impl Server {
     }
 
     /// The stats snapshot (same shape as the `stats` op's `stats`
-    /// field).
+    /// field, including `queue_depth` and the `windows` block).
     pub fn stats_json(&self) -> JsonValue {
-        self.shared.stats.snapshot_json()
+        self.shared.stats_payload()
+    }
+
+    /// The current slowest-request exemplars (same shape as the
+    /// `exemplars` op's `exemplars` field).
+    pub fn exemplars_json(&self) -> JsonValue {
+        self.shared.exemplars.json()
     }
 
     /// Signals every thread to stop, wakes the accept loop, joins the
@@ -233,6 +285,18 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// A completed inference carrying everything the connection thread needs
+/// to finish per-request accounting once the reply frame is written.
+struct CompletedInfer {
+    request_id: u64,
+    version: u64,
+    batch: usize,
+    /// Enqueue time on the process trace clock, µs.
+    enqueued_us: u64,
+    /// Worker-measured phases; `reply_write` still zero.
+    phases: PhaseSample,
+}
+
 /// One connection: read frames, dispatch ops, write reply frames.
 fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     let mut reader = stream.try_clone()?;
@@ -248,7 +312,13 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<(
             Ok(Request::Stats) => JsonObject::new()
                 .field("ok", true)
                 .field("version", shared.slot.version())
-                .field("stats", shared.stats.snapshot_json())
+                .field("stats", shared.stats_payload())
+                .build()
+                .render(),
+            Ok(Request::Exemplars) => JsonObject::new()
+                .field("ok", true)
+                .field("version", shared.slot.version())
+                .field("exemplars", shared.exemplars.json())
                 .build()
                 .render(),
             Ok(Request::Swap { spec }) => match shared.slot.swap_to(spec) {
@@ -259,7 +329,18 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<(
                     .render(),
                 Err(e) => error_response(&format!("swap failed: {e}")),
             },
-            Ok(Request::Infer { image }) => infer(shared, image, received),
+            Ok(Request::Infer { image }) => {
+                let (reply, done) = infer(shared, image, received);
+                // reply_write: render cost is already spent; time the
+                // frame write+flush, then record the full phase set.
+                let write_start = Instant::now();
+                write_frame(&mut stream, reply.as_bytes())?;
+                if let Some(mut done) = done {
+                    done.phases.reply_write = write_start.elapsed();
+                    finish_infer(shared, &done);
+                }
+                continue;
+            }
             Ok(Request::Shutdown) => {
                 write_frame(
                     &mut stream,
@@ -278,26 +359,59 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<(
     stream.flush()
 }
 
-/// Enqueues one infer request and waits for its reply.
-fn infer(shared: &Arc<Shared>, image: Vec<f32>, received: Instant) -> String {
+/// Records a completed request's four phases into its stats shard and
+/// offers its timeline to the exemplar ring. Runs on the connection
+/// thread, after the reply frame is on the wire.
+fn finish_infer(shared: &Arc<Shared>, done: &CompletedInfer) {
+    let shard = (done.request_id % shared.stats.shards() as u64) as usize;
+    shared.stats.record_request(shard, &done.phases);
+    let us = |d: Duration| d.as_micros() as u64;
+    shared.exemplars.offer(Exemplar {
+        request_id: done.request_id,
+        version: done.version,
+        batch: done.batch,
+        start_us: done.enqueued_us,
+        phases_us: [
+            us(done.phases.queue),
+            us(done.phases.batch_form),
+            us(done.phases.compute),
+            us(done.phases.reply_write),
+        ],
+    });
+}
+
+/// Enqueues one infer request and waits for its reply. Returns the reply
+/// payload plus, on success, the [`CompletedInfer`] the caller records
+/// after writing the frame (so `reply_write` can be measured).
+fn infer(
+    shared: &Arc<Shared>,
+    image: Vec<f32>,
+    received: Instant,
+) -> (String, Option<CompletedInfer>) {
     if shared.stop.load(Ordering::Acquire) {
-        return error_response("shutting down");
+        return (error_response("shutting down"), None);
     }
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+    let shard = (request_id % shared.stats.shards() as u64) as usize;
+    let enqueued_us = trace_now_us() as u64;
     let (reply_tx, reply_rx) = mpsc::channel();
     let now = Instant::now();
     let pending = PendingRequest {
+        id: request_id,
         image,
         enqueued: now,
         popped: now,
         reply: reply_tx,
     };
     match shared.queue_tx.try_send(pending) {
-        Ok(()) => {}
-        Err(TrySendError::Full(_)) => {
-            shared.stats.record_rejected();
-            return overloaded_response();
+        Ok(()) => {
+            shared.queue_depth.fetch_add(1, Ordering::Relaxed);
         }
-        Err(TrySendError::Disconnected(_)) => return error_response("queue closed"),
+        Err(TrySendError::Full(_)) => {
+            shared.stats.record_rejected(shard);
+            return (overloaded_response(), None);
+        }
+        Err(TrySendError::Disconnected(_)) => return (error_response("queue closed"), None),
     }
     match reply_rx.recv_timeout(REPLY_TIMEOUT) {
         Ok(InferReply::Done {
@@ -307,8 +421,9 @@ fn infer(shared: &Arc<Shared>, image: Vec<f32>, received: Instant) -> String {
             phases,
         }) => {
             let us = |d: Duration| d.as_micros() as u64;
-            JsonObject::new()
+            let reply = JsonObject::new()
                 .field("ok", true)
+                .field("request_id", request_id)
                 .field("version", version)
                 .field("batch", batch)
                 .field(
@@ -328,19 +443,37 @@ fn infer(shared: &Arc<Shared>, image: Vec<f32>, received: Instant) -> String {
                         .build(),
                 )
                 .build()
-                .render()
+                .render();
+            (
+                reply,
+                Some(CompletedInfer {
+                    request_id,
+                    version,
+                    batch,
+                    enqueued_us,
+                    phases,
+                }),
+            )
         }
-        Ok(InferReply::Failed(e)) => error_response(&e),
-        Err(_) => error_response("timed out waiting for a compute worker"),
+        Ok(InferReply::Failed(e)) => (error_response(&e), None),
+        Err(_) => {
+            shared.stats.record_error(shard);
+            (
+                error_response("timed out waiting for a compute worker"),
+                None,
+            )
+        }
     }
 }
 
 /// One compute worker: form a batch, run it, reply to every member.
+/// `worker` is this worker's stats shard.
 fn worker_loop(
     shared: &Arc<Shared>,
     queue_rx: &Arc<Mutex<mpsc::Receiver<PendingRequest<InferReply>>>>,
     policy: BatchPolicy,
     engine: ExecutionPolicy,
+    worker: usize,
 ) {
     let mut ctx = ExecCtx::new();
     loop {
@@ -351,7 +484,10 @@ fn worker_loop(
             collect_batch(&rx, policy, &shared.stop)
         };
         let Some(batch) = batch else { break };
-        run_batch(shared, batch, engine, &mut ctx);
+        shared
+            .queue_depth
+            .fetch_sub(batch.len() as i64, Ordering::Relaxed);
+        run_batch(shared, batch, engine, &mut ctx, worker);
     }
 }
 
@@ -360,6 +496,7 @@ fn run_batch(
     batch: Vec<PendingRequest<InferReply>>,
     engine: ExecutionPolicy,
     ctx: &mut ExecCtx,
+    worker: usize,
 ) {
     let sealed = Instant::now();
     let model = shared.slot.load();
@@ -370,7 +507,7 @@ fn run_batch(
         if req.image.len() == expect {
             members.push(req);
         } else {
-            shared.stats.record_error();
+            shared.stats.record_error(worker);
             let _ = req.reply.send(InferReply::Failed(format!(
                 "image has {} floats, model expects {expect}",
                 req.image.len()
@@ -395,14 +532,13 @@ fn run_batch(
 
     let logits = out.as_slice();
     let classes = logits.len() / n;
-    let mut samples = Vec::with_capacity(n);
     for (i, m) in members.iter().enumerate() {
         let phases = PhaseSample {
             queue: m.popped.saturating_duration_since(m.enqueued),
             batch_form: sealed.saturating_duration_since(m.popped),
             compute,
+            reply_write: Duration::ZERO,
         };
-        samples.push(phases);
         let _ = m.reply.send(InferReply::Done {
             version: model.version,
             batch: n,
@@ -410,5 +546,7 @@ fn run_batch(
             phases,
         });
     }
-    shared.stats.record_batch(&samples);
+    // Per-request phases are recorded by the connection threads (they
+    // own the reply_write measurement); the worker accounts the batch.
+    shared.stats.record_batch(worker, n);
 }

@@ -1,39 +1,57 @@
-//! Server-side telemetry: per-phase latency histograms and counters.
+//! Server-side telemetry: sharded per-phase latency accounting with
+//! lifetime totals *and* rolling 1 s / 10 s / 60 s windows.
 //!
-//! Each request's life is split into three measured phases — `queue`
-//! (enqueue → a worker popped it), `batch_form` (popped → batch sealed)
-//! and `compute` (the shared forward call) — plus the end-to-end `e2e`
-//! wall. Phases go into [`Log2Histogram`]s so percentiles survive
-//! long-tailed distributions without pre-chosen bucket bounds, and merge
-//! cheaply across workers.
+//! # The phase split
+//!
+//! Each request's life is split into four measured phases whose sum is
+//! the server-side end-to-end wall (`e2e`):
+//!
+//! * `queue` — connection thread enqueued it → a compute worker popped
+//!   it. Grows under load; the backpressure signal.
+//! * `batch_form` — popped → the dynamic batch sealed. Bounded by the
+//!   batcher's `max_wait`.
+//! * `compute` — the shared forward call (every batch member reports
+//!   the same wall).
+//! * `reply_write` — the worker's reply arrived back at the connection
+//!   thread → the reply frame was rendered, written, and flushed. This
+//!   is the serialization cost the first three phases miss; without it
+//!   `e2e` systematically undercounts what clients observe.
+//!
+//! `e2e` therefore matches the client-observed server residence time up
+//! to request parsing (microseconds) and kernel socket delivery.
+//!
+//! # Shards and windows
+//!
+//! [`ServeStats`] is sharded: every recorder writes into its own shard
+//! (workers by worker index, connection threads by `request_id %
+//! shards`), so the hot path never takes a contended lock — each shard
+//! has its own, touched by one writer and the occasional snapshot.
+//! Shards hold the same [`Tallies`] twice: a lifetime-cumulative copy,
+//! and a [`Windowed`] ring of 60 one-second buckets. Snapshot time
+//! merges shards bit-identically (the [`Log2Histogram`] /
+//! [`Windowed`] merge guarantees), so the merged report equals what a
+//! single global recorder would have produced — a property pinned by
+//! `tests/stats_shards.rs`.
 
 use std::sync::Mutex;
 use std::time::Duration;
 
 use flight_telemetry::json::{JsonObject, JsonValue};
-use flight_telemetry::{Log2Histogram, Telemetry};
+use flight_telemetry::{trace_now_us, Log2Histogram, Telemetry, WindowMerge, Windowed};
 
-/// One phase's histogram, keyed for JSON output.
-const PHASES: [&str; 4] = ["queue", "batch_form", "compute", "e2e"];
+/// The measured phases, in pipeline order, plus the derived `e2e`.
+pub const PHASES: [&str; 5] = ["queue", "batch_form", "compute", "reply_write", "e2e"];
 
-#[derive(Debug, Default)]
-struct Inner {
-    phases: [Log2Histogram; 4],
-    batch_sizes: Log2Histogram,
-    requests: u64,
-    batches: u64,
-    rejected: u64,
-    errors: u64,
-}
+/// The reported windows: label and width in window buckets (seconds).
+pub const WINDOWS: [(&str, usize); 3] = [("1s", 1), ("10s", 10), ("60s", 60)];
 
-/// Shared, thread-safe serve statistics.
-#[derive(Debug, Default)]
-pub struct ServeStats {
-    inner: Mutex<Inner>,
-}
+/// Ring size: enough one-second buckets for the widest window.
+const WINDOW_BUCKETS: usize = 60;
+/// One second, in the microsecond clock every window operation takes.
+const BUCKET_MICROS: u64 = 1_000_000;
 
 /// One request's measured phase durations.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseSample {
     /// Enqueue → popped by a worker.
     pub queue: Duration,
@@ -41,53 +59,81 @@ pub struct PhaseSample {
     pub batch_form: Duration,
     /// The batch's forward-call wall (shared by every member).
     pub compute: Duration,
+    /// Worker reply received → reply frame rendered, written, flushed.
+    pub reply_write: Duration,
 }
 
-impl ServeStats {
-    /// Fresh, empty stats.
-    pub fn new() -> ServeStats {
-        ServeStats::default()
+impl PhaseSample {
+    /// Server-side end-to-end wall: the sum of the four phases.
+    pub fn e2e(&self) -> Duration {
+        self.queue + self.batch_form + self.compute + self.reply_write
     }
+}
 
-    /// Records one executed batch: its size and every member's phases.
-    pub fn record_batch(&self, samples: &[PhaseSample]) {
-        let mut inner = self.inner.lock().expect("stats lock poisoned");
-        inner.batches += 1;
-        inner.requests += samples.len() as u64;
-        inner.batch_sizes.record(samples.len() as f64);
-        for s in samples {
-            let e2e = s.queue + s.batch_form + s.compute;
-            for (hist, d) in inner
-                .phases
-                .iter_mut()
-                .zip([s.queue, s.batch_form, s.compute, e2e])
-            {
-                hist.record(d.as_secs_f64() * 1e3);
-            }
+/// Everything one recorder tallies. Used both as the lifetime
+/// accumulator and as the window-bucket payload, so lifetime and
+/// windowed reports can never drift in shape.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Tallies {
+    /// Per-phase latency histograms, milliseconds, [`PHASES`] order.
+    pub phases: [Log2Histogram; 5],
+    /// Executed batch sizes.
+    pub batch_sizes: Log2Histogram,
+    /// Completed (batched and replied) requests.
+    pub requests: u64,
+    /// Executed batches.
+    pub batches: u64,
+    /// Requests bounced by the full queue.
+    pub rejected: u64,
+    /// Requests that failed (bad image, worker timeout, …).
+    pub errors: u64,
+}
+
+impl WindowMerge for Tallies {
+    fn merge_from(&mut self, other: &Self) {
+        for (mine, theirs) in self.phases.iter_mut().zip(&other.phases) {
+            mine.merge(theirs);
+        }
+        self.batch_sizes.merge(&other.batch_sizes);
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.rejected += other.rejected;
+        self.errors += other.errors;
+    }
+}
+
+impl Tallies {
+    fn record_request(&mut self, sample: &PhaseSample) {
+        self.requests += 1;
+        let durations = [
+            sample.queue,
+            sample.batch_form,
+            sample.compute,
+            sample.reply_write,
+            sample.e2e(),
+        ];
+        for (hist, d) in self.phases.iter_mut().zip(durations) {
+            hist.record(d.as_secs_f64() * 1e3);
         }
     }
 
-    /// Records one request bounced by the full queue.
-    pub fn record_rejected(&self) {
-        self.inner.lock().expect("stats lock poisoned").rejected += 1;
+    /// Attempted requests: completed plus rejected plus failed. The
+    /// denominator of the reject/error rates.
+    pub fn attempts(&self) -> u64 {
+        self.requests + self.rejected + self.errors
     }
 
-    /// Records one request that failed (bad image, etc.).
-    pub fn record_error(&self) {
-        self.inner.lock().expect("stats lock poisoned").errors += 1;
+    fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
     }
 
-    /// Completed (batched) request count.
-    pub fn requests(&self) -> u64 {
-        self.inner.lock().expect("stats lock poisoned").requests
-    }
-
-    /// The stats as a JSON object: counters, mean batch size, and a
-    /// `latency_ms` block of per-phase percentiles.
-    pub fn snapshot_json(&self) -> JsonValue {
-        let inner = self.inner.lock().expect("stats lock poisoned");
+    fn latency_json(&self) -> JsonValue {
         let mut latency = JsonObject::new();
-        for (name, hist) in PHASES.iter().zip(&inner.phases) {
+        for (name, hist) in PHASES.iter().zip(&self.phases) {
             latency = latency.field(
                 name,
                 JsonObject::new()
@@ -98,41 +144,210 @@ impl ServeStats {
                     .build(),
             );
         }
-        let mean_batch = if inner.batches == 0 {
-            0.0
-        } else {
-            inner.requests as f64 / inner.batches as f64
-        };
+        latency.build()
+    }
+}
+
+/// One shard: a lifetime accumulator plus its rolling window.
+#[derive(Debug)]
+struct Shard {
+    lifetime: Tallies,
+    window: Windowed<Tallies>,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            lifetime: Tallies::default(),
+            window: Windowed::new(WINDOW_BUCKETS, BUCKET_MICROS),
+        }
+    }
+}
+
+/// Sharded, thread-safe serve statistics. See the module docs for the
+/// sharding and window semantics.
+#[derive(Debug)]
+pub struct ServeStats {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats::new(1)
+    }
+}
+
+impl ServeStats {
+    /// Fresh stats with `shards` shards (clamped to at least 1) —
+    /// typically one per compute worker.
+    pub fn new(shards: usize) -> ServeStats {
+        ServeStats {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[idx % self.shards.len()]
+            .lock()
+            .expect("stats shard poisoned")
+    }
+
+    /// Records one completed request's phases into shard `shard` (the
+    /// connection thread passes `request_id % shards()`).
+    pub fn record_request(&self, shard: usize, sample: &PhaseSample) {
+        self.record_request_at(shard, sample, trace_now_us() as u64);
+    }
+
+    /// [`record_request`](Self::record_request) with an explicit window
+    /// clock, for deterministic tests.
+    pub fn record_request_at(&self, shard: usize, sample: &PhaseSample, now_us: u64) {
+        let mut shard = self.shard(shard);
+        shard.lifetime.record_request(sample);
+        shard.window.bucket_at(now_us).record_request(sample);
+    }
+
+    /// Records one executed batch of `size` members (the compute worker
+    /// passes its own worker index).
+    pub fn record_batch(&self, shard: usize, size: usize) {
+        self.record_batch_at(shard, size, trace_now_us() as u64);
+    }
+
+    /// [`record_batch`](Self::record_batch) with an explicit window clock.
+    pub fn record_batch_at(&self, shard: usize, size: usize, now_us: u64) {
+        let mut shard = self.shard(shard);
+        shard.lifetime.batches += 1;
+        shard.lifetime.batch_sizes.record(size as f64);
+        let bucket = shard.window.bucket_at(now_us);
+        bucket.batches += 1;
+        bucket.batch_sizes.record(size as f64);
+    }
+
+    /// Records one request bounced by the full queue.
+    pub fn record_rejected(&self, shard: usize) {
+        self.record_rejected_at(shard, trace_now_us() as u64);
+    }
+
+    /// [`record_rejected`](Self::record_rejected) with an explicit clock.
+    pub fn record_rejected_at(&self, shard: usize, now_us: u64) {
+        let mut shard = self.shard(shard);
+        shard.lifetime.rejected += 1;
+        shard.window.bucket_at(now_us).rejected += 1;
+    }
+
+    /// Records one request that failed (bad image, worker timeout, …).
+    pub fn record_error(&self, shard: usize) {
+        self.record_error_at(shard, trace_now_us() as u64);
+    }
+
+    /// [`record_error`](Self::record_error) with an explicit clock.
+    pub fn record_error_at(&self, shard: usize, now_us: u64) {
+        let mut shard = self.shard(shard);
+        shard.lifetime.errors += 1;
+        shard.window.bucket_at(now_us).errors += 1;
+    }
+
+    /// Completed (batched) request count.
+    pub fn requests(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("stats shard poisoned").lifetime.requests)
+            .sum()
+    }
+
+    /// The lifetime tallies, merged across shards — bit-identical to
+    /// what one global recorder would hold.
+    pub fn merged(&self) -> Tallies {
+        let mut merged = Tallies::default();
+        for shard in &self.shards {
+            merged.merge_from(&shard.lock().expect("stats shard poisoned").lifetime);
+        }
+        merged
+    }
+
+    /// The last-`window_buckets`-seconds tallies as of `now_us`, merged
+    /// across shards.
+    pub fn merged_window_at(&self, now_us: u64, window_buckets: usize) -> Tallies {
+        let mut merged: Windowed<Tallies> = Windowed::new(WINDOW_BUCKETS, BUCKET_MICROS);
+        for shard in &self.shards {
+            merged.merge_at(&shard.lock().expect("stats shard poisoned").window, now_us);
+        }
+        merged.fold_last(now_us, window_buckets)
+    }
+
+    /// The stats as a JSON object: lifetime counters, mean batch size,
+    /// a `latency_ms` block of per-phase percentiles, and a `windows`
+    /// block with per-window QPS, reject/error rates, and percentiles.
+    pub fn snapshot_json(&self) -> JsonValue {
+        self.snapshot_json_at(trace_now_us() as u64)
+    }
+
+    /// [`snapshot_json`](Self::snapshot_json) with an explicit clock.
+    pub fn snapshot_json_at(&self, now_us: u64) -> JsonValue {
+        let lifetime = self.merged();
+        let mut windows = JsonObject::new();
+        for (label, buckets) in WINDOWS {
+            let w = self.merged_window_at(now_us, buckets);
+            let secs = buckets as f64;
+            let attempts = w.attempts();
+            let rate = |n: u64| {
+                if attempts == 0 {
+                    0.0
+                } else {
+                    n as f64 / attempts as f64
+                }
+            };
+            windows = windows.field(
+                label,
+                JsonObject::new()
+                    .field("qps", w.requests as f64 / secs)
+                    .field("requests", w.requests)
+                    .field("rejected", w.rejected)
+                    .field("errors", w.errors)
+                    .field("reject_rate", rate(w.rejected))
+                    .field("error_rate", rate(w.errors))
+                    .field("mean_batch", w.mean_batch())
+                    .field("latency_ms", w.latency_json())
+                    .build(),
+            );
+        }
         JsonObject::new()
-            .field("requests", inner.requests)
-            .field("batches", inner.batches)
-            .field("rejected", inner.rejected)
-            .field("errors", inner.errors)
-            .field("mean_batch", mean_batch)
-            .field("latency_ms", latency.build())
+            .field("requests", lifetime.requests)
+            .field("batches", lifetime.batches)
+            .field("rejected", lifetime.rejected)
+            .field("errors", lifetime.errors)
+            .field("mean_batch", lifetime.mean_batch())
+            .field("latency_ms", lifetime.latency_json())
+            .field("windows", windows.build())
             .build()
     }
 
-    /// A copy of the end-to-end latency histogram (milliseconds).
+    /// A copy of the merged end-to-end latency histogram (milliseconds).
     pub fn e2e_histogram(&self) -> Log2Histogram {
-        self.inner.lock().expect("stats lock poisoned").phases[3].clone()
+        self.merged().phases[4].clone()
     }
 
-    /// Emits the histograms and counters through a telemetry handle as
-    /// `serve.latency.<phase>` / `serve.<counter>` events.
+    /// Emits the merged histograms and counters through a telemetry
+    /// handle as `serve.latency.<phase>` / `serve.<counter>` events.
     pub fn emit(&self, telemetry: &Telemetry) {
         if !telemetry.enabled() {
             return;
         }
-        let inner = self.inner.lock().expect("stats lock poisoned");
-        for (name, hist) in PHASES.iter().zip(&inner.phases) {
+        let merged = self.merged();
+        for (name, hist) in PHASES.iter().zip(&merged.phases) {
             telemetry.log2_histogram(&format!("serve.latency.{name}"), hist);
         }
-        telemetry.log2_histogram("serve.batch_size", &inner.batch_sizes);
-        telemetry.counter("serve.requests", inner.requests, "requests");
-        telemetry.counter("serve.batches", inner.batches, "batches");
-        telemetry.counter("serve.rejected", inner.rejected, "requests");
-        telemetry.counter("serve.errors", inner.errors, "requests");
+        telemetry.log2_histogram("serve.batch_size", &merged.batch_sizes);
+        telemetry.counter("serve.requests", merged.requests, "requests");
+        telemetry.counter("serve.batches", merged.batches, "batches");
+        telemetry.counter("serve.rejected", merged.rejected, "requests");
+        telemetry.counter("serve.errors", merged.errors, "requests");
     }
 }
 
@@ -140,20 +355,28 @@ impl ServeStats {
 mod tests {
     use super::*;
 
-    #[test]
-    fn batches_accumulate_counters_and_percentiles() {
-        let stats = ServeStats::new();
-        let sample = |ms: u64| PhaseSample {
-            queue: Duration::from_millis(ms),
+    fn sample(queue_ms: u64) -> PhaseSample {
+        PhaseSample {
+            queue: Duration::from_millis(queue_ms),
             batch_form: Duration::from_micros(100),
             compute: Duration::from_millis(2),
-        };
-        stats.record_batch(&[sample(1), sample(4)]);
-        stats.record_batch(&[sample(2)]);
-        stats.record_rejected();
-        stats.record_error();
+            reply_write: Duration::from_micros(300),
+        }
+    }
 
-        let snap = stats.snapshot_json();
+    #[test]
+    fn batches_accumulate_counters_and_percentiles() {
+        let stats = ServeStats::new(2);
+        let t0 = 1_000_000u64;
+        stats.record_batch_at(0, 2, t0);
+        stats.record_request_at(0, &sample(1), t0);
+        stats.record_request_at(1, &sample(4), t0);
+        stats.record_batch_at(1, 1, t0);
+        stats.record_request_at(0, &sample(2), t0);
+        stats.record_rejected_at(1, t0);
+        stats.record_error_at(0, t0);
+
+        let snap = stats.snapshot_json_at(t0);
         assert_eq!(snap.get("requests").and_then(JsonValue::as_f64), Some(3.0));
         assert_eq!(snap.get("batches").and_then(JsonValue::as_f64), Some(2.0));
         assert_eq!(snap.get("rejected").and_then(JsonValue::as_f64), Some(1.0));
@@ -170,5 +393,79 @@ mod tests {
             .unwrap();
         assert!(queue_p99 >= 4.0, "p99 {queue_p99} must cover the 4ms tail");
         assert_eq!(stats.e2e_histogram().total(), 3);
+        // reply_write is a first-class phase now.
+        let rw = snap
+            .get("latency_ms")
+            .and_then(|l| l.get("reply_write"))
+            .and_then(|q| q.get("p50"))
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!(rw > 0.0, "reply_write recorded: {rw}");
+    }
+
+    #[test]
+    fn windows_report_qps_and_expire() {
+        let stats = ServeStats::new(3);
+        let s = 1_000_000u64;
+        // 4 requests in epoch 10, one rejection in epoch 12.
+        for i in 0..4u64 {
+            stats.record_request_at(i as usize, &sample(1), 10 * s + i * 1000);
+        }
+        stats.record_rejected_at(0, 12 * s);
+
+        let now = 12 * s + s / 2;
+        let snap = stats.snapshot_json_at(now);
+        let window = |label: &str| {
+            snap.get("windows")
+                .and_then(|w| w.get(label))
+                .unwrap()
+                .clone()
+        };
+        // 1s window: only the rejection is current.
+        assert_eq!(
+            window("1s").get("qps").and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            window("1s").get("reject_rate").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        // 10s window covers epochs 3..=12: the 4 requests at epoch 10 count.
+        assert_eq!(
+            window("10s").get("qps").and_then(JsonValue::as_f64),
+            Some(0.4)
+        );
+        // Far future: everything expired.
+        let later = stats.snapshot_json_at(now + 120 * s);
+        let qps60 = later
+            .get("windows")
+            .and_then(|w| w.get("60s"))
+            .and_then(|w| w.get("qps"))
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert_eq!(qps60, 0.0, "windows must expire; lifetime must not");
+        assert_eq!(later.get("requests").and_then(JsonValue::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn merged_equals_single_shard_recording() {
+        let sharded = ServeStats::new(4);
+        let single = ServeStats::new(1);
+        let t0 = 5_000_000u64;
+        for i in 0..40u64 {
+            let s = sample(i % 7);
+            sharded.record_request_at((i % 4) as usize, &s, t0 + i * 10_000);
+            single.record_request_at(0, &s, t0 + i * 10_000);
+            if i % 5 == 0 {
+                sharded.record_batch_at((i % 4) as usize, 5, t0 + i * 10_000);
+                single.record_batch_at(0, 5, t0 + i * 10_000);
+            }
+        }
+        assert_eq!(sharded.merged(), single.merged());
+        let now = t0 + 400_000;
+        assert_eq!(
+            sharded.merged_window_at(now, 10),
+            single.merged_window_at(now, 10)
+        );
     }
 }

@@ -1,0 +1,92 @@
+//! Sharded stats must be *indistinguishable* from a single global
+//! recorder: merging the per-worker shards at snapshot time has to be
+//! bit-identical to having funneled every record through one lock —
+//! both for lifetime totals and for every rolling window. This is the
+//! property that makes the lock-per-shard hot path safe to trust: if it
+//! held only approximately, windowed p99s would drift from the ground
+//! truth exactly when load (and therefore sharding) matters most.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use flight_serve::stats::{PhaseSample, ServeStats};
+
+/// A deterministic pseudo-load: `n` events derived from an index, mixing
+/// requests, batches, rejections, and errors across a few seconds of
+/// synthetic clock.
+fn event(i: u64) -> (PhaseSample, u64) {
+    let sample = PhaseSample {
+        queue: Duration::from_micros(50 + (i * 37) % 4000),
+        batch_form: Duration::from_micros(10 + (i * 13) % 400),
+        compute: Duration::from_micros(300 + (i * 91) % 9000),
+        reply_write: Duration::from_micros(5 + (i * 7) % 120),
+    };
+    // Spread events over ~6 one-second window buckets.
+    let now_us = 1_000_000 + (i % 6) * 1_000_000 + (i * 239) % 1_000_000;
+    (sample, now_us)
+}
+
+#[test]
+fn concurrent_sharded_recording_matches_a_single_lock_reference() {
+    const SHARDS: usize = 4;
+    const PER_SHARD: u64 = 500;
+
+    let sharded = Arc::new(ServeStats::new(SHARDS));
+    let reference = ServeStats::new(1);
+
+    // Concurrent writers, one per shard — the deployment shape.
+    let handles: Vec<_> = (0..SHARDS as u64)
+        .map(|shard| {
+            let sharded = Arc::clone(&sharded);
+            std::thread::spawn(move || {
+                for i in 0..PER_SHARD {
+                    let id = shard * PER_SHARD + i;
+                    let (sample, now_us) = event(id);
+                    sharded.record_request_at(shard as usize, &sample, now_us);
+                    match id % 11 {
+                        0 => sharded.record_batch_at(shard as usize, (id % 7 + 1) as usize, now_us),
+                        1 => sharded.record_rejected_at(shard as usize, now_us),
+                        2 => sharded.record_error_at(shard as usize, now_us),
+                        _ => {}
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+
+    // The same events, serially, through one shard.
+    for id in 0..SHARDS as u64 * PER_SHARD {
+        let (sample, now_us) = event(id);
+        reference.record_request_at(0, &sample, now_us);
+        match id % 11 {
+            0 => reference.record_batch_at(0, (id % 7 + 1) as usize, now_us),
+            1 => reference.record_rejected_at(0, now_us),
+            2 => reference.record_error_at(0, now_us),
+            _ => {}
+        }
+    }
+
+    // Lifetime totals: bit-identical (Tallies is PartialEq over exact
+    // histogram buckets, not approximate percentiles).
+    assert_eq!(sharded.merged(), reference.merged());
+
+    // Every reported window, probed at several clock positions, agrees
+    // bucket-for-bucket too.
+    for now_us in [1_500_000u64, 3_250_000, 6_900_000, 20_000_000] {
+        for window in [1usize, 10, 60] {
+            assert_eq!(
+                sharded.merged_window_at(now_us, window),
+                reference.merged_window_at(now_us, window),
+                "window {window}s @ {now_us}us"
+            );
+        }
+        assert_eq!(
+            sharded.snapshot_json_at(now_us).render(),
+            reference.snapshot_json_at(now_us).render(),
+            "rendered snapshot @ {now_us}us"
+        );
+    }
+}

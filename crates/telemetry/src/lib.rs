@@ -31,6 +31,11 @@
 //!   (HDR-style): per-worker shards record independently and merge
 //!   bit-identically into the whole-run distribution, with percentile
 //!   reads within one bucket (~9%) of exact.
+//! * [`Windowed`] — a rolling window over any mergeable payload
+//!   ([`WindowMerge`]): a ring of epoch-stamped buckets with exact
+//!   expiry and the same bit-identical shard-merge property, so a
+//!   server can report 1 s / 10 s / 60 s QPS and percentiles from
+//!   per-worker shards.
 //! * [`json`] — a minimal JSON value with render *and* parse, shared by
 //!   the JSONL sink, the bench run manifests, and the tests that validate
 //!   both.
@@ -78,6 +83,7 @@ pub mod jsonl;
 pub mod log2hist;
 pub mod sink;
 pub mod track;
+pub mod windowed;
 
 mod handle;
 
@@ -88,4 +94,8 @@ pub use hist::FixedHistogram;
 pub use jsonl::JsonlSink;
 pub use log2hist::{bucket_upper, Log2Histogram, SUB_BUCKETS_PER_OCTAVE};
 pub use sink::{CollectingSink, NullSink, PrefixSink, StderrSink, TelemetrySink};
-pub use track::{parse_worker, worker_prefix, WORKER_TRACK_PREFIX};
+pub use track::{
+    parse_request_track, parse_worker, request_prefix, worker_prefix, REQUEST_TRACK_PREFIX,
+    WORKER_TRACK_PREFIX,
+};
+pub use windowed::{WindowMerge, Windowed};

@@ -37,6 +37,32 @@ pub fn parse_worker(name: &str) -> Option<(usize, &str)> {
     Some((id.parse().ok()?, bare))
 }
 
+/// The name prefix shared by every per-request track: `serve.request.`.
+/// Exemplar timelines dumped by `flightq exemplars --jsonl` name their
+/// phase spans `serve.request.<id>.<phase>` so `flightctl export` can
+/// give each traced request its own Perfetto track.
+pub const REQUEST_TRACK_PREFIX: &str = "serve.request.";
+
+/// The event-name prefix for request `id`, e.g. `serve.request.42.`.
+/// Request ids are not zero-padded: they are unbounded monotonic
+/// counters, and the export side orders tracks numerically.
+pub fn request_prefix(id: u64) -> String {
+    format!("{REQUEST_TRACK_PREFIX}{id}.")
+}
+
+/// Splits a request-attributed event name into `(request id, bare
+/// name)`, e.g. `serve.request.42.compute` → `(42, "compute")`. Same
+/// fail-closed rules as [`parse_worker`]: every id byte must be an
+/// ASCII digit and the bare name must be non-empty.
+pub fn parse_request_track(name: &str) -> Option<(u64, &str)> {
+    let rest = name.strip_prefix(REQUEST_TRACK_PREFIX)?;
+    let (id, bare) = rest.split_once('.')?;
+    if id.is_empty() || !id.bytes().all(|b| b.is_ascii_digit()) || bare.is_empty() {
+        return None;
+    }
+    Some((id.parse().ok()?, bare))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +100,26 @@ mod tests {
     fn overlong_ids_fail_closed() {
         let name = format!("kernel.worker.{}9.chunk", "9".repeat(40));
         assert_eq!(parse_worker(&name), None, "id overflow is not a worker");
+    }
+
+    #[test]
+    fn request_prefix_and_parse_round_trip() {
+        for id in [0u64, 7, 1_000_000_007] {
+            let name = format!("{}queue", request_prefix(id));
+            assert_eq!(parse_request_track(&name), Some((id, "queue")));
+        }
+        assert_eq!(
+            parse_request_track("serve.request.12.phase.sub"),
+            Some((12, "phase.sub"))
+        );
+    }
+
+    #[test]
+    fn non_request_names_do_not_parse_as_request_tracks() {
+        assert_eq!(parse_request_track("serve.latency.queue"), None);
+        assert_eq!(parse_request_track("serve.request..queue"), None);
+        assert_eq!(parse_request_track("serve.request.12"), None);
+        assert_eq!(parse_request_track("serve.request.x2.queue"), None);
+        assert_eq!(parse_request_track("kernel.worker.03.chunk"), None);
     }
 }
