@@ -34,7 +34,7 @@
 //! model costs — the numbers the ASIC energy model prices.
 
 use flight_nn::layers::MaxPool2d;
-use flight_telemetry::Telemetry;
+use flight_telemetry::{StageSample, Telemetry};
 use flight_tensor::{Conv2dGeometry, Tensor};
 use flightnn::convert::shift_plan;
 use flightnn::layers::{QuantConv2d, QuantLinear};
@@ -407,6 +407,49 @@ impl CompiledNet {
         } else {
             self.forward(input, ctx)
         }
+    }
+
+    /// Runs the pipeline sequentially while filling `sample` with
+    /// per-stage wall nanoseconds and op totals — the
+    /// [`StageProf`](flight_telemetry::StageProf) hook the serving
+    /// profiler uses for 1-in-N sampled requests.
+    ///
+    /// Unlike [`forward_traced`](Self::forward), this path emits no
+    /// spans, no counters, and allocates nothing: each stage costs one
+    /// `Instant::now()` pair and three array stores into the
+    /// caller-owned scratch. Profiled forwards always take the
+    /// sequential stage walk (per-stage attribution requires it); the
+    /// logits are bit-identical to every other path because activations
+    /// quantize with one scale per image.
+    pub fn forward_profiled(
+        &self,
+        input: &Tensor,
+        ctx: &mut ExecCtx,
+        sample: &mut StageSample,
+    ) -> (Tensor, OpCounts) {
+        sample.reset();
+        sample.set_path(ctx.kernel_path().name());
+        sample.set_images(input.dims().first().copied().unwrap_or(0) as u64);
+        let mut counts = OpCounts::default();
+        let mut owned: Option<Tensor> = None;
+        for layer in &self.layers {
+            let before = counts;
+            let start = std::time::Instant::now();
+            let x = owned.as_ref().unwrap_or(input);
+            owned = Some(run_layer(
+                layer,
+                &ctx.telemetry,
+                x,
+                &mut counts,
+                &mut ctx.scratch,
+            ));
+            sample.record_stage(
+                stage_kind(layer),
+                start.elapsed().as_nanos() as u64,
+                counts.delta(before).total(),
+            );
+        }
+        (owned.unwrap_or_else(|| input.clone()), counts)
     }
 
     /// Sequential execution with per-stage spans and counters.

@@ -325,3 +325,38 @@ fn full_precision_network_still_compiles() {
     assert!(counts.float_mults > 0);
     assert_eq!(counts.shifts + counts.int_mults, 0);
 }
+
+#[test]
+fn profiled_forward_is_bit_identical_and_attributes_every_stage() {
+    let (mut net, data) = trained(1, &QuantScheme::l2(), 1);
+    let engine = IntNetwork::compile_with(&mut net, CompileOptions::new()).expect("compiles");
+    let compiled = engine.compiled();
+    let input = as_8bit(&data.test_batches(4)[0].input);
+
+    let mut ctx = flight_kernels::ExecCtx::new();
+    let (plain_logits, plain_counts) = compiled.forward(&input, &mut ctx);
+
+    let mut sample = flight_telemetry::StageSample::new();
+    let (prof_logits, prof_counts) = compiled.forward_profiled(&input, &mut ctx, &mut sample);
+
+    assert_eq!(
+        prof_logits.as_slice(),
+        plain_logits.as_slice(),
+        "profiling must not perturb the logits"
+    );
+    assert_eq!(
+        prof_counts, plain_counts,
+        "profiling must not change op counts"
+    );
+
+    // Every compiled stage appears once, in order, with the engine's
+    // dispatch path tag; the per-stage op totals sum to the whole pass.
+    assert_eq!(sample.stages(), compiled.stages());
+    assert_eq!(sample.path(), ctx.kernel_path().name());
+    let per_stage_ops: u64 = (0..sample.stages())
+        .map(|i| sample.stage(i).expect("recorded").2)
+        .sum();
+    assert_eq!(per_stage_ops, prof_counts.total());
+    let (first_kind, _, _) = sample.stage(0).expect("stage 0");
+    assert_eq!(first_kind, "conv", "network 1 opens with a conv stage");
+}

@@ -5,10 +5,12 @@
 //! flightctl diff <baseline> <candidate> [--tolerance 0.05] [--metrics p1,p2]
 //! flightctl capacity <manifest.json> --qps <target> [--p99-ms <bound>]
 //! flightctl health <trace.jsonl> [--json]
-//! flightctl export <trace.jsonl> [--format chrome] [--out <path>]
+//! flightctl export <trace.jsonl> [--format chrome|folded] [--out <path>]
 //! flightctl watch <trace.jsonl> [--once|--follow] [--interval <ms>] [--idle-exit <secs>]
 //! flightctl top <addr> [--once|--follow] [--interval <ms>] [--window <1s|10s|60s>]
 //!               [--slo-p99-ms <ms>] [--error-budget <frac>]
+//! flightctl profile <addr> [--once|--follow] [--interval <ms>]
+//!                   [--window <life|1s|10s|60s>]
 //! ```
 //!
 //! Exit codes: `0` success / within tolerance, `1` regression or health
@@ -21,10 +23,11 @@ use std::io::IsTerminal;
 use flight_obs::capacity::{plan_capacity, CapacityError, CapacityRequest, DEFAULT_HEADROOM};
 use flight_obs::cli::{parse_cli, ParsedArgs, EXIT_FAIL, EXIT_OK, EXIT_USAGE};
 use flight_obs::diff::{diff, load_metrics, DiffOptions};
+use flight_obs::profile::{profile, ProfileOptions, PROFILE_WINDOW_LABELS};
 use flight_obs::tick::TickOptions;
 use flight_obs::top::{top, TopOptions, WINDOW_LABELS};
 use flight_obs::watch::{watch, WatchOptions};
-use flight_obs::{export_chrome, health, read_trace, summarize, summarize_json};
+use flight_obs::{export_chrome, export_folded, health, read_trace, summarize, summarize_json};
 
 const USAGE: &str = "usage:
   flightctl summarize <trace.jsonl> [--json]
@@ -33,16 +36,22 @@ const USAGE: &str = "usage:
   flightctl capacity <BENCH_*.manifest.json> --qps <target> [--p99-ms <bound>]
                  [--headroom <frac>] [--json]
   flightctl health <trace.jsonl> [--json]
-  flightctl export <trace.jsonl> [--format chrome] [--out <path>]
+  flightctl export <trace.jsonl> [--format chrome|folded] [--out <path>]
   flightctl watch <trace.jsonl> [--once|--follow] [--interval <ms>] [--idle-exit <secs>]
   flightctl top <addr> [--once|--follow] [--interval <ms>] [--window <1s|10s|60s>]
                 [--slo-p99-ms <ms>] [--error-budget <frac>] [--idle-exit <secs>]
+  flightctl profile <addr> [--once|--follow] [--interval <ms>]
+                [--window <life|1s|10s|60s>] [--idle-exit <secs>]
 
 inputs are JSONL telemetry traces or BENCH_*.manifest.json run manifests
 (diff, and capacity for any manifest carrying a `scaling` block — the
 scaling exhibit's and loadgen's BENCH_serve both qualify).
-export writes Chrome trace-event JSON for Perfetto / chrome://tracing.
+export writes Chrome trace-event JSON for Perfetto / chrome://tracing;
+--format folded takes a saved `flightq profile` snapshot instead and
+writes flamegraph folded stacks (flamegraph.pl / inferno / speedscope).
 watch tails a live trace; it follows on a TTY and prints one plain report otherwise.
+profile polls the server's per-layer profiler (the `profile` verb) and
+renders every compiled stage's share of forward time, hottest first.
 top polls a running flight-serve server's stats/exemplars verbs; with
 --slo-p99-ms / --error-budget it exits 1 when the SLO is breached over
 the chosen window, so `top --once` doubles as a deploy health gate.
@@ -62,6 +71,7 @@ fn run(args: &[String]) -> i32 {
         Some("export") => cmd_export(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("-h" | "--help" | "help") => {
             println!("{USAGE}");
             EXIT_OK
@@ -137,31 +147,61 @@ fn cmd_export(args: &[String]) -> i32 {
         Err(e) => return usage_error(&e),
     };
     let format = parsed.value("--format").unwrap_or("chrome");
-    if format != "chrome" {
+    if !matches!(format, "chrome" | "folded") {
         return usage_error(&format!(
-            "unknown export format {format:?} (only \"chrome\" is supported)"
+            "unknown export format {format:?} (supported: \"chrome\", \"folded\")"
         ));
     }
     let [path] = parsed.positionals() else {
-        return usage_error("export takes exactly one trace path");
+        return usage_error("export takes exactly one input path");
     };
-    let trace = match read_trace(path) {
-        Ok(t) => t,
-        Err(e) => return io_error(path, e),
+    let (body, note) = if format == "folded" {
+        // Folded input is a profile snapshot (flightq profile output),
+        // not a JSONL trace.
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return io_error(path, e),
+        };
+        let snapshot = match flight_telemetry::json::JsonValue::parse(text.trim()) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("flightctl: {path} is not JSON: {e}");
+                return EXIT_USAGE;
+            }
+        };
+        match export_folded(&snapshot) {
+            Ok(folded) => {
+                let lines = folded.lines().count();
+                // The folded body is already newline-terminated.
+                (
+                    folded.trim_end().to_string(),
+                    format!("{lines} folded stacks"),
+                )
+            }
+            Err(e) => {
+                eprintln!("flightctl: {e}");
+                return EXIT_USAGE;
+            }
+        }
+    } else {
+        let trace = match read_trace(path) {
+            Ok(t) => t,
+            Err(e) => return io_error(path, e),
+        };
+        let (json, stats) = export_chrome(&trace);
+        (json.render(), stats.to_string())
     };
-    let (json, stats) = export_chrome(&trace);
-    let body = json.render();
     match parsed.value("--out") {
         Some(out) => {
             if let Err(e) = std::fs::write(out, format!("{body}\n")) {
                 eprintln!("flightctl: cannot write {out}: {e}");
                 return EXIT_USAGE;
             }
-            eprintln!("export: {stats} -> {out}");
+            eprintln!("export: {note} -> {out}");
         }
         None => {
             println!("{body}");
-            eprintln!("export: {stats}");
+            eprintln!("export: {note}");
         }
     }
     EXIT_OK
@@ -291,6 +331,71 @@ fn cmd_top(args: &[String]) -> i32 {
         }
         Err(e) => {
             eprintln!("flightctl: top {addr}: {e}");
+            EXIT_USAGE
+        }
+    }
+}
+
+fn cmd_profile(args: &[String]) -> i32 {
+    let parsed = match parse_cli(
+        args,
+        &["--interval", "--idle-exit", "--window"],
+        &["--once", "--follow"],
+    ) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
+    let mut opts = ProfileOptions {
+        tick: TickOptions {
+            follow: std::io::stdout().is_terminal(),
+            interval_ms: 1000,
+            idle_exit_ms: None,
+        },
+        ..ProfileOptions::default()
+    };
+    if parsed.switch("--once") {
+        opts.tick.follow = false;
+    }
+    if parsed.switch("--follow") {
+        opts.tick.follow = true;
+    }
+    if let Some(window) = parsed.value("--window") {
+        if !PROFILE_WINDOW_LABELS.contains(&window) {
+            return usage_error(&format!(
+                "--window must be one of {PROFILE_WINDOW_LABELS:?}, got {window:?}"
+            ));
+        }
+        opts.window = window.to_string();
+    }
+    let numbers = (|| -> Result<(), String> {
+        if let Some(ms) = parsed.u64_value("--interval", |v| v > 0, "a positive integer (ms)")? {
+            opts.tick.interval_ms = ms;
+        }
+        if let Some(secs) =
+            parsed.f64_value("--idle-exit", |v| v >= 0.0, "a non-negative number (s)")?
+        {
+            opts.tick.idle_exit_ms = Some((secs * 1000.0) as u64);
+        }
+        Ok(())
+    })();
+    if let Err(e) = numbers {
+        return usage_error(&e);
+    }
+    let [addr] = parsed.positionals() else {
+        return usage_error("profile takes exactly one server address (host:port)");
+    };
+    let mut stdout = std::io::stdout();
+    match profile(addr, &opts, &mut stdout) {
+        Ok(state) => {
+            if state.never_connected() {
+                eprintln!("flightctl: could not reach {addr}");
+                EXIT_FAIL
+            } else {
+                EXIT_OK
+            }
+        }
+        Err(e) => {
+            eprintln!("flightctl: profile {addr}: {e}");
             EXIT_USAGE
         }
     }

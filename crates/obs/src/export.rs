@@ -263,6 +263,66 @@ pub fn export_chrome(trace: &Trace) -> (JsonValue, ExportStats) {
     (root, stats)
 }
 
+/// Converts a per-layer profile snapshot (the `profile` verb's
+/// payload, or the whole `flightq profile` reply — the wrapper is
+/// unwrapped automatically) into folded-stack lines for standard
+/// flamegraph tools (`flamegraph.pl`, inferno, speedscope):
+///
+/// ```text
+/// serve;forward;stage.0.conv 48213
+/// serve;forward;stage.1.leaky_relu 912
+/// ```
+///
+/// One line per compiled stage with at least one sample, frame stack
+/// `serve;forward;stage.<index>.<kind>`, weight the stage's lifetime
+/// wall time in integer microseconds. Stage order follows the compiled
+/// layer order, so diffs between two exports line up.
+///
+/// # Errors
+///
+/// Returns a message when the value has no `stages` array (not a
+/// profile snapshot) or when no stage has samples yet (the flamegraph
+/// would be empty — better to say why).
+pub fn export_folded(profile: &JsonValue) -> Result<String, String> {
+    // Accept either the bare snapshot or the framed server reply.
+    let snapshot = profile.get("profile").unwrap_or(profile);
+    let stages = snapshot
+        .get("stages")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| {
+            "no `stages` array — expected a profile snapshot (flightq profile output)".to_string()
+        })?;
+    let mut out = String::new();
+    for stage in stages {
+        let samples = stage
+            .get("samples")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        if samples <= 0.0 {
+            continue;
+        }
+        let index = stage
+            .get("index")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0) as u64;
+        let kind = stage
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .filter(|k| !k.is_empty())
+            .unwrap_or("stage");
+        let wall_us = stage
+            .get("wall_total_us")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0)
+            .round() as u64;
+        out.push_str(&format!("serve;forward;stage.{index}.{kind} {wall_us}\n"));
+    }
+    if out.is_empty() {
+        return Err("profile has no sampled stages yet — nothing to fold".to_string());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,5 +578,63 @@ mod tests {
             .get("traceEvents")
             .and_then(JsonValue::as_array)
             .is_some());
+    }
+
+    fn profile_stage(index: u64, kind: &str, samples: u64, wall_us: f64) -> JsonValue {
+        JsonObject::new()
+            .field("index", index)
+            .field("kind", kind)
+            .field("samples", samples)
+            .field("wall_total_us", wall_us)
+            .build()
+    }
+
+    #[test]
+    fn folded_export_emits_one_line_per_sampled_stage() {
+        let snapshot = JsonObject::new()
+            .field("sample_every", 16u64)
+            .field(
+                "stages",
+                vec![
+                    profile_stage(0, "conv", 4, 48213.4),
+                    profile_stage(1, "leaky_relu", 4, 911.6),
+                    profile_stage(2, "linear", 0, 0.0), // never sampled → skipped
+                ],
+            )
+            .build();
+        let folded = export_folded(&snapshot).unwrap();
+        assert_eq!(
+            folded,
+            "serve;forward;stage.0.conv 48213\nserve;forward;stage.1.leaky_relu 912\n"
+        );
+    }
+
+    #[test]
+    fn folded_export_unwraps_the_framed_server_reply() {
+        let reply = JsonObject::new()
+            .field("ok", true)
+            .field("version", 1u64)
+            .field(
+                "profile",
+                JsonObject::new()
+                    .field("stages", vec![profile_stage(0, "conv", 1, 100.0)])
+                    .build(),
+            )
+            .build();
+        assert_eq!(
+            export_folded(&reply).unwrap(),
+            "serve;forward;stage.0.conv 100\n"
+        );
+    }
+
+    #[test]
+    fn folded_export_rejects_non_profile_and_empty_profiles() {
+        let err = export_folded(&JsonObject::new().field("x", 1u64).build()).unwrap_err();
+        assert!(err.contains("stages"), "{err}");
+        let empty = JsonObject::new()
+            .field("stages", vec![profile_stage(0, "conv", 0, 0.0)])
+            .build();
+        let err = export_folded(&empty).unwrap_err();
+        assert!(err.contains("no sampled stages"), "{err}");
     }
 }

@@ -29,8 +29,15 @@
 //! * `flightctl top <addr>` — live serving dashboard over a running
 //!   flight-serve server's `stats`/`exemplars` verbs, with SLO
 //!   burn-rate health rules that gate the exit code ([`top`]).
+//! * `flightctl profile <addr>` — live per-layer profile of the same
+//!   server via its `profile` verb: every compiled stage's share of
+//!   forward wall time, p50/p99, ops/sec and the resolved kernel
+//!   dispatch path, hottest first ([`profile`]); `flightctl export
+//!   --format folded` turns a saved snapshot into flamegraph folded
+//!   stacks ([`export::export_folded`]).
 //!
-//! `watch` and `top` share the follow/once TTY loop in [`tick`].
+//! `watch`, `top`, and `profile` share the follow/once TTY loop in
+//! [`tick`].
 //!
 //! `summarize` and `health` also speak `--json` for CI gates.
 //!
@@ -44,6 +51,7 @@ pub mod cli;
 pub mod diff;
 pub mod export;
 pub mod health;
+pub mod profile;
 pub mod summarize;
 pub mod tick;
 pub mod top;
@@ -54,8 +62,9 @@ pub mod watch;
 pub use capacity::{plan_capacity, CapacityError, CapacityPlan, CapacityRequest};
 pub use cli::{parse_cli, ParsedArgs, EXIT_FAIL, EXIT_OK, EXIT_USAGE};
 pub use diff::{diff, load_metrics, DiffOptions, DiffReport};
-pub use export::{export_chrome, ExportStats};
+pub use export::{export_chrome, export_folded, ExportStats};
 pub use health::{health, HealthReport};
+pub use profile::{profile, ProfileOptions, ProfileState};
 pub use summarize::{summarize, summarize_json};
 pub use tick::{run_ticks, sparkline, Series, TickOptions, TickStep};
 pub use top::{top, TopOptions, TopState};

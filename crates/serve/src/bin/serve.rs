@@ -3,12 +3,17 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7807] [--workers <n>] [--engine-threads <n>]
 //!       [--max-batch <n>] [--max-wait-us <µs>] [--queue-depth <n>]
+//!       [--profile-every <n>]
 //!       [--network <1..8>] [--scheme <l1|l2|fp4w8a|full>] [--seed <n>] [--width <scale>]
 //! ```
 //!
 //! Serves the spec'd model until a `shutdown` op arrives. Set
 //! `FLIGHT_TELEMETRY=stderr|jsonl:<path>` to capture the serve
-//! counters and latency histograms on exit.
+//! counters and latency histograms on exit — the same handle reaches
+//! the compute workers (prefixed per worker track), so a JSONL trace
+//! from a live server includes the kernel-side events.
+//! `--profile-every` tunes the per-layer profiler's 1-in-N request
+//! sampling (default 16; 0 disables; read it with `flightctl profile`).
 //! Exit codes: 0 clean shutdown, 1 startup failure, 2 usage error.
 
 use flight_kernels::ExecutionPolicy;
@@ -19,6 +24,7 @@ use flight_telemetry::Telemetry;
 const USAGE: &str = "usage:
   serve [--addr 127.0.0.1:7807] [--workers <n>] [--engine-threads <n>]
         [--max-batch <n>] [--max-wait-us <us>] [--queue-depth <n>]
+        [--profile-every <n>]
         [--network <1..8>] [--scheme <l1|l2|fp4w8a|full>] [--seed <n>] [--width <scale>]
 
 runs until a shutdown op arrives (e.g. `flightq shutdown --addr <addr>`).
@@ -68,6 +74,7 @@ fn run() -> i32 {
             "--max-batch",
             "--max-wait-us",
             "--queue-depth",
+            "--profile-every",
             "--network",
             "--scheme",
             "--seed",
@@ -109,6 +116,9 @@ fn run() -> i32 {
         }
         if let Some(n) = parsed.usize_value("--queue-depth", positive, "a positive integer")? {
             config.queue_depth = n;
+        }
+        if let Some(n) = parsed.u64_value("--profile-every", |_| true, "an integer")? {
+            config.profile_every = n as u32;
         }
         Ok((config, spec_from_args(&parsed)?))
     };

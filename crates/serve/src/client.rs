@@ -222,6 +222,21 @@ impl ServeClient {
             .ok_or_else(|| fatal("exemplars reply lacks `exemplars`"))
     }
 
+    /// Fetches the server's per-layer profile snapshot (the `profile`
+    /// object; see [`StageProf`](flight_telemetry::StageProf)).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn profile(&mut self) -> Result<JsonValue, ServeError> {
+        let reply =
+            Self::expect_ok(self.round_trip(&JsonObject::new().field("op", "profile").build())?)?;
+        reply
+            .get("profile")
+            .cloned()
+            .ok_or_else(|| fatal("profile reply lacks `profile`"))
+    }
+
     /// Asks the server to shut down.
     ///
     /// # Errors

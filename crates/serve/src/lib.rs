@@ -27,6 +27,15 @@
 //!   slowest-N request timelines are kept as exemplars, fetched via the
 //!   `exemplars` op, and exportable as per-request Perfetto tracks
 //!   through `flightq exemplars` + `flightctl export`.
+//! - **continuous per-layer profiling** — 1-in-N sampled requests run a
+//!   profiled forward that fills a fixed allocation-free
+//!   [`StageSample`](flight_telemetry::StageSample) with per-stage wall
+//!   time, op totals, and the resolved kernel dispatch path, flushed
+//!   into a per-worker [`StageProf`](flight_telemetry::StageProf)
+//!   shard. The `profile` op returns per-layer p50/p99, time share, and
+//!   ops/sec (lifetime + rolling windows); `flightctl profile` renders
+//!   it live and `flightctl export --format folded` emits flamegraph
+//!   folded stacks.
 //!
 //! The server is built directly on the request-first engine API: one
 //! shared [`CompiledNet`](flight_kernels::CompiledNet) snapshot per

@@ -14,6 +14,7 @@
 //! {"op":"swap","network":1,"scheme":"l1","seed":7}
 //! {"op":"stats"}
 //! {"op":"exemplars"}
+//! {"op":"profile"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
@@ -98,6 +99,9 @@ pub enum Request {
     Stats,
     /// The slowest-request exemplar timelines.
     Exemplars,
+    /// The sampled per-layer profile (see
+    /// [`StageProf`](flight_telemetry::StageProf)).
+    Profile,
     /// Liveness + current model version.
     Ping,
     /// Stop the server.
@@ -138,6 +142,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
         }),
         "stats" => Ok(Request::Stats),
         "exemplars" => Ok(Request::Exemplars),
+        "profile" => Ok(Request::Profile),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
@@ -209,6 +214,10 @@ mod tests {
         assert_eq!(
             parse_request(b"{\"op\":\"exemplars\"}").unwrap(),
             Request::Exemplars
+        );
+        assert_eq!(
+            parse_request(b"{\"op\":\"profile\"}").unwrap(),
+            Request::Profile
         );
         assert_eq!(
             parse_request(b"{\"op\":\"infer\",\"image\":[1,0.5]}").unwrap(),

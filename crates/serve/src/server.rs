@@ -41,7 +41,9 @@ use std::time::{Duration, Instant};
 
 use flight_kernels::{ExecCtx, ExecutionPolicy};
 use flight_telemetry::json::{JsonObject, JsonValue};
-use flight_telemetry::{trace_now_us, Telemetry};
+use flight_telemetry::{
+    trace_now_us, worker_prefix, StageProf, StageSample, Telemetry, DEFAULT_SAMPLE_EVERY,
+};
 use flight_tensor::Tensor;
 
 use crate::batcher::{collect_batch, BatchPolicy, PendingRequest};
@@ -75,7 +77,12 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// How many slowest-request exemplar timelines to keep.
     pub exemplars: usize,
-    /// Where serve counters/histograms go on shutdown.
+    /// Profile 1-in-N requests through the per-layer
+    /// [`StageProf`] (0 disables profiling entirely).
+    pub profile_every: u32,
+    /// Where serve counters/histograms go on shutdown; also the sink
+    /// worker forwards emit through when live (`FLIGHT_TELEMETRY` in
+    /// the `serve` bin).
     pub telemetry: Telemetry,
 }
 
@@ -89,6 +96,7 @@ impl Default for ServerConfig {
             max_wait_us: 500,
             queue_depth: 256,
             exemplars: DEFAULT_EXEMPLARS,
+            profile_every: DEFAULT_SAMPLE_EVERY,
             telemetry: Telemetry::null(),
         }
     }
@@ -113,6 +121,7 @@ struct Shared {
     slot: EngineSlot,
     stats: ServeStats,
     exemplars: ExemplarRing,
+    profiler: StageProf,
     queue_tx: SyncSender<PendingRequest<InferReply>>,
     /// Next `request_id` to assign; starts at 1 so 0 can mean "none".
     next_request_id: AtomicU64,
@@ -170,6 +179,7 @@ impl Server {
             slot,
             stats: ServeStats::new(config.workers.max(1)),
             exemplars: ExemplarRing::new(config.exemplars),
+            profiler: StageProf::new(config.workers.max(1), config.profile_every),
             queue_tx,
             next_request_id: AtomicU64::new(1),
             queue_depth: AtomicI64::new(0),
@@ -235,6 +245,12 @@ impl Server {
     /// `exemplars` op's `exemplars` field).
     pub fn exemplars_json(&self) -> JsonValue {
         self.shared.exemplars.json()
+    }
+
+    /// The per-layer profile snapshot (same shape as the `profile` op's
+    /// `profile` field: sampling rate, merged per-stage stats, windows).
+    pub fn profile_json(&self) -> JsonValue {
+        self.shared.profiler.snapshot_json()
     }
 
     /// Signals every thread to stop, wakes the accept loop, joins the
@@ -319,6 +335,12 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<(
                 .field("ok", true)
                 .field("version", shared.slot.version())
                 .field("exemplars", shared.exemplars.json())
+                .build()
+                .render(),
+            Ok(Request::Profile) => JsonObject::new()
+                .field("ok", true)
+                .field("version", shared.slot.version())
+                .field("profile", shared.profiler.snapshot_json())
                 .build()
                 .render(),
             Ok(Request::Swap { spec }) => match shared.slot.swap_to(spec) {
@@ -475,7 +497,13 @@ fn worker_loop(
     engine: ExecutionPolicy,
     worker: usize,
 ) {
-    let mut ctx = ExecCtx::new();
+    // Workers emit through the server's telemetry handle on their own
+    // `kernel.worker.<ww>.` track, so FLIGHT_TELEMETRY on the serve bin
+    // captures a live JSONL trace. With the (default) null sink
+    // `with_prefix` returns the same disabled handle and the hot path
+    // stays uninstrumented.
+    let mut ctx = ExecCtx::with_telemetry(shared.telemetry.with_prefix(&worker_prefix(worker)));
+    let mut profile_scratch = StageSample::new();
     loop {
         // Hold the receiver lock only while forming the batch; compute
         // proceeds unlocked so other workers can form the next batch.
@@ -487,7 +515,14 @@ fn worker_loop(
         shared
             .queue_depth
             .fetch_sub(batch.len() as i64, Ordering::Relaxed);
-        run_batch(shared, batch, engine, &mut ctx, worker);
+        run_batch(
+            shared,
+            batch,
+            engine,
+            &mut ctx,
+            &mut profile_scratch,
+            worker,
+        );
     }
 }
 
@@ -496,6 +531,7 @@ fn run_batch(
     batch: Vec<PendingRequest<InferReply>>,
     engine: ExecutionPolicy,
     ctx: &mut ExecCtx,
+    profile_scratch: &mut StageSample,
     worker: usize,
 ) {
     let sealed = Instant::now();
@@ -526,9 +562,21 @@ fn run_batch(
     }
     let input = Tensor::from_vec(data, &[n, c, h, w]);
 
+    // A batch is profiled when any member's request id is sampled, so
+    // sampled requests keep their per-layer attribution even when
+    // coalesced. Profiled batches take the sequential stage walk
+    // (attribution requires it); logits are bit-identical either way.
+    let profiled = members.iter().any(|m| shared.profiler.sampled(m.id));
     let compute_start = Instant::now();
-    let (out, _ops) = model.net.forward_with(&input, engine, ctx);
+    let (out, _ops) = if profiled {
+        model.net.forward_profiled(&input, ctx, profile_scratch)
+    } else {
+        model.net.forward_with(&input, engine, ctx)
+    };
     let compute = compute_start.elapsed();
+    if profiled {
+        shared.profiler.record(worker, profile_scratch);
+    }
 
     let logits = out.as_slice();
     let classes = logits.len() / n;

@@ -36,6 +36,10 @@
 //!   expiry and the same bit-identical shard-merge property, so a
 //!   server can report 1 s / 10 s / 60 s QPS and percentiles from
 //!   per-worker shards.
+//! * [`StageProf`] — an always-on sampling per-layer profiler for the
+//!   serving hot path: a fixed allocation-free [`StageSample`] scratch
+//!   per worker, deterministic 1-in-N request selection ([`sampled`]),
+//!   sharded windowed aggregation, and folded-stack flamegraph export.
 //! * [`json`] — a minimal JSON value with render *and* parse, shared by
 //!   the JSONL sink, the bench run manifests, and the tests that validate
 //!   both.
@@ -82,6 +86,7 @@ pub mod json;
 pub mod jsonl;
 pub mod log2hist;
 pub mod sink;
+pub mod stageprof;
 pub mod track;
 pub mod windowed;
 
@@ -94,6 +99,9 @@ pub use hist::FixedHistogram;
 pub use jsonl::JsonlSink;
 pub use log2hist::{bucket_upper, Log2Histogram, SUB_BUCKETS_PER_OCTAVE};
 pub use sink::{CollectingSink, NullSink, PrefixSink, StderrSink, TelemetrySink};
+pub use stageprof::{
+    sampled, StageProf, StageSample, StageStat, StageTallies, DEFAULT_SAMPLE_EVERY, MAX_STAGES,
+};
 pub use track::{
     parse_request_track, parse_worker, request_prefix, worker_prefix, REQUEST_TRACK_PREFIX,
     WORKER_TRACK_PREFIX,
